@@ -1,0 +1,198 @@
+// Microbenchmarks (google-benchmark) for the kernels the paper's CPU-time
+// discussion hinges on: BDD operations, the subset threshold, characteristic
+// function construction, Lmax, local/global class extraction, and a full
+// engine run on the worked example.
+
+#include <benchmark/benchmark.h>
+
+#include "bdd/bdd.hpp"
+#include "decomp/classes.hpp"
+#include "imodec/chi.hpp"
+#include "imodec/engine.hpp"
+#include "imodec/lmax.hpp"
+#include "imodec/subset.hpp"
+#include "circuits/registry.hpp"
+#include "logic/minimize.hpp"
+#include "opt/extract.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace imodec;
+using bdd::Bdd;
+using bdd::Manager;
+
+TruthTable random_table(unsigned n, std::uint64_t seed) {
+  Rng rng(seed);
+  TruthTable t(n);
+  for (std::uint64_t row = 0; row < t.num_rows(); ++row)
+    t.set(row, rng.coin());
+  return t;
+}
+
+void BM_BddIte(benchmark::State& state) {
+  const unsigned n = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    Manager mgr(n);
+    Bdd acc = Bdd::zero(mgr);
+    for (unsigned v = 0; v + 1 < n; ++v)
+      acc = acc | (Bdd::var(mgr, v) & Bdd::var(mgr, v + 1));
+    benchmark::DoNotOptimize(acc.dag_size());
+  }
+}
+BENCHMARK(BM_BddIte)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_SubsetThreshold(benchmark::State& state) {
+  const unsigned ell = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    Manager mgr(ell);
+    benchmark::DoNotOptimize(
+        subset_threshold(mgr, ell / 2, ell, 0).dag_size());
+  }
+}
+BENCHMARK(BM_SubsetThreshold)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_LocalClasses(benchmark::State& state) {
+  const unsigned n = static_cast<unsigned>(state.range(0));
+  const TruthTable f = random_table(n, 42);
+  VarPartition vp;
+  for (unsigned v = 0; v < n; ++v)
+    (v < 5 ? vp.bound : vp.free_set).push_back(v);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(local_partition_tt(f, vp).num_classes);
+}
+BENCHMARK(BM_LocalClasses)->Arg(8)->Arg(12)->Arg(16)->Arg(20);
+
+void BM_GlobalPartition(benchmark::State& state) {
+  const unsigned m = static_cast<unsigned>(state.range(0));
+  std::vector<TruthTable> fs;
+  for (unsigned k = 0; k < m; ++k) fs.push_back(random_table(10, 100 + k));
+  VarPartition vp;
+  for (unsigned v = 0; v < 10; ++v)
+    (v < 5 ? vp.bound : vp.free_set).push_back(v);
+  std::vector<VertexPartition> locals;
+  for (const auto& f : fs) locals.push_back(local_partition_tt(f, vp));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(global_partition(locals).num_classes);
+}
+BENCHMARK(BM_GlobalPartition)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_BuildChi(benchmark::State& state) {
+  // A p-class, ℓ-local-class synthetic state (p = 2ℓ: each local class two
+  // globals — the regular structure typical of arithmetic circuits).
+  const std::uint32_t ell = static_cast<std::uint32_t>(state.range(0));
+  const std::uint32_t p = 2 * ell;
+  OutputState st;
+  st.codewidth = codewidth(ell);
+  st.blocks.resize(1);
+  st.local_of_global.resize(p);
+  for (std::uint32_t g = 0; g < p; ++g) {
+    st.blocks[0].push_back(g);
+    st.local_of_global[g] = g / 2;
+  }
+  for (auto _ : state) {
+    Manager mgr(p);
+    benchmark::DoNotOptimize(build_chi(mgr, p, st).dag_size());
+  }
+}
+BENCHMARK(BM_BuildChi)->Arg(4)->Arg(8)->Arg(16)->Arg(24)->Arg(32);
+
+void BM_Lmax(benchmark::State& state) {
+  const std::uint32_t p = static_cast<std::uint32_t>(state.range(0));
+  Manager mgr(p);
+  Rng rng(7);
+  std::vector<Bdd> chis;
+  for (int k = 0; k < 6; ++k) {
+    Bdd f = Bdd::zero(mgr);
+    for (int c = 0; c < 4; ++c) {
+      std::vector<unsigned> vars;
+      std::vector<bool> phases;
+      for (std::uint32_t v = 0; v < p; ++v) {
+        if (rng.chance(1, 3)) {
+          vars.push_back(v);
+          phases.push_back(rng.coin());
+        }
+      }
+      f = f | Bdd::cube(mgr, vars, phases);
+    }
+    chis.push_back(f);
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(lmax(mgr, p, chis).coverage);
+}
+BENCHMARK(BM_Lmax)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_EngineWorkedExample(benchmark::State& state) {
+  // The paper's (f1, f2) vector end to end.
+  TruthTable f1(5), f2(5);
+  const char* c1[4] = {"00010111", "11111110", "11111110", "00010110"};
+  const char* c2[4] = {"00010101", "01111110", "01111110", "11101010"};
+  for (unsigned y = 0; y < 4; ++y)
+    for (unsigned col = 0; col < 8; ++col) {
+      const unsigned x1 = (col >> 2) & 1, x2 = (col >> 1) & 1, x3 = col & 1;
+      const std::uint64_t idx = x1 | (x2 << 1) | (x3 << 2) | ((y & 1) << 3) |
+                                (static_cast<std::uint64_t>(y >> 1) << 4);
+      f1.set(idx, c1[y][col] == '1');
+      f2.set(idx, c2[y][col] == '1');
+    }
+  VarPartition vp;
+  vp.bound = {0, 1, 2};
+  vp.free_set = {3, 4};
+  for (auto _ : state) {
+    const auto dec = decompose_multi_output({f1, f2}, vp);
+    benchmark::DoNotOptimize(dec->q());
+  }
+}
+BENCHMARK(BM_EngineWorkedExample);
+
+void BM_EngineRandomVector(benchmark::State& state) {
+  const unsigned m = static_cast<unsigned>(state.range(0));
+  std::vector<TruthTable> fs;
+  for (unsigned k = 0; k < m; ++k) fs.push_back(random_table(8, 900 + k));
+  VarPartition vp;
+  for (unsigned v = 0; v < 8; ++v)
+    (v < 5 ? vp.bound : vp.free_set).push_back(v);
+  for (auto _ : state) {
+    ImodecOptions opts;
+    opts.max_p = 64;
+    const auto dec = decompose_multi_output(fs, vp, opts);
+    benchmark::DoNotOptimize(dec ? dec->q() : 0u);
+  }
+}
+BENCHMARK(BM_EngineRandomVector)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_Sifting(benchmark::State& state) {
+  const unsigned n = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Manager mgr(n);
+    // Pair-separated AND-OR chain: the classic sifting workload.
+    Bdd f = Bdd::zero(mgr);
+    for (unsigned i = 0; i < n / 2; ++i)
+      f = f | (Bdd::var(mgr, i) & Bdd::var(mgr, n / 2 + i));
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(mgr.sift());
+  }
+}
+BENCHMARK(BM_Sifting)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_MinimizeCover(benchmark::State& state) {
+  const unsigned n = static_cast<unsigned>(state.range(0));
+  const TruthTable f = random_table(n, 77);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(imodec::minimize_cover(f).size());
+}
+BENCHMARK(BM_MinimizeCover)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_KernelExtraction(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Network net = *circuits::make_benchmark("count");
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(opt::extract_kernels(net).divisors_added);
+  }
+}
+BENCHMARK(BM_KernelExtraction);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,149 @@
+// Regenerates Table 2: MAPPING TO XILINX XC3000 CLBs.
+//
+// For every circuit of the paper's Table 2 we run four configurations:
+//   IMODEC   — collapse, multiple-output decomposition, CLB packing
+//   Single   — collapse, single-output decomposition, CLB packing
+//   r+IMODEC — restructure (script.rugged stand-in), multi-output, packing
+//   r+FGMap  — restructure, single-output BDD-style baseline, packing
+// and print measured CLB counts next to the paper's reference values.
+// Circuits whose cones exceed the truth-table limit cannot be collapsed —
+// exactly the rows the paper marks with '*' — and only run the r+ modes.
+//
+// Absolute CLB counts are not comparable (synthetic substitutes, different
+// pre-structuring; DESIGN.md §4); the shape to check is the column ordering:
+// IMODEC <= Single on (almost) every row, with a double-digit average gain.
+
+#include <cstdio>
+#include <string>
+
+#include "circuits/registry.hpp"
+#include "logic/simulate.hpp"
+#include "map/lutflow.hpp"
+#include "map/restructure.hpp"
+#include "map/xc3000.hpp"
+#include "util/timer.hpp"
+
+using namespace imodec;
+
+namespace {
+
+struct Row {
+  std::string name;
+  int m = -1, p = -1;
+  int imodec = -1, single_ = -1, r_imodec = -1, r_fgmap = -1;
+  double cpu = 0.0;
+  bool verified = true;
+};
+
+int run_mode(const Network& reference, const Network& start, bool multi,
+             int* max_m, int* max_p, bool* verified) {
+  FlowOptions opts;
+  opts.multi_output = multi;
+  const FlowResult r = decompose_to_luts(start, opts);
+  if (max_m) *max_m = static_cast<int>(r.stats.max_m);
+  if (max_p) *max_p = static_cast<int>(r.stats.max_p);
+  EquivalenceOptions eq_opts;
+  eq_opts.random_vectors = 512;  // light check; tests do the heavy lifting
+  if (verified && !check_equivalence(reference, r.network, eq_opts).equivalent)
+    *verified = false;
+  return static_cast<int>(pack_xc3000(r.network).clbs);
+}
+
+std::string cell(int v) { return v < 0 ? "-" : std::to_string(v); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  std::printf("=== Table 2: mapping to Xilinx XC3000 CLBs ===\n\n");
+  std::printf("%-8s | %-7s %5s %7s %9s %8s | %5s %7s %9s %8s | %7s %5s\n",
+              "net", "m/p", "CLB", "Single", "r+IMODEC", "r+FGMap", "CLB",
+              "Single", "r+IMODEC", "r+FGMap", "CPU/s", "ok");
+  std::printf("%-8s | %-31s | %-32s |\n", "", "------- paper -------",
+              "------ measured ------");
+
+  long paper_multi = 0, paper_single = 0;
+  long meas_multi = 0, meas_single = 0;
+  long meas_rm = 0, meas_rf = 0;
+  long meas_rm_norot = 0, meas_rf_norot = 0;
+
+  for (const auto& info : circuits::table2_benchmarks()) {
+    if (quick && (info.name == "des" || info.name == "C5315" ||
+                  info.name == "apex6" || info.name == "rot"))
+      continue;
+    const auto net = circuits::make_benchmark(info.name);
+    if (!net) continue;
+    Row row;
+    row.name = info.name;
+    Timer timer;
+
+    const auto collapsed = collapse_network(*net);
+    if (collapsed) {
+      int m = -1, p = -1;
+      row.imodec = run_mode(*net, *collapsed, true, &m, &p, &row.verified);
+      row.m = m;
+      row.p = p;
+      row.single_ = run_mode(*net, *collapsed, false, nullptr, nullptr,
+                             &row.verified);
+    }
+    // The r+ rows use a more aggressive pre-structuring (closer to what
+    // script.rugged leaves behind): bounded duplication gives the
+    // decomposition engine wider nodes to share across.
+    RestructureOptions ropts;
+    ropts.max_support = 12;
+    ropts.max_fanout = 2;
+    const Network pre = restructure(*net, ropts);
+    row.r_imodec = run_mode(*net, pre, true, nullptr, nullptr, &row.verified);
+    row.r_fgmap = run_mode(*net, pre, false, nullptr, nullptr, &row.verified);
+    row.cpu = timer.seconds();
+
+    const std::string mp = collapsed ? (std::to_string(row.m) + "/" +
+                                        std::to_string(row.p))
+                                     : std::string("-");
+    std::printf("%-8s | %-7s %5s %7s %9s %8s | %5s %7s %9s %8s | %7.1f %5s\n",
+                row.name.c_str(), mp.c_str(),
+                cell(info.paper_imodec_clb).c_str(),
+                cell(info.paper_single_clb).c_str(),
+                cell(info.paper_r_imodec_clb).c_str(),
+                cell(info.paper_r_fgmap_clb).c_str(),
+                cell(row.imodec).c_str(), cell(row.single_).c_str(),
+                cell(row.r_imodec).c_str(), cell(row.r_fgmap).c_str(),
+                row.cpu, row.verified ? "yes" : "NO");
+
+    if (row.imodec >= 0 && row.single_ >= 0) {
+      meas_multi += row.imodec;
+      meas_single += row.single_;
+      if (info.paper_imodec_clb > 0 && info.paper_single_clb > 0) {
+        paper_multi += info.paper_imodec_clb;
+        paper_single += info.paper_single_clb;
+      }
+    }
+    meas_rm += row.r_imodec;
+    meas_rf += row.r_fgmap;
+    if (info.name != "rot") {
+      meas_rm_norot += row.r_imodec;
+      meas_rf_norot += row.r_fgmap;
+    }
+  }
+
+  std::printf("\nSums over collapsible rows:\n");
+  std::printf("  paper   : IMODEC %ld vs Single %ld  (%.0f%% reduction)\n",
+              paper_multi, paper_single,
+              100.0 * (paper_single - paper_multi) / paper_single);
+  if (meas_single > 0) {
+    std::printf("  measured: IMODEC %ld vs Single %ld  (%.0f%% reduction)\n",
+                meas_multi, meas_single,
+                100.0 * (meas_single - meas_multi) / meas_single);
+  }
+  std::printf("Restructured rows: r+IMODEC %ld vs r+FGMap-style %ld "
+              "(%.0f%% reduction)\n",
+              meas_rm, meas_rf, 100.0 * (meas_rf - meas_rm) / meas_rf);
+  std::printf("  excluding rot  : r+IMODEC %ld vs r+FGMap-style %ld "
+              "(%.0f%% reduction)\n",
+              meas_rm_norot, meas_rf_norot,
+              100.0 * (meas_rf_norot - meas_rm_norot) / meas_rf_norot);
+  std::printf("  (rot is mux-dominated: grouped bound sets widen the g\n"
+              "   functions there; see EXPERIMENTS.md for the discussion)\n");
+  std::printf("\n(paper: 38%% avg reduction vs Single, 16%% vs FGMap)\n");
+  return 0;
+}

@@ -1,0 +1,140 @@
+// Reproduces the paper's running example (Figs. 2, 3, 5; Examples 1-7):
+// prints the decomposition charts of f1 and f2, the local and global
+// partitions, the implicit characteristic functions of preferable
+// decomposition functions, the covering table of Fig. 5, the Lmax choice,
+// and the final shared decomposition.
+//
+//   $ ./paper_example
+
+#include <cstdio>
+
+#include "decomp/chart.hpp"
+#include "decomp/classes.hpp"
+#include "decomp/single.hpp"
+#include "imodec/chi.hpp"
+#include "imodec/engine.hpp"
+#include "imodec/lmax.hpp"
+#include "logic/cube.hpp"
+
+using namespace imodec;
+
+namespace {
+
+TruthTable from_chart(const char* r00, const char* r01, const char* r10,
+                      const char* r11) {
+  const char* rows[4] = {r00, r01, r10, r11};
+  TruthTable f(5);
+  for (unsigned y = 0; y < 4; ++y)
+    for (unsigned col = 0; col < 8; ++col) {
+      const unsigned x1 = (col >> 2) & 1, x2 = (col >> 1) & 1, x3 = col & 1;
+      f.set(x1 | (x2 << 1) | (x3 << 2) | ((y & 1) << 3) |
+                (static_cast<std::uint64_t>(y >> 1) << 4),
+            rows[y][col] == '1');
+    }
+  return f;
+}
+
+OutputState make_state(const VertexPartition& local,
+                       const VertexPartition& global) {
+  OutputState st;
+  st.codewidth = codewidth(local.num_classes);
+  st.blocks.resize(1);
+  for (std::uint32_t g = 0; g < global.num_classes; ++g)
+    st.blocks[0].push_back(g);
+  st.local_of_global.resize(global.num_classes);
+  for (std::uint64_t v = 0; v < global.num_vertices(); ++v)
+    st.local_of_global[global.class_of[v]] = local.class_of[v];
+  return st;
+}
+
+void print_onset(const char* name, const bdd::Bdd& chi, unsigned p) {
+  std::printf("%s onset (z-vertices, z1..z%u):\n", name, p);
+  chi.manager()->foreach_minterm(
+      chi.node(), {0, 1, 2, 3, 4}, [&](const std::vector<bool>& z) {
+        std::printf("  ");
+        for (unsigned i = 0; i < p; ++i) std::printf("%d", z[i] ? 1 : 0);
+        std::printf("  = onset {");
+        bool first = true;
+        for (unsigned i = 0; i < p; ++i) {
+          if (!z[i]) continue;
+          std::printf("%sG%u", first ? "" : ",", i + 1);
+          first = false;
+        }
+        std::printf("}\n");
+        return true;
+      });
+}
+
+}  // namespace
+
+int main() {
+  // Fig. 2: the decomposition charts.
+  const TruthTable f1 =
+      from_chart("00010111", "11111110", "11111110", "00010110");
+  const TruthTable f2 =
+      from_chart("00010101", "01111110", "01111110", "11101010");
+  VarPartition vp;
+  vp.bound = {0, 1, 2};
+  vp.free_set = {3, 4};
+
+  std::printf("=== Fig. 2a: decomposition chart of f1 ===\n%s\n",
+              render_chart(f1, vp).c_str());
+  std::printf("=== Fig. 2b: decomposition chart of f2 ===\n%s\n",
+              render_chart(f2, vp).c_str());
+
+  // Examples 1 and 3: local and global partitions.
+  const VertexPartition l1 = local_partition_tt(f1, vp);
+  const VertexPartition l2 = local_partition_tt(f2, vp);
+  std::printf("=== Example 1: local partition of f1 (vertices x1x2x3) ===\n%s",
+              render_partition(l1).c_str());
+  std::printf("=== local partition of f2 ===\n%s", render_partition(l2).c_str());
+  const VertexPartition global = global_partition({l1, l2});
+  std::printf("=== Example 3: global partition (p = %u) ===\n%s\n",
+              global.num_classes, render_partition(global).c_str());
+
+  // Example 5: implicit characteristic functions.
+  bdd::Manager mgr(global.num_classes);
+  const OutputState s1 = make_state(l1, global);
+  const OutputState s2 = make_state(l2, global);
+  const bdd::Bdd chi1 = build_chi(mgr, global.num_classes, s1);
+  const bdd::Bdd chi2 = build_chi(mgr, global.num_classes, s2);
+  std::printf("=== Example 5 / Fig. 5: preferable d-functions ===\n");
+  print_onset("chi_1", chi1, global.num_classes);
+  print_onset("chi_2", chi2, global.num_classes);
+  std::printf("|chi_1| = %.0f, |chi_2| = %.0f, shared = %.0f\n\n",
+              chi1.sat_count() / 1.0, chi2.sat_count() / 1.0,
+              (chi1 & chi2).sat_count());
+
+  // Example 6: the Lmax choice.
+  const LmaxResult pick = lmax(mgr, global.num_classes, {chi1, chi2});
+  std::printf("=== Example 6: Lmax picks z-mask 0x%llx, preferable for %u "
+              "outputs ===\n",
+              static_cast<unsigned long long>(pick.z_mask), pick.coverage);
+  TruthTable d(3);
+  for (std::uint64_t x = 0; x < 8; ++x)
+    d.set(x, (pick.z_mask >> global.class_of[x]) & 1);
+  std::printf("d(x) = %s\n\n",
+              isop(d).to_algebraic({"x1", "x2", "x3"}).c_str());
+
+  // Example 7: the complete greedy run.
+  ImodecStats stats;
+  const auto dec = decompose_multi_output({f1, f2}, vp, {}, &stats);
+  std::printf("=== Example 7: complete decomposition ===\n");
+  std::printf("q = %u decomposition functions (Property 1 bound: %u)\n",
+              dec->q(), codewidth(stats.p));
+  const std::vector<std::string> xn{"x1", "x2", "x3"};
+  for (unsigned j = 0; j < dec->q(); ++j)
+    std::printf("d%u(x) = %s\n", j + 1,
+                isop(dec->d_funcs[j]).to_algebraic(xn).c_str());
+  for (int k = 0; k < 2; ++k) {
+    std::printf("f%d = g%d(", k + 1, k + 1);
+    for (std::size_t i = 0; i < dec->outputs[k].d_index.size(); ++i)
+      std::printf("%sd%u", i ? ", " : "", dec->outputs[k].d_index[i] + 1);
+    std::printf(", y1, y2)\n");
+  }
+
+  const bool ok =
+      recompose(*dec, 0, 5) == f1 && recompose(*dec, 1, 5) == f2;
+  std::printf("\nrecomposition check: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,158 @@
+#include "bdd/add.hpp"
+
+#include <cassert>
+#include <functional>
+
+namespace imodec::bdd {
+
+namespace {
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ull;
+  x ^= x >> 33;
+  return x;
+}
+}  // namespace
+
+AddManager::AddManager(unsigned num_vars) : num_vars_(num_vars) {}
+
+AddManager::AddId AddManager::constant(std::int64_t value) {
+  if (auto it = terminals_.find(value); it != terminals_.end())
+    return it->second;
+  const AddId id = static_cast<AddId>(nodes_.size());
+  nodes_.push_back(Node{kTerminalVar, 0, 0, value});
+  terminals_.emplace(value, id);
+  return id;
+}
+
+AddManager::AddId AddManager::make_node(unsigned v, AddId lo, AddId hi) {
+  if (lo == hi) return lo;
+  const std::uint64_t key = mix64((static_cast<std::uint64_t>(v) << 48) ^
+                                  (static_cast<std::uint64_t>(lo) << 24) ^ hi);
+  if (auto it = unique_.find(key); it != unique_.end()) {
+    const Node& n = nodes_[it->second];
+    if (n.var == v && n.lo == lo && n.hi == hi) return it->second;
+    // Hash collision with a different triple: fall through and allocate.
+    // (mix64 over distinct triples collides with negligible probability;
+    // correctness is preserved because we re-checked the triple.)
+  }
+  const AddId id = static_cast<AddId>(nodes_.size());
+  nodes_.push_back(Node{v, lo, hi, 0});
+  unique_[key] = id;
+  return id;
+}
+
+AddManager::AddId AddManager::from_bdd_rec(
+    Manager& src, NodeId f, std::unordered_map<NodeId, AddId>& memo) {
+  if (f == kFalse) return constant(0);
+  if (f == kTrue) return constant(1);
+  if (auto it = memo.find(f); it != memo.end()) return it->second;
+  // The ADD layer orders by raw variable index; the source BDD must be in
+  // identity order over the translated support (Lmax managers always are).
+  assert(src.level_of(src.var_of(f)) == src.var_of(f));
+  const AddId l = from_bdd_rec(src, src.lo(f), memo);
+  const AddId h = from_bdd_rec(src, src.hi(f), memo);
+  const AddId r = make_node(src.var_of(f), l, h);
+  memo[f] = r;
+  return r;
+}
+
+AddManager::AddId AddManager::from_bdd(Manager& src, NodeId f) {
+  std::unordered_map<NodeId, AddId> memo;
+  return from_bdd_rec(src, f, memo);
+}
+
+AddManager::AddId AddManager::plus_rec(AddId f, AddId g) {
+  if (is_terminal(f) && is_terminal(g))
+    return constant(value_of(f) + value_of(g));
+  if (f > g) std::swap(f, g);  // plus is commutative
+  const std::uint64_t key =
+      mix64((static_cast<std::uint64_t>(f) << 32) ^ g);
+  if (auto it = plus_cache_.find(key); it != plus_cache_.end())
+    return it->second;
+
+  unsigned v = kTerminalVar;
+  if (!is_terminal(f)) v = var_of(f);
+  if (!is_terminal(g) && var_of(g) < v) v = var_of(g);
+
+  const AddId f0 = (!is_terminal(f) && var_of(f) == v) ? lo(f) : f;
+  const AddId f1 = (!is_terminal(f) && var_of(f) == v) ? hi(f) : f;
+  const AddId g0 = (!is_terminal(g) && var_of(g) == v) ? lo(g) : g;
+  const AddId g1 = (!is_terminal(g) && var_of(g) == v) ? hi(g) : g;
+
+  const AddId l = plus_rec(f0, g0);
+  const AddId h = plus_rec(f1, g1);
+  const AddId r = make_node(v, l, h);
+  plus_cache_[key] = r;
+  return r;
+}
+
+AddManager::AddId AddManager::plus(AddId f, AddId g) { return plus_rec(f, g); }
+
+std::int64_t AddManager::max_rec(
+    AddId f, std::unordered_map<AddId, std::int64_t>& memo) {
+  if (is_terminal(f)) return value_of(f);
+  if (auto it = memo.find(f); it != memo.end()) return it->second;
+  const std::int64_t r = std::max(max_rec(lo(f), memo), max_rec(hi(f), memo));
+  memo[f] = r;
+  return r;
+}
+
+std::int64_t AddManager::max_value(AddId f) {
+  std::unordered_map<AddId, std::int64_t> memo;
+  return max_rec(f, memo);
+}
+
+std::int64_t AddManager::argmax(AddId f, std::vector<bool>& assignment,
+                                bool fill) {
+  std::unordered_map<AddId, std::int64_t> memo;
+  const std::int64_t best = max_rec(f, memo);
+  assignment.assign(num_vars_, fill);
+  AddId cur = f;
+  while (!is_terminal(cur)) {
+    const std::int64_t lo_max = max_rec(lo(cur), memo);
+    const std::int64_t hi_max = max_rec(hi(cur), memo);
+    // Prefer the 0-branch on ties: fewer onset classes means a smaller
+    // decomposition function, a mild simplicity bias.
+    if (lo_max >= hi_max) {
+      assignment[var_of(cur)] = false;
+      cur = lo(cur);
+    } else {
+      assignment[var_of(cur)] = true;
+      cur = hi(cur);
+    }
+  }
+  assert(value_of(cur) == best);
+  return best;
+}
+
+void AddManager::foreach_at_value(
+    AddId f, std::int64_t target, const std::vector<unsigned>& vars,
+    const std::function<bool(const std::vector<bool>&)>& cb) {
+  std::vector<bool> assignment(vars.size(), false);
+  bool stop = false;
+  std::function<void(std::size_t, AddId)> rec = [&](std::size_t pos, AddId g) {
+    if (stop) return;
+    if (pos == vars.size()) {
+      assert(is_terminal(g));
+      if (value_of(g) == target && !cb(assignment)) stop = true;
+      return;
+    }
+    const unsigned v = vars[pos];
+    AddId g0 = g, g1 = g;
+    if (!is_terminal(g) && var_of(g) == v) {
+      g0 = lo(g);
+      g1 = hi(g);
+    }
+    assignment[pos] = false;
+    rec(pos + 1, g0);
+    assignment[pos] = true;
+    rec(pos + 1, g1);
+    assignment[pos] = false;
+  };
+  rec(0, f);
+}
+
+}  // namespace imodec::bdd

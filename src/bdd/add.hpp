@@ -1,0 +1,80 @@
+#pragma once
+// Algebraic Decision Diagrams with integer terminals.
+//
+// Used by the implicit Lmax step (paper §6, after Kam et al. [14]): the
+// characteristic functions χ_k(z) of all outputs are summed as 0/1 ADDs; a
+// maximum-valued terminal path then identifies a z-vertex — i.e. a
+// decomposition function — that is preferable for the maximum number of
+// outputs, without ever enumerating the functions explicitly.
+//
+// The AddManager is deliberately simple: it is built per Lmax query, so nodes
+// are never collected; the arena dies with the manager.
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "bdd/manager.hpp"
+
+namespace imodec::bdd {
+
+class AddManager {
+ public:
+  using AddId = std::uint32_t;
+
+  explicit AddManager(unsigned num_vars);
+
+  unsigned num_vars() const { return num_vars_; }
+
+  /// Terminal node carrying `value`.
+  AddId constant(std::int64_t value);
+  bool is_terminal(AddId f) const { return nodes_[f].var == kTerminalVar; }
+  std::int64_t value_of(AddId f) const { return nodes_[f].value; }
+  unsigned var_of(AddId f) const { return nodes_[f].var; }
+  AddId lo(AddId f) const { return nodes_[f].lo; }
+  AddId hi(AddId f) const { return nodes_[f].hi; }
+
+  /// Translate a 0/1 BDD from `src` into this ADD (same variable indices).
+  AddId from_bdd(Manager& src, NodeId f);
+
+  AddId plus(AddId f, AddId g);
+
+  /// Maximum terminal value reachable from f.
+  std::int64_t max_value(AddId f);
+
+  /// One assignment reaching the maximum terminal. `assignment` gets values
+  /// for all variables (don't-care variables along the path default to
+  /// `fill`). Returns the maximum value.
+  std::int64_t argmax(AddId f, std::vector<bool>& assignment,
+                      bool fill = false);
+
+  /// Enumerate every assignment over `vars` (ascending, must cover the
+  /// support of f) whose terminal value equals `target`.
+  void foreach_at_value(AddId f, std::int64_t target,
+                        const std::vector<unsigned>& vars,
+                        const std::function<bool(const std::vector<bool>&)>& cb);
+
+  std::size_t node_count() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    std::uint32_t var;   // kTerminalVar for terminals
+    AddId lo, hi;
+    std::int64_t value;  // terminal value (unused for internal nodes)
+  };
+
+  AddId make_node(unsigned v, AddId lo, AddId hi);
+  AddId plus_rec(AddId f, AddId g);
+  AddId from_bdd_rec(Manager& src, NodeId f,
+                     std::unordered_map<NodeId, AddId>& memo);
+  std::int64_t max_rec(AddId f, std::unordered_map<AddId, std::int64_t>& memo);
+
+  unsigned num_vars_;
+  std::vector<Node> nodes_;
+  std::unordered_map<std::int64_t, AddId> terminals_;
+  std::unordered_map<std::uint64_t, AddId> unique_;
+  std::unordered_map<std::uint64_t, AddId> plus_cache_;
+};
+
+}  // namespace imodec::bdd

@@ -1,0 +1,50 @@
+#include "bdd/dot.hpp"
+
+#include <unordered_set>
+
+namespace imodec::bdd {
+
+void write_dot(std::ostream& os, const std::vector<Bdd>& roots,
+               const std::vector<std::string>& var_names) {
+  os << "digraph bdd {\n";
+  os << "  node [shape=circle];\n";
+  os << "  t0 [shape=box,label=\"0\"];\n  t1 [shape=box,label=\"1\"];\n";
+  if (roots.empty()) {
+    os << "}\n";
+    return;
+  }
+  Manager* mgr = roots.front().manager();
+  std::unordered_set<NodeId> emitted;
+  std::vector<NodeId> stack;
+  for (std::size_t i = 0; i < roots.size(); ++i) {
+    os << "  r" << i << " [shape=plaintext,label=\"f" << i << "\"];\n";
+    const NodeId n = roots[i].node();
+    os << "  r" << i << " -> "
+       << (n <= kTrue ? (n == kTrue ? std::string("t1") : std::string("t0"))
+                      : "n" + std::to_string(n))
+       << ";\n";
+    stack.push_back(n);
+  }
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    if (n <= kTrue || emitted.count(n)) continue;
+    emitted.insert(n);
+    const unsigned v = mgr->var_of(n);
+    const std::string label =
+        v < var_names.size() ? var_names[v] : "x" + std::to_string(v);
+    os << "  n" << n << " [label=\"" << label << "\"];\n";
+    const auto edge = [&](NodeId c, bool dashed) {
+      os << "  n" << n << " -> "
+         << (c <= kTrue ? (c == kTrue ? std::string("t1") : std::string("t0"))
+                        : "n" + std::to_string(c))
+         << (dashed ? " [style=dashed]" : "") << ";\n";
+      stack.push_back(c);
+    };
+    edge(mgr->lo(n), true);
+    edge(mgr->hi(n), false);
+  }
+  os << "}\n";
+}
+
+}  // namespace imodec::bdd

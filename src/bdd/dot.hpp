@@ -1,0 +1,17 @@
+#pragma once
+// Graphviz DOT export of BDDs, for documentation and debugging.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+
+namespace imodec::bdd {
+
+/// Write `roots` as one DOT digraph. `var_names` (optional) labels levels;
+/// unnamed variables print as x<i>. Dashed edges are 0-branches.
+void write_dot(std::ostream& os, const std::vector<Bdd>& roots,
+               const std::vector<std::string>& var_names = {});
+
+}  // namespace imodec::bdd

@@ -1,0 +1,598 @@
+#include "bdd/manager.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace imodec::bdd {
+
+namespace {
+constexpr std::uint32_t kFreeVar = 0xfffffffeu;
+
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+std::uint64_t hash_vars(const std::vector<unsigned>& vars) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ull;
+  for (unsigned v : vars) h = mix64(h ^ (v + 0x1234u));
+  return h;
+}
+}  // namespace
+
+std::size_t Manager::CacheKeyHash::operator()(const CacheKey& k) const {
+  std::uint64_t h = static_cast<std::uint64_t>(k.op);
+  h = mix64(h ^ k.a);
+  h = mix64(h ^ k.b);
+  h = mix64(h ^ k.c);
+  h = mix64(h ^ k.tag);
+  return static_cast<std::size_t>(h);
+}
+
+Manager::Manager(unsigned num_vars) : num_vars_(num_vars) {
+  level_of_var_.resize(num_vars);
+  var_at_level_.resize(num_vars);
+  for (unsigned v = 0; v < num_vars; ++v) {
+    level_of_var_[v] = v;
+    var_at_level_[v] = v;
+  }
+  nodes_.reserve(1024);
+  // Terminal 0 and terminal 1. Permanent external reference keeps them live.
+  nodes_.push_back(Node{kTerminalVar, 0, 0, 0, 1});
+  nodes_.push_back(Node{kTerminalVar, 1, 1, 0, 1});
+  unique_.assign(1024, 0);
+  live_nodes_ = 2;
+  peak_nodes_ = 2;
+}
+
+std::size_t Manager::unique_hash(unsigned v, NodeId lo, NodeId hi) const {
+  std::uint64_t h = mix64((static_cast<std::uint64_t>(v) << 40) ^
+                          (static_cast<std::uint64_t>(lo) << 20) ^ hi);
+  return static_cast<std::size_t>(h) & (unique_.size() - 1);
+}
+
+void Manager::unique_resize() {
+  const std::size_t new_size = unique_.size() * 2;
+  unique_.assign(new_size, 0);
+  for (NodeId i = 2; i < nodes_.size(); ++i) {
+    Node& n = nodes_[i];
+    if (n.var == kFreeVar || n.var == kTerminalVar) continue;
+    const std::size_t b = unique_hash(n.var, n.lo, n.hi);
+    n.next = unique_[b];
+    unique_[b] = i;
+  }
+}
+
+void Manager::add_vars(unsigned extra) {
+  for (unsigned i = 0; i < extra; ++i) {
+    level_of_var_.push_back(num_vars_ + i);
+    var_at_level_.push_back(num_vars_ + i);
+  }
+  num_vars_ += extra;
+}
+
+NodeId Manager::make_node(unsigned v, NodeId lo, NodeId hi) {
+  if (lo == hi) return lo;
+  assert(v < num_vars_);
+  assert(is_terminal(lo) || level_of(var_of(lo)) > level_of(v));
+  assert(is_terminal(hi) || level_of(var_of(hi)) > level_of(v));
+  const std::size_t b = unique_hash(v, lo, hi);
+  for (NodeId i = unique_[b]; i != 0; i = nodes_[i].next) {
+    const Node& n = nodes_[i];
+    if (n.var == v && n.lo == lo && n.hi == hi) return i;
+  }
+  NodeId id;
+  if (free_list_ != 0) {
+    id = free_list_;
+    free_list_ = nodes_[id].next;
+  } else {
+    id = static_cast<NodeId>(nodes_.size());
+    nodes_.push_back(Node{});
+  }
+  nodes_[id] = Node{v, lo, hi, unique_[b], 0};
+  unique_[b] = id;
+  ++live_nodes_;
+  peak_nodes_ = std::max(peak_nodes_, live_nodes_);
+  if (live_nodes_ * 2 > unique_.size()) unique_resize();
+  return id;
+}
+
+NodeId Manager::var(unsigned v) { return make_node(v, kFalse, kTrue); }
+NodeId Manager::nvar(unsigned v) { return make_node(v, kTrue, kFalse); }
+
+void Manager::ref(NodeId f) { ++nodes_[f].ref; }
+
+void Manager::deref(NodeId f) {
+  assert(nodes_[f].ref > 0);
+  --nodes_[f].ref;
+}
+
+void Manager::mark_rec(NodeId f, std::vector<bool>& mark) const {
+  if (mark[f]) return;
+  mark[f] = true;
+  if (is_terminal(f)) return;
+  mark_rec(nodes_[f].lo, mark);
+  mark_rec(nodes_[f].hi, mark);
+}
+
+void Manager::garbage_collect() {
+  std::vector<bool> mark(nodes_.size(), false);
+  mark[kFalse] = mark[kTrue] = true;
+  for (NodeId i = 2; i < nodes_.size(); ++i) {
+    if (nodes_[i].var != kFreeVar && nodes_[i].ref > 0) mark_rec(i, mark);
+  }
+  free_list_ = 0;
+  live_nodes_ = 2;
+  for (NodeId i = 2; i < nodes_.size(); ++i) {
+    if (nodes_[i].var == kFreeVar) {
+      nodes_[i].next = free_list_;
+      free_list_ = i;
+    } else if (!mark[i]) {
+      nodes_[i].var = kFreeVar;
+      nodes_[i].next = free_list_;
+      free_list_ = i;
+    } else {
+      ++live_nodes_;
+    }
+  }
+  // Rebuild the unique table over surviving nodes.
+  std::fill(unique_.begin(), unique_.end(), 0);
+  for (NodeId i = 2; i < nodes_.size(); ++i) {
+    Node& n = nodes_[i];
+    if (n.var == kFreeVar) continue;
+    const std::size_t b = unique_hash(n.var, n.lo, n.hi);
+    n.next = unique_[b];
+    unique_[b] = i;
+  }
+  computed_.clear();
+}
+
+void Manager::maybe_gc() {
+  if (live_nodes_ < gc_threshold_) return;
+  garbage_collect();
+  if (live_nodes_ * 4 > gc_threshold_ * 3) gc_threshold_ *= 2;
+}
+
+NodeId Manager::cached(const CacheKey& k) const {
+  auto it = computed_.find(k);
+  return it == computed_.end() ? kNoReplacement : it->second;
+}
+
+void Manager::cache_insert(const CacheKey& k, NodeId r) { computed_[k] = r; }
+
+NodeId Manager::ite(NodeId f, NodeId g, NodeId h) {
+  // Terminal cases.
+  if (f == kTrue) return g;
+  if (f == kFalse) return h;
+  if (g == h) return g;
+  if (g == kTrue && h == kFalse) return f;
+  if (f == g) g = kTrue;   // ite(f, f, h) == ite(f, 1, h)
+  if (f == h) h = kFalse;  // ite(f, g, f) == ite(f, g, 0)
+
+  const CacheKey key{Op::Ite, f, g, h, 0};
+  if (NodeId r = cached(key); r != kNoReplacement) return r;
+
+  unsigned v = var_of(f);
+  if (!is_terminal(g) && level_of(var_of(g)) < level_of(v)) v = var_of(g);
+  if (!is_terminal(h) && level_of(var_of(h)) < level_of(v)) v = var_of(h);
+
+  const NodeId f0 = (!is_terminal(f) && var_of(f) == v) ? lo(f) : f;
+  const NodeId f1 = (!is_terminal(f) && var_of(f) == v) ? hi(f) : f;
+  const NodeId g0 = (!is_terminal(g) && var_of(g) == v) ? lo(g) : g;
+  const NodeId g1 = (!is_terminal(g) && var_of(g) == v) ? hi(g) : g;
+  const NodeId h0 = (!is_terminal(h) && var_of(h) == v) ? lo(h) : h;
+  const NodeId h1 = (!is_terminal(h) && var_of(h) == v) ? hi(h) : h;
+
+  const NodeId t = ite(f1, g1, h1);
+  const NodeId e = ite(f0, g0, h0);
+  const NodeId r = make_node(v, e, t);
+  cache_insert(key, r);
+  return r;
+}
+
+NodeId Manager::apply_and(NodeId f, NodeId g) {
+  if (f > g) std::swap(f, g);
+  return ite(f, g, kFalse);
+}
+
+NodeId Manager::apply_or(NodeId f, NodeId g) {
+  if (f > g) std::swap(f, g);
+  return ite(f, kTrue, g);
+}
+
+NodeId Manager::apply_xor(NodeId f, NodeId g) {
+  if (f > g) std::swap(f, g);
+  const CacheKey key{Op::Xor, f, g, 0, 0};
+  if (NodeId r = cached(key); r != kNoReplacement) return r;
+  const NodeId r = ite(f, apply_not(g), g);
+  cache_insert(key, r);
+  return r;
+}
+
+NodeId Manager::apply_not(NodeId f) { return ite(f, kFalse, kTrue); }
+
+NodeId Manager::cofactor(NodeId f, unsigned v, bool value) {
+  if (is_terminal(f) || level_of(var_of(f)) > level_of(v)) return f;
+  if (var_of(f) == v) return value ? hi(f) : lo(f);
+  const CacheKey key{Op::Compose, f, value ? kTrue : kFalse, 0,
+                     0x4000000000000000ull | v};
+  if (NodeId r = cached(key); r != kNoReplacement) return r;
+  const NodeId r = make_node(var_of(f), cofactor(lo(f), v, value),
+                             cofactor(hi(f), v, value));
+  cache_insert(key, r);
+  return r;
+}
+
+NodeId Manager::quantify_rec(NodeId f, const std::vector<unsigned>& sorted_vars,
+                             bool existential, std::uint64_t tag) {
+  if (is_terminal(f)) return f;
+  const unsigned v = var_of(f);
+  // Stop once f's top level is below every quantified variable.
+  unsigned deepest = 0;
+  for (unsigned qv : sorted_vars) deepest = std::max(deepest, level_of(qv));
+  if (sorted_vars.empty() || level_of(v) > deepest) return f;
+
+  const CacheKey key{existential ? Op::Exists : Op::Forall, f, 0, 0, tag};
+  if (NodeId r = cached(key); r != kNoReplacement) return r;
+
+  const NodeId l = quantify_rec(lo(f), sorted_vars, existential, tag);
+  const NodeId h = quantify_rec(hi(f), sorted_vars, existential, tag);
+  NodeId r;
+  if (std::binary_search(sorted_vars.begin(), sorted_vars.end(), v)) {
+    r = existential ? apply_or(l, h) : apply_and(l, h);
+  } else {
+    r = make_node(v, l, h);
+  }
+  cache_insert(key, r);
+  return r;
+}
+
+NodeId Manager::exists(NodeId f, const std::vector<unsigned>& vars) {
+  std::vector<unsigned> sorted = vars;
+  std::sort(sorted.begin(), sorted.end());
+  ref(f);
+  maybe_gc();
+  const NodeId r = quantify_rec(f, sorted, true, hash_vars(sorted));
+  deref(f);
+  return r;
+}
+
+NodeId Manager::forall(NodeId f, const std::vector<unsigned>& vars) {
+  std::vector<unsigned> sorted = vars;
+  std::sort(sorted.begin(), sorted.end());
+  ref(f);
+  maybe_gc();
+  const NodeId r = quantify_rec(f, sorted, false, hash_vars(sorted));
+  deref(f);
+  return r;
+}
+
+NodeId Manager::compose(NodeId f, unsigned v, NodeId g) {
+  ref(f);
+  ref(g);
+  maybe_gc();
+  const NodeId f1 = cofactor(f, v, true);
+  const NodeId f0 = cofactor(f, v, false);
+  const NodeId r = ite(g, f1, f0);
+  deref(f);
+  deref(g);
+  return r;
+}
+
+NodeId Manager::vector_compose_rec(NodeId f, const std::vector<NodeId>& map,
+                                   std::uint64_t tag,
+                                   std::unordered_map<NodeId, NodeId>& memo) {
+  if (is_terminal(f)) return f;
+  if (auto it = memo.find(f); it != memo.end()) return it->second;
+  (void)tag;
+  const unsigned v = var_of(f);
+  const NodeId l = vector_compose_rec(lo(f), map, tag, memo);
+  const NodeId h = vector_compose_rec(hi(f), map, tag, memo);
+  const NodeId sub =
+      (v < map.size() && map[v] != kNoReplacement) ? map[v] : var(v);
+  const NodeId r = ite(sub, h, l);
+  memo[f] = r;
+  return r;
+}
+
+NodeId Manager::vector_compose(NodeId f, const std::vector<NodeId>& map) {
+  ref(f);
+  for (NodeId g : map)
+    if (g != kNoReplacement) ref(g);
+  maybe_gc();
+  std::unordered_map<NodeId, NodeId> memo;
+  const NodeId r = vector_compose_rec(f, map, 0, memo);
+  for (NodeId g : map)
+    if (g != kNoReplacement) deref(g);
+  deref(f);
+  return r;
+}
+
+NodeId Manager::cube(const std::vector<unsigned>& vars,
+                     const std::vector<bool>& phases) {
+  assert(vars.size() == phases.size());
+  std::vector<std::pair<unsigned, bool>> lits;
+  lits.reserve(vars.size());
+  for (std::size_t i = 0; i < vars.size(); ++i)
+    lits.emplace_back(vars[i], phases[i]);
+  // Build bottom-up in order of decreasing level.
+  std::sort(lits.begin(), lits.end(), [&](const auto& a, const auto& b) {
+    return level_of(a.first) < level_of(b.first);
+  });
+  NodeId r = kTrue;
+  for (auto it = lits.rbegin(); it != lits.rend(); ++it) {
+    r = it->second ? make_node(it->first, kFalse, r)
+                   : make_node(it->first, r, kFalse);
+  }
+  return r;
+}
+
+double Manager::sat_count_rec(NodeId f,
+                              std::unordered_map<NodeId, double>& memo) {
+  // Returns #minterms over the levels from f's own level downward,
+  // normalized so the caller scales by the level gap above.
+  if (f == kFalse) return 0.0;
+  if (f == kTrue) return 1.0;
+  if (auto it = memo.find(f); it != memo.end()) return it->second;
+  const unsigned l = level_of(var_of(f));
+  const unsigned lo_level =
+      is_terminal(lo(f)) ? num_vars_ : level_of(var_of(lo(f)));
+  const unsigned hi_level =
+      is_terminal(hi(f)) ? num_vars_ : level_of(var_of(hi(f)));
+  const double cl = sat_count_rec(lo(f), memo) *
+                    std::ldexp(1.0, static_cast<int>(lo_level - l - 1));
+  const double ch = sat_count_rec(hi(f), memo) *
+                    std::ldexp(1.0, static_cast<int>(hi_level - l - 1));
+  const double r = cl + ch;
+  memo[f] = r;
+  return r;
+}
+
+double Manager::sat_count(NodeId f) {
+  std::unordered_map<NodeId, double> memo;
+  const unsigned top = is_terminal(f) ? num_vars_ : level_of(var_of(f));
+  return sat_count_rec(f, memo) * std::ldexp(1.0, static_cast<int>(top));
+}
+
+std::vector<unsigned> Manager::support(NodeId f) {
+  std::vector<bool> seen(num_vars_, false);
+  std::vector<bool> visited_flag(nodes_.size(), false);
+  std::vector<NodeId> stack{f};
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    if (is_terminal(n) || visited_flag[n]) continue;
+    visited_flag[n] = true;
+    seen[var_of(n)] = true;
+    stack.push_back(lo(n));
+    stack.push_back(hi(n));
+  }
+  std::vector<unsigned> out;
+  for (unsigned v = 0; v < num_vars_; ++v)
+    if (seen[v]) out.push_back(v);
+  return out;
+}
+
+bool Manager::eval(NodeId f, const std::vector<bool>& assignment) const {
+  while (!is_terminal(f)) {
+    const Node& n = nodes_[f];
+    f = assignment[n.var] ? n.hi : n.lo;
+  }
+  return f == kTrue;
+}
+
+std::size_t Manager::dag_size(NodeId f) {
+  std::vector<bool> visited(nodes_.size(), false);
+  std::vector<NodeId> stack{f};
+  std::size_t count = 0;
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    if (is_terminal(n) || visited[n]) continue;
+    visited[n] = true;
+    ++count;
+    stack.push_back(lo(n));
+    stack.push_back(hi(n));
+  }
+  return count;
+}
+
+bool Manager::pick_minterm(NodeId f, std::vector<bool>& assignment) {
+  assignment.assign(num_vars_, false);
+  if (f == kFalse) return false;
+  while (!is_terminal(f)) {
+    if (hi(f) != kFalse) {
+      assignment[var_of(f)] = true;
+      f = hi(f);
+    } else {
+      f = lo(f);
+    }
+  }
+  return true;
+}
+
+void Manager::foreach_minterm(
+    NodeId f, const std::vector<unsigned>& vars,
+    const std::function<bool(const std::vector<bool>&)>& cb) {
+  // Walk the variables in order of their current level; the callback's
+  // assignment stays indexed by the caller's positions.
+  std::vector<std::size_t> positions(vars.size());
+  for (std::size_t i = 0; i < positions.size(); ++i) positions[i] = i;
+  std::sort(positions.begin(), positions.end(), [&](std::size_t a,
+                                                    std::size_t b) {
+    return level_of(vars[a]) < level_of(vars[b]);
+  });
+
+  std::vector<bool> assignment(vars.size(), false);
+  bool stop = false;
+  std::function<void(std::size_t, NodeId)> rec = [&](std::size_t depth,
+                                                     NodeId g) {
+    if (stop || g == kFalse) return;
+    if (depth == positions.size()) {
+      assert(is_terminal(g));
+      if (g == kTrue && !cb(assignment)) stop = true;
+      return;
+    }
+    const std::size_t pos = positions[depth];
+    const unsigned v = vars[pos];
+    NodeId g0 = g, g1 = g;
+    if (!is_terminal(g) && var_of(g) == v) {
+      g0 = lo(g);
+      g1 = hi(g);
+    } else {
+      assert(is_terminal(g) || level_of(var_of(g)) > level_of(v));
+    }
+    assignment[pos] = false;
+    rec(depth + 1, g0);
+    assignment[pos] = true;
+    rec(depth + 1, g1);
+    assignment[pos] = false;
+  };
+  rec(0, f);
+}
+
+std::size_t Manager::reachable_node_count() const {
+  std::vector<bool> mark(nodes_.size(), false);
+  mark[kFalse] = mark[kTrue] = true;
+  for (NodeId i = 2; i < nodes_.size(); ++i)
+    if (nodes_[i].var != kFreeVar && nodes_[i].ref > 0) mark_rec(i, mark);
+  std::size_t count = 0;
+  for (NodeId i = 2; i < nodes_.size(); ++i) count += mark[i];
+  return count;
+}
+
+void Manager::swap_levels(unsigned level) {
+  assert(level + 1 < num_vars_);
+  const unsigned u = var_at_level_[level];      // moves down
+  const unsigned v = var_at_level_[level + 1];  // moves up
+
+  std::vector<NodeId> u_nodes;
+  for (NodeId i = 2; i < nodes_.size(); ++i)
+    if (nodes_[i].var == u) u_nodes.push_back(i);
+
+  // Install the new order first: make_node's ordering asserts and lookups
+  // must see v above u while the replacement children are built.
+  std::swap(var_at_level_[level], var_at_level_[level + 1]);
+  level_of_var_[u] = level + 1;
+  level_of_var_[v] = level;
+
+  for (NodeId id : u_nodes) {
+    const NodeId f0 = nodes_[id].lo;
+    const NodeId f1 = nodes_[id].hi;
+    const bool lo_is_v = !is_terminal(f0) && var_of(f0) == v;
+    const bool hi_is_v = !is_terminal(f1) && var_of(f1) == v;
+    if (!lo_is_v && !hi_is_v) continue;  // independent of v: just sinks a level
+    // F = ~u f0 + u f1, with f_i = ~v f_i0 + v f_i1:
+    // F = ~v (~u f00 + u f10) + v (~u f01 + u f11).
+    const NodeId f00 = lo_is_v ? lo(f0) : f0;
+    const NodeId f01 = lo_is_v ? hi(f0) : f0;
+    const NodeId f10 = hi_is_v ? lo(f1) : f1;
+    const NodeId f11 = hi_is_v ? hi(f1) : f1;
+    const NodeId new_lo = make_node(u, f00, f10);
+    const NodeId new_hi = make_node(u, f01, f11);
+    assert(new_lo != new_hi);
+    nodes_[id].var = v;
+    nodes_[id].lo = new_lo;
+    nodes_[id].hi = new_hi;
+    // The node's function is unchanged; its unique-table key is not. The
+    // full table is rebuilt below.
+  }
+
+  // Rebuild the unique table over live nodes (relabeled keys changed).
+  std::fill(unique_.begin(), unique_.end(), 0);
+  for (NodeId i = 2; i < nodes_.size(); ++i) {
+    Node& n = nodes_[i];
+    if (n.var == kFreeVar) continue;
+    const std::size_t b = unique_hash(n.var, n.lo, n.hi);
+    n.next = unique_[b];
+    unique_[b] = i;
+  }
+}
+
+std::size_t Manager::sift() {
+  garbage_collect();
+
+  // Variables ordered by how many live nodes carry them, largest first.
+  std::vector<std::size_t> population(num_vars_, 0);
+  for (NodeId i = 2; i < nodes_.size(); ++i)
+    if (nodes_[i].var != kFreeVar) ++population[nodes_[i].var];
+  std::vector<unsigned> order;
+  for (unsigned v = 0; v < num_vars_; ++v)
+    if (population[v] > 0) order.push_back(v);
+  std::sort(order.begin(), order.end(), [&](unsigned a, unsigned b) {
+    return population[a] > population[b];
+  });
+
+  for (unsigned v : order) {
+    unsigned best_level = level_of(v);
+    std::size_t best_size = reachable_node_count();
+    // Sink to the bottom, then float to the top, tracking the best spot.
+    while (level_of(v) + 1 < num_vars_) {
+      swap_levels(level_of(v));
+      const std::size_t size = reachable_node_count();
+      if (size < best_size) {
+        best_size = size;
+        best_level = level_of(v);
+      }
+    }
+    while (level_of(v) > 0) {
+      swap_levels(level_of(v) - 1);
+      const std::size_t size = reachable_node_count();
+      if (size < best_size) {
+        best_size = size;
+        best_level = level_of(v);
+      }
+    }
+    while (level_of(v) < best_level) swap_levels(level_of(v));
+    assert(level_of(v) == best_level);
+  }
+  garbage_collect();
+  return reachable_node_count();
+}
+
+void Manager::set_order(const std::vector<unsigned>& var_at_level) {
+  assert(var_at_level.size() == num_vars_);
+  for (unsigned l = 0; l < num_vars_; ++l) {
+    const unsigned target = var_at_level[l];
+    assert(level_of(target) >= l && "input is not a permutation");
+    while (level_of(target) > l) swap_levels(level_of(target) - 1);
+  }
+}
+
+bool Manager::check_invariants() const {
+  // The level maps must be inverse permutations.
+  for (unsigned v = 0; v < num_vars_; ++v) {
+    if (level_of_var_[v] >= num_vars_) return false;
+    if (var_at_level_[level_of_var_[v]] != v) return false;
+  }
+  for (NodeId i = 2; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    if (n.var == kFreeVar) continue;
+    if (n.var >= num_vars_) return false;
+    if (n.lo == n.hi) return false;
+    const auto check_child = [&](NodeId c) {
+      if (c <= kTrue) return true;
+      const Node& cn = nodes_[c];
+      return cn.var != kFreeVar &&
+             level_of_var_[cn.var] > level_of_var_[n.var];
+    };
+    if (!check_child(n.lo) || !check_child(n.hi)) return false;
+  }
+  // No duplicate (var, lo, hi) triples among live nodes.
+  std::unordered_map<std::uint64_t, NodeId> seen;
+  for (NodeId i = 2; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    if (n.var == kFreeVar) continue;
+    const std::uint64_t key = (static_cast<std::uint64_t>(n.var) << 48) ^
+                              (static_cast<std::uint64_t>(n.lo) << 24) ^ n.hi;
+    if (!seen.emplace(key, i).second) return false;
+  }
+  return true;
+}
+
+}  // namespace imodec::bdd

@@ -1,0 +1,179 @@
+#pragma once
+// From-scratch ROBDD package (the paper's CUDD substitute).
+//
+// Reduced ordered BDDs without complement edges. Nodes live in one arena
+// indexed by NodeId; ids 0 and 1 are the constant terminals. The unique table
+// is an intrusive hash (chained through Node::next), the computed table is an
+// operation cache cleared on garbage collection. External references are
+// ref-counted; users should hold nodes through the RAII `Bdd` handle
+// (bdd/bdd.hpp) rather than calling ref/deref by hand.
+//
+// Variable order starts as the identity over the manager's variable indices
+// but can be changed at runtime: swap_levels() exchanges two adjacent levels
+// in place (Rudell-style), sift() runs the classical sifting heuristic, and
+// set_order() installs an arbitrary order. Node ids and the functions they
+// denote are preserved across reordering; only the internal shapes change.
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+namespace imodec::bdd {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kFalse = 0;
+inline constexpr NodeId kTrue = 1;
+inline constexpr std::uint32_t kTerminalVar = 0xffffffffu;
+
+class Manager {
+ public:
+  explicit Manager(unsigned num_vars);
+
+  Manager(const Manager&) = delete;
+  Manager& operator=(const Manager&) = delete;
+
+  unsigned num_vars() const { return num_vars_; }
+  /// Grow the variable count (new variables order below existing ones).
+  void add_vars(unsigned extra);
+
+  /// Current level (depth in the order, 0 = top) of variable `v`.
+  unsigned level_of(unsigned v) const { return level_of_var_[v]; }
+  /// Variable at level `l`.
+  unsigned var_at(unsigned l) const { return var_at_level_[l]; }
+
+  NodeId zero() const { return kFalse; }
+  NodeId one() const { return kTrue; }
+  /// Projection function of variable `v`.
+  NodeId var(unsigned v);
+  /// Complement of the projection function of variable `v`.
+  NodeId nvar(unsigned v);
+  /// Literal: variable `v` with the given phase (true = positive).
+  NodeId literal(unsigned v, bool phase) { return phase ? var(v) : nvar(v); }
+
+  bool is_terminal(NodeId f) const { return f <= kTrue; }
+  unsigned var_of(NodeId f) const { return nodes_[f].var; }
+  NodeId lo(NodeId f) const { return nodes_[f].lo; }
+  NodeId hi(NodeId f) const { return nodes_[f].hi; }
+
+  // --- External reference counting (use the Bdd handle instead) ------------
+  void ref(NodeId f);
+  void deref(NodeId f);
+
+  // --- Core operations ------------------------------------------------------
+  NodeId apply_and(NodeId f, NodeId g);
+  NodeId apply_or(NodeId f, NodeId g);
+  NodeId apply_xor(NodeId f, NodeId g);
+  NodeId apply_not(NodeId f);
+  NodeId ite(NodeId f, NodeId g, NodeId h);
+
+  /// Shannon cofactor of f with variable v fixed to `value`.
+  NodeId cofactor(NodeId f, unsigned v, bool value);
+  /// Existential quantification over the set of variables (sorted or not).
+  NodeId exists(NodeId f, const std::vector<unsigned>& vars);
+  /// Universal quantification.
+  NodeId forall(NodeId f, const std::vector<unsigned>& vars);
+  /// Substitute variable v by function g in f.
+  NodeId compose(NodeId f, unsigned v, NodeId g);
+  /// Simultaneous substitution; map[v] == kNoReplacement keeps v.
+  static constexpr NodeId kNoReplacement = 0xffffffffu;
+  NodeId vector_compose(NodeId f, const std::vector<NodeId>& map);
+
+  /// Conjunction of literals: vars[i] with phase phases[i].
+  NodeId cube(const std::vector<unsigned>& vars,
+              const std::vector<bool>& phases);
+
+  // --- Queries ---------------------------------------------------------------
+  /// Number of satisfying assignments over all num_vars() variables.
+  double sat_count(NodeId f);
+  /// Variables that f structurally depends on, ascending.
+  std::vector<unsigned> support(NodeId f);
+  /// Evaluate under a complete assignment (indexed by variable).
+  bool eval(NodeId f, const std::vector<bool>& assignment) const;
+  /// Number of internal DAG nodes of f (terminals excluded).
+  std::size_t dag_size(NodeId f);
+
+  /// One satisfying assignment (values for all variables; unconstrained
+  /// variables are set to false). Returns false iff f == 0.
+  bool pick_minterm(NodeId f, std::vector<bool>& assignment);
+
+  /// Enumerate all satisfying assignments over the given variables. The
+  /// callback receives the assignment indexed by position in `vars`.
+  /// f must not depend on variables outside `vars`. Stops if cb returns false.
+  void foreach_minterm(NodeId f, const std::vector<unsigned>& vars,
+                       const std::function<bool(const std::vector<bool>&)>& cb);
+
+  // --- Dynamic variable reordering -------------------------------------------
+  /// Exchange the variables at `level` and `level + 1` in place. Every node
+  /// id keeps denoting the same function. The computed table is cleared.
+  void swap_levels(unsigned level);
+  /// Rudell's sifting: move each variable (largest level population first)
+  /// through all positions and leave it where the reachable node count is
+  /// minimal. Runs a garbage collection first. Returns the reachable node
+  /// count after sifting.
+  std::size_t sift();
+  /// Install an arbitrary order: var_at_level[l] is the variable for level l
+  /// (must be a permutation of 0..num_vars-1). Implemented as bubble swaps.
+  void set_order(const std::vector<unsigned>& var_at_level);
+
+  // --- Introspection / maintenance -------------------------------------------
+  std::size_t live_node_count() const { return live_nodes_; }
+  std::size_t peak_node_count() const { return peak_nodes_; }
+  /// Nodes reachable from externally referenced roots (the sifting metric).
+  std::size_t reachable_node_count() const;
+  /// Reclaim dead nodes now; invoked automatically during growth.
+  void garbage_collect();
+
+  /// Internal consistency check (unique-table sanity, orderedness); used by
+  /// tests and debug assertions. Returns true iff all invariants hold.
+  bool check_invariants() const;
+
+ private:
+  struct Node {
+    std::uint32_t var;  // kTerminalVar for terminals
+    NodeId lo;
+    NodeId hi;
+    NodeId next;  // unique-table chain
+    std::uint32_t ref;
+  };
+
+  NodeId make_node(unsigned v, NodeId lo, NodeId hi);
+  std::size_t unique_hash(unsigned v, NodeId lo, NodeId hi) const;
+  void unique_resize();
+  void maybe_gc();
+
+  enum class Op : std::uint8_t { And, Xor, Ite, Exists, Forall, Compose };
+  struct CacheKey {
+    Op op;
+    NodeId a, b, c;
+    std::uint64_t tag;  // discriminates quantification cubes / compose maps
+    bool operator==(const CacheKey&) const = default;
+  };
+  struct CacheKeyHash {
+    std::size_t operator()(const CacheKey& k) const;
+  };
+
+  NodeId cached(const CacheKey& k) const;
+  void cache_insert(const CacheKey& k, NodeId r);
+
+  NodeId quantify_rec(NodeId f, const std::vector<unsigned>& sorted_vars,
+                      bool existential, std::uint64_t tag);
+  NodeId vector_compose_rec(NodeId f, const std::vector<NodeId>& map,
+                            std::uint64_t tag,
+                            std::unordered_map<NodeId, NodeId>& memo);
+  double sat_count_rec(NodeId f, std::unordered_map<NodeId, double>& memo);
+  void mark_rec(NodeId f, std::vector<bool>& mark) const;
+
+  unsigned num_vars_;
+  std::vector<unsigned> level_of_var_;
+  std::vector<unsigned> var_at_level_;
+  std::vector<Node> nodes_;
+  std::vector<NodeId> unique_;  // bucket heads
+  NodeId free_list_ = 0;        // chained through Node::next; 0 = empty
+  std::size_t live_nodes_ = 0;
+  std::size_t peak_nodes_ = 0;
+  std::size_t gc_threshold_ = 1u << 14;
+  std::unordered_map<CacheKey, NodeId, CacheKeyHash> computed_;
+};
+
+}  // namespace imodec::bdd

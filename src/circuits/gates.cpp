@@ -1,0 +1,69 @@
+#include "circuits/gates.hpp"
+
+#include <cassert>
+
+namespace imodec::circuits {
+
+TruthTable tt_and2() { return TruthTable::from_string("0001"); }
+TruthTable tt_or2() { return TruthTable::from_string("0111"); }
+TruthTable tt_xor2() { return TruthTable::from_string("0110"); }
+TruthTable tt_nand2() { return TruthTable::from_string("1110"); }
+TruthTable tt_nor2() { return TruthTable::from_string("1000"); }
+TruthTable tt_not1() { return TruthTable::from_string("10"); }
+
+TruthTable tt_mux() {
+  // Row bits (sel, a, b): sel ? b : a.
+  TruthTable t(3);
+  for (std::uint64_t row = 0; row < 8; ++row) {
+    const bool sel = row & 1, a = (row >> 1) & 1, b = (row >> 2) & 1;
+    t.set(row, sel ? b : a);
+  }
+  return t;
+}
+
+SigId gate_and(Network& n, SigId a, SigId b) {
+  return n.add_node({a, b}, tt_and2());
+}
+SigId gate_or(Network& n, SigId a, SigId b) {
+  return n.add_node({a, b}, tt_or2());
+}
+SigId gate_xor(Network& n, SigId a, SigId b) {
+  return n.add_node({a, b}, tt_xor2());
+}
+SigId gate_not(Network& n, SigId a) { return n.add_node({a}, tt_not1()); }
+SigId gate_mux(Network& n, SigId sel, SigId a, SigId b) {
+  return n.add_node({sel, a, b}, tt_mux());
+}
+
+SigId gate_tree(Network& n, std::vector<SigId> sigs,
+                SigId (*g2)(Network&, SigId, SigId)) {
+  assert(!sigs.empty());
+  while (sigs.size() > 1) {
+    std::vector<SigId> next;
+    for (std::size_t i = 0; i + 1 < sigs.size(); i += 2)
+      next.push_back(g2(n, sigs[i], sigs[i + 1]));
+    if (sigs.size() & 1) next.push_back(sigs.back());
+    sigs = std::move(next);
+  }
+  return sigs.front();
+}
+
+std::pair<std::vector<SigId>, SigId> ripple_add(Network& n,
+                                                const std::vector<SigId>& a,
+                                                const std::vector<SigId>& b,
+                                                SigId carry_in) {
+  assert(a.size() == b.size());
+  std::vector<SigId> sum;
+  sum.reserve(a.size());
+  SigId carry = carry_in;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const SigId axb = gate_xor(n, a[i], b[i]);
+    sum.push_back(gate_xor(n, axb, carry));
+    const SigId maj =
+        gate_or(n, gate_and(n, a[i], b[i]), gate_and(n, axb, carry));
+    carry = maj;
+  }
+  return {std::move(sum), carry};
+}
+
+}  // namespace imodec::circuits

@@ -1,0 +1,34 @@
+#pragma once
+// Tiny gate-level construction helpers shared by the benchmark generators.
+
+#include "logic/network.hpp"
+
+namespace imodec::circuits {
+
+// Two-input tables (row bits: fanin0 = bit 0, fanin1 = bit 1).
+TruthTable tt_and2();
+TruthTable tt_or2();
+TruthTable tt_xor2();
+TruthTable tt_nand2();
+TruthTable tt_nor2();
+TruthTable tt_not1();
+/// mux(sel, a, b) = sel ? b : a; fanin order (sel, a, b).
+TruthTable tt_mux();
+
+SigId gate_and(Network& n, SigId a, SigId b);
+SigId gate_or(Network& n, SigId a, SigId b);
+SigId gate_xor(Network& n, SigId a, SigId b);
+SigId gate_not(Network& n, SigId a);
+SigId gate_mux(Network& n, SigId sel, SigId a, SigId b);  // sel ? b : a
+
+/// Balanced reduction tree over `sigs` with the given 2-input gate builder.
+SigId gate_tree(Network& n, std::vector<SigId> sigs,
+                SigId (*g2)(Network&, SigId, SigId));
+
+/// Ripple full adder: returns (sum bits, carry-out).
+std::pair<std::vector<SigId>, SigId> ripple_add(Network& n,
+                                                const std::vector<SigId>& a,
+                                                const std::vector<SigId>& b,
+                                                SigId carry_in);
+
+}  // namespace imodec::circuits

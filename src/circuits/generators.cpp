@@ -1,0 +1,324 @@
+#include "circuits/generators.hpp"
+
+#include <cassert>
+
+#include "circuits/gates.hpp"
+
+namespace imodec::circuits {
+
+namespace {
+
+std::vector<SigId> add_inputs(Network& net, unsigned n,
+                              const std::string& prefix) {
+  std::vector<SigId> pis;
+  pis.reserve(n);
+  for (unsigned i = 0; i < n; ++i)
+    pis.push_back(net.add_input(prefix + std::to_string(i)));
+  return pis;
+}
+
+void add_outputs(Network& net, const std::vector<SigId>& sigs,
+                 const std::string& prefix) {
+  for (std::size_t i = 0; i < sigs.size(); ++i)
+    net.add_output(sigs[i], prefix + std::to_string(i));
+}
+
+/// Count-of-ones of `bits` as a binary number (full-adder compressor tree).
+std::vector<SigId> popcount_bits(Network& net, std::vector<SigId> bits,
+                                 unsigned result_width) {
+  // Column compression: maintain per-weight columns of signals.
+  std::vector<std::vector<SigId>> cols(1, std::move(bits));
+  for (std::size_t w = 0; w < cols.size(); ++w) {
+    while (cols[w].size() > 1) {
+      if (cols.size() <= w + 1) cols.emplace_back();
+      if (cols[w].size() >= 3) {
+        const SigId a = cols[w][cols[w].size() - 1];
+        const SigId b = cols[w][cols[w].size() - 2];
+        const SigId c = cols[w][cols[w].size() - 3];
+        cols[w].resize(cols[w].size() - 3);
+        const SigId axb = gate_xor(net, a, b);
+        cols[w].push_back(gate_xor(net, axb, c));  // sum stays at weight w
+        const SigId carry =
+            gate_or(net, gate_and(net, a, b), gate_and(net, axb, c));
+        cols[w + 1].push_back(carry);
+        // One fresh sum bit remains; if more are queued, keep compressing.
+        if (cols[w].size() == 1) break;
+      } else {  // exactly 2 left: half adder
+        const SigId a = cols[w][0], b = cols[w][1];
+        cols[w].clear();
+        cols[w].push_back(gate_xor(net, a, b));
+        cols[w + 1].push_back(gate_and(net, a, b));
+        break;
+      }
+    }
+  }
+  std::vector<SigId> out;
+  const SigId zero = net.add_constant(false);
+  for (unsigned w = 0; w < result_width; ++w) {
+    if (w < cols.size() && !cols[w].empty()) {
+      assert(cols[w].size() == 1);
+      out.push_back(cols[w][0]);
+    } else {
+      out.push_back(zero);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Network make_rd(unsigned inputs, unsigned outputs) {
+  Network net("rd" + std::to_string(inputs) + std::to_string(outputs));
+  const auto pis = add_inputs(net, inputs, "x");
+  add_outputs(net, popcount_bits(net, pis, outputs), "s");
+  return net;
+}
+
+Network make_9sym() {
+  Network net("9sym");
+  const auto pis = add_inputs(net, 9, "x");
+  const auto cnt = popcount_bits(net, pis, 4);  // 0..9 needs 4 bits
+  // 3 <= count <= 6  <=>  (count >= 3) and (count <= 6).
+  // count >= 3: c1&c0 | c2 | c3 ; count <= 6: !(c3 | (c2&c1&c0)) with 9 max.
+  const SigId ge3 = gate_or(
+      net, gate_or(net, gate_and(net, cnt[1], cnt[0]), cnt[2]), cnt[3]);
+  const SigId eq7 = gate_and(net, gate_and(net, cnt[2], cnt[1]), cnt[0]);
+  const SigId gt6 = gate_or(net, cnt[3], eq7);
+  const SigId out = gate_and(net, ge3, gate_not(net, gt6));
+  net.add_output(out, "f");
+  return net;
+}
+
+Network make_z4ml() {
+  Network net("z4ml");
+  const auto a = add_inputs(net, 3, "a");
+  const auto b = add_inputs(net, 3, "b");
+  const SigId cin = net.add_input("cin");
+  auto [sum, carry] = ripple_add(net, a, b, cin);
+  sum.push_back(carry);
+  add_outputs(net, sum, "s");
+  return net;
+}
+
+Network make_5xp1() {
+  Network net("5xp1");
+  const auto x = add_inputs(net, 7, "x");
+  // y = (x^5 + 1) mod 2^10, built as one collapsed arithmetic block per
+  // output bit (the MCNC original is a two-level PLA as well).
+  std::vector<SigId> outs;
+  for (unsigned bit = 0; bit < 10; ++bit) {
+    TruthTable t(7);
+    for (std::uint64_t v = 0; v < 128; ++v) {
+      std::uint64_t p = 1;
+      for (int e = 0; e < 5; ++e) p = (p * v) & 0x3ff;
+      p = (p + 1) & 0x3ff;
+      t.set(v, (p >> bit) & 1);
+    }
+    outs.push_back(net.add_node(x, t));
+  }
+  add_outputs(net, outs, "y");
+  return net;
+}
+
+Network make_f51m() {
+  Network net("f51m");
+  const auto a = add_inputs(net, 4, "a");
+  const auto b = add_inputs(net, 4, "b");
+  // 4x4 multiplier: partial products + adder rows.
+  const SigId zero = net.add_constant(false);
+  std::vector<SigId> acc(8, zero);
+  for (unsigned i = 0; i < 4; ++i) {
+    std::vector<SigId> pp(8, zero);
+    for (unsigned j = 0; j < 4; ++j) pp[i + j] = gate_and(net, a[j], b[i]);
+    auto [sum, carry] = ripple_add(net, acc, pp, zero);
+    (void)carry;  // cannot overflow 8 bits for 4x4
+    acc = std::move(sum);
+  }
+  add_outputs(net, acc, "p");
+  return net;
+}
+
+Network make_clip() {
+  Network net("clip");
+  const auto x = add_inputs(net, 9, "x");  // two's complement, x[8] = sign
+  // |value| > 15  <=>  bits 4..7 disagree with the sign bit.
+  const SigId sign = x[8];
+  std::vector<SigId> disagree;
+  for (unsigned i = 4; i < 8; ++i)
+    disagree.push_back(gate_xor(net, x[i], sign));
+  const SigId overflow = gate_tree(net, disagree, gate_or);
+  // Clipped magnitude bits: overflow ? (sign ? 0001 : 1111 pattern) : x.
+  std::vector<SigId> outs;
+  for (unsigned i = 0; i < 4; ++i) {
+    // Saturate positive -> 1111, negative -> 0001 (two's complement -15).
+    const SigId sat =
+        (i == 0) ? net.add_constant(true) : gate_not(net, sign);
+    outs.push_back(gate_mux(net, overflow, x[i], sat));
+  }
+  outs.push_back(sign);  // sign preserved
+  add_outputs(net, outs, "y");
+  return net;
+}
+
+Network make_alu2() {
+  Network net("alu2");
+  const auto a = add_inputs(net, 3, "a");
+  const auto b = add_inputs(net, 3, "b");
+  const auto s = add_inputs(net, 3, "s");
+  const SigId cin = net.add_input("cin");
+
+  // Operand mux per op: s selects among add, and, or, xor (s[2] arithmetic).
+  auto [sum, carry] = ripple_add(net, a, b, cin);
+  std::vector<SigId> res;
+  for (unsigned i = 0; i < 3; ++i) {
+    const SigId land = gate_and(net, a[i], b[i]);
+    const SigId lor = gate_or(net, a[i], b[i]);
+    const SigId lxor = gate_xor(net, a[i], b[i]);
+    const SigId m0 = gate_mux(net, s[0], land, lor);
+    const SigId m1 = gate_mux(net, s[0], lxor, gate_not(net, a[i]));
+    const SigId logic = gate_mux(net, s[1], m0, m1);
+    res.push_back(gate_mux(net, s[2], logic, sum[i]));
+  }
+  const SigId zero_flag =
+      gate_not(net, gate_tree(net, {res[0], res[1], res[2]}, gate_or));
+  add_outputs(net, res, "f");
+  net.add_output(gate_and(net, s[2], carry), "cout");
+  net.add_output(zero_flag, "zf");
+  net.add_output(gate_xor(net, res[2], carry), "ovf");
+  return net;
+}
+
+Network make_alu4() {
+  Network net("alu4");
+  const auto a = add_inputs(net, 4, "a");
+  const auto b = add_inputs(net, 4, "b");
+  const auto s = add_inputs(net, 4, "s");
+  const SigId mode = net.add_input("m");
+  const SigId cin = net.add_input("cin");
+
+  // 74181 flavour: per-bit P/G terms controlled by s, then carry chain.
+  std::vector<SigId> p(4), g(4);
+  for (unsigned i = 0; i < 4; ++i) {
+    const SigId nb = gate_not(net, b[i]);
+    // g_i = a_i | (b_i & s0) | (~b_i & s1)
+    g[i] = gate_or(
+        net, a[i],
+        gate_or(net, gate_and(net, b[i], s[0]), gate_and(net, nb, s[1])));
+    // p_i = a_i & ((b_i & s3) | (~b_i & s2)) ... 74181 core term
+    p[i] = gate_and(net, a[i],
+                    gate_or(net, gate_and(net, b[i], s[3]),
+                            gate_and(net, nb, s[2])));
+  }
+  // Carry chain (suppressed in logic mode).
+  std::vector<SigId> carry(5);
+  carry[0] = gate_and(net, gate_not(net, mode), cin);
+  const SigId arith = gate_not(net, mode);
+  for (unsigned i = 0; i < 4; ++i) {
+    const SigId gen = gate_and(net, gate_not(net, p[i]), g[i]);
+    carry[i + 1] = gate_and(
+        net, arith,
+        gate_or(net, gen, gate_and(net, g[i], carry[i])));
+  }
+  std::vector<SigId> f(4);
+  for (unsigned i = 0; i < 4; ++i) {
+    const SigId core = gate_xor(net, gate_xor(net, g[i], p[i]), carry[i]);
+    f[i] = core;
+  }
+  const SigId aeqb = gate_tree(net, {f[0], f[1], f[2], f[3]}, gate_and);
+  const SigId pg = gate_tree(net, p, gate_or);
+  const SigId gg = gate_tree(net, g, gate_and);
+  add_outputs(net, f, "f");
+  net.add_output(carry[4], "cout");
+  net.add_output(aeqb, "aeqb");
+  net.add_output(pg, "pout");
+  net.add_output(gg, "gout");
+  return net;
+}
+
+Network make_count() {
+  Network net("count");
+  const auto d = add_inputs(net, 16, "d");
+  const auto l = add_inputs(net, 16, "l");
+  const SigId load = net.add_input("load");
+  const SigId clr = net.add_input("clr");
+  const SigId cin = net.add_input("cin");
+
+  // Incrementer chain over d, then load/clear muxing — the classic counter
+  // slice (shared ripple chain drives every output, like MCNC count).
+  std::vector<SigId> outs;
+  SigId carry = cin;
+  const SigId nclr = gate_not(net, clr);
+  for (unsigned i = 0; i < 16; ++i) {
+    const SigId inc = gate_xor(net, d[i], carry);
+    carry = gate_and(net, d[i], carry);
+    const SigId sel = gate_mux(net, load, inc, l[i]);
+    outs.push_back(gate_and(net, sel, nclr));
+  }
+  add_outputs(net, outs, "q");
+  return net;
+}
+
+Network make_e64() {
+  Network net("e64");
+  const auto x = add_inputs(net, 64, "x");
+  const SigId en = net.add_input("en");
+  // Priority filter: out_i = x_i & none-of(x_0..x_{i-1}) & en.
+  std::vector<SigId> outs;
+  SigId none_before = en;
+  for (unsigned i = 0; i < 64; ++i) {
+    outs.push_back(gate_and(net, x[i], none_before));
+    none_before = gate_and(net, none_before, gate_not(net, x[i]));
+  }
+  outs.push_back(none_before);  // "no input set"
+  add_outputs(net, outs, "y");
+  return net;
+}
+
+Network make_rot() {
+  Network net("rot");
+  const auto d = add_inputs(net, 128, "d");
+  const auto amt = add_inputs(net, 7, "r");
+  // Barrel rotator: 7 mux stages, rotate left by 2^j when amt[j].
+  std::vector<SigId> cur = d;
+  for (unsigned j = 0; j < 7; ++j) {
+    const unsigned shift = 1u << j;
+    std::vector<SigId> next(128);
+    for (unsigned i = 0; i < 128; ++i)
+      next[i] = gate_mux(net, amt[j], cur[i], cur[(i + shift) & 127]);
+    cur = std::move(next);
+  }
+  cur.resize(107);  // paper interface: 107 outputs
+  add_outputs(net, cur, "q");
+  return net;
+}
+
+Network make_c499() {
+  Network net("C499");
+  const auto d = add_inputs(net, 32, "d");
+  const auto c = add_inputs(net, 8, "c");
+  const SigId en = net.add_input("en");
+  // Syndrome: 8 XOR trees over bit groups (Hamming-style: data bit i is in
+  // group j iff bit j of (i+1) is set, wrapped to 8 groups).
+  std::vector<SigId> syn(8);
+  for (unsigned j = 0; j < 8; ++j) {
+    std::vector<SigId> grp{c[j]};
+    for (unsigned i = 0; i < 32; ++i)
+      if (((i + 1) >> (j % 6)) & 1) grp.push_back(d[i]);
+    syn[j] = gate_xor(net, gate_tree(net, grp, gate_xor), en);
+  }
+  // Correct bit i when the syndrome matches i's pattern.
+  std::vector<SigId> outs;
+  for (unsigned i = 0; i < 32; ++i) {
+    std::vector<SigId> match;
+    for (unsigned j = 0; j < 6; ++j) {
+      const bool bit = ((i + 1) >> (j % 6)) & 1;
+      match.push_back(bit ? syn[j] : gate_not(net, syn[j]));
+    }
+    const SigId hit = gate_tree(net, match, gate_and);
+    outs.push_back(gate_xor(net, d[i], hit));
+  }
+  add_outputs(net, outs, "q");
+  return net;
+}
+
+}  // namespace imodec::circuits

@@ -1,0 +1,61 @@
+#pragma once
+// Functional generators for the MCNC benchmark circuits of the paper's
+// evaluation (Table 2) — exact public-definition equivalents where the
+// function is documented, structured equivalents otherwise; see DESIGN.md §4.
+//
+// All generators are deterministic. Gate-level builders emit small (2-3
+// input) primitives so the networks are genuinely multi-level; the collapse
+// and restructure passes then produce the flow's starting points.
+
+#include <cstdint>
+
+#include "logic/network.hpp"
+
+namespace imodec::circuits {
+
+// --- Exact functional equivalents -----------------------------------------
+
+/// rdXY: Y-bit binary count of ones of X inputs (rd53: 5->3, rd73: 7->3,
+/// rd84: 8->4).
+Network make_rd(unsigned inputs, unsigned outputs);
+
+/// 9sym: 1 iff the number of ones among 9 inputs lies in [3, 6].
+Network make_9sym();
+
+/// z4ml: 2-operand 3-bit + carry-in adder, 7 inputs -> 4-bit sum.
+Network make_z4ml();
+
+/// 5xp1 equivalent: y = (x^5 + 1) mod 2^10 over a 7-bit x (7 -> 10).
+Network make_5xp1();
+
+/// f51m equivalent: 4x4 unsigned multiplier (8 -> 8).
+Network make_f51m();
+
+/// clip: 9-bit two's-complement input clipped to [-15, 15], 5-bit output.
+Network make_clip();
+
+/// alu2 equivalent: 3-bit ALU slice (two 3-bit operands, 3 op-select bits,
+/// carry-in = 10 inputs; result bits, carry, zero flag = 6 outputs).
+Network make_alu2();
+
+/// alu4 equivalent: 74181-flavoured 4-bit ALU (two 4-bit operands, 4 select,
+/// mode, carry-in = 14 inputs; 4 result bits, carry, A=B, P, G = 8 outputs).
+Network make_alu4();
+
+/// count equivalent: 16-bit load/increment counter slice; 35 inputs
+/// (16 data, 16 load-values, load, clear, carry-in), 16 outputs.
+Network make_count();
+
+/// e64 equivalent: 64-bit priority filter with enable (65 -> 65): output i
+/// is input i if no lower-indexed input is set; output 64 = "none set".
+Network make_e64();
+
+/// rot equivalent: barrel rotator, 128-bit data + 7-bit amount (135 inputs),
+/// low 107 result bits exposed (matches the paper's 135/107 interface).
+Network make_rot();
+
+/// C499 equivalent: 32-bit single-error-correction decoder (32 data + 8
+/// syndrome inputs + enable = 41 inputs, 32 corrected outputs).
+Network make_c499();
+
+}  // namespace imodec::circuits

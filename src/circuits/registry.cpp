@@ -1,0 +1,101 @@
+#include "circuits/registry.hpp"
+
+#include "circuits/generators.hpp"
+#include "circuits/synthetic.hpp"
+
+namespace imodec::circuits {
+
+namespace {
+
+// Table 2 reference values transcribed from the paper (CLB counts and the
+// maximum m/p observed); -1 where the paper prints '-'.
+std::vector<BenchmarkInfo> build_table() {
+  return {
+      {"5xp1", "exact", 9, 15, 9, 15, 5, 5, true},
+      {"9sym", "exact", 7, 7, 7, 7, 1, 6, true},
+      {"alu2", "exact", 46, 47, 46, 53, 4, 40, true},
+      {"alu4", "exact", 168, 235, -1, -1, 6, 49, true},
+      {"apex6", "synthetic", 141, 174, 129, -1, 17, 30, true},
+      {"apex7", "synthetic", 44, 61, 41, 47, 10, 15, true},
+      {"clip", "exact", 12, 19, 12, 20, 5, 14, true},
+      {"count", "exact", 26, 35, 26, 24, 8, 3, true},
+      {"des", "synthetic", -1, -1, 489, -1, -1, -1, false},
+      {"duke2", "synthetic", 177, 311, 122, -1, 5, 54, true},
+      {"e64", "exact", 123, 329, 55, 55, 12, 3, true},
+      {"f51m", "exact", 8, 13, 8, 11, 3, 5, true},
+      {"misex1", "synthetic", 9, 11, 9, 8, 3, 8, true},
+      {"misex2", "synthetic", 28, 34, 21, 21, 5, 7, true},
+      {"rd73", "exact", 5, 7, 5, 7, 3, 6, true},
+      {"rd84", "exact", 8, 11, 8, 12, 4, 6, true},
+      {"rot", "exact", -1, -1, 127, 194, -1, -1, false},
+      {"sao2", "synthetic", 17, 24, 17, 27, 4, 11, true},
+      {"vg2", "synthetic", 41, 64, 19, 23, 5, 12, true},
+      {"z4ml", "exact", 4, 4, 4, 5, 2, 3, true},
+      {"C499", "exact", -1, -1, 50, 49, -1, -1, false},
+      {"C880", "synthetic", -1, -1, 81, 74, -1, -1, false},
+      {"C5315", "synthetic", -1, -1, 295, -1, -1, -1, false},
+  };
+}
+
+Network make_synth(const std::string& name, unsigned ni, unsigned no,
+                   unsigned levels, unsigned gates, unsigned share,
+                   std::uint64_t seed) {
+  SyntheticSpec spec;
+  spec.name = name;
+  spec.num_inputs = ni;
+  spec.num_outputs = no;
+  spec.levels = levels;
+  spec.gates_per_level = gates;
+  spec.sharing_percent = share;
+  spec.seed = seed;
+  return make_synthetic(spec);
+}
+
+}  // namespace
+
+const std::vector<BenchmarkInfo>& table2_benchmarks() {
+  static const std::vector<BenchmarkInfo> table = build_table();
+  return table;
+}
+
+std::optional<Network> make_benchmark(const std::string& name) {
+  // Exact functional equivalents.
+  if (name == "rd53") return make_rd(5, 3);
+  if (name == "rd73") return make_rd(7, 3);
+  if (name == "rd84") return make_rd(8, 4);
+  if (name == "9sym") return make_9sym();
+  if (name == "z4ml") return make_z4ml();
+  if (name == "5xp1") return make_5xp1();
+  if (name == "f51m") return make_f51m();
+  if (name == "clip") return make_clip();
+  if (name == "alu2") return make_alu2();
+  if (name == "alu4") return make_alu4();
+  if (name == "count") return make_count();
+  if (name == "e64") return make_e64();
+  if (name == "rot") return make_rot();
+  if (name == "C499") return make_c499();
+
+  // Structured synthetic substitutes, I/O counts matched to MCNC.
+  if (name == "apex6") return make_synth("apex6", 135, 99, 6, 60, 55, 0xA6);
+  if (name == "apex7") return make_synth("apex7", 49, 37, 5, 30, 55, 0xA7);
+  if (name == "duke2") return make_synth("duke2", 22, 29, 5, 24, 65, 0xD2);
+  if (name == "misex1") return make_synth("misex1", 8, 7, 4, 8, 70, 0x31);
+  if (name == "misex2") return make_synth("misex2", 25, 18, 4, 16, 60, 0x32);
+  if (name == "sao2") return make_synth("sao2", 10, 4, 5, 10, 70, 0x5A);
+  if (name == "term1") return make_synth("term1", 34, 10, 5, 22, 65, 0x71);
+  if (name == "vg2") return make_synth("vg2", 25, 8, 5, 16, 65, 0x62);
+  if (name == "des") return make_synth("des", 256, 245, 5, 110, 45, 0xDE);
+  if (name == "C880") return make_synth("C880", 60, 26, 6, 36, 55, 0x88);
+  if (name == "C5315") return make_synth("C5315", 178, 123, 6, 80, 50, 0x53);
+  return std::nullopt;
+}
+
+std::vector<std::string> benchmark_names() {
+  return {"rd53",  "rd73",  "rd84",   "9sym",   "z4ml", "5xp1",
+          "f51m",  "clip",  "alu2",   "alu4",   "count", "e64",
+          "rot",   "C499",  "apex6",  "apex7",  "duke2", "misex1",
+          "misex2", "sao2", "term1",  "vg2",    "des",   "C880",
+          "C5315"};
+}
+
+}  // namespace imodec::circuits

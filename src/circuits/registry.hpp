@@ -1,0 +1,39 @@
+#pragma once
+// Benchmark registry: every circuit of the paper's Table 2 by name, with the
+// paper's reference numbers for side-by-side reporting in the benches.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "logic/network.hpp"
+
+namespace imodec::circuits {
+
+struct BenchmarkInfo {
+  std::string name;
+  /// "exact" (public functional definition) or "synthetic" (structured
+  /// substitute; see DESIGN.md §4).
+  std::string kind;
+  /// Paper Table 2 reference values; -1 where the paper has no entry.
+  int paper_imodec_clb = -1;
+  int paper_single_clb = -1;
+  int paper_r_imodec_clb = -1;
+  int paper_r_fgmap_clb = -1;
+  /// Paper's max m/p during decomposition ("-" entries = -1).
+  int paper_m = -1;
+  int paper_p = -1;
+  /// Paper marks circuits that could not be collapsed with '*'.
+  bool paper_collapsible = true;
+};
+
+/// All Table 2 circuits in paper order.
+const std::vector<BenchmarkInfo>& table2_benchmarks();
+
+/// Generate a benchmark circuit by name; nullopt for unknown names.
+std::optional<Network> make_benchmark(const std::string& name);
+
+/// Names of all circuits make_benchmark understands.
+std::vector<std::string> benchmark_names();
+
+}  // namespace imodec::circuits

@@ -1,0 +1,79 @@
+#include "circuits/synthetic.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/rng.hpp"
+
+namespace imodec::circuits {
+
+namespace {
+
+TruthTable random_table(Rng& rng, unsigned vars) {
+  TruthTable t(vars);
+  // Reject constants and functions ignoring a variable (keeps gates real).
+  for (int tries = 0; tries < 32; ++tries) {
+    for (std::uint64_t row = 0; row < t.num_rows(); ++row)
+      t.set(row, rng.coin());
+    if (!t.is_constant() && t.support().size() == vars) return t;
+  }
+  // Fallback: parity, which always depends on everything.
+  for (std::uint64_t row = 0; row < t.num_rows(); ++row)
+    t.set(row, __builtin_parityll(row));
+  return t;
+}
+
+}  // namespace
+
+Network make_synthetic(const SyntheticSpec& spec) {
+  assert(spec.num_inputs >= 3);
+  Network net(spec.name);
+  Rng rng(spec.seed * 0x9e3779b97f4a7c15ull + spec.num_inputs);
+
+  std::vector<SigId> pool;
+  for (unsigned i = 0; i < spec.num_inputs; ++i)
+    pool.push_back(net.add_input("x" + std::to_string(i)));
+
+  // Shared trunk: a slice of signals many gates tap; refreshed per level so
+  // sharing happens at every depth.
+  std::vector<SigId> trunk(pool.begin(),
+                           pool.begin() + std::min<std::size_t>(pool.size(), 6));
+
+  for (unsigned level = 0; level < spec.levels; ++level) {
+    std::vector<SigId> created;
+    for (unsigned gi = 0; gi < spec.gates_per_level; ++gi) {
+      const unsigned arity = 2 + static_cast<unsigned>(rng.below(2));  // 2..3
+      std::vector<SigId> fanins;
+      while (fanins.size() < arity) {
+        SigId cand;
+        if (rng.chance(spec.sharing_percent, 100) && !trunk.empty()) {
+          cand = trunk[rng.below(trunk.size())];
+        } else {
+          // Locality bias: prefer recent signals (deeper logic).
+          const std::size_t window =
+              std::min<std::size_t>(pool.size(), spec.gates_per_level * 2);
+          cand = pool[pool.size() - 1 - rng.below(window)];
+        }
+        if (std::find(fanins.begin(), fanins.end(), cand) == fanins.end())
+          fanins.push_back(cand);
+      }
+      created.push_back(net.add_node(fanins, random_table(rng, arity)));
+    }
+    for (SigId s : created) pool.push_back(s);
+    // New trunk: random picks from this level's gates.
+    trunk.clear();
+    for (unsigned t = 0; t < 6 && !created.empty(); ++t)
+      trunk.push_back(created[rng.below(created.size())]);
+  }
+
+  // Outputs tap the deepest region, several of them sharing signals.
+  for (unsigned k = 0; k < spec.num_outputs; ++k) {
+    const std::size_t window =
+        std::min<std::size_t>(pool.size(), spec.gates_per_level * 3);
+    const SigId sig = pool[pool.size() - 1 - rng.below(window)];
+    net.add_output(sig, "y" + std::to_string(k));
+  }
+  return net;
+}
+
+}  // namespace imodec::circuits

@@ -1,0 +1,31 @@
+#pragma once
+// Seeded structured synthetic circuits — substitutes for MCNC benchmarks
+// whose functions are not publicly specified (DESIGN.md §4).
+//
+// The generator builds a layered multi-level network of small random gates
+// whose fanins are drawn with locality bias, plus deliberately shared
+// subfunction cones tapped by several outputs. Multi-output sharing is the
+// property IMODEC exploits, so the substitutes are constructed to exhibit
+// it to a tunable degree.
+
+#include <cstdint>
+#include <string>
+
+#include "logic/network.hpp"
+
+namespace imodec::circuits {
+
+struct SyntheticSpec {
+  std::string name;
+  unsigned num_inputs = 16;
+  unsigned num_outputs = 8;
+  unsigned levels = 5;
+  unsigned gates_per_level = 12;
+  /// 0..100: probability that a new gate taps the shared trunk region.
+  unsigned sharing_percent = 60;
+  std::uint64_t seed = 1;
+};
+
+Network make_synthetic(const SyntheticSpec& spec);
+
+}  // namespace imodec::circuits

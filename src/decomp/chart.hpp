@@ -1,0 +1,21 @@
+#pragma once
+// Decomposition-chart rendering (paper Fig. 2): a Karnaugh-style map with one
+// column per bound-set vertex and one row per free-set vertex. Used by the
+// paper_example program and handy when debugging variable partitions.
+
+#include <string>
+
+#include "decomp/types.hpp"
+
+namespace imodec {
+
+/// Render the decomposition chart of `f` under `vp` as ASCII. Columns are
+/// labeled with BS vertices (vp.bound[0] printed leftmost), rows with FS
+/// vertices.
+std::string render_chart(const TruthTable& f, const VarPartition& vp);
+
+/// Render a vertex partition as lines "Class <i>: {vertices...}" with
+/// vertices printed as binary strings (bit of vp.bound[0] first).
+std::string render_partition(const VertexPartition& part);
+
+}  // namespace imodec

@@ -1,0 +1,109 @@
+#include "decomp/single.hpp"
+
+#include <cassert>
+
+namespace imodec {
+
+TruthTable build_g(const TruthTable& f, const VarPartition& vp,
+                   const std::vector<TruthTable>& chosen_d) {
+  const unsigned b = vp.b();
+  const unsigned c = static_cast<unsigned>(chosen_d.size());
+  const unsigned nf = static_cast<unsigned>(vp.free_set.size());
+  assert(c + nf <= TruthTable::kMaxVars);
+
+  // Code of each BS vertex under the chosen d functions.
+  const std::uint64_t num_vertices = std::uint64_t{1} << b;
+  std::vector<std::uint32_t> code_of(num_vertices);
+  for (std::uint64_t x = 0; x < num_vertices; ++x) {
+    std::uint32_t code = 0;
+    for (unsigned j = 0; j < c; ++j)
+      if (chosen_d[j].eval(x)) code |= 1u << j;
+    code_of[x] = code;
+  }
+
+  // Representative vertex per code; vertices with the same code must be
+  // compatible (Decomposition Condition 1) — asserted below via the chart.
+  const std::uint64_t num_codes = std::uint64_t{1} << c;
+  std::vector<std::uint64_t> representative(num_codes, ~std::uint64_t{0});
+  for (std::uint64_t x = 0; x < num_vertices; ++x) {
+    if (representative[code_of[x]] == ~std::uint64_t{0})
+      representative[code_of[x]] = x;
+  }
+
+  TruthTable g(c + nf);
+  const std::uint64_t rows = std::uint64_t{1} << nf;
+  for (std::uint64_t code = 0; code < num_codes; ++code) {
+    if (representative[code] == ~std::uint64_t{0}) continue;  // unused -> 0
+    const std::uint64_t x = representative[code];
+    std::uint64_t base = 0;
+    for (unsigned i = 0; i < b; ++i)
+      if ((x >> i) & 1) base |= std::uint64_t{1} << vp.bound[i];
+    for (std::uint64_t y = 0; y < rows; ++y) {
+      std::uint64_t input = base;
+      for (unsigned j = 0; j < nf; ++j)
+        if ((y >> j) & 1) input |= std::uint64_t{1} << vp.free_set[j];
+      g.set(code | (y << c), f.eval(input));
+    }
+  }
+
+#ifndef NDEBUG
+  // Decomposition Condition 1: same code => compatible columns.
+  const VertexPartition pf = local_partition_tt(f, vp);
+  std::vector<std::uint32_t> class_of_code(num_codes, 0xffffffffu);
+  for (std::uint64_t x = 0; x < num_vertices; ++x) {
+    auto& cc = class_of_code[code_of[x]];
+    assert(cc == 0xffffffffu || cc == pf.class_of[x]);
+    cc = pf.class_of[x];
+  }
+#endif
+  return g;
+}
+
+Decomposition decompose_single_output(const TruthTable& f,
+                                      const VarPartition& vp) {
+  const VertexPartition pf = local_partition_tt(f, vp);
+  const unsigned c = codewidth(pf.num_classes);
+  const unsigned b = vp.b();
+
+  Decomposition result;
+  result.vp = vp;
+  result.outputs.resize(1);
+
+  // Strict encoding: class i -> code i; d_j(x) = bit j of class index.
+  for (unsigned j = 0; j < c; ++j) {
+    TruthTable dj(b);
+    for (std::uint64_t x = 0; x < pf.num_vertices(); ++x)
+      dj.set(x, (pf.class_of[x] >> j) & 1);
+    result.d_funcs.push_back(std::move(dj));
+    result.outputs[0].d_index.push_back(j);
+  }
+  result.outputs[0].g = build_g(f, vp, result.d_funcs);
+  return result;
+}
+
+TruthTable recompose(const Decomposition& decomp, std::size_t output_index,
+                     unsigned original_num_vars) {
+  const auto& plan = decomp.outputs[output_index];
+  const VarPartition& vp = decomp.vp;
+  const unsigned b = vp.b();
+  const unsigned c = static_cast<unsigned>(plan.d_index.size());
+  const unsigned nf = static_cast<unsigned>(vp.free_set.size());
+
+  TruthTable f(original_num_vars);
+  for (std::uint64_t input = 0; input < f.num_rows(); ++input) {
+    std::uint64_t x = 0;
+    for (unsigned i = 0; i < b; ++i)
+      if ((input >> vp.bound[i]) & 1) x |= std::uint64_t{1} << i;
+    std::uint64_t y = 0;
+    for (unsigned j = 0; j < nf; ++j)
+      if ((input >> vp.free_set[j]) & 1) y |= std::uint64_t{1} << j;
+    std::uint64_t g_row = 0;
+    for (unsigned j = 0; j < c; ++j)
+      if (decomp.d_funcs[plan.d_index[j]].eval(x)) g_row |= std::uint64_t{1} << j;
+    g_row |= y << c;
+    f.set(input, plan.g.eval(g_row));
+  }
+  return f;
+}
+
+}  // namespace imodec

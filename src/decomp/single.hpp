@@ -1,0 +1,52 @@
+#pragma once
+// Classical single-output disjoint decomposition (paper §3, Ashenhurst /
+// Roth-Karp): f(x, y) = g(d1(x), ..., dc(x), y).
+//
+// This is the explicit baseline that the paper's "Single" column measures:
+// each output is decomposed on its own with a strict binary encoding of its
+// local classes. It also provides the g-construction shared by the
+// multiple-output engine.
+
+#include "decomp/classes.hpp"
+#include "decomp/types.hpp"
+
+namespace imodec {
+
+/// One decomposition of a single- or multiple-output function. Variable
+/// conventions: every d function is a TruthTable over b variables (bit i of
+/// the row index = vp.bound[i] of the original function); g for output k is
+/// a TruthTable over (|d_index[k]| + |vp.free_set|) variables, d codes first
+/// (in d_index order), free variables after (in vp.free_set order).
+struct Decomposition {
+  VarPartition vp;
+  std::vector<TruthTable> d_funcs;  // q functions over b variables
+
+  struct OutputPlan {
+    std::vector<unsigned> d_index;  // which d_funcs feed this output's g
+    TruthTable g;
+  };
+  std::vector<OutputPlan> outputs;
+
+  unsigned q() const { return static_cast<unsigned>(d_funcs.size()); }
+};
+
+/// Strict single-output decomposition: local classes are encoded in binary
+/// (class i gets code i); d_j is bit j of the code. Always succeeds; the
+/// decomposition is non-trivial iff c < b.
+Decomposition decompose_single_output(const TruthTable& f,
+                                      const VarPartition& vp);
+
+/// Build g for one output given its chosen decomposition functions. The code
+/// of BS vertex x is (d_0(x), ..., d_{c-1}(x)); the product of the d
+/// partitions must refine Π_f (Decomposition Condition 1) — checked via
+/// assertions. Unused codes are filled with 0 (completely specified).
+TruthTable build_g(const TruthTable& f, const VarPartition& vp,
+                   const std::vector<TruthTable>& chosen_d);
+
+/// Recompose: evaluate g(d(x), y) back into a truth table over the original
+/// variable count, for verification. `plan_d` are the d functions the plan's
+/// d_index selects, in order.
+TruthTable recompose(const Decomposition& decomp, std::size_t output_index,
+                     unsigned original_num_vars);
+
+}  // namespace imodec

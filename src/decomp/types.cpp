@@ -1,0 +1,69 @@
+#include "decomp/types.hpp"
+
+#include <cassert>
+#include <unordered_map>
+
+#include "util/combinatorics.hpp"
+
+namespace imodec {
+
+bool VertexPartition::refines(const VertexPartition& coarser) const {
+  assert(b == coarser.b);
+  // Each of our classes must map into exactly one coarser class.
+  std::vector<std::uint32_t> image(num_classes, 0xffffffffu);
+  for (std::uint64_t v = 0; v < num_vertices(); ++v) {
+    const std::uint32_t mine = class_of[v];
+    const std::uint32_t theirs = coarser.class_of[v];
+    if (image[mine] == 0xffffffffu) {
+      image[mine] = theirs;
+    } else if (image[mine] != theirs) {
+      return false;
+    }
+  }
+  return true;
+}
+
+VertexPartition VertexPartition::product(
+    const std::vector<const VertexPartition*>& parts) {
+  assert(!parts.empty());
+  const unsigned b = parts.front()->b;
+  VertexPartition result;
+  result.b = b;
+  result.class_of.resize(std::uint64_t{1} << b);
+
+  // Combine per-vertex class tuples; assign ids in first-occurrence order.
+  std::unordered_map<std::uint64_t, std::uint32_t> seen;
+  std::uint32_t next_id = 0;
+  for (std::uint64_t v = 0; v < result.num_vertices(); ++v) {
+    std::uint64_t key = 0x9e3779b97f4a7c15ull;
+    for (const VertexPartition* p : parts) {
+      assert(p->b == b);
+      key ^= p->class_of[v] + 0x9e3779b97f4a7c15ull + (key << 6) + (key >> 2);
+    }
+    auto [it, inserted] = seen.emplace(key, next_id);
+    if (inserted) ++next_id;
+    result.class_of[v] = it->second;
+  }
+  result.num_classes = next_id;
+
+#ifndef NDEBUG
+  // Hash combination could in principle collide; verify the result refines
+  // every factor (cheap at these sizes, debug builds only).
+  for (const VertexPartition* p : parts) assert(result.refines(*p));
+#endif
+  return result;
+}
+
+std::vector<std::vector<std::uint32_t>> VertexPartition::members() const {
+  std::vector<std::vector<std::uint32_t>> m(num_classes);
+  for (std::uint64_t v = 0; v < num_vertices(); ++v)
+    m[class_of[v]].push_back(static_cast<std::uint32_t>(v));
+  return m;
+}
+
+unsigned codewidth(std::uint32_t num_classes) {
+  assert(num_classes >= 1);
+  return static_cast<unsigned>(ceil_log2(num_classes));
+}
+
+}  // namespace imodec

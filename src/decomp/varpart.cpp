@@ -1,0 +1,174 @@
+#include "decomp/varpart.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace imodec {
+
+namespace {
+
+VarPartition make_vp(unsigned num_vars, std::vector<unsigned> bound) {
+  std::sort(bound.begin(), bound.end());
+  VarPartition vp;
+  vp.bound = std::move(bound);
+  for (unsigned v = 0; v < num_vars; ++v) {
+    if (!std::binary_search(vp.bound.begin(), vp.bound.end(), v))
+      vp.free_set.push_back(v);
+  }
+  return vp;
+}
+
+/// Lexicographic score: (p, Σ ℓ_k); smaller is better.
+std::pair<std::uint64_t, std::uint64_t> score(const VarPartChoice& c) {
+  std::uint64_t sum_l = 0;
+  for (const auto& l : c.locals) sum_l += l.num_classes;
+  return {c.global.num_classes, sum_l};
+}
+
+}  // namespace
+
+namespace {
+
+std::optional<VarPartChoice> evaluate_with_supports(
+    const std::vector<TruthTable>& outputs, unsigned num_vars,
+    const std::vector<unsigned>& bound, bool require_nontrivial,
+    const std::vector<std::vector<unsigned>>& supports) {
+  VarPartChoice choice;
+  choice.vp = make_vp(num_vars, bound);
+  choice.locals.reserve(outputs.size());
+  for (std::size_t k = 0; k < outputs.size(); ++k) {
+    VertexPartition lp = local_partition_tt(outputs[k], choice.vp);
+    if (require_nontrivial) {
+      // Strict per-output progress: overlap with the support must exceed
+      // the codewidth (see VarPartOptions::require_nontrivial).
+      unsigned overlap = 0;
+      for (unsigned v : supports[k])
+        overlap += std::binary_search(choice.vp.bound.begin(),
+                                      choice.vp.bound.end(), v);
+      if (overlap <= codewidth(lp.num_classes)) return std::nullopt;
+    }
+    choice.locals.push_back(std::move(lp));
+  }
+  choice.global = global_partition(choice.locals);
+  return choice;
+}
+
+}  // namespace
+
+std::optional<VarPartChoice> evaluate_bound_set(
+    const std::vector<TruthTable>& outputs, unsigned num_vars,
+    const std::vector<unsigned>& bound, bool require_nontrivial) {
+  std::vector<std::vector<unsigned>> supports;
+  supports.reserve(outputs.size());
+  for (const TruthTable& f : outputs) supports.push_back(f.support());
+  return evaluate_with_supports(outputs, num_vars, bound, require_nontrivial,
+                                supports);
+}
+
+std::optional<VarPartChoice> choose_bound_set(
+    const std::vector<TruthTable>& outputs, unsigned num_vars,
+    const VarPartOptions& opts) {
+  assert(!outputs.empty());
+#ifndef NDEBUG
+  for (const TruthTable& f : outputs) assert(f.num_vars() == num_vars);
+#endif
+  if (num_vars < 2) return std::nullopt;
+
+  unsigned b = std::min(opts.bound_size, num_vars - 1);
+  if (b == 0) return std::nullopt;
+
+  // Evaluating one candidate costs m * 2^n row reads; budget the number of
+  // candidates so wide vectors stay tractable (the paper's flow likewise
+  // limits effort on large supports, §7).
+  const double row_cost = static_cast<double>(outputs.size()) *
+                          std::ldexp(1.0, static_cast<int>(num_vars));
+  const std::size_t allowed = static_cast<std::size_t>(
+      std::max(4.0, std::min<double>(opts.eval_budget / row_cost, 1u << 20)));
+
+  std::optional<VarPartChoice> best;
+  std::vector<std::vector<unsigned>> supports;
+  supports.reserve(outputs.size());
+  for (const TruthTable& f : outputs) supports.push_back(f.support());
+  auto consider = [&](const std::vector<unsigned>& bound) {
+    auto cand = evaluate_with_supports(outputs, num_vars, bound,
+                                       opts.require_nontrivial, supports);
+    if (!cand) return;
+    if (!best || score(*cand) < score(*best)) best = std::move(cand);
+  };
+
+  // Count C(num_vars, b) with saturation.
+  std::uint64_t combos = 1;
+  for (unsigned i = 0; i < b; ++i) {
+    combos = combos * (num_vars - i) / (i + 1);
+    if (combos > opts.max_exhaustive * 4) break;
+  }
+
+  if (combos <= std::min(opts.max_exhaustive, allowed)) {
+    // Exhaustive enumeration of all bound sets of size b.
+    std::vector<unsigned> idx(b);
+    for (unsigned i = 0; i < b; ++i) idx[i] = i;
+    for (;;) {
+      consider(idx);
+      // next combination
+      int i = static_cast<int>(b) - 1;
+      while (i >= 0 && idx[i] == num_vars - b + i) --i;
+      if (i < 0) break;
+      ++idx[i];
+      for (unsigned j = static_cast<unsigned>(i) + 1; j < b; ++j)
+        idx[j] = idx[j - 1] + 1;
+    }
+    return best;
+  }
+
+  // Sampling + hill climbing.
+  Rng rng(opts.seed);
+  std::vector<unsigned> all(num_vars);
+  for (unsigned v = 0; v < num_vars; ++v) all[v] = v;
+
+  const std::size_t samples = std::min(opts.samples, allowed);
+  for (std::size_t s = 0; s < samples; ++s) {
+    // Random b-subset (partial Fisher-Yates).
+    std::vector<unsigned> pool = all;
+    for (unsigned i = 0; i < b; ++i) {
+      const std::size_t j =
+          i + static_cast<std::size_t>(rng.below(pool.size() - i));
+      std::swap(pool[i], pool[j]);
+    }
+    std::vector<unsigned> bound(pool.begin(), pool.begin() + b);
+    consider(bound);
+  }
+
+  if (!best) return std::nullopt;
+
+  // Hill climbing: try swapping one bound variable against one free one.
+  const std::size_t climb_cost =
+      static_cast<std::size_t>(b) * (num_vars - b);
+  const std::size_t climb_iters =
+      climb_cost > allowed ? 0
+                           : std::min<std::size_t>(opts.climb_iters,
+                                                   allowed / climb_cost + 1);
+  for (std::size_t it = 0; it < climb_iters; ++it) {
+    const auto current = score(*best);
+    VarPartition vp = best->vp;
+    bool improved = false;
+    for (std::size_t bi = 0; bi < vp.bound.size() && !improved; ++bi) {
+      for (std::size_t fi = 0; fi < vp.free_set.size() && !improved; ++fi) {
+        std::vector<unsigned> bound = vp.bound;
+        bound[bi] = vp.free_set[fi];
+        auto cand = evaluate_bound_set(outputs, num_vars, bound,
+                                       opts.require_nontrivial);
+        if (cand && score(*cand) < current) {
+          best = std::move(cand);
+          improved = true;
+        }
+      }
+    }
+    if (!improved) break;
+  }
+  return best;
+}
+
+}  // namespace imodec

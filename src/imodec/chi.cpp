@@ -1,0 +1,150 @@
+#include "imodec/chi.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <map>
+
+#include "imodec/subset.hpp"
+
+namespace imodec {
+
+void OutputState::split_blocks(std::uint64_t onset_mask) {
+  std::vector<std::vector<std::uint32_t>> next;
+  next.reserve(blocks.size() * 2);
+  for (const auto& block : blocks) {
+    std::vector<std::uint32_t> on, off;
+    for (std::uint32_t g : block) {
+      if ((onset_mask >> g) & 1)
+        on.push_back(g);
+      else
+        off.push_back(g);
+    }
+    if (!on.empty()) next.push_back(std::move(on));
+    if (!off.empty()) next.push_back(std::move(off));
+  }
+  blocks = std::move(next);
+  ++assigned;
+}
+
+bool OutputState::refined() const {
+  for (const auto& block : blocks) {
+    std::uint32_t seen = 0xffffffffu;
+    for (std::uint32_t g : block) {
+      const std::uint32_t l = local_of_global[g];
+      if (seen == 0xffffffffu) {
+        seen = l;
+      } else if (seen != l) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+namespace {
+
+/// Local classes present in a block, each with the global classes of the
+/// block that belong to it.
+std::vector<std::vector<std::uint32_t>> classes_in_block(
+    const OutputState& st, const std::vector<std::uint32_t>& block) {
+  std::map<std::uint32_t, std::vector<std::uint32_t>> groups;
+  for (std::uint32_t g : block) groups[st.local_of_global[g]].push_back(g);
+  std::vector<std::vector<std::uint32_t>> out;
+  out.reserve(groups.size());
+  for (auto& [l, gs] : groups) out.push_back(std::move(gs));
+  return out;
+}
+
+/// z-cube over the classes' global members: positive phase for ψ1 ("class
+/// entirely in onset"), negative for ψ0.
+bdd::Bdd class_cube(bdd::Manager& mgr, const std::vector<std::uint32_t>& gs,
+                    bool positive) {
+  std::vector<unsigned> vars(gs.begin(), gs.end());
+  std::vector<bool> phases(gs.size(), positive);
+  return bdd::Bdd::cube(mgr, vars, phases);
+}
+
+/// ψ factor for one block via the fused threshold.
+bdd::Bdd psi_direct(bdd::Manager& mgr, unsigned delta,
+                    const std::vector<std::vector<std::uint32_t>>& classes,
+                    bool positive) {
+  std::vector<bdd::Bdd> cubes;
+  cubes.reserve(classes.size());
+  for (const auto& gs : classes) cubes.push_back(class_cube(mgr, gs, positive));
+  return threshold_over_cubes(mgr, delta, cubes);
+}
+
+/// ψ factor built the way §6 presents it: τ(v) = subset(δ, ℓ_B) over
+/// auxiliary variables v_i at indices p.., then each v_i replaced by its
+/// class cube via vector composition.
+bdd::Bdd psi_via_substitution(
+    bdd::Manager& mgr, std::uint32_t p, unsigned delta,
+    const std::vector<std::vector<std::uint32_t>>& classes, bool positive) {
+  const unsigned ell = static_cast<unsigned>(classes.size());
+  if (mgr.num_vars() < p + ell) mgr.add_vars(p + ell - mgr.num_vars());
+  const bdd::Bdd tau = subset_threshold(mgr, delta, ell, p);
+  std::vector<bdd::NodeId> map(p + ell, bdd::Manager::kNoReplacement);
+  std::vector<bdd::Bdd> keep_alive;  // hold refs while composing
+  keep_alive.reserve(ell);
+  for (unsigned i = 0; i < ell; ++i) {
+    bdd::Bdd cube = class_cube(mgr, classes[i], positive);
+    map[p + i] = cube.node();
+    keep_alive.push_back(std::move(cube));
+  }
+  return bdd::Bdd(tau.manager(),
+                  tau.manager()->vector_compose(tau.node(), map));
+}
+
+bdd::Bdd psi_product_for_state(bdd::Manager& mgr, std::uint32_t p,
+                               const OutputState& st, const ChiOptions& opts) {
+  assert(st.assigned < st.codewidth);
+  const unsigned budget_exp = st.codewidth - st.assigned - 1;  // c - s - 1
+  bdd::Bdd chi = bdd::Bdd::one(mgr);
+  for (const auto& block : st.blocks) {
+    const auto classes = classes_in_block(st, block);
+    const auto ell = static_cast<unsigned>(classes.size());
+    const std::uint64_t budget = std::uint64_t{1} << budget_exp;  // 2^(c-s-1)
+    if (ell <= budget) continue;  // threshold δ <= 0: tautology factor
+    const unsigned delta = static_cast<unsigned>(ell - budget);
+    if (opts.via_v_substitution) {
+      chi &= psi_via_substitution(mgr, p, delta, classes, false);  // ψ0
+      chi &= psi_via_substitution(mgr, p, delta, classes, true);   // ψ1
+    } else {
+      chi &= psi_direct(mgr, delta, classes, false);
+      chi &= psi_direct(mgr, delta, classes, true);
+    }
+  }
+  return chi;
+}
+
+}  // namespace
+
+bdd::Bdd build_chi(bdd::Manager& mgr, std::uint32_t p, const OutputState& st,
+                   const ChiOptions& opts) {
+  bdd::Bdd chi = psi_product_for_state(mgr, p, st, opts);
+  if (opts.strict) {
+    // One code per local class: every local class uniform in z.
+    std::map<std::uint32_t, std::vector<std::uint32_t>> by_local;
+    for (std::uint32_t g = 0; g < p; ++g)
+      by_local[st.local_of_global[g]].push_back(g);
+    for (const auto& [l, gs] : by_local) {
+      if (gs.size() < 2) continue;
+      chi &= class_cube(mgr, gs, true) | class_cube(mgr, gs, false);
+    }
+  }
+  // Eliminate complementary duplicates (¬z_0 factor).
+  chi &= bdd::Bdd::nvar(mgr, 0);
+  return chi;
+}
+
+double preferable_count(bdd::Manager& mgr, std::uint32_t p,
+                        const OutputState& st) {
+  const bdd::Bdd psi = psi_product_for_state(mgr, p, st, ChiOptions{});
+  // SatCount over exactly the p z variables: scale out any extra manager
+  // variables (v variables used by other calls).
+  const double total = psi.sat_count();
+  const double extra = std::ldexp(1.0, static_cast<int>(mgr.num_vars() - p));
+  return total / extra;
+}
+
+}  // namespace imodec

@@ -1,0 +1,66 @@
+#pragma once
+// Characteristic functions χ_k(z) of preferable decomposition functions
+// (paper §5, §6).
+//
+// A constructable function is a z-vertex in positional-set form: z_i = 1 iff
+// global class G_i lies in the onset (paper §6). For one output f_k with
+// partial assignment P_{f_k,s}, χ_k(z) = ¬z_0 · Π_B ψ0_B(z) · ψ1_B(z), one
+// factor pair per block B of the partial partition. ψ1_B demands that at
+// least ℓ_B − 2^{c_k−s−1} of the local classes restricted to B lie entirely
+// in the onset, ψ0_B likewise for the offset. ¬z_0 removes complementary
+// duplicates (the paper multiplies by ¬z_1; we index classes from 0).
+
+#include <cstdint>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "decomp/types.hpp"
+
+namespace imodec {
+
+/// Per-output assignment state during the implicit algorithm: the blocks of
+/// the partial partition Π_{P_{f_k,s}}, each a set of global-class ids, plus
+/// how many decomposition functions have been accepted so far.
+struct OutputState {
+  unsigned codewidth = 0;                              // c_k
+  unsigned assigned = 0;                               // s
+  std::vector<std::vector<std::uint32_t>> blocks;      // of global classes
+  std::vector<std::uint32_t> local_of_global;          // local class per G_i
+  std::vector<unsigned> chosen;  // indices into the engine's d-function list
+
+  bool complete() const { return assigned == codewidth; }
+
+  /// Split every block by the accepted function's onset (a set of global
+  /// classes given as a bitmask over z-positions); empty sub-blocks vanish.
+  void split_blocks(std::uint64_t onset_mask);
+
+  /// True iff every block contains vertices of at most one local class —
+  /// i.e. the partial partition refines Π_{f_k}.
+  bool refined() const;
+};
+
+struct ChiOptions {
+  /// Paper-faithful route: build τ(v) with subset() over auxiliary v
+  /// variables, then substitute z-cubes via vector composition. The default
+  /// fuses substitution into the threshold recurrence (same function, fewer
+  /// intermediate nodes). Both are exposed for the cross-check tests.
+  bool via_v_substitution = false;
+  /// Strict-decomposition ablation: additionally require each local class to
+  /// be uniform in z (one code per compatibility class, Karp's "strict"
+  /// decomposition; see DESIGN.md ablations).
+  bool strict = false;
+};
+
+/// Build χ_k over z variables 0..p-1 of `mgr`. When opts.via_v_substitution
+/// is set, the manager must have at least p + max_block_classes variables
+/// (v variables are taken from index p upward).
+bdd::Bdd build_chi(bdd::Manager& mgr, std::uint32_t p, const OutputState& st,
+                   const ChiOptions& opts = {});
+
+/// Count of preferable functions as reported in Table 1: SatCount over the
+/// 2^p constructable functions of ψ0·ψ1 (complement pairs both counted,
+/// matching the paper's reported values).
+double preferable_count(bdd::Manager& mgr, std::uint32_t p,
+                        const OutputState& st);
+
+}  // namespace imodec

@@ -1,0 +1,155 @@
+#include "imodec/counting.hpp"
+
+#include <bit>
+#include <cassert>
+
+#include "decomp/classes.hpp"
+#include "imodec/chi.hpp"
+#include "util/combinatorics.hpp"
+
+namespace imodec {
+
+BigFloat assignable_count(const VertexPartition& local) {
+  const std::uint32_t ell = local.num_classes;
+  const unsigned c = codewidth(ell);
+  if (ell == 1) {
+    // Every function whose onset/offset each touch <= 2^(c-1) = ... c == 0:
+    // threshold 2^-1 is meaningless; with one class any constant function is
+    // assignable (s = c = 0 needs no d at all). Report the two constants.
+    return BigFloat{2.0};
+  }
+  const std::uint64_t budget = std::uint64_t{1} << (c - 1);  // 2^(c-1)
+
+  // Class sizes.
+  std::vector<std::uint64_t> sizes(ell, 0);
+  for (std::uint64_t v = 0; v < local.num_vertices(); ++v)
+    ++sizes[local.class_of[v]];
+
+  // DP over classes; state = (#classes not fully off, #classes not fully on),
+  // both capped at budget (beyond budget the function is already rejected).
+  const std::size_t cap = static_cast<std::size_t>(
+      std::min<std::uint64_t>(budget, ell));
+  std::vector<std::vector<BigFloat>> dp(cap + 1,
+                                        std::vector<BigFloat>(cap + 1));
+  dp[0][0] = BigFloat{1.0};
+  for (std::uint32_t i = 0; i < ell; ++i) {
+    std::vector<std::vector<BigFloat>> next(cap + 1,
+                                            std::vector<BigFloat>(cap + 1));
+    const BigFloat mixed = big_mixed_labelings(sizes[i]);
+    for (std::size_t a = 0; a <= cap; ++a) {
+      for (std::size_t z = 0; z <= cap; ++z) {
+        if (dp[a][z].is_zero()) continue;
+        // all-0: class fully off -> not-fully-on count grows.
+        if (z + 1 <= cap) next[a][z + 1] += dp[a][z];
+        // all-1: class fully on -> not-fully-off count grows.
+        if (a + 1 <= cap) next[a + 1][z] += dp[a][z];
+        // mixed: grows both counts.
+        if (!mixed.is_zero() && a + 1 <= cap && z + 1 <= cap)
+          next[a + 1][z + 1] += dp[a][z] * mixed;
+      }
+    }
+    dp = std::move(next);
+  }
+  BigFloat total;
+  for (std::size_t a = 0; a <= cap; ++a)
+    for (std::size_t z = 0; z <= cap; ++z) total += dp[a][z];
+  return total;
+}
+
+BigFloat preferable_count_initial(const VertexPartition& local,
+                                  const VertexPartition& global) {
+  const std::uint32_t p = global.num_classes;
+  OutputState st;
+  st.codewidth = codewidth(local.num_classes);
+  st.assigned = 0;
+  st.blocks.resize(1);
+  for (std::uint32_t g = 0; g < p; ++g) st.blocks[0].push_back(g);
+  st.local_of_global.resize(p);
+  for (std::uint64_t v = 0; v < global.num_vertices(); ++v)
+    st.local_of_global[global.class_of[v]] = local.class_of[v];
+
+  if (st.codewidth == 0) return BigFloat{2.0};  // constants only
+
+  bdd::Manager mgr(p);
+  return BigFloat{preferable_count(mgr, p, st)};
+}
+
+VectorCharacteristics characterize_vector(
+    const std::vector<TruthTable>& outputs, const VarPartition& vp) {
+  VectorCharacteristics ch;
+  ch.b = vp.b();
+  std::vector<VertexPartition> locals;
+  locals.reserve(outputs.size());
+  for (const TruthTable& f : outputs)
+    locals.push_back(local_partition_tt(f, vp));
+  const VertexPartition global = global_partition(locals);
+  ch.p = global.num_classes;
+  ch.assignable_bound = big_pow2(std::int64_t{1} << ch.b);  // 2^(2^b)
+  ch.preferable_bound = big_pow2(ch.p);                     // 2^p
+  for (const auto& local : locals) {
+    ch.l_k.push_back(local.num_classes);
+    ch.assignable.push_back(assignable_count(local));
+    ch.preferable.push_back(preferable_count_initial(local, global));
+  }
+  return ch;
+}
+
+std::uint64_t assignable_count_bruteforce(const VertexPartition& local) {
+  const unsigned b = local.b;
+  assert(b <= 4);
+  const std::uint64_t vertices = std::uint64_t{1} << b;
+  const std::uint32_t ell = local.num_classes;
+  const unsigned c = codewidth(ell);
+  if (ell == 1) return 2;
+  const std::uint64_t budget = std::uint64_t{1} << (c - 1);
+
+  std::uint64_t count = 0;
+  for (std::uint64_t onset = 0; onset < (std::uint64_t{1} << vertices);
+       ++onset) {
+    std::uint64_t touched_on = 0, touched_off = 0;  // class bitmask
+    for (std::uint64_t v = 0; v < vertices; ++v) {
+      if ((onset >> v) & 1)
+        touched_on |= std::uint64_t{1} << local.class_of[v];
+      else
+        touched_off |= std::uint64_t{1} << local.class_of[v];
+    }
+    if (static_cast<std::uint64_t>(std::popcount(touched_on)) <= budget &&
+        static_cast<std::uint64_t>(std::popcount(touched_off)) <= budget)
+      ++count;
+  }
+  return count;
+}
+
+std::uint64_t preferable_count_bruteforce(const VertexPartition& local,
+                                          const VertexPartition& global) {
+  const std::uint32_t p = global.num_classes;
+  assert(p <= 24);
+  const std::uint32_t ell = local.num_classes;
+  const unsigned c = codewidth(ell);
+  if (ell == 1) return 2;
+  const std::uint64_t budget = std::uint64_t{1} << (c - 1);
+
+  // Map each local class to its global members.
+  const auto contains = local_to_global(local, global);
+
+  std::uint64_t count = 0;
+  for (std::uint64_t z = 0; z < (std::uint64_t{1} << p); ++z) {
+    std::uint32_t fully_on = 0, fully_off = 0;
+    for (std::uint32_t l = 0; l < ell; ++l) {
+      bool all_on = true, all_off = true;
+      for (std::uint32_t g : contains[l]) {
+        if ((z >> g) & 1)
+          all_off = false;
+        else
+          all_on = false;
+      }
+      fully_on += all_on;
+      fully_off += all_off;
+    }
+    // At least ell - budget classes fully on and fully off (conditions C1/C0).
+    if (fully_on + budget >= ell && fully_off + budget >= ell) ++count;
+  }
+  return count;
+}
+
+}  // namespace imodec

@@ -1,0 +1,54 @@
+#pragma once
+// Exact counting of assignable and preferable decomposition functions —
+// the "# assign." and "# prefer." columns of Table 1.
+//
+// #assignable counts, over all 2^(2^b) Boolean functions d of the bound-set
+// variables, those for which both onset and offset touch at most 2^(c-1)
+// local classes (Defs. 4/5 with s = 0). Each local class independently
+// contributes all-0 (one labeling), all-1 (one labeling), or mixed
+// (2^|class| - 2 labelings); a DP over (classes-not-fully-off,
+// classes-not-fully-on) counts exactly, in big-magnitude arithmetic.
+//
+// #preferable counts constructable assignable functions: SatCount of
+// ψ0(z)·ψ1(z) over the 2^p z-vertices (complement pairs both counted,
+// matching the paper's reported numbers).
+
+#include <cstdint>
+#include <vector>
+
+#include "decomp/types.hpp"
+#include "util/bigfloat.hpp"
+
+namespace imodec {
+
+/// #assignable for one output with the given local partition (s = 0).
+BigFloat assignable_count(const VertexPartition& local);
+
+/// #preferable for one output (s = 0): needs its local partition and the
+/// vector's global partition.
+BigFloat preferable_count_initial(const VertexPartition& local,
+                                  const VertexPartition& global);
+
+/// All Table-1 characteristics of one function vector under one bound set.
+struct VectorCharacteristics {
+  unsigned b = 0;
+  std::uint32_t p = 0;
+  BigFloat assignable_bound;   // 2^(2^b)
+  BigFloat preferable_bound;   // 2^p
+  std::vector<std::uint32_t> l_k;
+  std::vector<BigFloat> assignable;  // per output
+  std::vector<BigFloat> preferable;  // per output
+};
+
+VectorCharacteristics characterize_vector(const std::vector<TruthTable>& outputs,
+                                          const VarPartition& vp);
+
+/// Brute-force #assignable by enumerating all 2^(2^b) functions — only
+/// feasible for b <= 4; used by the tests to validate the DP.
+std::uint64_t assignable_count_bruteforce(const VertexPartition& local);
+
+/// Brute-force #preferable over the 2^p constructable functions (p <= 24).
+std::uint64_t preferable_count_bruteforce(const VertexPartition& local,
+                                          const VertexPartition& global);
+
+}  // namespace imodec

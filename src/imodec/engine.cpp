@@ -1,0 +1,150 @@
+#include "imodec/engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+#include "imodec/lmax.hpp"
+#include "util/timer.hpp"
+
+namespace imodec {
+
+namespace {
+
+/// Decomposition function from its positional-set form: d(x) = 1 iff the
+/// global class of x is in the onset mask.
+TruthTable d_from_mask(const VertexPartition& global, std::uint64_t z_mask) {
+  TruthTable d(global.b);
+  for (std::uint64_t x = 0; x < global.num_vertices(); ++x)
+    d.set(x, (z_mask >> global.class_of[x]) & 1);
+  return d;
+}
+
+}  // namespace
+
+std::optional<Decomposition> decompose_multi_output(
+    const std::vector<TruthTable>& outputs, const VarPartition& vp,
+    const ImodecOptions& opts, ImodecStats* stats) {
+  assert(!outputs.empty());
+  Timer timer;
+  const std::size_t m = outputs.size();
+
+  // --- Local partitions and the global partition (paper §3, §4). ----------
+  std::vector<VertexPartition> locals;
+  locals.reserve(m);
+  for (const TruthTable& f : outputs)
+    locals.push_back(local_partition_tt(f, vp));
+  const VertexPartition global = global_partition(locals);
+  const std::uint32_t p = global.num_classes;
+
+  if (stats) {
+    stats->p = p;
+    stats->l_k.clear();
+    stats->c_k.clear();
+    for (const auto& l : locals) {
+      stats->l_k.push_back(l.num_classes);
+      stats->c_k.push_back(codewidth(l.num_classes));
+    }
+  }
+  if (p > opts.max_p) return std::nullopt;
+
+  // --- Per-output assignment state. ----------------------------------------
+  std::vector<OutputState> states(m);
+  std::vector<std::uint32_t> all_classes(p);
+  for (std::uint32_t g = 0; g < p; ++g) all_classes[g] = g;
+  for (std::size_t k = 0; k < m; ++k) {
+    states[k].codewidth = codewidth(locals[k].num_classes);
+    states[k].assigned = 0;
+    states[k].blocks = {all_classes};
+    states[k].local_of_global.resize(p);
+    for (std::uint64_t x = 0; x < global.num_vertices(); ++x)
+      states[k].local_of_global[global.class_of[x]] = locals[k].class_of[x];
+  }
+
+  Decomposition result;
+  result.vp = vp;
+  result.outputs.resize(m);
+
+  // Accepted functions, deduplicated by positional-set mask.
+  std::map<std::uint64_t, unsigned> d_index_of_mask;
+  const auto accept = [&](std::uint64_t z_mask) -> unsigned {
+    auto [it, inserted] =
+        d_index_of_mask.emplace(z_mask, static_cast<unsigned>(result.d_funcs.size()));
+    if (inserted) result.d_funcs.push_back(d_from_mask(global, z_mask));
+    return it->second;
+  };
+
+  // --- Greedy implicit selection loop (paper §6). ---------------------------
+  bdd::Manager mgr(p);
+  const ChiOptions chi_opts{opts.via_v_substitution, opts.strict};
+
+  std::vector<bdd::Bdd> chi(m);
+  std::vector<bool> chi_valid(m, false);
+
+  for (unsigned round = 0;; ++round) {
+    std::vector<std::size_t> incomplete;
+    for (std::size_t k = 0; k < m; ++k)
+      if (!states[k].complete()) incomplete.push_back(k);
+    if (incomplete.empty()) break;
+
+    std::vector<bdd::Bdd> active;
+    active.reserve(incomplete.size());
+    for (std::size_t k : incomplete) {
+      if (!chi_valid[k]) {
+        chi[k] = build_chi(mgr, p, states[k], chi_opts);
+        chi_valid[k] = true;
+        // A preferable function always exists for an incomplete output
+        // (balanced split of the classes in each block is constructable and
+        // assignable); see DESIGN.md §5.
+        assert(!chi[k].is_zero());
+      }
+      active.push_back(chi[k]);
+    }
+
+    const LmaxResult pick = lmax(mgr, p, active);
+    if (stats) ++stats->lmax_rounds;
+    assert(pick.coverage >= 1);
+
+    const unsigned d_idx = accept(pick.z_mask);
+    for (std::size_t i = 0; i < incomplete.size(); ++i) {
+      if (!pick.covers[i]) continue;
+      const std::size_t k = incomplete[i];
+      states[k].split_blocks(pick.z_mask);
+      states[k].chosen.push_back(d_idx);
+      chi_valid[k] = false;
+    }
+    // Defensive bound: each round assigns >= 1 function to >= 1 output.
+    assert(round <= 64 * m);
+  }
+
+  // --- Completion invariants and g construction. ----------------------------
+  for (std::size_t k = 0; k < m; ++k) {
+    assert(states[k].refined());
+    result.outputs[k].d_index = states[k].chosen;
+    std::vector<TruthTable> chosen_d;
+    chosen_d.reserve(states[k].chosen.size());
+    for (unsigned idx : states[k].chosen)
+      chosen_d.push_back(result.d_funcs[idx]);
+    result.outputs[k].g = build_g(outputs[k], vp, chosen_d);
+  }
+
+  // Property 1: ⌈ld p⌉ <= q must hold for any valid decomposition.
+  assert(result.d_funcs.empty() ||
+         (std::uint64_t{1} << result.d_funcs.size()) >= p);
+
+  if (stats) {
+    stats->q = result.q();
+    stats->seconds = timer.seconds();
+  }
+  return result;
+}
+
+unsigned sum_codewidths(const std::vector<TruthTable>& outputs,
+                        const VarPartition& vp) {
+  unsigned sum = 0;
+  for (const TruthTable& f : outputs)
+    sum += codewidth(local_partition_tt(f, vp).num_classes);
+  return sum;
+}
+
+}  // namespace imodec

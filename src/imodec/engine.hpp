@@ -1,0 +1,60 @@
+#pragma once
+// IMODEC: implicit multiple-output functional decomposition (paper §4-§6).
+//
+// Given a function vector f = (f_1..f_m) and a bound-set choice, the engine
+//   1. computes local compatibility partitions and the global partition,
+//   2. represents each output's preferable decomposition functions as an
+//      implicit characteristic function χ_k(z) over global-class variables,
+//   3. greedily picks a function preferable for a maximum number of outputs
+//      (Lmax), updates partial assignments, and recomputes the affected χ_k,
+//   4. stops when every output holds a complete assignment, and
+//   5. constructs the composition functions g_k from the accepted codes.
+//
+// The result reuses the Decomposition value type of the single-output
+// baseline so downstream consumers (mapping, verification) are agnostic to
+// how the decomposition was obtained.
+
+#include <cstdint>
+#include <optional>
+
+#include "decomp/single.hpp"
+#include "decomp/types.hpp"
+#include "imodec/chi.hpp"
+
+namespace imodec {
+
+struct ImodecOptions {
+  /// Abort when the global partition exceeds this many classes (the paper
+  /// limits m for the same reason; z-vertices are stored in 64-bit masks).
+  std::uint32_t max_p = 64;
+  /// Strict-decomposition ablation (one code per local class).
+  bool strict = false;
+  /// Paper-faithful ψ construction through v-variable substitution.
+  bool via_v_substitution = false;
+};
+
+struct ImodecStats {
+  std::uint32_t p = 0;                   // number of global classes
+  std::vector<std::uint32_t> l_k;        // local class count per output
+  std::vector<unsigned> c_k;             // codewidth per output
+  unsigned q = 0;                        // total decomposition functions
+  unsigned lmax_rounds = 0;              // Lmax invocations
+  double seconds = 0.0;
+};
+
+/// Decompose the vector under the given variable partition. Returns nullopt
+/// iff p exceeds opts.max_p (caller should fall back to single-output
+/// decomposition or a different partition). Every output must satisfy
+/// c_k <= b; c_k == b yields a trivial-for-that-output decomposition and is
+/// permitted (the caller's bound-set selection normally prevents it).
+std::optional<Decomposition> decompose_multi_output(
+    const std::vector<TruthTable>& outputs, const VarPartition& vp,
+    const ImodecOptions& opts = {}, ImodecStats* stats = nullptr);
+
+/// Sum of per-output codewidths — the function count a pure single-output
+/// decomposition of the same vector would need (used for the paper's
+/// "decomposition gain" in the output-partitioning heuristic).
+unsigned sum_codewidths(const std::vector<TruthTable>& outputs,
+                        const VarPartition& vp);
+
+}  // namespace imodec

@@ -1,0 +1,68 @@
+#include "imodec/lmax.hpp"
+
+#include <cassert>
+
+#include "bdd/add.hpp"
+
+namespace imodec {
+
+LmaxResult lmax(bdd::Manager& mgr, std::uint32_t p,
+                const std::vector<bdd::Bdd>& chis) {
+  assert(!chis.empty());
+  assert(p <= 64);
+
+  bdd::AddManager add(p);
+  bdd::AddManager::AddId sum = add.constant(0);
+  for (const bdd::Bdd& chi : chis)
+    sum = add.plus(sum, add.from_bdd(mgr, chi.node()));
+
+  std::vector<bool> assignment;
+  const std::int64_t best = add.argmax(sum, assignment, /*fill=*/false);
+
+  LmaxResult res;
+  res.coverage = static_cast<unsigned>(best);
+  for (std::uint32_t i = 0; i < p; ++i)
+    if (assignment[i]) res.z_mask |= std::uint64_t{1} << i;
+
+  // Report which outputs the chosen function is preferable for.
+  std::vector<bool> full(mgr.num_vars(), false);
+  for (std::uint32_t i = 0; i < p; ++i) full[i] = assignment[i];
+  res.covers.reserve(chis.size());
+  unsigned check = 0;
+  for (const bdd::Bdd& chi : chis) {
+    const bool in = chi.eval(full);
+    res.covers.push_back(in);
+    check += in;
+  }
+  assert(check == res.coverage);
+  return res;
+}
+
+LmaxResult lmax_explicit(bdd::Manager& mgr, std::uint32_t p,
+                         const std::vector<bdd::Bdd>& chis) {
+  assert(p <= 24);
+  LmaxResult res;
+  std::vector<bool> a(mgr.num_vars(), false);
+  std::vector<bool> best_covers;
+  for (std::uint64_t z = 0; z < (std::uint64_t{1} << p); ++z) {
+    for (std::uint32_t i = 0; i < p; ++i) a[i] = (z >> i) & 1;
+    unsigned cover = 0;
+    std::vector<bool> covers;
+    covers.reserve(chis.size());
+    for (const bdd::Bdd& chi : chis) {
+      const bool in = chi.eval(a);
+      covers.push_back(in);
+      cover += in;
+    }
+    if (cover > res.coverage) {
+      res.coverage = cover;
+      res.z_mask = z;
+      best_covers = std::move(covers);
+    }
+  }
+  res.covers = std::move(best_covers);
+  if (res.covers.empty()) res.covers.assign(chis.size(), false);
+  return res;
+}
+
+}  // namespace imodec

@@ -1,0 +1,32 @@
+#include "imodec/subset.hpp"
+
+namespace imodec {
+
+bdd::Bdd subset_threshold(bdd::Manager& mgr, unsigned delta, unsigned ell,
+                          unsigned first_var) {
+  std::vector<bdd::Bdd> terms;
+  terms.reserve(ell);
+  for (unsigned i = 0; i < ell; ++i)
+    terms.push_back(bdd::Bdd::var(mgr, first_var + i));
+  return threshold_over_cubes(mgr, delta, terms);
+}
+
+bdd::Bdd threshold_over_cubes(bdd::Manager& mgr, unsigned delta,
+                              const std::vector<bdd::Bdd>& terms) {
+  const unsigned ell = static_cast<unsigned>(terms.size());
+  if (delta == 0) return bdd::Bdd::one(mgr);
+  if (delta > ell) return bdd::Bdd::zero(mgr);
+
+  // Fig. 4: t_0 = 1; t_j = 0 (j = 1..δ);
+  // for i = 1..ℓ: for j = δ..1: t_j += t_{j-1} * v_i.
+  std::vector<bdd::Bdd> t(delta + 1, bdd::Bdd::zero(mgr));
+  t[0] = bdd::Bdd::one(mgr);
+  for (unsigned i = 0; i < ell; ++i) {
+    for (unsigned j = delta; j >= 1; --j) {
+      t[j] = t[j] | (t[j - 1] & terms[i]);
+    }
+  }
+  return t[delta];
+}
+
+}  // namespace imodec

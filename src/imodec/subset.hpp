@@ -1,0 +1,30 @@
+#pragma once
+// The subset(δ, ℓ) threshold construction (paper Fig. 4) and its literal-
+// substituted variants ψ0/ψ1 (paper §6).
+//
+// subset(δ, ℓ) builds the characteristic function τ of all subsets of a set
+// of ℓ objects containing at least δ of them, over positional-set variables.
+// The paper derives ψ0/ψ1 by replacing each v-literal with a conjunction of
+// z-literals; threshold_over_cubes() performs the same computation with the
+// substitution fused into the recurrence (the t_j chain is agnostic to what
+// the "variables" are), which the tests verify against the literal
+// subset + vector_compose route.
+
+#include <vector>
+
+#include "bdd/bdd.hpp"
+
+namespace imodec {
+
+/// τ = subset(δ, ℓ) over manager variables first_var .. first_var+ℓ-1:
+/// true iff at least δ of the ℓ variables are 1. δ == 0 yields the constant 1
+/// function; δ > ℓ yields 0.
+bdd::Bdd subset_threshold(bdd::Manager& mgr, unsigned delta, unsigned ell,
+                          unsigned first_var);
+
+/// Threshold with substituted terms: true iff at least `delta` of the given
+/// functions are 1 — used to build ψ directly from per-class z-cubes.
+bdd::Bdd threshold_over_cubes(bdd::Manager& mgr, unsigned delta,
+                              const std::vector<bdd::Bdd>& terms);
+
+}  // namespace imodec

@@ -1,0 +1,198 @@
+#include "logic/blif.hpp"
+
+#include <fstream>
+#include <functional>
+#include <map>
+#include <sstream>
+
+#include "logic/cube.hpp"
+#include "util/strings.hpp"
+
+namespace imodec {
+
+namespace {
+
+// One .names block: output name, input names, and cover rows.
+struct NamesBlock {
+  std::vector<std::string> inputs;
+  std::string output;
+  std::vector<std::pair<std::string, char>> rows;  // (input part, output bit)
+};
+
+TruthTable block_to_table(const NamesBlock& blk) {
+  const unsigned n = static_cast<unsigned>(blk.inputs.size());
+  if (n > TruthTable::kMaxVars)
+    throw BlifError("node '" + blk.output + "' has too many fanins");
+  // Determine cover polarity: all output bits must agree (standard BLIF).
+  bool on_polarity = true;
+  if (!blk.rows.empty()) on_polarity = (blk.rows.front().second == '1');
+  Cover cover(n);
+  for (const auto& [pattern, out] : blk.rows) {
+    if (pattern.size() != n)
+      throw BlifError("cube width mismatch in node '" + blk.output + "'");
+    if ((out == '1') != on_polarity)
+      throw BlifError("mixed-polarity cover in node '" + blk.output + "'");
+    Cube c;
+    for (unsigned v = 0; v < n; ++v) {
+      if (pattern[v] == '1') {
+        c.mask |= 1u << v;
+        c.value |= 1u << v;
+      } else if (pattern[v] == '0') {
+        c.mask |= 1u << v;
+      } else if (pattern[v] != '-') {
+        throw BlifError("bad cube character in node '" + blk.output + "'");
+      }
+    }
+    cover.add(c);
+  }
+  TruthTable t = cover.to_truthtable();
+  if (!on_polarity) t = ~t;
+  // Special case: ".names out" with a single "1" row and no inputs is
+  // constant 1; no rows at all is constant 0 — handled naturally above.
+  return t;
+}
+
+}  // namespace
+
+Network read_blif(std::istream& is) {
+  Network net;
+  std::vector<std::string> output_names;
+  std::vector<NamesBlock> blocks;
+  NamesBlock* current = nullptr;
+
+  std::string line;
+  std::string pending;  // for '\' continuations
+  while (std::getline(is, line)) {
+    // Strip comments.
+    if (auto pos = line.find('#'); pos != std::string::npos)
+      line = line.substr(0, pos);
+    std::string full = pending + line;
+    if (!full.empty() && full.back() == '\\') {
+      pending = full.substr(0, full.size() - 1);
+      continue;
+    }
+    pending.clear();
+    const auto tokens = split(full);
+    if (tokens.empty()) continue;
+
+    if (tokens[0] == ".model") {
+      if (tokens.size() >= 2) net.set_name(tokens[1]);
+      current = nullptr;
+    } else if (tokens[0] == ".inputs") {
+      for (std::size_t i = 1; i < tokens.size(); ++i)
+        net.add_input(tokens[i]);
+      current = nullptr;
+    } else if (tokens[0] == ".outputs") {
+      for (std::size_t i = 1; i < tokens.size(); ++i)
+        output_names.push_back(tokens[i]);
+      current = nullptr;
+    } else if (tokens[0] == ".names") {
+      if (tokens.size() < 2) throw BlifError(".names without output");
+      blocks.emplace_back();
+      current = &blocks.back();
+      current->inputs.assign(tokens.begin() + 1, tokens.end() - 1);
+      current->output = tokens.back();
+    } else if (tokens[0] == ".end") {
+      break;
+    } else if (tokens[0] == ".latch" || tokens[0] == ".subckt" ||
+               tokens[0] == ".gate") {
+      throw BlifError("unsupported construct: " + tokens[0]);
+    } else if (tokens[0][0] == '.') {
+      // Ignore other directives (.default_input_arrival etc.).
+      current = nullptr;
+    } else {
+      if (current == nullptr) throw BlifError("cover row outside .names");
+      if (current->inputs.empty()) {
+        if (tokens.size() != 1 || (tokens[0] != "1" && tokens[0] != "0"))
+          throw BlifError("bad constant row for '" + current->output + "'");
+        current->rows.emplace_back("", tokens[0][0]);
+      } else {
+        if (tokens.size() != 2)
+          throw BlifError("bad cover row for '" + current->output + "'");
+        current->rows.emplace_back(tokens[0], tokens[1][0]);
+      }
+    }
+  }
+
+  // Resolve blocks in dependency order (BLIF allows any order).
+  std::map<std::string, const NamesBlock*> by_output;
+  for (const NamesBlock& b : blocks) {
+    if (!by_output.emplace(b.output, &b).second)
+      throw BlifError("node '" + b.output + "' defined twice");
+  }
+  // Recursive instantiation with cycle detection.
+  std::map<std::string, int> state;  // 0 new, 1 visiting, 2 done
+  std::function<SigId(const std::string&)> build =
+      [&](const std::string& name) -> SigId {
+    if (SigId s = net.find(name); s != kInvalidSig) return s;
+    auto it = by_output.find(name);
+    if (it == by_output.end())
+      throw BlifError("undefined signal '" + name + "'");
+    if (state[name] == 1) throw BlifError("combinational cycle at " + name);
+    state[name] = 1;
+    const NamesBlock& blk = *it->second;
+    std::vector<SigId> fanins;
+    fanins.reserve(blk.inputs.size());
+    for (const std::string& in : blk.inputs) fanins.push_back(build(in));
+    state[name] = 2;
+    return net.add_node(fanins, block_to_table(blk), name);
+  };
+  for (const std::string& out : output_names)
+    net.add_output(build(out), out);
+  return net;
+}
+
+Network read_blif_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw BlifError("cannot open " + path);
+  return read_blif(f);
+}
+
+void write_blif(std::ostream& os, const Network& net) {
+  os << ".model " << (net.name().empty() ? "top" : net.name()) << "\n";
+  os << ".inputs";
+  for (SigId pi : net.inputs()) os << " " << net.node(pi).name;
+  os << "\n.outputs";
+  for (const std::string& n : net.output_names()) os << " " << n;
+  os << "\n";
+
+  // Name every node deterministically.
+  std::vector<std::string> sig_name(net.node_count());
+  for (SigId s = 0; s < net.node_count(); ++s) {
+    const auto& node = net.node(s);
+    sig_name[s] = node.name.empty() ? "n" + std::to_string(s) : node.name;
+  }
+  // Output aliases: if an output points at a node whose name differs, emit a
+  // buffer below.
+  for (SigId s = 0; s < net.node_count(); ++s) {
+    const auto& node = net.node(s);
+    if (node.kind == Network::Kind::Constant) {
+      os << ".names " << sig_name[s] << "\n";
+      if (node.func.eval(0)) os << "1\n";
+    } else if (node.kind == Network::Kind::Logic) {
+      os << ".names";
+      for (SigId f : node.fanins) os << " " << sig_name[f];
+      os << " " << sig_name[s] << "\n";
+      const Cover cover = isop(node.func);
+      if (cover.empty()) continue;  // constant 0 node function
+      for (const Cube& c : cover.cubes())
+        os << c.to_pla(node.func.num_vars()) << " 1\n";
+    }
+  }
+  for (std::size_t k = 0; k < net.num_outputs(); ++k) {
+    const SigId s = net.outputs()[k];
+    const std::string& want = net.output_names()[k];
+    if (sig_name[s] != want) {
+      os << ".names " << sig_name[s] << " " << want << "\n1 1\n";
+    }
+  }
+  os << ".end\n";
+}
+
+void write_blif_file(const std::string& path, const Network& net) {
+  std::ofstream f(path);
+  if (!f) throw BlifError("cannot write " + path);
+  write_blif(f, net);
+}
+
+}  // namespace imodec

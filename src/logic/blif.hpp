@@ -1,0 +1,28 @@
+#pragma once
+// BLIF reader/writer (combinational subset: .model/.inputs/.outputs/.names).
+//
+// Covers the format used by the MCNC benchmark distribution the paper
+// evaluates on; latches and subcircuits are rejected with an error since the
+// paper treats combinational logic only.
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "logic/network.hpp"
+
+namespace imodec {
+
+struct BlifError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Parse a BLIF stream. Throws BlifError on malformed input.
+Network read_blif(std::istream& is);
+Network read_blif_file(const std::string& path);
+
+/// Emit `net` as BLIF; node covers are written as ISOPs of the node tables.
+void write_blif(std::ostream& os, const Network& net);
+void write_blif_file(const std::string& path, const Network& net);
+
+}  // namespace imodec

@@ -1,0 +1,122 @@
+#include "logic/cube.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace imodec {
+
+unsigned Cube::num_literals() const {
+  return static_cast<unsigned>(std::popcount(mask));
+}
+
+std::string Cube::to_pla(unsigned num_vars) const {
+  std::string s(num_vars, '-');
+  for (unsigned v = 0; v < num_vars; ++v) {
+    if ((mask >> v) & 1) s[v] = ((value >> v) & 1) ? '1' : '0';
+  }
+  return s;
+}
+
+std::string Cube::to_algebraic(const std::vector<std::string>& names) const {
+  if (mask == 0) return "1";
+  std::string s;
+  for (unsigned v = 0; v < names.size(); ++v) {
+    if (!((mask >> v) & 1)) continue;
+    if (!s.empty()) s += " ";
+    if (!((value >> v) & 1)) s += "~";
+    s += names[v];
+  }
+  return s;
+}
+
+unsigned Cover::num_literals() const {
+  unsigned n = 0;
+  for (const Cube& c : cubes_) n += c.num_literals();
+  return n;
+}
+
+TruthTable Cover::to_truthtable() const {
+  TruthTable t(num_vars_);
+  for (std::uint64_t row = 0; row < t.num_rows(); ++row) {
+    for (const Cube& c : cubes_) {
+      if (c.contains(row)) {
+        t.set(row, true);
+        break;
+      }
+    }
+  }
+  return t;
+}
+
+std::string Cover::to_algebraic(const std::vector<std::string>& names) const {
+  if (cubes_.empty()) return "0";
+  std::string s;
+  for (const Cube& c : cubes_) {
+    if (!s.empty()) s += " + ";
+    s += c.to_algebraic(names);
+  }
+  return s;
+}
+
+namespace {
+
+// Minato-Morreale ISOP on interval [lower, upper]: returns a cover whose
+// function h satisfies lower <= h <= upper. For completely specified input
+// both bounds are f. Recursion splits on the highest remaining variable.
+Cover isop_rec(const TruthTable& lower, const TruthTable& upper, unsigned var,
+               unsigned num_vars) {
+  Cover result(num_vars);
+  if (lower.is_zero()) return result;  // empty cover == 0
+  if (upper == TruthTable(num_vars, true) ||
+      (~upper).is_zero()) {  // upper == 1
+    result.add(Cube{});      // tautology cube
+    return result;
+  }
+  assert(var > 0);
+  const unsigned v = var - 1;
+
+  const TruthTable l0 = lower.cofactor(v, false);
+  const TruthTable l1 = lower.cofactor(v, true);
+  const TruthTable u0 = upper.cofactor(v, false);
+  const TruthTable u1 = upper.cofactor(v, true);
+
+  // Cubes that must contain literal ~v / v.
+  Cover c0 = isop_rec(l0 & ~u1, u0, v, num_vars);
+  Cover c1 = isop_rec(l1 & ~u0, u1, v, num_vars);
+
+  const TruthTable h0 = c0.to_truthtable();
+  const TruthTable h1 = c1.to_truthtable();
+
+  // Remainder that may be covered variable-free.
+  const TruthTable lr = (l0 & ~h0) | (l1 & ~h1);
+  Cover cr = isop_rec(lr, u0 & u1, v, num_vars);
+
+  for (Cube c : c0.cubes()) {
+    c.mask |= 1u << v;
+    result.add(c);
+  }
+  for (Cube c : c1.cubes()) {
+    c.mask |= 1u << v;
+    c.value |= 1u << v;
+    result.add(c);
+  }
+  for (const Cube& c : cr.cubes()) result.add(c);
+  return result;
+}
+
+}  // namespace
+
+Cover isop(const TruthTable& f) {
+  assert(f.num_vars() <= 32);
+  return isop_rec(f, f, f.num_vars(), f.num_vars());
+}
+
+std::vector<std::string> default_var_names(unsigned n,
+                                           const std::string& prefix) {
+  std::vector<std::string> names;
+  names.reserve(n);
+  for (unsigned i = 0; i < n; ++i) names.push_back(prefix + std::to_string(i));
+  return names;
+}
+
+}  // namespace imodec

@@ -1,0 +1,69 @@
+#pragma once
+// Cubes and sum-of-products covers, including an irredundant SOP (Minato-
+// Morreale ISOP) extractor from truth tables.
+//
+// Covers are used by the PLA reader, the BLIF writer, and everywhere the
+// examples print decomposition functions the way the paper does (e.g.
+// d1(x) = ~x1 x3 + x2 ~x3 + x1 ~x2).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "logic/truthtable.hpp"
+
+namespace imodec {
+
+/// One product term over `num_vars` variables. Variable v is in the cube iff
+/// bit v of `mask` is set; its phase is bit v of `value` (1 = positive).
+struct Cube {
+  std::uint32_t mask = 0;
+  std::uint32_t value = 0;
+
+  bool operator==(const Cube&) const = default;
+
+  /// True iff the cube contains the given minterm.
+  bool contains(std::uint64_t minterm) const {
+    return ((minterm ^ value) & mask) == 0;
+  }
+  unsigned num_literals() const;
+
+  /// PLA-style text, e.g. "1-0" (variable 0 first).
+  std::string to_pla(unsigned num_vars) const;
+  /// Algebraic text with variable names, e.g. "x1 ~x3".
+  std::string to_algebraic(const std::vector<std::string>& names) const;
+};
+
+/// A SOP cover: disjunction of cubes over a fixed variable count.
+class Cover {
+ public:
+  Cover() = default;
+  explicit Cover(unsigned num_vars) : num_vars_(num_vars) {}
+
+  unsigned num_vars() const { return num_vars_; }
+  const std::vector<Cube>& cubes() const { return cubes_; }
+  bool empty() const { return cubes_.empty(); }
+  std::size_t size() const { return cubes_.size(); }
+  void add(Cube c) { cubes_.push_back(c); }
+
+  unsigned num_literals() const;
+
+  TruthTable to_truthtable() const;
+
+  /// Algebraic text, e.g. "~x1 x3 + x2 ~x3"; "0"/"1" for constants.
+  std::string to_algebraic(const std::vector<std::string>& names) const;
+
+ private:
+  unsigned num_vars_ = 0;
+  std::vector<Cube> cubes_;
+};
+
+/// Irredundant sum-of-products of `f` (Minato-Morreale over the completely-
+/// specified function: onset == careset == f). num_vars <= 32.
+Cover isop(const TruthTable& f);
+
+/// Default variable names x0..x{n-1}.
+std::vector<std::string> default_var_names(unsigned n,
+                                           const std::string& prefix = "x");
+
+}  // namespace imodec

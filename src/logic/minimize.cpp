@@ -1,0 +1,110 @@
+#include "logic/minimize.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace imodec {
+
+namespace {
+
+/// Truth table of a single cube.
+TruthTable cube_table(const Cube& c, unsigned n) {
+  TruthTable t(n);
+  for (std::uint64_t row = 0; row < t.num_rows(); ++row)
+    t.set(row, c.contains(row));
+  return t;
+}
+
+/// True iff every minterm of the cube lies inside `allowed`.
+bool cube_inside(const Cube& c, const TruthTable& allowed) {
+  for (std::uint64_t row = 0; row < allowed.num_rows(); ++row)
+    if (c.contains(row) && !allowed.get(row)) return false;
+  return true;
+}
+
+}  // namespace
+
+Cover minimize_cover(const TruthTable& on, const TruthTable& dc,
+                     const MinimizeOptions& opts) {
+  assert(on.num_vars() == dc.num_vars());
+  assert(on.num_vars() <= opts.max_vars);
+  const unsigned n = on.num_vars();
+  const TruthTable allowed = on | dc;
+
+  std::vector<Cube> cubes = isop(on).cubes();
+
+  for (unsigned pass = 0; pass < opts.passes; ++pass) {
+    bool changed = false;
+
+    // EXPAND: widest cubes first; drop literals while staying in allowed.
+    std::sort(cubes.begin(), cubes.end(), [](const Cube& a, const Cube& b) {
+      return a.num_literals() < b.num_literals();
+    });
+    for (Cube& c : cubes) {
+      for (unsigned v = 0; v < n; ++v) {
+        if (!((c.mask >> v) & 1)) continue;
+        Cube wider = c;
+        wider.mask &= ~(1u << v);
+        wider.value &= ~(1u << v);
+        if (cube_inside(wider, allowed)) {
+          c = wider;
+          changed = true;
+        }
+      }
+    }
+
+    // Drop cubes contained in another single cube (cheap subsumption).
+    {
+      std::vector<Cube> kept;
+      for (const Cube& c : cubes) {
+        bool subsumed = false;
+        for (const Cube& d : kept) {
+          // d subsumes c iff d's literals are a subset of c's with equal
+          // phases on d's mask.
+          if ((d.mask & ~c.mask) == 0 &&
+              ((d.value ^ c.value) & d.mask) == 0) {
+            subsumed = true;
+            break;
+          }
+        }
+        if (!subsumed) kept.push_back(c);
+      }
+      if (kept.size() != cubes.size()) changed = true;
+      cubes = std::move(kept);
+    }
+
+    // IRREDUNDANT: a cube is redundant when the rest still covers `on`.
+    // Process narrow cubes first (they are the likeliest casualties).
+    std::sort(cubes.begin(), cubes.end(), [](const Cube& a, const Cube& b) {
+      return a.num_literals() > b.num_literals();
+    });
+    for (std::size_t i = 0; i < cubes.size();) {
+      TruthTable rest(n);
+      for (std::size_t j = 0; j < cubes.size(); ++j)
+        if (j != i) rest |= cube_table(cubes[j], n);
+      if (on.bits().is_subset_of(rest.bits())) {
+        cubes.erase(cubes.begin() + static_cast<long>(i));
+        changed = true;
+      } else {
+        ++i;
+      }
+    }
+    if (!changed) break;
+  }
+
+  Cover result(n);
+  for (const Cube& c : cubes) result.add(c);
+
+#ifndef NDEBUG
+  const TruthTable h = result.to_truthtable();
+  assert(on.bits().is_subset_of(h.bits()));
+  assert(h.bits().is_subset_of(allowed.bits()));
+#endif
+  return result;
+}
+
+Cover minimize_cover(const TruthTable& on, const MinimizeOptions& opts) {
+  return minimize_cover(on, TruthTable(on.num_vars()), opts);
+}
+
+}  // namespace imodec

@@ -1,0 +1,35 @@
+#pragma once
+// Espresso-style two-level minimization (EXPAND / IRREDUNDANT loop) with
+// don't-care support.
+//
+// The MCNC benchmark flow the paper builds on minimizes node covers with
+// espresso; this is the same loop in miniature, operating on the complete
+// truth tables our node functions carry (feasible up to ~16 variables,
+// which covers every node the flows produce). Starting point is the
+// Minato-Morreale ISOP of the onset; EXPAND enlarges cubes inside
+// onset ∪ dc-set, dropping cubes that become covered, and IRREDUNDANT
+// removes cubes whose minterms are covered by the rest.
+
+#include "logic/cube.hpp"
+#include "logic/truthtable.hpp"
+
+namespace imodec {
+
+struct MinimizeOptions {
+  /// Refuse inputs wider than this (table scans are exponential).
+  unsigned max_vars = 16;
+  /// EXPAND / IRREDUNDANT sweeps.
+  unsigned passes = 4;
+};
+
+/// Minimize a cover of `on` using `dc` as flexibility. The result h
+/// satisfies on <= h <= on | dc, is irredundant, and never has more cubes
+/// than isop(on). `on` and `dc` must be disjoint-or-overlapping tables of
+/// equal arity; overlap is treated as don't-care.
+Cover minimize_cover(const TruthTable& on, const TruthTable& dc,
+                     const MinimizeOptions& opts = {});
+
+/// Convenience: completely specified (empty dc-set).
+Cover minimize_cover(const TruthTable& on, const MinimizeOptions& opts = {});
+
+}  // namespace imodec

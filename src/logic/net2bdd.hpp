@@ -1,0 +1,29 @@
+#pragma once
+// Build global BDDs for network signals.
+//
+// Each requested signal's function is expressed over primary-input BDD
+// variables through a caller-supplied variable map, so the decomposition
+// engine can place bound-set variables on top of the order.
+
+#include <unordered_map>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "logic/network.hpp"
+
+namespace imodec {
+
+/// Map from primary-input SigId to BDD variable index in `mgr`.
+using PiVarMap = std::unordered_map<SigId, unsigned>;
+
+/// BDD of signal `sig` over `mgr` variables per `pi_var`. Every cone input
+/// of `sig` must be mapped. `cache` memoizes across calls for one network.
+bdd::Bdd signal_bdd(bdd::Manager& mgr, const Network& net, SigId sig,
+                    const PiVarMap& pi_var,
+                    std::unordered_map<SigId, bdd::Bdd>& cache);
+
+/// BDD of a truth table `tt` where table variable i is BDD variable vars[i].
+bdd::Bdd table_bdd(bdd::Manager& mgr, const TruthTable& tt,
+                   const std::vector<unsigned>& vars);
+
+}  // namespace imodec

@@ -1,0 +1,99 @@
+#include "logic/pla.hpp"
+
+#include <fstream>
+
+#include "logic/cube.hpp"
+#include "util/strings.hpp"
+
+namespace imodec {
+
+Network read_pla(std::istream& is, const std::string& model_name) {
+  unsigned ni = 0, no = 0;
+  std::vector<std::string> in_names, out_names;
+  std::vector<std::pair<std::string, std::string>> rows;
+
+  std::string line;
+  while (std::getline(is, line)) {
+    if (auto pos = line.find('#'); pos != std::string::npos)
+      line = line.substr(0, pos);
+    const auto tokens = split(line);
+    if (tokens.empty()) continue;
+    if (tokens[0] == ".i") {
+      ni = static_cast<unsigned>(std::stoul(tokens.at(1)));
+    } else if (tokens[0] == ".o") {
+      no = static_cast<unsigned>(std::stoul(tokens.at(1)));
+    } else if (tokens[0] == ".ilb") {
+      in_names.assign(tokens.begin() + 1, tokens.end());
+    } else if (tokens[0] == ".ob") {
+      out_names.assign(tokens.begin() + 1, tokens.end());
+    } else if (tokens[0] == ".p" || tokens[0] == ".type") {
+      // row count / type hints ignored (F covers assumed)
+    } else if (tokens[0] == ".e" || tokens[0] == ".end") {
+      break;
+    } else if (tokens[0][0] == '.') {
+      throw PlaError("unsupported PLA directive " + tokens[0]);
+    } else {
+      if (tokens.size() == 2) {
+        rows.emplace_back(tokens[0], tokens[1]);
+      } else if (tokens.size() == 1 && ni == 0) {
+        rows.emplace_back("", tokens[0]);
+      } else {
+        throw PlaError("bad PLA row: " + line);
+      }
+    }
+  }
+  if (ni == 0 || no == 0) throw PlaError("missing .i/.o");
+  if (ni > TruthTable::kMaxVars) throw PlaError("too many PLA inputs");
+  if (in_names.empty()) in_names = default_var_names(ni, "in");
+  if (out_names.empty()) out_names = default_var_names(no, "out");
+  if (in_names.size() != ni || out_names.size() != no)
+    throw PlaError(".ilb/.ob arity mismatch");
+
+  std::vector<Cover> covers(no, Cover(ni));
+  for (const auto& [in_part, out_part] : rows) {
+    if (in_part.size() != ni || out_part.size() != no)
+      throw PlaError("row width mismatch");
+    Cube c;
+    for (unsigned v = 0; v < ni; ++v) {
+      if (in_part[v] == '1') {
+        c.mask |= 1u << v;
+        c.value |= 1u << v;
+      } else if (in_part[v] == '0') {
+        c.mask |= 1u << v;
+      } else if (in_part[v] != '-' && in_part[v] != '2') {
+        throw PlaError("bad input character in PLA row");
+      }
+    }
+    for (unsigned k = 0; k < no; ++k) {
+      if (out_part[k] == '1') {
+        covers[k].add(c);
+      } else if (out_part[k] != '0' && out_part[k] != '~') {
+        throw PlaError("unsupported output character in PLA row");
+      }
+    }
+  }
+
+  Network net(model_name);
+  std::vector<SigId> pis;
+  pis.reserve(ni);
+  for (unsigned v = 0; v < ni; ++v) pis.push_back(net.add_input(in_names[v]));
+  for (unsigned k = 0; k < no; ++k) {
+    const SigId node =
+        net.add_node(pis, covers[k].to_truthtable(), out_names[k]);
+    net.add_output(node, out_names[k]);
+  }
+  return net;
+}
+
+Network read_pla_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw PlaError("cannot open " + path);
+  std::string base = path;
+  if (auto pos = base.find_last_of('/'); pos != std::string::npos)
+    base = base.substr(pos + 1);
+  if (auto pos = base.find_last_of('.'); pos != std::string::npos)
+    base = base.substr(0, pos);
+  return read_pla(f, base);
+}
+
+}  // namespace imodec

@@ -1,0 +1,23 @@
+#pragma once
+// Espresso-style PLA reader (.i/.o/.p/.ilb/.ob, F-type covers).
+//
+// Two-level MCNC benchmarks ship as PLA; we parse them into a two-level
+// Network (one node per output). Only completely-specified covers are
+// accepted ('~'/'2' don't-care outputs rejected), matching the paper's scope.
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "logic/network.hpp"
+
+namespace imodec {
+
+struct PlaError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+Network read_pla(std::istream& is, const std::string& model_name = "pla");
+Network read_pla_file(const std::string& path);
+
+}  // namespace imodec

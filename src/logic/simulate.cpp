@@ -1,0 +1,53 @@
+#include "logic/simulate.hpp"
+
+#include <cassert>
+
+#include "util/rng.hpp"
+
+namespace imodec {
+
+EquivalenceResult check_equivalence(const Network& a, const Network& b,
+                                    const EquivalenceOptions& opts) {
+  assert(a.num_inputs() == b.num_inputs());
+  assert(a.num_outputs() == b.num_outputs());
+  const unsigned n = static_cast<unsigned>(a.num_inputs());
+
+  EquivalenceResult res;
+  const auto order_a = a.topo_order();
+  const auto order_b = b.topo_order();
+  const auto try_vector = [&](const std::vector<bool>& v) {
+    const auto oa = a.eval_ordered(v, order_a);
+    const auto ob = b.eval_ordered(v, order_b);
+    if (oa != ob) {
+      res.equivalent = false;
+      res.counterexample = v;
+      return false;
+    }
+    return true;
+  };
+
+  if (n <= opts.max_exhaustive_inputs) {
+    res.exhaustive = true;
+    std::vector<bool> v(n, false);
+    for (std::uint64_t pat = 0; pat < (std::uint64_t{1} << n); ++pat) {
+      for (unsigned i = 0; i < n; ++i) v[i] = (pat >> i) & 1;
+      if (!try_vector(v)) return res;
+    }
+    return res;
+  }
+
+  Rng rng(opts.seed);
+  std::vector<bool> v(n, false);
+  for (std::size_t t = 0; t < opts.random_vectors; ++t) {
+    for (unsigned i = 0; i < n; ++i) v[i] = rng.coin();
+    if (!try_vector(v)) return res;
+  }
+  // Also try the all-0 / all-1 corners, which random vectors rarely hit.
+  std::fill(v.begin(), v.end(), false);
+  if (!try_vector(v)) return res;
+  std::fill(v.begin(), v.end(), true);
+  try_vector(v);
+  return res;
+}
+
+}  // namespace imodec

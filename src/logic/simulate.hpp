@@ -1,0 +1,37 @@
+#pragma once
+// Network simulation and equivalence checking.
+//
+// Every decomposition / mapping transform in this repo is checked against the
+// original network — exhaustively when the input count permits, by seeded
+// random simulation otherwise. This is the safety net behind all experiment
+// numbers.
+
+#include <cstdint>
+#include <optional>
+
+#include "logic/network.hpp"
+
+namespace imodec {
+
+struct EquivalenceOptions {
+  /// Exhaustive check when num_inputs <= this; random vectors otherwise.
+  unsigned max_exhaustive_inputs = 16;
+  /// Number of random vectors in sampling mode.
+  std::size_t random_vectors = 4096;
+  std::uint64_t seed = 0x1D0DECull;
+};
+
+/// Result of an equivalence check. `counterexample` is an input assignment
+/// (indexed like a.inputs()) on which the networks differ, if any was found.
+struct EquivalenceResult {
+  bool equivalent = true;
+  bool exhaustive = false;
+  std::optional<std::vector<bool>> counterexample;
+};
+
+/// Compare two networks with identical input/output interfaces (matched by
+/// position; both must have the same input and output counts).
+EquivalenceResult check_equivalence(const Network& a, const Network& b,
+                                    const EquivalenceOptions& opts = {});
+
+}  // namespace imodec

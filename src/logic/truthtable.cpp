@@ -1,0 +1,103 @@
+#include "logic/truthtable.hpp"
+
+#include <cassert>
+
+namespace imodec {
+
+TruthTable::TruthTable(unsigned num_vars, bool value)
+    : num_vars_(num_vars), bits_(std::uint64_t{1} << num_vars, value) {
+  assert(num_vars <= kMaxVars);
+}
+
+TruthTable TruthTable::var(unsigned num_vars, unsigned v) {
+  assert(v < num_vars);
+  TruthTable t(num_vars);
+  for (std::uint64_t row = 0; row < t.num_rows(); ++row)
+    if ((row >> v) & 1) t.bits_.set(row, true);
+  return t;
+}
+
+TruthTable TruthTable::from_string(const std::string& bits) {
+  std::uint64_t n = bits.size();
+  assert(n > 0 && (n & (n - 1)) == 0);
+  unsigned vars = 0;
+  while ((std::uint64_t{1} << vars) < n) ++vars;
+  TruthTable t(vars);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    assert(bits[i] == '0' || bits[i] == '1');
+    t.bits_.set(i, bits[i] == '1');
+  }
+  return t;
+}
+
+TruthTable& TruthTable::operator&=(const TruthTable& o) {
+  assert(num_vars_ == o.num_vars_);
+  bits_ &= o.bits_;
+  return *this;
+}
+
+TruthTable& TruthTable::operator|=(const TruthTable& o) {
+  assert(num_vars_ == o.num_vars_);
+  bits_ |= o.bits_;
+  return *this;
+}
+
+TruthTable& TruthTable::operator^=(const TruthTable& o) {
+  assert(num_vars_ == o.num_vars_);
+  bits_ ^= o.bits_;
+  return *this;
+}
+
+TruthTable TruthTable::operator~() const {
+  TruthTable t = *this;
+  t.bits_.complement();
+  return t;
+}
+
+TruthTable TruthTable::cofactor(unsigned v, bool value) const {
+  assert(v < num_vars_);
+  TruthTable t(num_vars_);
+  const std::uint64_t bit = std::uint64_t{1} << v;
+  for (std::uint64_t row = 0; row < num_rows(); ++row) {
+    const std::uint64_t src = value ? (row | bit) : (row & ~bit);
+    t.bits_.set(row, bits_.get(src));
+  }
+  return t;
+}
+
+bool TruthTable::is_dont_care(unsigned v) const {
+  const std::uint64_t bit = std::uint64_t{1} << v;
+  for (std::uint64_t row = 0; row < num_rows(); ++row) {
+    if ((row & bit) == 0 && bits_.get(row) != bits_.get(row | bit))
+      return false;
+  }
+  return true;
+}
+
+std::vector<unsigned> TruthTable::support() const {
+  std::vector<unsigned> s;
+  for (unsigned v = 0; v < num_vars_; ++v)
+    if (!is_dont_care(v)) s.push_back(v);
+  return s;
+}
+
+TruthTable TruthTable::permute(const std::vector<unsigned>& perm) const {
+  TruthTable t(static_cast<unsigned>(perm.size()));
+  for (std::uint64_t row = 0; row < t.num_rows(); ++row) {
+    std::uint64_t src = 0;
+    for (std::size_t i = 0; i < perm.size(); ++i)
+      if ((row >> i) & 1) src |= std::uint64_t{1} << perm[i];
+    t.bits_.set(row, bits_.get(src));
+  }
+#ifndef NDEBUG
+  // Every support variable of *this must be covered by perm.
+  for (unsigned v : support()) {
+    bool found = false;
+    for (unsigned p : perm) found |= (p == v);
+    assert(found && "permute dropped a support variable");
+  }
+#endif
+  return t;
+}
+
+}  // namespace imodec

@@ -1,0 +1,64 @@
+#include "map/driver.hpp"
+
+#include "logic/simulate.hpp"
+#include "util/strings.hpp"
+
+namespace imodec {
+
+DriverReport run_synthesis(const Network& input, const DriverOptions& opts,
+                           Network& mapped) {
+  DriverReport rep;
+
+  Network start = input;
+  if (opts.classical) {
+    // Classical flow: extract common subfunctions algebraically, then map
+    // each node on its own.
+    start = restructure(input, opts.restructure);
+    opt::extract_kernels(start);
+  } else if (opts.collapse) {
+    if (auto flat = collapse_network(input)) {
+      start = std::move(*flat);
+      rep.collapsed = true;
+    } else {
+      start = restructure(input, opts.restructure);
+    }
+  } else {
+    start = restructure(input, opts.restructure);
+  }
+
+  FlowOptions flow_opts = opts.flow;
+  if (opts.classical) flow_opts.multi_output = false;
+  FlowResult flow = decompose_to_luts(start, flow_opts);
+  rep.flow = flow.stats;
+  rep.clbs = pack_xc3000(flow.network);
+  rep.depth = flow.network.depth();
+
+  if (opts.verify) {
+    const auto eq = check_equivalence(input, flow.network);
+    rep.verified = eq.equivalent;
+    rep.verified_exhaustive = eq.exhaustive;
+  }
+  mapped = std::move(flow.network);
+  return rep;
+}
+
+std::string format_report(const std::string& name, const DriverReport& rep) {
+  std::string s;
+  s += strprintf("circuit        : %s\n", name.c_str());
+  s += strprintf("starting point : %s\n",
+                 rep.collapsed ? "collapsed" : "restructured");
+  s += strprintf("LUTs           : %u\n", rep.flow.luts);
+  s += strprintf("XC3000 CLBs    : %u (%u FG-paired, %u single)\n",
+                 rep.clbs.clbs, rep.clbs.paired_blocks,
+                 rep.clbs.single_function_blocks);
+  s += strprintf("logic depth    : %u\n", rep.depth);
+  s += strprintf("vectors        : %u (max m=%u, max p=%u, saved=%u)\n",
+                 rep.flow.vectors, rep.flow.max_m, rep.flow.max_p,
+                 rep.flow.shared_functions);
+  s += strprintf("flow time      : %.3f s\n", rep.flow.seconds);
+  s += strprintf("equivalence    : %s\n",
+                 rep.verified ? "PASS" : "FAIL");
+  return s;
+}
+
+}  // namespace imodec

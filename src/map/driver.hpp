@@ -1,0 +1,51 @@
+#pragma once
+// High-level synthesis driver — the library behind the `imodec` command-line
+// tool (the paper's IMODEC program embedded in TOS, §7).
+//
+// Pipeline: (optional) collapse or restructure -> decompose to k-input LUTs
+// (multiple-output IMODEC or single-output baseline) -> XC3000 CLB packing ->
+// equivalence verification against the input.
+
+#include <string>
+
+#include "map/lutflow.hpp"
+#include "map/restructure.hpp"
+#include "map/xc3000.hpp"
+#include "opt/extract.hpp"
+
+namespace imodec {
+
+struct DriverOptions {
+  FlowOptions flow;
+  RestructureOptions restructure;
+  /// Collapse the network first (the paper's default). Falls back to
+  /// restructuring when a cone exceeds the truth-table limit (the paper's
+  /// '*' circuits). When false, restructure unconditionally.
+  bool collapse = true;
+  /// Classical two-step flow (paper §1): technology-independent kernel
+  /// extraction first, then per-output decomposition. Implies no collapsing
+  /// and single-output mode — the baseline IMODEC's combined approach is
+  /// pitched against.
+  bool classical = false;
+  /// Check the mapped network against the input.
+  bool verify = true;
+};
+
+struct DriverReport {
+  bool collapsed = false;   // did the collapsed path run?
+  FlowStats flow;
+  ClbPacking clbs;
+  unsigned depth = 0;       // logic levels of the mapped network
+  bool verified = true;     // equivalence result (true when !opts.verify)
+  bool verified_exhaustive = false;
+};
+
+/// Run the full synthesis pipeline; returns the report and stores the mapped
+/// network in `mapped`.
+DriverReport run_synthesis(const Network& input, const DriverOptions& opts,
+                           Network& mapped);
+
+/// Render a human-readable report block (used by the CLI).
+std::string format_report(const std::string& name, const DriverReport& rep);
+
+}  // namespace imodec

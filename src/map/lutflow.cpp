@@ -1,0 +1,512 @@
+#include "map/lutflow.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cassert>
+#include <unordered_map>
+
+#include "util/timer.hpp"
+
+namespace imodec {
+
+namespace {
+
+/// Extend a node-local truth table over `fanins` to the common input list
+/// `inputs` of a function vector (every fanin must appear in `inputs`).
+TruthTable extend_table(const TruthTable& tt, const std::vector<SigId>& fanins,
+                        const std::vector<SigId>& inputs) {
+  std::vector<unsigned> pos_of_fanin(fanins.size(), 0);
+  for (std::size_t i = 0; i < fanins.size(); ++i) {
+    auto it = std::find(inputs.begin(), inputs.end(), fanins[i]);
+    assert(it != inputs.end());
+    pos_of_fanin[i] = static_cast<unsigned>(it - inputs.begin());
+  }
+  // Chunked index assembly: split the union row into a low and a high half
+  // and precompute each half's contribution to the node-local row index, so
+  // the per-row work is two lookups (hot path for wide unions).
+  const unsigned n = static_cast<unsigned>(inputs.size());
+  const unsigned lo_bits = std::min(n, 11u);
+  const unsigned hi_bits = n - lo_bits;
+  std::vector<std::uint32_t> lo_map(std::uint64_t{1} << lo_bits, 0);
+  std::vector<std::uint32_t> hi_map(std::uint64_t{1} << hi_bits, 0);
+  for (std::size_t i = 0; i < fanins.size(); ++i) {
+    const unsigned p = pos_of_fanin[i];
+    if (p < lo_bits) {
+      for (std::uint64_t v = 0; v < lo_map.size(); ++v)
+        if ((v >> p) & 1) lo_map[v] |= 1u << i;
+    } else {
+      for (std::uint64_t v = 0; v < hi_map.size(); ++v)
+        if ((v >> (p - lo_bits)) & 1) hi_map[v] |= 1u << i;
+    }
+  }
+  TruthTable out(n);
+  const std::uint64_t lo_mask = (std::uint64_t{1} << lo_bits) - 1;
+  for (std::uint64_t row = 0; row < out.num_rows(); ++row) {
+    const std::uint32_t local = lo_map[row & lo_mask] | hi_map[row >> lo_bits];
+    out.set(row, tt.eval(local));
+  }
+  return out;
+}
+
+/// Structural hashing of logic nodes (same fanin list + same table).
+struct NodeKey {
+  std::vector<SigId> fanins;
+  TruthTable func;
+  bool operator==(const NodeKey&) const = default;
+};
+struct NodeKeyHash {
+  std::size_t operator()(const NodeKey& k) const {
+    std::size_t h = k.func.hash();
+    for (SigId s : k.fanins) h ^= s + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    return h;
+  }
+};
+
+class Flow {
+ public:
+  Flow(const Network& src, const FlowOptions& opts)
+      : net_(src), opts_(opts) {}
+
+  FlowResult run() {
+    Timer timer;
+    const bool debug = std::getenv("IMODEC_FLOW_DEBUG") != nullptr;
+    // Initial worklist: wide logic nodes.
+    for (SigId s = 0; s < net_.node_count(); ++s) enqueue_if_wide(s);
+
+    std::size_t rounds = 0;
+    while (!worklist_.empty()) {
+      Timer group_timer;
+      std::vector<SigId> group = next_group();
+      const double t_group = group_timer.seconds();
+      process_group(group);
+      if (debug) {
+        std::fprintf(stderr,
+                     "[flow] round=%zu group=%zu(fanin %zu) next=%.2fs "
+                     "proc=%.2fs worklist=%zu nodes=%zu shannon=%u t=%.1fs\n",
+                     ++rounds, group.size(),
+                     group.empty() ? 0 : net_.node(group[0]).fanins.size(),
+                     t_group, group_timer.seconds() - t_group,
+                     worklist_.size(), net_.node_count(),
+                     stats_.shannon_fallbacks, timer.seconds());
+      }
+    }
+
+    FlowResult res{std::move(net_), stats_, std::move(recorded_)};
+    res.stats.seconds = timer.seconds();
+    res.stats.luts = count_luts(res.network);
+    return res;
+  }
+
+  static unsigned count_luts(const Network& net) {
+    unsigned luts = 0;
+    std::vector<bool> live(net.node_count(), false);
+    std::vector<SigId> stack(net.outputs().begin(), net.outputs().end());
+    while (!stack.empty()) {
+      const SigId s = stack.back();
+      stack.pop_back();
+      if (live[s]) continue;
+      live[s] = true;
+      for (SigId f : net.node(s).fanins) stack.push_back(f);
+    }
+    for (SigId s = 0; s < net.node_count(); ++s) {
+      const auto& n = net.node(s);
+      if (live[s] && n.kind == Network::Kind::Logic && !n.fanins.empty())
+        ++luts;
+    }
+    return luts;
+  }
+
+ private:
+  void enqueue_if_wide(SigId s) {
+    const auto& n = net_.node(s);
+    if (n.kind == Network::Kind::Logic && n.fanins.size() > opts_.k)
+      worklist_.push_back(s);
+  }
+
+  /// Pop a group of nodes to decompose together. Seeds with the widest node;
+  /// in multi-output mode candidates sharing inputs are added greedily with
+  /// the paper's gain test; a candidate that lowers the gain is undone.
+  std::vector<SigId> next_group() {
+    // Seed: maximum fanin count (paper §7).
+    auto seed_it = std::max_element(
+        worklist_.begin(), worklist_.end(), [&](SigId a, SigId b) {
+          return net_.node(a).fanins.size() < net_.node(b).fanins.size();
+        });
+    const SigId seed = *seed_it;
+    worklist_.erase(seed_it);
+    std::vector<SigId> group{seed};
+    if (!opts_.multi_output || !opts_.output_partitioning) return group;
+
+    std::vector<SigId> inputs = net_.node(seed).fanins;
+    std::sort(inputs.begin(), inputs.end());
+
+    int current_gain = 0;  // gain of a single-node vector is 0
+    unsigned trials = 0;
+    std::vector<SigId> rejected;
+    while (group.size() < opts_.max_vector_outputs &&
+           trials < opts_.max_group_trials) {
+      // Candidate with maximum input overlap.
+      SigId best = kInvalidSig;
+      std::size_t best_shared = 0, best_pos = 0;
+      for (std::size_t i = 0; i < worklist_.size(); ++i) {
+        const SigId cand = worklist_[i];
+        if (std::find(rejected.begin(), rejected.end(), cand) !=
+            rejected.end())
+          continue;
+        const auto& fanins = net_.node(cand).fanins;
+        std::size_t shared = 0, extra = 0;
+        for (SigId f : fanins) {
+          if (std::binary_search(inputs.begin(), inputs.end(), f))
+            ++shared;
+          else
+            ++extra;
+        }
+        if (shared == 0) continue;
+        if (inputs.size() + extra > opts_.max_vector_inputs) continue;
+        if (shared > best_shared) {
+          best_shared = shared;
+          best = cand;
+          best_pos = i;
+        }
+      }
+      if (best == kInvalidSig) break;
+      ++trials;
+
+      // Trial decomposition of group + candidate.
+      std::vector<SigId> trial_group = group;
+      trial_group.push_back(best);
+      const int gain = vector_gain(trial_group);
+      // Keep the combination only for a strictly positive gain that did not
+      // decrease (the paper undoes gain-decreasing combinations; we also
+      // reject gain-free ones, which share nothing and only widen the
+      // common bound set).
+      if (gain >= current_gain && gain > 0) {
+        group = std::move(trial_group);
+        worklist_.erase(worklist_.begin() + static_cast<long>(best_pos));
+        for (SigId f : net_.node(best).fanins) inputs.push_back(f);
+        std::sort(inputs.begin(), inputs.end());
+        inputs.erase(std::unique(inputs.begin(), inputs.end()), inputs.end());
+        current_gain = gain;
+      } else {
+        rejected.push_back(best);  // undo the combination (paper §7)
+      }
+    }
+    return group;
+  }
+
+  /// Union of fanins, sorted for determinism.
+  std::vector<SigId> group_inputs(const std::vector<SigId>& group) const {
+    std::vector<SigId> inputs;
+    for (SigId s : group)
+      for (SigId f : net_.node(s).fanins) inputs.push_back(f);
+    std::sort(inputs.begin(), inputs.end());
+    inputs.erase(std::unique(inputs.begin(), inputs.end()), inputs.end());
+    return inputs;
+  }
+
+  /// Codewidth of the node's own best single-output decomposition — the
+  /// baseline the paper's output-partitioning gain compares against
+  /// ("decomposition gain in comparison to single-output decomposition of
+  /// each f_k", §7). Nodes with no non-trivial bound set cost their full
+  /// fanin count (they would go through Shannon expansion).
+  unsigned own_cost(SigId s) {
+    const auto& node = net_.node(s);
+    const OwnCostKey key{s, node.fanins.size(), node.func.hash()};
+    if (auto it = own_cost_.find(key); it != own_cost_.end())
+      return it->second;
+    VarPartOptions vopts = opts_.varpart;
+    vopts.bound_size = bound_size_for(node.fanins.size());
+    vopts.eval_budget = std::min(vopts.eval_budget, double(1 << 21));
+    const auto choice = choose_bound_set(
+        {node.func}, static_cast<unsigned>(node.fanins.size()), vopts);
+    const unsigned cost =
+        choice ? codewidth(choice->locals[0].num_classes)
+               : static_cast<unsigned>(node.fanins.size());
+    own_cost_.emplace(key, cost);
+    return cost;
+  }
+
+  /// Decomposition gain Σ own_cost - q of a candidate group, or -1 when the
+  /// group has no usable common bound set.
+  int vector_gain(const std::vector<SigId>& group) {
+    const std::vector<SigId> inputs = group_inputs(group);
+    if (inputs.size() > TruthTable::kMaxVars) return -1;
+    std::vector<TruthTable> funcs;
+    funcs.reserve(group.size());
+    for (SigId s : group)
+      funcs.push_back(extend_table(net_.node(s).func, net_.node(s).fanins,
+                                   inputs));
+    VarPartOptions vopts = opts_.varpart;
+    vopts.bound_size = bound_size_for(inputs.size());
+    // Trial decompositions are throwaway: trim the search effort.
+    vopts.samples = std::min<std::size_t>(vopts.samples, 12);
+    vopts.climb_iters = std::min<std::size_t>(vopts.climb_iters, 4);
+    vopts.max_exhaustive = std::min<std::size_t>(vopts.max_exhaustive, 512);
+    vopts.eval_budget = std::min(vopts.eval_budget, double(1 << 21));
+    const auto choice =
+        choose_bound_set(funcs, static_cast<unsigned>(inputs.size()), vopts);
+    if (!choice) return -1;
+    if (choice->p() > opts_.imodec.max_p) return -1;
+    ImodecStats st;
+    const auto dec =
+        decompose_multi_output(funcs, choice->vp, opts_.imodec, &st);
+    if (!dec) return -1;
+    int own_sum = 0;
+    for (SigId s : group) own_sum += static_cast<int>(own_cost(s));
+    return own_sum - static_cast<int>(st.q);
+  }
+
+  unsigned bound_size_for(std::size_t num_inputs) const {
+    const std::size_t cap =
+        std::min<std::size_t>(opts_.k, opts_.varpart.bound_size);
+    return static_cast<unsigned>(std::min(cap, num_inputs - 1));
+  }
+
+  void process_group(std::vector<SigId> group) {
+    // Drop group members that became narrow in the meantime (cannot happen
+    // today, but keeps the invariant local).
+    group.erase(std::remove_if(group.begin(), group.end(),
+                               [&](SigId s) {
+                                 return net_.node(s).fanins.size() <= opts_.k;
+                               }),
+                group.end());
+    if (group.empty()) return;
+
+    const std::vector<SigId> inputs = group_inputs(group);
+    std::vector<TruthTable> funcs;
+    funcs.reserve(group.size());
+    for (SigId s : group)
+      funcs.push_back(
+          extend_table(net_.node(s).func, net_.node(s).fanins, inputs));
+
+    VarPartOptions vopts = opts_.varpart;
+    vopts.bound_size = bound_size_for(inputs.size());
+    const auto choice =
+        choose_bound_set(funcs, static_cast<unsigned>(inputs.size()), vopts);
+
+    std::optional<Decomposition> dec;
+    ImodecStats st;
+    if (choice && choice->p() <= opts_.imodec.max_p) {
+      if (opts_.multi_output) {
+        dec = decompose_multi_output(funcs, choice->vp, opts_.imodec, &st);
+      } else {
+        // Single-output mode within the group (groups are singletons there,
+        // but keep it general): decompose each output separately and merge.
+        dec = single_output_decomposition(funcs, choice->vp, &st);
+      }
+    }
+
+    if (!dec) {
+      if (group.size() > 1) {
+        // No common bound set: fall back to individual processing.
+        for (SigId s : group) process_group({s});
+        return;
+      }
+      shannon_fallback(group.front());
+      return;
+    }
+
+    if (opts_.multi_output && group.size() > 1) {
+      // Final gain gate (§7): the shared decomposition must not need more
+      // functions than the outputs' own single-output decompositions would.
+      unsigned own_sum = 0;
+      for (SigId s : group) own_sum += own_cost(s);
+      if (dec->q() > own_sum) {
+        for (SigId s : group) process_group({s});
+        return;
+      }
+    }
+
+    if (opts_.record_vectors && recorded_.size() < 64)
+      recorded_.push_back(RecordedVector{funcs, dec->vp, st});
+
+    apply_decomposition(group, inputs, *dec);
+
+    ++stats_.vectors;
+    stats_.max_m = std::max(stats_.max_m, static_cast<unsigned>(group.size()));
+    stats_.max_p = std::max(stats_.max_p, st.p);
+    int sum_c = 0;
+    for (unsigned c : st.c_k) sum_c += static_cast<int>(c);
+    if (sum_c > static_cast<int>(st.q))
+      stats_.shared_functions += static_cast<unsigned>(sum_c) - st.q;
+  }
+
+  /// Per-output strict decomposition merged into one Decomposition (the
+  /// "Single" baseline; identical d functions are still merged since they
+  /// are structurally hashed when materialized, but no cross-output search
+  /// happens).
+  std::optional<Decomposition> single_output_decomposition(
+      const std::vector<TruthTable>& funcs, const VarPartition& vp,
+      ImodecStats* st) {
+    Decomposition merged;
+    merged.vp = vp;
+    for (const TruthTable& f : funcs) {
+      Decomposition one = decompose_single_output(f, vp);
+      Decomposition::OutputPlan plan;
+      for (unsigned j = 0; j < one.q(); ++j) {
+        merged.d_funcs.push_back(one.d_funcs[j]);
+        plan.d_index.push_back(static_cast<unsigned>(merged.d_funcs.size()) -
+                               1);
+      }
+      plan.g = std::move(one.outputs[0].g);
+      merged.outputs.push_back(std::move(plan));
+      if (st) {
+        st->l_k.push_back(0);
+        st->c_k.push_back(one.q());
+      }
+    }
+    if (st) {
+      st->q = merged.q();
+      st->p = 0;
+    }
+    return merged;
+  }
+
+  void apply_decomposition(const std::vector<SigId>& group,
+                           const std::vector<SigId>& inputs,
+                           const Decomposition& dec) {
+    // Bound/free signal lists.
+    std::vector<SigId> bs_sigs, fs_sigs;
+    for (unsigned v : dec.vp.bound) bs_sigs.push_back(inputs[v]);
+    for (unsigned v : dec.vp.free_set) fs_sigs.push_back(inputs[v]);
+
+    // Materialize d nodes (structurally hashed across the whole flow).
+    std::vector<SigId> d_sigs;
+    d_sigs.reserve(dec.d_funcs.size());
+    for (const TruthTable& d : dec.d_funcs)
+      d_sigs.push_back(materialize(bs_sigs, d));
+
+    // Rewrite each group node into its g function.
+    for (std::size_t kk = 0; kk < group.size(); ++kk) {
+      const auto& plan = dec.outputs[kk];
+      std::vector<SigId> fanins;
+      fanins.reserve(plan.d_index.size() + fs_sigs.size());
+      for (unsigned idx : plan.d_index) fanins.push_back(d_sigs[idx]);
+      for (SigId s : fs_sigs) fanins.push_back(s);
+
+      // Normalize: drop don't-care fanins of g (e.g. free variables the
+      // output never depended on).
+      TruthTable g = plan.g;
+      std::vector<unsigned> sup = g.support();
+      std::vector<SigId> used;
+      used.reserve(sup.size());
+      for (unsigned v : sup) used.push_back(fanins[v]);
+      g = g.permute(sup);
+
+      Network::Node& node = net_.node(group[kk]);
+      node.fanins = std::move(used);
+      node.func = std::move(g);
+      enqueue_if_wide(group[kk]);
+    }
+  }
+
+  /// Create (or reuse) a logic node computing `tt` over `fanins`, with
+  /// support normalization and structural hashing.
+  SigId materialize(const std::vector<SigId>& fanins, TruthTable tt) {
+    const std::vector<unsigned> sup = tt.support();
+    std::vector<SigId> used;
+    used.reserve(sup.size());
+    for (unsigned v : sup) used.push_back(fanins[v]);
+    tt = tt.permute(sup);
+    if (used.empty()) return net_.add_constant(tt.eval(0));
+    if (used.size() == 1 && tt == TruthTable::var(1, 0))
+      return used.front();  // identity
+    // Structural hashing merges identical d-nodes across vectors — that is
+    // common-subfunction extraction, which the single-output baseline by
+    // definition does not perform (paper §1), so it only runs in
+    // multiple-output mode.
+    if (!opts_.multi_output) {
+      const SigId s = net_.add_node(used, std::move(tt));
+      enqueue_if_wide(s);
+      return s;
+    }
+    NodeKey key{used, tt};
+    if (auto it = hash_.find(key); it != hash_.end()) return it->second;
+    const SigId s = net_.add_node(used, std::move(tt));
+    hash_.emplace(std::move(key), s);
+    enqueue_if_wide(s);
+    return s;
+  }
+
+  /// Guaranteed-progress fallback: f = ite(x, f1, f0) with a 3-input mux.
+  void shannon_fallback(SigId s) {
+    ++stats_.shannon_fallbacks;
+    // Copy fanins/function: materialize() may grow the node arena and
+    // invalidate references into it.
+    const std::vector<SigId> fanins = net_.node(s).fanins;
+    const TruthTable func = net_.node(s).func;
+    assert(fanins.size() > opts_.k);
+    const unsigned v = 0;
+    const SigId s0 = materialize(fanins, func.cofactor(v, false));
+    const SigId s1 = materialize(fanins, func.cofactor(v, true));
+    // mux(sel, hi, lo): row bits (sel, hi, lo) -> sel ? hi : lo.
+    TruthTable mux(3);
+    for (std::uint64_t row = 0; row < 8; ++row) {
+      const bool sel = row & 1, hi = (row >> 1) & 1, lo = (row >> 2) & 1;
+      mux.set(row, sel ? hi : lo);
+    }
+    net_.node(s).fanins = {fanins[v], s1, s0};
+    net_.node(s).func = std::move(mux);
+  }
+
+  struct OwnCostKey {
+    SigId sig;
+    std::size_t fanins;
+    std::size_t func_hash;
+    bool operator==(const OwnCostKey&) const = default;
+  };
+  struct OwnCostKeyHash {
+    std::size_t operator()(const OwnCostKey& k) const {
+      return k.sig * 0x9e3779b97f4a7c15ull ^ (k.fanins << 17) ^ k.func_hash;
+    }
+  };
+
+  Network net_;
+  FlowOptions opts_;
+  FlowStats stats_;
+  std::vector<SigId> worklist_;
+  std::vector<RecordedVector> recorded_;
+  std::unordered_map<NodeKey, SigId, NodeKeyHash> hash_;
+  std::unordered_map<OwnCostKey, unsigned, OwnCostKeyHash> own_cost_;
+};
+
+}  // namespace
+
+FlowResult decompose_to_luts(const Network& src, const FlowOptions& opts) {
+  Flow flow(src, opts);
+  return flow.run();
+}
+
+std::optional<Network> collapse_network(const Network& src) {
+  Network out(src.name());
+  std::unordered_map<SigId, SigId> pi_map;
+  for (SigId pi : src.inputs())
+    pi_map.emplace(pi, out.add_input(src.node(pi).name));
+
+  for (std::size_t k = 0; k < src.num_outputs(); ++k) {
+    const SigId sig = src.outputs()[k];
+    const std::vector<SigId> cone = src.cone_inputs(sig);
+    auto tt = src.cone_function(sig, cone);
+    if (!tt) return std::nullopt;  // support exceeds TruthTable::kMaxVars
+    std::vector<SigId> fanins;
+    fanins.reserve(cone.size());
+    for (SigId pi : cone) fanins.push_back(pi_map.at(pi));
+    const std::string& name = src.output_names()[k];
+    SigId node;
+    if (tt->is_constant()) {
+      node = out.add_constant(tt->eval(0));
+    } else {
+      // Normalize away non-support cone inputs.
+      const std::vector<unsigned> sup = tt->support();
+      std::vector<SigId> used;
+      used.reserve(sup.size());
+      for (unsigned v : sup) used.push_back(fanins[v]);
+      node = out.add_node(used, tt->permute(sup), name);
+    }
+    out.add_output(node, name);
+  }
+  return out;
+}
+
+}  // namespace imodec

@@ -1,0 +1,74 @@
+#pragma once
+// LUT decomposition flow: turn a network into a k-feasible one by repeated
+// functional decomposition, in either multiple-output (IMODEC) or
+// single-output mode, including the paper's greedy output-partitioning
+// heuristic (§7).
+//
+// The flow walks all wide logic nodes, groups them into function vectors
+// over shared inputs, decomposes each vector with the implicit engine, and
+// replaces the nodes by d-nodes (bound-set functions, shared across outputs
+// of the vector and structurally hashed across vectors) and g-nodes;
+// g-nodes wider than k re-enter the worklist. A Shannon-expansion fallback
+// guarantees progress on undecomposable functions.
+
+#include <cstdint>
+
+#include "decomp/varpart.hpp"
+#include "imodec/engine.hpp"
+#include "logic/network.hpp"
+
+namespace imodec {
+
+struct FlowOptions {
+  unsigned k = 5;  // LUT size (XC3000: 5)
+  /// false = "Single" column: every node decomposed on its own.
+  bool multi_output = true;
+  /// Greedy output partitioning (§7). Ignored when multi_output is false.
+  bool output_partitioning = true;
+  /// Cap on the number of outputs per vector (the paper limits m when the
+  /// global class count explodes, e.g. alu4).
+  unsigned max_vector_outputs = 8;
+  /// Cap on the input union of a vector; candidates pushing past it are not
+  /// combined (keeps the truth-table work per trial bounded).
+  unsigned max_vector_inputs = 18;
+  /// Cap on candidate combinations tried per group before giving up.
+  unsigned max_group_trials = 6;
+  ImodecOptions imodec;
+  VarPartOptions varpart;
+  /// Record the function vectors handed to the engine (Table-1 style
+  /// analysis); capped at 64 records.
+  bool record_vectors = false;
+};
+
+/// One decomposed function vector as it occurred during a flow run.
+struct RecordedVector {
+  std::vector<TruthTable> outputs;
+  VarPartition vp;
+  ImodecStats stats;
+};
+
+struct FlowStats {
+  unsigned luts = 0;            // k-feasible logic nodes after the flow
+  unsigned max_m = 0;           // largest vector decomposed
+  std::uint32_t max_p = 0;      // largest global class count observed
+  unsigned vectors = 0;         // decompositions performed
+  unsigned shared_functions = 0;  // Σ(Σc_k - q) over vectors: functions saved
+  unsigned shannon_fallbacks = 0;
+  double seconds = 0.0;
+};
+
+struct FlowResult {
+  Network network;  // k-feasible
+  FlowStats stats;
+  std::vector<RecordedVector> recorded;  // when FlowOptions::record_vectors
+};
+
+FlowResult decompose_to_luts(const Network& src, const FlowOptions& opts);
+
+/// Collapse every output to a single node over its cone inputs (the paper's
+/// starting point for Table 2's IMODEC/Single columns). Fails (nullopt) when
+/// any cone support exceeds TruthTable::kMaxVars — the circuits the paper
+/// marks with '*' behave the same way.
+std::optional<Network> collapse_network(const Network& src);
+
+}  // namespace imodec

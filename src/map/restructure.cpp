@@ -1,0 +1,106 @@
+#include "map/restructure.hpp"
+
+#include "logic/simplify.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace imodec {
+
+namespace {
+
+/// Substitute `child` (a fanin of `parent`) by its own function: returns the
+/// merged fanin list and table for `parent`.
+std::pair<std::vector<SigId>, TruthTable> merge_child(
+    const Network& net, const Network::Node& parent, SigId child_sig) {
+  const Network::Node& child = net.node(child_sig);
+
+  std::vector<SigId> fanins;
+  for (SigId f : parent.fanins)
+    if (f != child_sig) fanins.push_back(f);
+  for (SigId f : child.fanins)
+    if (std::find(fanins.begin(), fanins.end(), f) == fanins.end())
+      fanins.push_back(f);
+
+  const unsigned n = static_cast<unsigned>(fanins.size());
+  TruthTable merged(n);
+  // Row-wise evaluation: compute child's value, then the parent's.
+  const auto pos_of = [&](SigId s) {
+    return static_cast<unsigned>(
+        std::find(fanins.begin(), fanins.end(), s) - fanins.begin());
+  };
+  for (std::uint64_t row = 0; row < merged.num_rows(); ++row) {
+    std::uint64_t child_row = 0;
+    for (std::size_t i = 0; i < child.fanins.size(); ++i)
+      if ((row >> pos_of(child.fanins[i])) & 1)
+        child_row |= std::uint64_t{1} << i;
+    const bool child_val = child.func.eval(child_row);
+    std::uint64_t parent_row = 0;
+    for (std::size_t i = 0; i < parent.fanins.size(); ++i) {
+      const SigId f = parent.fanins[i];
+      const bool v = (f == child_sig) ? child_val : ((row >> pos_of(f)) & 1);
+      if (v) parent_row |= std::uint64_t{1} << i;
+    }
+    merged.set(row, parent.func.eval(parent_row));
+  }
+  return {std::move(fanins), std::move(merged)};
+}
+
+}  // namespace
+
+Network restructure(const Network& src, const RestructureOptions& opts) {
+  Network net = src;
+  // Technology-independent cleanup first: constants, duplicate nodes and
+  // vacuous fanins would otherwise inflate the merged supports below.
+  simplify(net);
+
+  for (unsigned pass = 0; pass < opts.passes; ++pass) {
+    // Fanout counts (over live nodes only).
+    std::vector<unsigned> fanout(net.node_count(), 0);
+    for (SigId s = 0; s < net.node_count(); ++s)
+      for (SigId f : net.node(s).fanins) ++fanout[f];
+    std::vector<bool> is_output(net.node_count(), false);
+    for (SigId o : net.outputs()) is_output[o] = true;
+
+    bool changed = false;
+    for (SigId child = 0; child < net.node_count(); ++child) {
+      const auto& cn = net.node(child);
+      if (cn.kind != Network::Kind::Logic) continue;
+      if (is_output[child]) continue;  // outputs must keep their node
+      if (fanout[child] == 0 || fanout[child] > opts.max_fanout) continue;
+
+      // Collect parents and check the support bound for each.
+      std::vector<SigId> parents;
+      bool ok = true;
+      for (SigId s = 0; s < net.node_count() && ok; ++s) {
+        const auto& n = net.node(s);
+        if (n.kind != Network::Kind::Logic) continue;
+        if (std::find(n.fanins.begin(), n.fanins.end(), child) ==
+            n.fanins.end())
+          continue;
+        parents.push_back(s);
+        std::vector<SigId> merged = n.fanins;
+        for (SigId f : cn.fanins)
+          if (std::find(merged.begin(), merged.end(), f) == merged.end())
+            merged.push_back(f);
+        // -1: child itself leaves the fanin list.
+        if (merged.size() - 1 > opts.max_support) ok = false;
+      }
+      if (!ok || parents.empty()) continue;
+
+      for (SigId parent : parents) {
+        auto [fanins, tt] = merge_child(net, net.node(parent), child);
+        net.node(parent).fanins = std::move(fanins);
+        net.node(parent).func = std::move(tt);
+      }
+      // Detach the child; sweep below reclaims it.
+      fanout[child] = 0;
+      changed = true;
+    }
+    net.sweep();
+    if (!changed) break;
+  }
+  return net;
+}
+
+}  // namespace imodec

@@ -1,0 +1,28 @@
+#pragma once
+// Technology-independent pre-structuring pass — our stand-in for the SIS
+// script.rugged preprocessing the paper applies before the "r+" experiments
+// (see DESIGN.md §4 substitutions).
+//
+// The pass (a) sweeps dangling logic, (b) eliminates nodes into their
+// fanouts while the fanout's support stays within a bound (bounded collapse,
+// like SIS `eliminate` with a support limit). The result is a network of
+// medium-width nodes, which is what the decomposition flow expects from a
+// pre-structured start.
+
+#include "logic/network.hpp"
+
+namespace imodec {
+
+struct RestructureOptions {
+  /// Upper bound on the fanin count of any node produced by elimination.
+  unsigned max_support = 10;
+  /// Only eliminate nodes with at most this many fanouts. The default 1
+  /// (like SIS `eliminate 0`) never duplicates logic; raising it trades
+  /// sharing for larger decomposable nodes.
+  unsigned max_fanout = 1;
+  unsigned passes = 4;
+};
+
+Network restructure(const Network& src, const RestructureOptions& opts = {});
+
+}  // namespace imodec

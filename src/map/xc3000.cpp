@@ -1,0 +1,74 @@
+#include "map/xc3000.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace imodec {
+
+ClbPacking pack_xc3000(const Network& net) {
+  // Collect live logic nodes.
+  std::vector<bool> live(net.node_count(), false);
+  std::vector<SigId> stack(net.outputs().begin(), net.outputs().end());
+  while (!stack.empty()) {
+    const SigId s = stack.back();
+    stack.pop_back();
+    if (live[s]) continue;
+    live[s] = true;
+    for (SigId f : net.node(s).fanins) stack.push_back(f);
+  }
+
+  std::vector<SigId> five_input, pairable;
+  for (SigId s = 0; s < net.node_count(); ++s) {
+    if (!live[s]) continue;
+    const auto& n = net.node(s);
+    if (n.kind != Network::Kind::Logic || n.fanins.empty()) continue;
+    assert(n.fanins.size() <= 5 && "network is not 5-feasible");
+    if (n.fanins.size() == 5)
+      five_input.push_back(s);
+    else
+      pairable.push_back(s);
+  }
+
+  ClbPacking result;
+  result.single_function_blocks = static_cast<unsigned>(five_input.size());
+
+  // Greedy FG-mode pairing: repeatedly take the widest unpaired node and
+  // match it with the partner maximizing input sharing under the 5-pin cap.
+  std::sort(pairable.begin(), pairable.end(), [&](SigId a, SigId b) {
+    return net.node(a).fanins.size() > net.node(b).fanins.size();
+  });
+  std::vector<bool> packed(pairable.size(), false);
+
+  const auto union_size = [&](SigId a, SigId b) {
+    std::vector<SigId> u = net.node(a).fanins;
+    for (SigId f : net.node(b).fanins) u.push_back(f);
+    std::sort(u.begin(), u.end());
+    u.erase(std::unique(u.begin(), u.end()), u.end());
+    return u.size();
+  };
+
+  for (std::size_t i = 0; i < pairable.size(); ++i) {
+    if (packed[i]) continue;
+    packed[i] = true;
+    std::size_t best = pairable.size();
+    std::size_t best_union = 6;
+    for (std::size_t j = i + 1; j < pairable.size(); ++j) {
+      if (packed[j]) continue;
+      const std::size_t u = union_size(pairable[i], pairable[j]);
+      if (u <= 5 && u < best_union) {
+        best_union = u;
+        best = j;
+      }
+    }
+    if (best < pairable.size()) {
+      packed[best] = true;
+      ++result.paired_blocks;
+    } else {
+      ++result.single_function_blocks;
+    }
+  }
+  result.clbs = result.single_function_blocks + result.paired_blocks;
+  return result;
+}
+
+}  // namespace imodec

@@ -1,0 +1,27 @@
+#pragma once
+// Xilinx XC3000 CLB packing (paper §7, "Technology Mapping for Xilinx
+// XC3000").
+//
+// An XC3000 Configurable Logic Block has five logic inputs and two outputs
+// and implements either (F mode) any single function of up to five
+// variables, or (FG mode) two functions of up to four variables each whose
+// combined support fits the five block inputs. Packing a 5-feasible network
+// therefore means pairing <=4-input nodes whose supports overlap enough;
+// we use a greedy maximum-overlap matching, which is the standard heuristic
+// for this architecture.
+
+#include "logic/network.hpp"
+
+namespace imodec {
+
+struct ClbPacking {
+  unsigned clbs = 0;
+  unsigned single_function_blocks = 0;  // F mode (or unpaired leftovers)
+  unsigned paired_blocks = 0;           // FG mode
+};
+
+/// Pack a k<=5-feasible network into XC3000 CLBs. Nodes with more than five
+/// fanins are rejected via assertion (run decompose_to_luts first).
+ClbPacking pack_xc3000(const Network& net);
+
+}  // namespace imodec

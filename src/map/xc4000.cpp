@@ -1,0 +1,72 @@
+#include "map/xc4000.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace imodec {
+
+Xc4000Packing pack_xc4000(const Network& net) {
+  // Live logic nodes and their fanout counts.
+  std::vector<bool> live(net.node_count(), false);
+  {
+    std::vector<SigId> stack(net.outputs().begin(), net.outputs().end());
+    while (!stack.empty()) {
+      const SigId s = stack.back();
+      stack.pop_back();
+      if (live[s]) continue;
+      live[s] = true;
+      for (SigId f : net.node(s).fanins) stack.push_back(f);
+    }
+  }
+  std::vector<unsigned> fanout(net.node_count(), 0);
+  for (SigId s = 0; s < net.node_count(); ++s) {
+    if (!live[s]) continue;
+    for (SigId f : net.node(s).fanins) ++fanout[f];
+  }
+  std::vector<bool> is_output(net.node_count(), false);
+  for (SigId o : net.outputs()) is_output[o] = true;
+
+  const auto is_logic = [&](SigId s) {
+    return live[s] && net.node(s).kind == Network::Kind::Logic &&
+           !net.node(s).fanins.empty();
+  };
+
+  Xc4000Packing result;
+  std::vector<bool> packed(net.node_count(), false);
+
+  // Pass 1: H patterns. A root with <= 3 fanins, of which up to two are
+  // single-fanout internal LUTs with <= 4 inputs (they become F and G).
+  for (SigId s = 0; s < net.node_count(); ++s) {
+    if (!is_logic(s) || packed[s]) continue;
+    const auto& root = net.node(s);
+    assert(root.fanins.size() <= 4 && "network is not 4-feasible");
+    if (root.fanins.size() > 3) continue;
+    std::vector<SigId> absorb;
+    for (SigId f : root.fanins) {
+      if (!is_logic(f) || packed[f]) continue;
+      if (fanout[f] != 1 || is_output[f]) continue;
+      if (net.node(f).fanins.size() > 4) continue;
+      if (std::find(absorb.begin(), absorb.end(), f) != absorb.end())
+        continue;
+      absorb.push_back(f);
+      if (absorb.size() == 2) break;
+    }
+    if (absorb.empty()) continue;
+    packed[s] = true;
+    for (SigId f : absorb) packed[f] = true;
+    ++result.h_patterns;
+    ++result.clbs;
+  }
+
+  // Pass 2: pair the remaining nodes (F and G generators are independent,
+  // so any two <= 4-input nodes fit one CLB).
+  std::vector<SigId> rest;
+  for (SigId s = 0; s < net.node_count(); ++s)
+    if (is_logic(s) && !packed[s]) rest.push_back(s);
+  result.paired_blocks = static_cast<unsigned>(rest.size() / 2);
+  result.single_blocks = static_cast<unsigned>(rest.size() % 2);
+  result.clbs += result.paired_blocks + result.single_blocks;
+  return result;
+}
+
+}  // namespace imodec

@@ -1,0 +1,30 @@
+#pragma once
+// Xilinx XC4000 CLB packing — an extension target beyond the paper's XC3000
+// experiments (DESIGN.md §7).
+//
+// An XC4000 CLB contains two 4-input function generators (F and G) and a
+// third 3-input generator (H) that can combine F, G and one extra input.
+// Usable patterns for combinational packing:
+//   * one node with <= 4 inputs in F (G/H unused),
+//   * two independent nodes with <= 4 inputs each (F and G),
+//   * a node h(f(...), g(...), x) where f and g have <= 4 inputs and h is a
+//     <= 3-input combiner — i.e. a 2-level cone of up to 9 distinct inputs.
+// The packer first matches H-patterns structurally (a node with <= 3 fanins
+// whose LUT fanins have <= 4 inputs and single fanout), then pairs leftovers.
+
+#include "logic/network.hpp"
+
+namespace imodec {
+
+struct Xc4000Packing {
+  unsigned clbs = 0;
+  unsigned h_patterns = 0;      // 2-level cones absorbed into one CLB
+  unsigned paired_blocks = 0;   // two independent small nodes
+  unsigned single_blocks = 0;   // one node per CLB
+};
+
+/// Pack a 4-feasible network (run decompose_to_luts with k = 4 first) into
+/// XC4000 CLBs. Nodes with more than four fanins are rejected by assertion.
+Xc4000Packing pack_xc4000(const Network& net);
+
+}  // namespace imodec

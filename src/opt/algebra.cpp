@@ -1,0 +1,214 @@
+#include "opt/algebra.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+#include "logic/cube.hpp"
+
+namespace imodec::opt {
+
+bool ACube::contains_literal(const Literal& l) const {
+  return std::binary_search(lits.begin(), lits.end(), l);
+}
+
+bool ACube::divisible_by(const ACube& d) const {
+  return std::includes(lits.begin(), lits.end(), d.lits.begin(),
+                       d.lits.end());
+}
+
+ACube ACube::divide(const ACube& d) const {
+  assert(divisible_by(d));
+  ACube q;
+  std::set_difference(lits.begin(), lits.end(), d.lits.begin(), d.lits.end(),
+                      std::back_inserter(q.lits));
+  return q;
+}
+
+std::optional<ACube> ACube::merge(const ACube& o) const {
+  ACube m;
+  std::set_union(lits.begin(), lits.end(), o.lits.begin(), o.lits.end(),
+                 std::back_inserter(m.lits));
+  // Phase clash (x and ~x): adjacent literals with equal signal.
+  for (std::size_t i = 0; i + 1 < m.lits.size(); ++i)
+    if (m.lits[i].sig == m.lits[i + 1].sig) return std::nullopt;
+  return m;
+}
+
+std::size_t ACover::num_literals() const {
+  std::size_t n = 0;
+  for (const ACube& c : cubes) n += c.size();
+  return n;
+}
+
+std::vector<SigId> ACover::support() const {
+  std::vector<SigId> s;
+  for (const ACube& c : cubes)
+    for (const Literal& l : c.lits) s.push_back(l.sig);
+  std::sort(s.begin(), s.end());
+  s.erase(std::unique(s.begin(), s.end()), s.end());
+  return s;
+}
+
+void ACover::add(ACube c) {
+  if (std::find(cubes.begin(), cubes.end(), c) == cubes.end())
+    cubes.push_back(std::move(c));
+}
+
+ACover normalized(ACover f) {
+  std::sort(f.cubes.begin(), f.cubes.end(),
+            [](const ACube& a, const ACube& b) { return a.lits < b.lits; });
+  f.cubes.erase(std::unique(f.cubes.begin(), f.cubes.end()), f.cubes.end());
+  return f;
+}
+
+std::pair<ACover, ACover> divide(const ACover& f, const ACover& d) {
+  assert(!d.empty());
+  // Quotient = intersection over d's cubes of {fc / dc : dc divides fc}.
+  ACover quotient;
+  bool first = true;
+  for (const ACube& dc : d.cubes) {
+    ACover q;
+    for (const ACube& fc : f.cubes)
+      if (fc.divisible_by(dc)) q.add(fc.divide(dc));
+    if (first) {
+      quotient = normalized(std::move(q));
+      first = false;
+    } else {
+      ACover inter;
+      const ACover qn = normalized(std::move(q));
+      for (const ACube& c : quotient.cubes)
+        if (std::find(qn.cubes.begin(), qn.cubes.end(), c) != qn.cubes.end())
+          inter.add(c);
+      quotient = std::move(inter);
+    }
+    if (quotient.empty()) break;
+  }
+
+  // Remainder = f minus quotient*d.
+  ACover product;
+  for (const ACube& qc : quotient.cubes)
+    for (const ACube& dc : d.cubes)
+      if (auto m = qc.merge(dc)) product.add(std::move(*m));
+  ACover remainder;
+  for (const ACube& fc : f.cubes)
+    if (std::find(product.cubes.begin(), product.cubes.end(), fc) ==
+        product.cubes.end())
+      remainder.add(fc);
+  return {std::move(quotient), std::move(remainder)};
+}
+
+ACube largest_common_cube(const ACover& f) {
+  ACube common;
+  if (f.cubes.empty()) return common;
+  common = f.cubes.front();
+  for (std::size_t i = 1; i < f.cubes.size(); ++i) {
+    ACube next;
+    std::set_intersection(common.lits.begin(), common.lits.end(),
+                          f.cubes[i].lits.begin(), f.cubes[i].lits.end(),
+                          std::back_inserter(next.lits));
+    common = std::move(next);
+    if (common.lits.empty()) break;
+  }
+  return common;
+}
+
+bool is_cube_free(const ACover& f) {
+  return f.cubes.size() >= 2 && largest_common_cube(f).lits.empty();
+}
+
+namespace {
+
+void kernels_rec(const ACover& f, const ACube& co, std::size_t min_index,
+                 const std::vector<Literal>& all_lits,
+                 std::vector<KernelEntry>& out, std::size_t max_kernels) {
+  if (out.size() >= max_kernels) return;
+  for (std::size_t i = min_index; i < all_lits.size(); ++i) {
+    const Literal& lit = all_lits[i];
+    // Count cubes containing the literal.
+    ACover sub;
+    for (const ACube& c : f.cubes)
+      if (c.contains_literal(lit)) sub.add(c.divide(ACube{{lit}}));
+    if (sub.cubes.size() < 2) continue;
+    // Make cube-free; the removed cube plus the literal forms the co-kernel.
+    const ACube common = largest_common_cube(sub);
+    // Skip duplicates: if the common cube contains a literal with smaller
+    // index, this kernel was found already (standard pruning).
+    bool seen_before = false;
+    for (const Literal& cl : common.lits) {
+      const auto it = std::lower_bound(all_lits.begin(), all_lits.end(), cl);
+      if (it != all_lits.end() && *it == cl &&
+          static_cast<std::size_t>(it - all_lits.begin()) < i)
+        seen_before = true;
+    }
+    if (seen_before) continue;
+    ACover kernel;
+    for (const ACube& c : sub.cubes) kernel.add(c.divide(common));
+    ACube new_co = *ACube{{lit}}.merge(common).value().merge(co);
+    out.push_back(KernelEntry{normalized(kernel), new_co});
+    kernels_rec(kernel, new_co, i + 1, all_lits, out, max_kernels);
+    if (out.size() >= max_kernels) return;
+  }
+}
+
+}  // namespace
+
+std::vector<KernelEntry> kernels(const ACover& f, std::size_t max_kernels) {
+  std::vector<KernelEntry> out;
+  // Literal universe, sorted.
+  std::vector<Literal> all;
+  for (const ACube& c : f.cubes)
+    for (const Literal& l : c.lits) all.push_back(l);
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+
+  kernels_rec(f, ACube{}, 0, all, out, max_kernels);
+  if (is_cube_free(f)) out.push_back(KernelEntry{normalized(f), ACube{}});
+  return out;
+}
+
+std::optional<ACover> node_cover(const Network& net, SigId node,
+                                 unsigned max_vars) {
+  const auto& n = net.node(node);
+  if (n.kind != Network::Kind::Logic) return std::nullopt;
+  if (n.fanins.size() > max_vars) return std::nullopt;
+  ACover out;
+  const Cover cover = isop(n.func);
+  for (const Cube& c : cover.cubes()) {
+    ACube ac;
+    for (unsigned v = 0; v < n.fanins.size(); ++v) {
+      if (!((c.mask >> v) & 1)) continue;
+      ac.lits.push_back(Literal{n.fanins[v], ((c.value >> v) & 1) != 0});
+    }
+    std::sort(ac.lits.begin(), ac.lits.end());
+    out.add(std::move(ac));
+  }
+  return out;
+}
+
+TruthTable cover_table(const ACover& f, const std::vector<SigId>& inputs) {
+  std::map<SigId, unsigned> pos;
+  for (unsigned i = 0; i < inputs.size(); ++i) pos[inputs[i]] = i;
+  TruthTable t(static_cast<unsigned>(inputs.size()));
+  for (std::uint64_t row = 0; row < t.num_rows(); ++row) {
+    bool any = false;
+    for (const ACube& c : f.cubes) {
+      bool all = true;
+      for (const Literal& l : c.lits) {
+        const bool v = (row >> pos.at(l.sig)) & 1;
+        if (v != l.phase) {
+          all = false;
+          break;
+        }
+      }
+      if (all) {
+        any = true;
+        break;
+      }
+    }
+    t.set(row, any);
+  }
+  return t;
+}
+
+}  // namespace imodec::opt

@@ -1,0 +1,87 @@
+#pragma once
+// Algebraic SOP machinery over network signals (Brayton/McMullen style):
+// cubes as literal sets, weak division, cube-freeness, kernel enumeration.
+//
+// This powers the classical technology-independent flow the paper's
+// introduction describes — "a multiple-level network is created by
+// identifying and extracting common subfunctions [MIS]" — which serves as
+// the comparison baseline for IMODEC's combined decomposition/mapping.
+//
+// Literals are (signal, phase) pairs; x and ~x are distinct literals, as
+// usual in algebraic (as opposed to Boolean) division.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "logic/network.hpp"
+
+namespace imodec::opt {
+
+/// One literal: network signal with a phase (true = positive).
+struct Literal {
+  SigId sig = kInvalidSig;
+  bool phase = true;
+  auto operator<=>(const Literal&) const = default;
+};
+
+/// A product term: sorted, duplicate-free literal set.
+struct ACube {
+  std::vector<Literal> lits;
+
+  bool operator==(const ACube&) const = default;
+  bool contains_literal(const Literal& l) const;
+  /// True iff every literal of `d` appears here (d divides this cube).
+  bool divisible_by(const ACube& d) const;
+  /// this \ d (precondition: divisible_by(d)).
+  ACube divide(const ACube& d) const;
+  /// Union of literal sets; nullopt if phases clash (product would be 0).
+  std::optional<ACube> merge(const ACube& o) const;
+  std::size_t size() const { return lits.size(); }
+};
+
+/// Sum of products; cube order is irrelevant, duplicates are not kept.
+struct ACover {
+  std::vector<ACube> cubes;
+
+  bool empty() const { return cubes.empty(); }
+  std::size_t num_literals() const;
+  /// All signals appearing in some literal, ascending.
+  std::vector<SigId> support() const;
+  void add(ACube c);
+
+  bool operator==(const ACover&) const = default;
+};
+
+/// Normalize (sort cubes, drop duplicates) for comparisons.
+ACover normalized(ACover f);
+
+/// Weak division f / d: returns (quotient, remainder) with
+/// f == quotient*d + remainder as covers (algebraic identity).
+std::pair<ACover, ACover> divide(const ACover& f, const ACover& d);
+
+/// Largest cube dividing every cube of f (empty when f is cube-free or has
+/// fewer than 1 cube).
+ACube largest_common_cube(const ACover& f);
+/// True iff no literal appears in every cube and f has >= 2 cubes.
+bool is_cube_free(const ACover& f);
+
+/// All kernels of f (cube-free primary divisors) with their co-kernels.
+/// Includes f itself when cube-free. Enumeration is capped at `max_kernels`.
+struct KernelEntry {
+  ACover kernel;
+  ACube co_kernel;
+};
+std::vector<KernelEntry> kernels(const ACover& f,
+                                 std::size_t max_kernels = 128);
+
+/// Cover of a logic node's local function expressed over its fanin signals
+/// (via ISOP); nullopt when the node has more than `max_vars` fanins.
+std::optional<ACover> node_cover(const Network& net, SigId node,
+                                 unsigned max_vars = 14);
+
+/// Truth table of a cover over the given ordered signal list (each support
+/// signal must appear in `inputs`).
+TruthTable cover_table(const ACover& f, const std::vector<SigId>& inputs);
+
+}  // namespace imodec::opt

@@ -1,0 +1,122 @@
+#include "opt/extract.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "opt/algebra.hpp"
+
+namespace imodec::opt {
+
+namespace {
+
+/// Canonical key for kernel covers so occurrences across nodes can be
+/// counted.
+std::string kernel_key(const ACover& k) {
+  std::string s;
+  for (const ACube& c : k.cubes) {
+    for (const Literal& l : c.lits) {
+      s += l.phase ? '+' : '-';
+      s += std::to_string(l.sig);
+      s += '.';
+    }
+    s += '|';
+  }
+  return s;
+}
+
+/// Rewrite `node` as quotient * divisor_sig + remainder.
+void substitute(Network& net, SigId node, const ACover& quotient,
+                const ACover& remainder, SigId divisor_sig) {
+  ACover rewritten;
+  for (const ACube& qc : quotient.cubes) {
+    ACube c = qc;
+    c.lits.push_back(Literal{divisor_sig, true});
+    std::sort(c.lits.begin(), c.lits.end());
+    rewritten.add(std::move(c));
+  }
+  for (const ACube& rc : remainder.cubes) rewritten.add(rc);
+
+  const std::vector<SigId> inputs = rewritten.support();
+  net.node(node).func = cover_table(rewritten, inputs);
+  net.node(node).fanins = inputs;
+}
+
+}  // namespace
+
+ExtractStats extract_kernels(Network& net, const ExtractOptions& opts) {
+  ExtractStats stats;
+
+  for (unsigned round = 0; round < opts.max_rounds; ++round) {
+    // Collect covers of all eligible nodes.
+    std::vector<std::pair<SigId, ACover>> covers;
+    for (SigId s = 0; s < net.node_count(); ++s) {
+      if (auto c = node_cover(net, s, opts.max_node_vars)) {
+        if (c->cubes.size() >= 2) covers.emplace_back(s, std::move(*c));
+      }
+    }
+
+    // Count kernel occurrences across nodes (multi-cube kernels only; a
+    // single-cube "kernel" is a common cube, less interesting here).
+    std::map<std::string, std::pair<ACover, unsigned>> occurrence;
+    for (const auto& [sig, cover] : covers) {
+      std::vector<std::string> seen_here;
+      for (const KernelEntry& ke : kernels(cover, opts.max_kernels_per_node)) {
+        if (ke.kernel.cubes.size() < 2) continue;
+        const std::string key = kernel_key(ke.kernel);
+        if (std::find(seen_here.begin(), seen_here.end(), key) !=
+            seen_here.end())
+          continue;
+        seen_here.push_back(key);
+        auto [it, inserted] =
+            occurrence.emplace(key, std::make_pair(ke.kernel, 0u));
+        ++it->second.second;
+      }
+    }
+
+    // Pick the divisor with the best literal saving estimate:
+    // (uses - 1) * literals(kernel).
+    const ACover* best = nullptr;
+    long best_value = 0;
+    unsigned best_uses = 0;
+    for (const auto& [key, entry] : occurrence) {
+      const auto& [kernel, uses] = entry;
+      if (uses < opts.min_uses) continue;
+      const long value = static_cast<long>(uses - 1) *
+                         static_cast<long>(kernel.num_literals());
+      if (value > best_value) {
+        best_value = value;
+        best = &kernel;
+        best_uses = uses;
+      }
+    }
+    if (best == nullptr) break;
+    (void)best_uses;
+
+    // Materialize the divisor node.
+    const std::vector<SigId> d_inputs = best->support();
+    if (d_inputs.size() > opts.max_node_vars) break;
+    const SigId d_sig = net.add_node(d_inputs, cover_table(*best, d_inputs));
+    ++stats.divisors_added;
+
+    // Substitute into every divisible node.
+    unsigned round_subs = 0;
+    for (const auto& [sig, cover] : covers) {
+      auto [quotient, remainder] = divide(cover, *best);
+      if (quotient.empty()) continue;
+      const long before = static_cast<long>(cover.num_literals());
+      const long after = static_cast<long>(quotient.num_literals() +
+                                           quotient.cubes.size() +
+                                           remainder.num_literals());
+      if (after >= before) continue;  // not profitable for this node
+      substitute(net, sig, quotient, remainder, d_sig);
+      ++round_subs;
+      stats.literals_saved += before - after;
+    }
+    stats.substitutions += round_subs;
+    net.sweep();
+    if (round_subs == 0) break;  // the divisor found no profitable home
+  }
+  return stats;
+}
+
+}  // namespace imodec::opt

@@ -1,0 +1,32 @@
+#pragma once
+// Greedy common-subfunction (kernel) extraction over a network — the
+// classical technology-independent synthesis step (MIS [1] in the paper's
+// references) used as the baseline flow "extract, then map per output" that
+// IMODEC's combined approach is compared against.
+
+#include "logic/network.hpp"
+
+namespace imodec::opt {
+
+struct ExtractOptions {
+  /// Maximum extraction rounds (each round adds one shared divisor node).
+  unsigned max_rounds = 64;
+  /// A divisor must be usable by at least this many nodes.
+  unsigned min_uses = 2;
+  /// Skip nodes wider than this when computing covers.
+  unsigned max_node_vars = 14;
+  /// Kernel enumeration cap per node.
+  std::size_t max_kernels_per_node = 64;
+};
+
+struct ExtractStats {
+  unsigned divisors_added = 0;
+  unsigned substitutions = 0;    // node rewrites using a divisor
+  long literals_saved = 0;       // SOP literal delta (positive = saved)
+};
+
+/// Extract shared kernels greedily; the network is modified in place (new
+/// divisor nodes appended, user nodes rewritten). Function preserved.
+ExtractStats extract_kernels(Network& net, const ExtractOptions& opts = {});
+
+}  // namespace imodec::opt

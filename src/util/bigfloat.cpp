@@ -1,0 +1,104 @@
+#include "util/bigfloat.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace imodec {
+
+BigFloat::BigFloat(double v) : mant_(v) {
+  assert(v >= 0.0 && std::isfinite(v));
+  normalize();
+}
+
+BigFloat BigFloat::from_pow2(std::int64_t exponent) {
+  BigFloat r;
+  r.mant_ = 1.0;
+  r.exp2_ = exponent;
+  return r;
+}
+
+void BigFloat::normalize() {
+  if (mant_ == 0.0) {
+    exp2_ = 0;
+    return;
+  }
+  int e = 0;
+  mant_ = std::frexp(mant_, &e);  // mant_ in [0.5, 1)
+  mant_ *= 2.0;                   // [1, 2)
+  exp2_ += e - 1;
+}
+
+BigFloat& BigFloat::operator+=(const BigFloat& o) {
+  if (o.is_zero()) return *this;
+  if (is_zero()) {
+    *this = o;
+    return *this;
+  }
+  // Align the smaller operand to the larger exponent.
+  const BigFloat& big = (exp2_ >= o.exp2_) ? *this : o;
+  const BigFloat& small = (exp2_ >= o.exp2_) ? o : *this;
+  const std::int64_t diff = big.exp2_ - small.exp2_;
+  double m = big.mant_;
+  if (diff < 1024) m += std::ldexp(small.mant_, -static_cast<int>(diff));
+  mant_ = m;
+  exp2_ = big.exp2_;
+  normalize();
+  return *this;
+}
+
+BigFloat& BigFloat::operator*=(const BigFloat& o) {
+  if (is_zero() || o.is_zero()) {
+    mant_ = 0.0;
+    exp2_ = 0;
+    return *this;
+  }
+  mant_ *= o.mant_;
+  exp2_ += o.exp2_;
+  normalize();
+  return *this;
+}
+
+int BigFloat::compare(const BigFloat& o) const {
+  if (is_zero() && o.is_zero()) return 0;
+  if (is_zero()) return -1;
+  if (o.is_zero()) return 1;
+  if (exp2_ != o.exp2_) return exp2_ < o.exp2_ ? -1 : 1;
+  if (mant_ != o.mant_) return mant_ < o.mant_ ? -1 : 1;
+  return 0;
+}
+
+double BigFloat::to_double() const {
+  if (is_zero()) return 0.0;
+  if (exp2_ > 1023) return std::numeric_limits<double>::infinity();
+  return std::ldexp(mant_, static_cast<int>(exp2_));
+}
+
+double BigFloat::log10() const {
+  if (is_zero()) return -std::numeric_limits<double>::infinity();
+  return std::log10(mant_) + static_cast<double>(exp2_) * std::log10(2.0);
+}
+
+std::string BigFloat::to_string(int digits) const {
+  if (is_zero()) return "0";
+  const double l10 = log10();
+  if (l10 < 7.0) {
+    const double v = to_double();
+    if (v == std::floor(v)) {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.0f", v);
+      return buf;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*g", digits + 1, v);
+    return buf;
+  }
+  const double e = std::floor(l10);
+  double m = std::pow(10.0, l10 - e);
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*fe+%.0f", digits - 1, m, e);
+  return buf;
+}
+
+}  // namespace imodec

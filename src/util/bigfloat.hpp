@@ -1,0 +1,50 @@
+#pragma once
+// Big-magnitude non-negative floating value.
+//
+// Table 1 of the paper reports counts of assignable functions up to ~1.2e77
+// (the theoretical bound is 2^(2^b)), which overflows double only around
+// 1e308 but intermediate multinomial products in the counting DP can go far
+// beyond that. BigFloat keeps a normalized mantissa in [1, 2) plus a wide
+// binary exponent, which is plenty of dynamic range and precision (the paper
+// itself prints two significant digits).
+
+#include <cstdint>
+#include <string>
+
+namespace imodec {
+
+class BigFloat {
+ public:
+  BigFloat() = default;  // zero
+  BigFloat(double v);    // NOLINT: implicit by design (arith convenience)
+
+  static BigFloat from_pow2(std::int64_t exponent);  // 2^exponent
+
+  bool is_zero() const { return mant_ == 0.0; }
+
+  BigFloat& operator+=(const BigFloat& o);
+  BigFloat& operator*=(const BigFloat& o);
+  friend BigFloat operator+(BigFloat a, const BigFloat& b) { return a += b; }
+  friend BigFloat operator*(BigFloat a, const BigFloat& b) { return a *= b; }
+
+  /// Three-way comparison by magnitude.
+  int compare(const BigFloat& o) const;
+  bool operator<(const BigFloat& o) const { return compare(o) < 0; }
+  bool operator==(const BigFloat& o) const { return compare(o) == 0; }
+
+  /// Value as double; +inf if it does not fit.
+  double to_double() const;
+  /// log10 of the value (-inf for zero).
+  double log10() const;
+  /// Scientific notation with `digits` significant digits, e.g. "2.1e+48".
+  /// Values below 10^7 are printed as plain integers (as in Table 1).
+  std::string to_string(int digits = 2) const;
+
+ private:
+  void normalize();
+
+  double mant_ = 0.0;       // 0, or in [1, 2)
+  std::int64_t exp2_ = 0;   // value = mant_ * 2^exp2_
+};
+
+}  // namespace imodec

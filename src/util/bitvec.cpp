@@ -1,0 +1,104 @@
+#include "util/bitvec.hpp"
+
+#include <bit>
+
+namespace imodec {
+
+BitVec::BitVec(std::size_t size, bool value) : size_(size) {
+  words_.assign((size + 63) / 64, value ? ~std::uint64_t{0} : 0);
+  normalize_tail();
+}
+
+void BitVec::resize(std::size_t size) {
+  size_ = size;
+  words_.resize((size + 63) / 64, 0);
+  normalize_tail();
+}
+
+void BitVec::fill(bool value) {
+  for (auto& w : words_) w = value ? ~std::uint64_t{0} : 0;
+  normalize_tail();
+}
+
+std::size_t BitVec::count() const {
+  std::size_t n = 0;
+  for (auto w : words_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+bool BitVec::none() const {
+  for (auto w : words_)
+    if (w) return false;
+  return true;
+}
+
+bool BitVec::all() const { return count() == size_; }
+
+std::size_t BitVec::first_set() const {
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    if (words_[w])
+      return w * 64 + static_cast<std::size_t>(std::countr_zero(words_[w]));
+  }
+  return size_;
+}
+
+BitVec& BitVec::operator&=(const BitVec& o) {
+  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] &= o.words_[w];
+  return *this;
+}
+
+BitVec& BitVec::operator|=(const BitVec& o) {
+  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] |= o.words_[w];
+  return *this;
+}
+
+BitVec& BitVec::operator^=(const BitVec& o) {
+  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] ^= o.words_[w];
+  return *this;
+}
+
+void BitVec::complement() {
+  for (auto& w : words_) w = ~w;
+  normalize_tail();
+}
+
+BitVec BitVec::operator~() const {
+  BitVec r = *this;
+  r.complement();
+  return r;
+}
+
+bool BitVec::is_subset_of(const BitVec& o) const {
+  for (std::size_t w = 0; w < words_.size(); ++w)
+    if (words_[w] & ~o.words_[w]) return false;
+  return true;
+}
+
+bool BitVec::disjoint_with(const BitVec& o) const {
+  for (std::size_t w = 0; w < words_.size(); ++w)
+    if (words_[w] & o.words_[w]) return false;
+  return true;
+}
+
+std::size_t BitVec::hash() const {
+  std::size_t h = size_ * 0x9e3779b97f4a7c15ull;
+  for (auto w : words_) {
+    h ^= w + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+std::string BitVec::to_string() const {
+  std::string s(size_, '0');
+  for (std::size_t i = 0; i < size_; ++i)
+    if (get(i)) s[i] = '1';
+  return s;
+}
+
+void BitVec::normalize_tail() {
+  const std::size_t rem = size_ & 63;
+  if (rem != 0 && !words_.empty())
+    words_.back() &= (std::uint64_t{1} << rem) - 1;
+}
+
+}  // namespace imodec

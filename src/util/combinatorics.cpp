@@ -1,0 +1,44 @@
+#include "util/combinatorics.hpp"
+
+#include <cassert>
+
+namespace imodec {
+
+BigFloat big_binomial(std::uint64_t n, std::uint64_t k) {
+  if (k > n) return BigFloat{};
+  if (k > n - k) k = n - k;
+  BigFloat r{1.0};
+  for (std::uint64_t i = 0; i < k; ++i) {
+    r *= BigFloat{static_cast<double>(n - i)};
+    // Dividing by (i+1) exactly: multiply by its reciprocal; mantissa error
+    // stays within double precision, far below the 2 printed digits we need.
+    r *= BigFloat{1.0 / static_cast<double>(i + 1)};
+  }
+  return r;
+}
+
+BigFloat big_pow2(std::int64_t e) { return BigFloat::from_pow2(e); }
+
+BigFloat big_mixed_labelings(std::uint64_t bits) {
+  assert(bits >= 1);
+  if (bits == 1) return BigFloat{};  // single element: only all-0 / all-1
+  if (bits < 63) {
+    return BigFloat{static_cast<double>((std::uint64_t{1} << bits) - 2)};
+  }
+  // 2^bits - 2 ~= 2^bits at this magnitude.
+  BigFloat r = BigFloat::from_pow2(static_cast<std::int64_t>(bits));
+  return r;
+}
+
+int ceil_log2(std::uint64_t x) {
+  assert(x >= 1);
+  int e = 0;
+  std::uint64_t v = 1;
+  while (v < x) {
+    v <<= 1;
+    ++e;
+  }
+  return e;
+}
+
+}  // namespace imodec

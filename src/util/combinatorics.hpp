@@ -1,0 +1,23 @@
+#pragma once
+// Combinatorial helpers on BigFloat magnitudes.
+
+#include <cstdint>
+
+#include "util/bigfloat.hpp"
+
+namespace imodec {
+
+/// Binomial coefficient C(n, k) as a big-magnitude value (0 if k > n).
+BigFloat big_binomial(std::uint64_t n, std::uint64_t k);
+
+/// 2^e as a big-magnitude value.
+BigFloat big_pow2(std::int64_t e);
+
+/// (2^bits - 2): number of "mixed" 0/1 labelings of a set of `bits` elements
+/// (neither all-0 nor all-1). bits >= 1.
+BigFloat big_mixed_labelings(std::uint64_t bits);
+
+/// Exact ceil(log2(x)) for x >= 1.
+int ceil_log2(std::uint64_t x);
+
+}  // namespace imodec

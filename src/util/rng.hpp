@@ -1,0 +1,29 @@
+#pragma once
+// Deterministic, seedable PRNG (xoshiro256**).
+//
+// Synthetic benchmark circuits must be bit-identical across runs and
+// platforms, so we avoid std::mt19937's distribution non-portability and use
+// our own generator plus explicit range reduction.
+
+#include <cstdint>
+
+namespace imodec {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  std::uint64_t next();
+  /// Uniform value in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound);
+  /// Uniform value in [lo, hi] inclusive.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi);
+  bool coin() { return next() & 1; }
+  /// True with probability num/den.
+  bool chance(std::uint64_t num, std::uint64_t den);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace imodec

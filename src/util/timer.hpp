@@ -1,0 +1,22 @@
+#pragma once
+// Wall-clock stopwatch for the CPU-time columns of the experiment tables.
+
+#include <chrono>
+
+namespace imodec {
+
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  /// Seconds elapsed since construction / last reset.
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace imodec

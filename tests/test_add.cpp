@@ -1,0 +1,136 @@
+// Tests for the ADD layer used by the implicit Lmax step.
+
+#include <gtest/gtest.h>
+
+#include "bdd/add.hpp"
+#include "bdd/bdd.hpp"
+#include "util/rng.hpp"
+
+namespace imodec {
+namespace {
+
+using bdd::AddManager;
+using bdd::Bdd;
+using bdd::Manager;
+
+TEST(Add, TerminalsAreShared) {
+  AddManager add(3);
+  EXPECT_EQ(add.constant(5), add.constant(5));
+  EXPECT_NE(add.constant(5), add.constant(6));
+  EXPECT_TRUE(add.is_terminal(add.constant(0)));
+  EXPECT_EQ(add.value_of(add.constant(-3)), -3);
+}
+
+TEST(Add, FromBddZeroOne) {
+  Manager mgr(3);
+  AddManager add(3);
+  EXPECT_EQ(add.from_bdd(mgr, bdd::kFalse), add.constant(0));
+  EXPECT_EQ(add.from_bdd(mgr, bdd::kTrue), add.constant(1));
+  const Bdd x = Bdd::var(mgr, 1);
+  const auto a = add.from_bdd(mgr, x.node());
+  EXPECT_FALSE(add.is_terminal(a));
+  EXPECT_EQ(add.var_of(a), 1u);
+  EXPECT_EQ(add.lo(a), add.constant(0));
+  EXPECT_EQ(add.hi(a), add.constant(1));
+}
+
+TEST(Add, PlusConstants) {
+  AddManager add(2);
+  const auto s = add.plus(add.constant(3), add.constant(4));
+  EXPECT_EQ(add.value_of(s), 7);
+}
+
+TEST(Add, SumOfIndicatorsCountsCover) {
+  // Sum of χ's evaluated via max path == maximum number of sets sharing a
+  // point. Three functions over 2 vars: x0, x1, x0&x1 -> max sum 3 at (1,1).
+  Manager mgr(2);
+  AddManager add(2);
+  const Bdd a = Bdd::var(mgr, 0), b = Bdd::var(mgr, 1);
+  auto sum = add.constant(0);
+  for (const Bdd& f : {a, b, a & b})
+    sum = add.plus(sum, add.from_bdd(mgr, f.node()));
+  EXPECT_EQ(add.max_value(sum), 3);
+  std::vector<bool> assign;
+  EXPECT_EQ(add.argmax(sum, assign), 3);
+  EXPECT_TRUE(assign[0]);
+  EXPECT_TRUE(assign[1]);
+}
+
+TEST(Add, ArgmaxTiePrefersZeroBranch) {
+  Manager mgr(2);
+  AddManager add(2);
+  // f = x0 | ~x0 = 1 everywhere: both branches tie; expect all-false path.
+  auto one = add.from_bdd(mgr, bdd::kTrue);
+  std::vector<bool> assign;
+  EXPECT_EQ(add.argmax(one, assign), 1);
+  EXPECT_FALSE(assign[0]);
+  EXPECT_FALSE(assign[1]);
+}
+
+TEST(Add, ForeachAtValue) {
+  Manager mgr(3);
+  AddManager add(3);
+  const Bdd a = Bdd::var(mgr, 0), b = Bdd::var(mgr, 1), c = Bdd::var(mgr, 2);
+  auto sum = add.constant(0);
+  for (const Bdd& f : {a, b, c})
+    sum = add.plus(sum, add.from_bdd(mgr, f.node()));
+  // Assignments where exactly two of three variables are true.
+  int count = 0;
+  add.foreach_at_value(sum, 2, {0, 1, 2},
+                       [&](const std::vector<bool>& v) {
+                         EXPECT_EQ(v[0] + v[1] + v[2], 2);
+                         ++count;
+                         return true;
+                       });
+  EXPECT_EQ(count, 3);
+}
+
+class AddSumProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(AddSumProperty, MaxMatchesExhaustiveCount) {
+  const unsigned n = 5;
+  Manager mgr(n);
+  AddManager add(n);
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 31337 + 5);
+
+  // Random indicator functions as unions of random cubes.
+  std::vector<Bdd> funcs;
+  for (int k = 0; k < 6; ++k) {
+    Bdd f = Bdd::zero(mgr);
+    for (int cubes = 0; cubes < 3; ++cubes) {
+      std::vector<unsigned> vars;
+      std::vector<bool> phases;
+      for (unsigned v = 0; v < n; ++v) {
+        if (rng.coin()) continue;
+        vars.push_back(v);
+        phases.push_back(rng.coin());
+      }
+      f = f | Bdd::cube(mgr, vars, phases);
+    }
+    funcs.push_back(f);
+  }
+  auto sum = add.constant(0);
+  for (const Bdd& f : funcs) sum = add.plus(sum, add.from_bdd(mgr, f.node()));
+
+  // Exhaustive reference.
+  int best = 0;
+  std::vector<bool> a(n, false);
+  for (std::uint64_t row = 0; row < (1u << n); ++row) {
+    for (unsigned v = 0; v < n; ++v) a[v] = (row >> v) & 1;
+    int cover = 0;
+    for (const Bdd& f : funcs) cover += f.eval(a);
+    best = std::max(best, cover);
+  }
+  EXPECT_EQ(add.max_value(sum), best);
+
+  std::vector<bool> assign;
+  EXPECT_EQ(add.argmax(sum, assign), best);
+  int cover = 0;
+  for (const Bdd& f : funcs) cover += f.eval(assign);
+  EXPECT_EQ(cover, best);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AddSumProperty, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace imodec

@@ -1,0 +1,212 @@
+// Tests for the algebraic SOP layer: weak division, cube-freeness, kernel
+// enumeration, and the network-level kernel extraction.
+
+#include <gtest/gtest.h>
+
+#include "circuits/gates.hpp"
+#include "circuits/registry.hpp"
+#include "logic/simulate.hpp"
+#include "opt/algebra.hpp"
+#include "opt/extract.hpp"
+
+namespace imodec {
+namespace {
+
+using opt::ACover;
+using opt::ACube;
+using opt::Literal;
+
+ACube cube(std::initializer_list<Literal> lits) {
+  ACube c;
+  c.lits.assign(lits);
+  std::sort(c.lits.begin(), c.lits.end());
+  return c;
+}
+
+// Signals are plain numbers in these unit tests.
+constexpr SigId A = 10, B = 11, C = 12, D = 13, E = 14;
+
+TEST(ACubeOps, DivisibilityAndQuotient) {
+  const ACube abc = cube({{A, true}, {B, true}, {C, true}});
+  const ACube ab = cube({{A, true}, {B, true}});
+  EXPECT_TRUE(abc.divisible_by(ab));
+  EXPECT_FALSE(ab.divisible_by(abc));
+  EXPECT_EQ(abc.divide(ab), cube({{C, true}}));
+  // Phases matter: a~b does not divide ab c.
+  const ACube anb = cube({{A, true}, {B, false}});
+  EXPECT_FALSE(abc.divisible_by(anb));
+}
+
+TEST(ACubeOps, MergeDetectsPhaseClash) {
+  const ACube a = cube({{A, true}});
+  const ACube na = cube({{A, false}});
+  EXPECT_FALSE(a.merge(na).has_value());
+  const auto m = a.merge(cube({{B, true}}));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(*m, cube({{A, true}, {B, true}}));
+}
+
+TEST(Division, TextbookExample) {
+  // F = ad + bd + cd + e ; D = a + b + c  =>  Q = d, R = e.
+  ACover f;
+  for (SigId s : {A, B, C})
+    f.add(cube({{s, true}, {D, true}}));
+  f.add(cube({{E, true}}));
+  ACover d;
+  for (SigId s : {A, B, C}) d.add(cube({{s, true}}));
+
+  const auto [q, r] = divide(f, d);
+  ASSERT_EQ(q.cubes.size(), 1u);
+  EXPECT_EQ(q.cubes[0], cube({{D, true}}));
+  ASSERT_EQ(r.cubes.size(), 1u);
+  EXPECT_EQ(r.cubes[0], cube({{E, true}}));
+}
+
+TEST(Division, AlgebraicIdentityHolds) {
+  // Arbitrary divide: f == q*d + r as functions.
+  ACover f;
+  f.add(cube({{A, true}, {B, true}}));
+  f.add(cube({{A, true}, {C, true}}));
+  f.add(cube({{B, true}, {C, false}}));
+  ACover d;
+  d.add(cube({{B, true}}));
+  d.add(cube({{C, true}}));
+  const auto [q, r] = divide(f, d);
+
+  const std::vector<SigId> sigs{A, B, C};
+  const TruthTable ft = opt::cover_table(f, sigs);
+  ACover qd;
+  for (const ACube& qc : q.cubes)
+    for (const ACube& dc : d.cubes)
+      if (auto m = qc.merge(dc)) qd.add(std::move(*m));
+  for (const ACube& rc : r.cubes) qd.add(rc);
+  EXPECT_EQ(opt::cover_table(qd, sigs), ft);
+}
+
+TEST(Division, EmptyQuotientWhenNothingDivides) {
+  ACover f;
+  f.add(cube({{A, true}}));
+  ACover d;
+  d.add(cube({{B, true}}));
+  const auto [q, r] = divide(f, d);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(r.cubes.size(), 1u);
+}
+
+TEST(CubeFree, Detection) {
+  ACover f;
+  f.add(cube({{A, true}, {B, true}}));
+  f.add(cube({{A, true}, {C, true}}));
+  EXPECT_FALSE(opt::is_cube_free(f));  // a divides everything
+  EXPECT_EQ(opt::largest_common_cube(f), cube({{A, true}}));
+
+  ACover g;
+  g.add(cube({{A, true}}));
+  g.add(cube({{B, true}}));
+  EXPECT_TRUE(opt::is_cube_free(g));
+}
+
+TEST(Kernels, TextbookKernels) {
+  // F = adf + aef + bdf + bef + cdf + cef + g
+  //   = f(a+b+c)(d+e) + g. Kernels include (a+b+c), (d+e), and F itself.
+  ACover f;
+  for (SigId x : {A, B, C})
+    for (SigId y : {D, E})
+      f.add(cube({{x, true}, {y, true}, {15, true}}));  // 15 = 'f'
+  f.add(cube({{16, true}}));                            // 16 = 'g'
+
+  const auto ks = opt::kernels(f);
+  const auto contains_kernel = [&](const ACover& want) {
+    const ACover w = opt::normalized(want);
+    for (const auto& ke : ks)
+      if (ke.kernel == w) return true;
+    return false;
+  };
+  ACover abc;
+  for (SigId x : {A, B, C}) abc.add(cube({{x, true}}));
+  ACover de;
+  for (SigId y : {D, E}) de.add(cube({{y, true}}));
+  EXPECT_TRUE(contains_kernel(abc));
+  EXPECT_TRUE(contains_kernel(de));
+  EXPECT_TRUE(opt::is_cube_free(f));
+  EXPECT_TRUE(contains_kernel(f));
+}
+
+TEST(Kernels, AllKernelsAreCubeFreeDivisors) {
+  ACover f;
+  f.add(cube({{A, true}, {B, true}}));
+  f.add(cube({{A, true}, {C, true}, {D, true}}));
+  f.add(cube({{B, true}, {C, true}}));
+  const std::vector<SigId> sigs{A, B, C, D};
+  const TruthTable ft = opt::cover_table(f, sigs);
+  for (const auto& ke : opt::kernels(f)) {
+    EXPECT_TRUE(opt::is_cube_free(ke.kernel));
+    // Dividing by the kernel yields a non-empty quotient.
+    const auto [q, r] = divide(f, ke.kernel);
+    EXPECT_FALSE(q.empty());
+  }
+  (void)ft;
+}
+
+TEST(NodeCover, RoundTripsThroughCoverTable) {
+  Network net("t");
+  const SigId a = net.add_input("a");
+  const SigId b = net.add_input("b");
+  const SigId c = net.add_input("c");
+  const SigId y = circuits::gate_or(
+      net, circuits::gate_and(net, a, b), circuits::gate_and(net, a, c));
+  net.add_output(y, "y");
+  const auto cover = opt::node_cover(net, y);
+  ASSERT_TRUE(cover.has_value());
+  // y's fanins are the two AND nodes.
+  const TruthTable t =
+      opt::cover_table(*cover, net.node(y).fanins);
+  EXPECT_EQ(t, net.node(y).func);
+}
+
+TEST(Extract, SharedKernelBecomesOneNode) {
+  // y0 = a(b + c), y1 = d(b + c): the kernel (b + c) is shared.
+  Network net("t");
+  const SigId a = net.add_input("a");
+  const SigId b = net.add_input("b");
+  const SigId c = net.add_input("c");
+  const SigId d = net.add_input("d");
+  TruthTable t0(3), t1(3);
+  for (std::uint64_t r = 0; r < 8; ++r) {
+    const bool x = r & 1, y = (r >> 1) & 1, z = (r >> 2) & 1;
+    t0.set(r, x && (y || z));
+    t1.set(r, x && (y || z));
+  }
+  net.add_output(net.add_node({a, b, c}, t0), "y0");
+  net.add_output(net.add_node({d, b, c}, t1), "y1");
+  const Network before = net;
+
+  const auto stats = opt::extract_kernels(net);
+  EXPECT_GE(stats.divisors_added, 1u);
+  EXPECT_GE(stats.substitutions, 2u);
+  EXPECT_GT(stats.literals_saved, 0);
+  EXPECT_TRUE(check_equivalence(before, net).equivalent);
+}
+
+TEST(Extract, BenchmarksStayEquivalent) {
+  for (const char* name : {"rd73", "z4ml", "misex1", "count"}) {
+    Network net = *circuits::make_benchmark(name);
+    const Network before = net;
+    opt::extract_kernels(net);
+    EXPECT_TRUE(check_equivalence(before, net).equivalent) << name;
+  }
+}
+
+TEST(Extract, NoKernelsNoChanges) {
+  // Single AND gate: nothing multi-cube to extract.
+  Network net("t");
+  const SigId a = net.add_input("a");
+  const SigId b = net.add_input("b");
+  net.add_output(circuits::gate_and(net, a, b), "y");
+  const auto stats = opt::extract_kernels(net);
+  EXPECT_EQ(stats.divisors_added, 0u);
+  EXPECT_EQ(stats.substitutions, 0u);
+}
+
+}  // namespace
+}  // namespace imodec

@@ -1,0 +1,311 @@
+// Unit and property tests for the ROBDD package, cross-checked against truth
+// tables as the reference model.
+
+#include <gtest/gtest.h>
+
+#include "bdd/bdd.hpp"
+#include "bdd/dot.hpp"
+#include "logic/truthtable.hpp"
+#include "util/rng.hpp"
+
+#include <sstream>
+
+namespace imodec {
+namespace {
+
+using bdd::Bdd;
+using bdd::Manager;
+
+/// Reference model: evaluate a BDD exhaustively into a truth table.
+TruthTable to_table(const Bdd& f, unsigned n) {
+  TruthTable t(n);
+  std::vector<bool> a(f.manager()->num_vars(), false);
+  for (std::uint64_t row = 0; row < t.num_rows(); ++row) {
+    for (unsigned v = 0; v < n; ++v) a[v] = (row >> v) & 1;
+    t.set(row, f.eval(a));
+  }
+  return t;
+}
+
+TEST(Bdd, TerminalsAndVars) {
+  Manager mgr(4);
+  EXPECT_TRUE(Bdd::zero(mgr).is_zero());
+  EXPECT_TRUE(Bdd::one(mgr).is_one());
+  const Bdd x0 = Bdd::var(mgr, 0);
+  EXPECT_FALSE(x0.is_terminal());
+  EXPECT_EQ(x0, Bdd::var(mgr, 0));  // unique table canonicity
+  EXPECT_EQ(~x0, Bdd::nvar(mgr, 0));
+  EXPECT_EQ(~~x0, x0);
+}
+
+TEST(Bdd, BasicAlgebra) {
+  Manager mgr(3);
+  const Bdd a = Bdd::var(mgr, 0), b = Bdd::var(mgr, 1);
+  EXPECT_EQ(a & b, b & a);
+  EXPECT_EQ(a | b, b | a);
+  EXPECT_EQ(a & ~a, Bdd::zero(mgr));
+  EXPECT_EQ(a | ~a, Bdd::one(mgr));
+  EXPECT_EQ(a ^ a, Bdd::zero(mgr));
+  EXPECT_EQ(a ^ ~a, Bdd::one(mgr));
+  EXPECT_EQ((a & b) | (a & ~b), a);  // absorption via Shannon
+  EXPECT_EQ(~(a & b), ~a | ~b);      // De Morgan
+}
+
+TEST(Bdd, IteIdentities) {
+  Manager mgr(3);
+  const Bdd a = Bdd::var(mgr, 0), b = Bdd::var(mgr, 1), c = Bdd::var(mgr, 2);
+  EXPECT_EQ(a.ite(b, c), (a & b) | (~a & c));
+  EXPECT_EQ(Bdd::one(mgr).ite(b, c), b);
+  EXPECT_EQ(Bdd::zero(mgr).ite(b, c), c);
+  EXPECT_EQ(a.ite(b, b), b);
+}
+
+TEST(Bdd, CofactorAndSupport) {
+  Manager mgr(3);
+  const Bdd a = Bdd::var(mgr, 0), b = Bdd::var(mgr, 1), c = Bdd::var(mgr, 2);
+  const Bdd f = (a & b) | c;
+  EXPECT_EQ(f.cofactor(0, true), b | c);
+  EXPECT_EQ(f.cofactor(0, false), c);
+  EXPECT_EQ(f.cofactor(2, true), Bdd::one(mgr));
+  const auto sup = f.support();
+  EXPECT_EQ(sup, (std::vector<unsigned>{0, 1, 2}));
+  EXPECT_EQ(f.cofactor(2, false).support(), (std::vector<unsigned>{0, 1}));
+}
+
+TEST(Bdd, Quantification) {
+  Manager mgr(3);
+  const Bdd a = Bdd::var(mgr, 0), b = Bdd::var(mgr, 1), c = Bdd::var(mgr, 2);
+  const Bdd f = (a & b) | (~a & c);
+  EXPECT_EQ(f.exists({0}), b | c);
+  EXPECT_EQ(f.forall({0}), b & c);
+  EXPECT_EQ(f.exists({0, 1, 2}), Bdd::one(mgr));
+  EXPECT_EQ(f.forall({0, 1, 2}), Bdd::zero(mgr));
+}
+
+TEST(Bdd, Compose) {
+  Manager mgr(4);
+  const Bdd a = Bdd::var(mgr, 0), b = Bdd::var(mgr, 1), c = Bdd::var(mgr, 2),
+            d = Bdd::var(mgr, 3);
+  const Bdd f = a ^ b;
+  EXPECT_EQ(f.compose(1, c & d), a ^ (c & d));
+  EXPECT_EQ(f.compose(0, Bdd::zero(mgr)), b);
+}
+
+TEST(Bdd, VectorCompose) {
+  Manager mgr(4);
+  Manager& m = mgr;
+  const Bdd a = Bdd::var(m, 0), b = Bdd::var(m, 1), c = Bdd::var(m, 2),
+            d = Bdd::var(m, 3);
+  const Bdd f = (a & b) | (~a & ~b);
+  std::vector<bdd::NodeId> map(4, Manager::kNoReplacement);
+  map[0] = (c ^ d).node();
+  map[1] = (c & d).node();
+  const Bdd g(&m, m.vector_compose(f.node(), map));
+  const Bdd expect = ((c ^ d) & (c & d)) | (~(c ^ d) & ~(c & d));
+  EXPECT_EQ(g, expect);
+}
+
+TEST(Bdd, Cube) {
+  Manager mgr(4);
+  const Bdd cube = Bdd::cube(mgr, {2, 0}, {true, false});
+  EXPECT_EQ(cube, ~Bdd::var(mgr, 0) & Bdd::var(mgr, 2));
+  EXPECT_EQ(Bdd::cube(mgr, {}, {}), Bdd::one(mgr));
+}
+
+TEST(Bdd, SatCount) {
+  Manager mgr(4);
+  const Bdd a = Bdd::var(mgr, 0), b = Bdd::var(mgr, 1);
+  EXPECT_DOUBLE_EQ(Bdd::zero(mgr).sat_count(), 0.0);
+  EXPECT_DOUBLE_EQ(Bdd::one(mgr).sat_count(), 16.0);
+  EXPECT_DOUBLE_EQ(a.sat_count(), 8.0);
+  EXPECT_DOUBLE_EQ((a & b).sat_count(), 4.0);
+  EXPECT_DOUBLE_EQ((a | b).sat_count(), 12.0);
+  EXPECT_DOUBLE_EQ((a ^ b).sat_count(), 8.0);
+}
+
+TEST(Bdd, PickMinterm) {
+  Manager mgr(3);
+  const Bdd f = (Bdd::var(mgr, 0) & ~Bdd::var(mgr, 2));
+  std::vector<bool> a;
+  ASSERT_TRUE(mgr.pick_minterm(f.node(), a));
+  EXPECT_TRUE(f.eval(a));
+  EXPECT_FALSE(mgr.pick_minterm(bdd::kFalse, a));
+}
+
+TEST(Bdd, ForeachMinterm) {
+  Manager mgr(3);
+  const Bdd f = Bdd::var(mgr, 0) ^ Bdd::var(mgr, 2);
+  std::vector<std::vector<bool>> seen;
+  mgr.foreach_minterm(f.node(), {0, 1, 2},
+                      [&](const std::vector<bool>& a) {
+                        seen.push_back(a);
+                        return true;
+                      });
+  EXPECT_EQ(seen.size(), 4u);
+  for (const auto& a : seen) EXPECT_NE(a[0], a[2]);
+}
+
+TEST(Bdd, ForeachMintermEarlyStop) {
+  Manager mgr(3);
+  const Bdd f = Bdd::one(mgr);
+  int count = 0;
+  mgr.foreach_minterm(f.node(), {0, 1, 2}, [&](const std::vector<bool>&) {
+    return ++count < 3;
+  });
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Bdd, GarbageCollectKeepsLiveNodes) {
+  Manager mgr(6);
+  Bdd keep = Bdd::var(mgr, 0);
+  for (unsigned v = 1; v < 6; ++v) keep = keep ^ Bdd::var(mgr, v);
+  const std::size_t keep_size = keep.dag_size();
+  {
+    // Generate garbage.
+    Bdd junk = Bdd::one(mgr);
+    for (unsigned v = 0; v < 6; ++v)
+      junk = junk & (Bdd::var(mgr, v) | Bdd::var(mgr, (v + 1) % 6));
+  }
+  const std::size_t before = mgr.live_node_count();
+  mgr.garbage_collect();
+  EXPECT_LT(mgr.live_node_count(), before);
+  EXPECT_TRUE(mgr.check_invariants());
+  EXPECT_EQ(keep.dag_size(), keep_size);
+  // keep must still be the 6-input parity function.
+  std::vector<bool> a(6, false);
+  a[3] = true;
+  EXPECT_TRUE(keep.eval(a));
+  a[5] = true;
+  EXPECT_FALSE(keep.eval(a));
+}
+
+TEST(Bdd, NodesAreReusedAfterGc) {
+  Manager mgr(8);
+  std::size_t peak_after_first = 0;
+  for (int round = 0; round < 6; ++round) {
+    {
+      Bdd junk = Bdd::zero(mgr);
+      for (unsigned v = 0; v + 1 < 8; ++v)
+        junk = junk | (Bdd::var(mgr, v) & Bdd::var(mgr, v + 1));
+    }
+    mgr.garbage_collect();
+    EXPECT_TRUE(mgr.check_invariants());
+    EXPECT_EQ(mgr.live_node_count(), 2u);  // only the terminals survive
+    // The free list must be reused: the arena peak stays flat after round 0.
+    if (round == 0)
+      peak_after_first = mgr.peak_node_count();
+    else
+      EXPECT_EQ(mgr.peak_node_count(), peak_after_first) << round;
+  }
+}
+
+TEST(Bdd, DagSize) {
+  Manager mgr(4);
+  Bdd parity = Bdd::zero(mgr);
+  for (unsigned v = 0; v < 4; ++v) parity = parity ^ Bdd::var(mgr, v);
+  // Parity of n variables has 2n-1 internal nodes without complement edges.
+  EXPECT_EQ(parity.dag_size(), 7u);
+}
+
+TEST(Bdd, DotExport) {
+  Manager mgr(2);
+  const Bdd f = Bdd::var(mgr, 0) & Bdd::var(mgr, 1);
+  std::ostringstream os;
+  bdd::write_dot(os, {f}, {"a", "b"});
+  const std::string dot = os.str();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("\"a\""), std::string::npos);
+  EXPECT_NE(dot.find("\"b\""), std::string::npos);
+}
+
+// --- Property tests against the truth-table model --------------------------
+
+class BddRandomOps : public ::testing::TestWithParam<int> {};
+
+TEST_P(BddRandomOps, MatchesTruthTableModel) {
+  const unsigned n = 6;
+  Manager mgr(n);
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+
+  // Random expression DAG over n variables, mirrored on TruthTables.
+  std::vector<Bdd> bdds;
+  std::vector<TruthTable> tables;
+  for (unsigned v = 0; v < n; ++v) {
+    bdds.push_back(Bdd::var(mgr, v));
+    tables.push_back(TruthTable::var(n, v));
+  }
+  for (int step = 0; step < 40; ++step) {
+    const std::size_t i = rng.below(bdds.size());
+    const std::size_t j = rng.below(bdds.size());
+    switch (rng.below(5)) {
+      case 0:
+        bdds.push_back(bdds[i] & bdds[j]);
+        tables.push_back(tables[i] & tables[j]);
+        break;
+      case 1:
+        bdds.push_back(bdds[i] | bdds[j]);
+        tables.push_back(tables[i] | tables[j]);
+        break;
+      case 2:
+        bdds.push_back(bdds[i] ^ bdds[j]);
+        tables.push_back(tables[i] ^ tables[j]);
+        break;
+      case 3:
+        bdds.push_back(~bdds[i]);
+        tables.push_back(~tables[i]);
+        break;
+      default: {
+        const unsigned v = static_cast<unsigned>(rng.below(n));
+        const bool phase = rng.coin();
+        bdds.push_back(bdds[i].cofactor(v, phase));
+        tables.push_back(tables[i].cofactor(v, phase));
+        break;
+      }
+    }
+  }
+  for (std::size_t idx = 0; idx < bdds.size(); ++idx) {
+    EXPECT_EQ(to_table(bdds[idx], n), tables[idx]) << "expr " << idx;
+    EXPECT_DOUBLE_EQ(bdds[idx].sat_count(),
+                     static_cast<double>(tables[idx].count_ones()));
+  }
+  EXPECT_TRUE(mgr.check_invariants());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BddRandomOps, ::testing::Range(0, 8));
+
+class BddQuantifyProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BddQuantifyProperty, ExistsEqualsOrOfCofactors) {
+  const unsigned n = 5;
+  Manager mgr(n);
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 7);
+  // Random function via random truth table.
+  TruthTable t(n);
+  for (std::uint64_t row = 0; row < t.num_rows(); ++row)
+    t.set(row, rng.coin());
+  // Build its BDD via minterm expansion.
+  Bdd f = Bdd::zero(mgr);
+  for (std::uint64_t row = 0; row < t.num_rows(); ++row) {
+    if (!t.get(row)) continue;
+    std::vector<unsigned> vars(n);
+    std::vector<bool> phases(n);
+    for (unsigned v = 0; v < n; ++v) {
+      vars[v] = v;
+      phases[v] = (row >> v) & 1;
+    }
+    f = f | Bdd::cube(mgr, vars, phases);
+  }
+  const unsigned v = static_cast<unsigned>(rng.below(n));
+  EXPECT_EQ(f.exists({v}), f.cofactor(v, false) | f.cofactor(v, true));
+  EXPECT_EQ(f.forall({v}), f.cofactor(v, false) & f.cofactor(v, true));
+  // Quantifying all variables yields a constant matching satisfiability.
+  std::vector<unsigned> all(n);
+  for (unsigned i = 0; i < n; ++i) all[i] = i;
+  EXPECT_EQ(f.exists(all).is_one(), t.count_ones() > 0);
+  EXPECT_EQ(f.forall(all).is_one(), t.count_ones() == t.num_rows());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BddQuantifyProperty, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace imodec

@@ -1,0 +1,206 @@
+// Tests for the characteristic functions χ_k(z) of preferable decomposition
+// functions, anchored on the paper's Example 5 and cross-checked against
+// brute-force enumeration of constructable functions.
+
+#include <gtest/gtest.h>
+
+#include "decomp/classes.hpp"
+#include "imodec/chi.hpp"
+#include "paper_fixtures.hpp"
+#include "util/rng.hpp"
+
+namespace imodec {
+namespace {
+
+using bdd::Bdd;
+using bdd::Manager;
+using testfix::paper_f1;
+using testfix::paper_f2;
+using testfix::paper_vp;
+
+OutputState make_state(const VertexPartition& local,
+                       const VertexPartition& global) {
+  OutputState st;
+  st.codewidth = codewidth(local.num_classes);
+  st.assigned = 0;
+  st.blocks.resize(1);
+  for (std::uint32_t g = 0; g < global.num_classes; ++g)
+    st.blocks[0].push_back(g);
+  st.local_of_global.resize(global.num_classes);
+  for (std::uint64_t v = 0; v < global.num_vertices(); ++v)
+    st.local_of_global[global.class_of[v]] = local.class_of[v];
+  return st;
+}
+
+struct PaperSetup {
+  VertexPartition l1, l2, global;
+  PaperSetup() {
+    l1 = local_partition_tt(paper_f1(), paper_vp());
+    l2 = local_partition_tt(paper_f2(), paper_vp());
+    global = global_partition({l1, l2});
+  }
+};
+
+TEST(Chi, PaperExample5ChiF1) {
+  PaperSetup s;
+  ASSERT_EQ(s.global.num_classes, 5u);
+  Manager mgr(5);
+  const OutputState st = make_state(s.l1, s.global);
+  const Bdd chi = build_chi(mgr, 5, st);
+
+  // Paper (1-indexed): χ1 = ~z1~z2 z3 z4 + ~z1 z3 z4 ~z5 + ~z1~z2 z5
+  //                       + ~z1~z3~z4 z5. Our classes are 0-indexed with the
+  // same order (first-occurrence matches G1..G5).
+  const Bdd z0 = Bdd::var(mgr, 0), z1 = Bdd::var(mgr, 1), z2 = Bdd::var(mgr, 2),
+            z3 = Bdd::var(mgr, 3), z4 = Bdd::var(mgr, 4);
+  const Bdd expect = (~z0 & ~z1 & z2 & z3) | (~z0 & z2 & z3 & ~z4) |
+                     (~z0 & ~z1 & z4) | (~z0 & ~z2 & ~z3 & z4);
+  EXPECT_EQ(chi, expect);
+}
+
+TEST(Chi, PaperExample5ChiF2) {
+  PaperSetup s;
+  Manager mgr(5);
+  const OutputState st = make_state(s.l2, s.global);
+  const Bdd chi = build_chi(mgr, 5, st);
+
+  // NOTE: the paper's Example 5 prints χ2 as the four 3-subsets of
+  // {G2..G5}, but two of them ({G2,G4,G5} and {G3,G4,G5}) violate the
+  // paper's own condition C0: with δ = ℓ2 - 2^(c2-1) = 2, they leave only
+  // L1 = {G1} fully in the offset (L2 = {G2,G3} is split). Deriving χ2
+  // from Definitions 4/5 directly gives three functions: {G4,G5},
+  // {G2,G3,G4}, {G2,G3,G5} — see EXPERIMENTS.md. The intersection with χ1
+  // still has exactly two vertices and contains the paper's chosen
+  // function {G2,G3,G4}, so Examples 6/7 are unaffected.
+  const Bdd z1 = Bdd::var(mgr, 1), z2 = Bdd::var(mgr, 2), z3 = Bdd::var(mgr, 3),
+            z4 = Bdd::var(mgr, 4);
+  const Bdd nz0 = ~Bdd::var(mgr, 0);
+  const Bdd expect = (nz0 & ~z1 & ~z2 & z3 & z4) |   // {G4,G5}
+                     (nz0 & z1 & z2 & z3 & ~z4) |    // {G2,G3,G4}
+                     (nz0 & z1 & z2 & ~z3 & z4);     // {G2,G3,G5}
+  EXPECT_EQ(chi, expect);
+}
+
+TEST(Chi, VSubstitutionRouteMatchesDirectRoute) {
+  PaperSetup s;
+  for (const VertexPartition* local : {&s.l1, &s.l2}) {
+    Manager mgr_direct(5);
+    Manager mgr_subst(5);
+    const OutputState st = make_state(*local, s.global);
+    ChiOptions direct;
+    ChiOptions subst;
+    subst.via_v_substitution = true;
+    const Bdd a = build_chi(mgr_direct, 5, st, direct);
+    const Bdd b = build_chi(mgr_subst, 5, st, subst);
+    // Compare by exhaustive evaluation (different managers).
+    std::vector<bool> av(mgr_direct.num_vars(), false);
+    std::vector<bool> bv(mgr_subst.num_vars(), false);
+    for (std::uint64_t z = 0; z < 32; ++z) {
+      for (unsigned i = 0; i < 5; ++i) av[i] = bv[i] = (z >> i) & 1;
+      EXPECT_EQ(a.eval(av), b.eval(bv)) << z;
+    }
+  }
+}
+
+TEST(Chi, EveryMemberIsPreferableByDefinition) {
+  PaperSetup s;
+  Manager mgr(5);
+  const OutputState st = make_state(s.l1, s.global);
+  const Bdd chi = build_chi(mgr, 5, st);
+  // Enumerate the onset and check C0/C1 conditions explicitly.
+  const std::uint64_t budget = 1u << (st.codewidth - 1);
+  std::vector<bool> a(5, false);
+  const auto contains = local_to_global(s.l1, s.global);
+  for (std::uint64_t z = 0; z < 32; ++z) {
+    for (unsigned i = 0; i < 5; ++i) a[i] = (z >> i) & 1;
+    if (!chi.eval(a)) continue;
+    EXPECT_FALSE(z & 1);  // ¬z_0 factor
+    unsigned fully_on = 0, fully_off = 0;
+    for (const auto& gs : contains) {
+      bool on = true, off = true;
+      for (std::uint32_t g : gs) {
+        if ((z >> g) & 1)
+          off = false;
+        else
+          on = false;
+      }
+      fully_on += on;
+      fully_off += off;
+    }
+    EXPECT_GE(fully_on + budget, contains.size());
+    EXPECT_GE(fully_off + budget, contains.size());
+  }
+}
+
+TEST(OutputState, SplitBlocks) {
+  OutputState st;
+  st.codewidth = 2;
+  st.blocks = {{0, 1, 2, 3, 4}};
+  st.local_of_global = {0, 0, 1, 1, 2};
+  st.split_blocks(0b01110);  // onset = {1,2,3}
+  EXPECT_EQ(st.assigned, 1u);
+  ASSERT_EQ(st.blocks.size(), 2u);
+  EXPECT_EQ(st.blocks[0], (std::vector<std::uint32_t>{1, 2, 3}));
+  EXPECT_EQ(st.blocks[1], (std::vector<std::uint32_t>{0, 4}));
+  EXPECT_FALSE(st.refined());  // block {1,2,3} spans local classes 0 and 1
+  st.split_blocks(0b10010);    // onset {1,4}: separates 1|{2,3} and 4|{0}
+  EXPECT_TRUE(st.refined());
+}
+
+TEST(OutputState, RefinedOnSingletons) {
+  OutputState st;
+  st.codewidth = 1;
+  st.blocks = {{0}, {1}};
+  st.local_of_global = {0, 1};
+  EXPECT_TRUE(st.refined());
+}
+
+TEST(Chi, SecondStagePaperExample) {
+  // After accepting the paper's d1 (onset {G2,G3,G4} = mask 01110 in our
+  // 0-indexed bit order), both outputs need exactly one more function; the
+  // recomputed χ must be non-empty and exclude d1 itself.
+  PaperSetup s;
+  Manager mgr(5);
+  OutputState st1 = make_state(s.l1, s.global);
+  st1.split_blocks(0b01110);
+  const Bdd chi = build_chi(mgr, 5, st1);
+  EXPECT_FALSE(chi.is_zero());
+  std::vector<bool> a(5, false);
+  a[1] = a[2] = a[3] = true;  // d1 again
+  EXPECT_FALSE(chi.eval(a));  // d1 cannot complete the assignment by itself
+}
+
+TEST(Chi, StrictModeForcesUniformClasses) {
+  PaperSetup s;
+  Manager mgr(5);
+  const OutputState st = make_state(s.l1, s.global);
+  ChiOptions opts;
+  opts.strict = true;
+  const Bdd chi = build_chi(mgr, 5, st, opts);
+  // Every member must be constant on each local class of f1
+  // (L1 = {G0,G1}, L2 = {G2,G3}).
+  std::vector<bool> a(5, false);
+  for (std::uint64_t z = 0; z < 32; ++z) {
+    for (unsigned i = 0; i < 5; ++i) a[i] = (z >> i) & 1;
+    if (!chi.eval(a)) continue;
+    EXPECT_EQ((z >> 0) & 1, (z >> 1) & 1) << z;
+    EXPECT_EQ((z >> 2) & 1, (z >> 3) & 1) << z;
+  }
+  // Strict is a subset of non-strict.
+  const Bdd loose = build_chi(mgr, 5, st);
+  EXPECT_EQ(chi & loose, chi);
+}
+
+TEST(PreferableCount, PaperExampleCounts) {
+  // |χ1| = 7 satisfying z-vertices with z0 = 0 (see the covering table of
+  // Fig. 5); preferable_count reports both complement halves: 14.
+  PaperSetup s;
+  Manager mgr(5);
+  EXPECT_DOUBLE_EQ(preferable_count(mgr, 5, make_state(s.l1, s.global)), 14.0);
+  // χ2 has 3 minterms with z0 = 0 (see the PaperExample5ChiF2 note) -> 6
+  // including complements.
+  EXPECT_DOUBLE_EQ(preferable_count(mgr, 5, make_state(s.l2, s.global)), 6.0);
+}
+
+}  // namespace
+}  // namespace imodec

@@ -1,0 +1,141 @@
+// Tests for the Table-1 counting machinery: the assignable-function DP
+// against brute force, the implicit preferable count against brute force,
+// and the paper-documented counts of the worked example.
+
+#include <gtest/gtest.h>
+
+#include "decomp/classes.hpp"
+#include "imodec/counting.hpp"
+#include "paper_fixtures.hpp"
+#include "util/rng.hpp"
+
+namespace imodec {
+namespace {
+
+using testfix::paper_f1;
+using testfix::paper_f2;
+using testfix::paper_vp;
+
+VertexPartition random_partition(Rng& rng, unsigned b, std::uint32_t classes) {
+  VertexPartition p;
+  p.b = b;
+  p.num_classes = classes;
+  p.class_of.resize(std::uint64_t{1} << b);
+  // Ensure every class is non-empty: first `classes` vertices get distinct
+  // ids, the rest are random.
+  for (std::uint64_t v = 0; v < p.num_vertices(); ++v)
+    p.class_of[v] = v < classes
+                        ? static_cast<std::uint32_t>(v)
+                        : static_cast<std::uint32_t>(rng.below(classes));
+  return p;
+}
+
+TEST(AssignableCount, TwoClassesGiveTwoFunctions) {
+  // ℓ = 2 -> c = 1 -> budget 1: only the two "one class on, one off"
+  // functions qualify (the f51m row of Table 1 with ℓ_k = 2 reports 2).
+  Rng rng(1);
+  const VertexPartition p = random_partition(rng, 5, 2);
+  EXPECT_DOUBLE_EQ(assignable_count(p).to_double(), 2.0);
+}
+
+TEST(AssignableCount, SingleClass) {
+  Rng rng(2);
+  const VertexPartition p = random_partition(rng, 3, 1);
+  EXPECT_DOUBLE_EQ(assignable_count(p).to_double(), 2.0);
+}
+
+class AssignableDpVsBrute : public ::testing::TestWithParam<int> {};
+
+TEST_P(AssignableDpVsBrute, Matches) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7001 + 3);
+  const unsigned b = 3 + GetParam() % 2;  // 3 or 4
+  const std::uint32_t classes =
+      2 + static_cast<std::uint32_t>(rng.below(b == 3 ? 6 : 8));
+  const VertexPartition p = random_partition(rng, b, classes);
+  const std::uint64_t brute = assignable_count_bruteforce(p);
+  EXPECT_DOUBLE_EQ(assignable_count(p).to_double(),
+                   static_cast<double>(brute))
+      << "b=" << b << " ell=" << classes;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AssignableDpVsBrute, ::testing::Range(0, 16));
+
+TEST(PreferableCount, MatchesBruteForceOnPaperExample) {
+  const auto l1 = local_partition_tt(paper_f1(), paper_vp());
+  const auto l2 = local_partition_tt(paper_f2(), paper_vp());
+  const auto g = global_partition({l1, l2});
+  EXPECT_DOUBLE_EQ(preferable_count_initial(l1, g).to_double(),
+                   static_cast<double>(preferable_count_bruteforce(l1, g)));
+  EXPECT_DOUBLE_EQ(preferable_count_initial(l2, g).to_double(),
+                   static_cast<double>(preferable_count_bruteforce(l2, g)));
+}
+
+class PreferableVsBrute : public ::testing::TestWithParam<int> {};
+
+TEST_P(PreferableVsBrute, MatchesOnRandomVectors) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 65537 + 19);
+  const unsigned n = 6, b = 4;
+  std::vector<TruthTable> fs;
+  for (int k = 0; k < 2; ++k) {
+    TruthTable f(n);
+    for (std::uint64_t row = 0; row < f.num_rows(); ++row)
+      f.set(row, rng.coin());
+    fs.push_back(std::move(f));
+  }
+  VarPartition vp;
+  for (unsigned v = 0; v < n; ++v)
+    (v < b ? vp.bound : vp.free_set).push_back(v);
+  std::vector<VertexPartition> locals;
+  for (const auto& f : fs) locals.push_back(local_partition_tt(f, vp));
+  const auto g = global_partition(locals);
+  if (g.num_classes > 20) GTEST_SKIP() << "brute force too large";
+  for (const auto& local : locals) {
+    EXPECT_DOUBLE_EQ(
+        preferable_count_initial(local, g).to_double(),
+        static_cast<double>(preferable_count_bruteforce(local, g)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PreferableVsBrute, ::testing::Range(0, 10));
+
+TEST(PreferableCount, NeverExceedsAssignable) {
+  // Preferable = assignable ∩ constructable, so the count can only shrink
+  // (§7: "The number of preferable functions is much smaller than the number
+  // of assignable functions").
+  const auto l1 = local_partition_tt(paper_f1(), paper_vp());
+  const auto l2 = local_partition_tt(paper_f2(), paper_vp());
+  const auto g = global_partition({l1, l2});
+  for (const auto* l : {&l1, &l2}) {
+    EXPECT_LE(preferable_count_initial(*l, g).compare(assignable_count(*l)),
+              0);
+  }
+}
+
+TEST(Characterize, PaperExampleVector) {
+  const std::vector<TruthTable> fs{paper_f1(), paper_f2()};
+  const auto ch = characterize_vector(fs, paper_vp());
+  EXPECT_EQ(ch.b, 3u);
+  EXPECT_EQ(ch.p, 5u);
+  EXPECT_EQ(ch.l_k, (std::vector<std::uint32_t>{3, 4}));
+  // Bounds: 2^(2^3) = 256 and 2^5 = 32.
+  EXPECT_DOUBLE_EQ(ch.assignable_bound.to_double(), 256.0);
+  EXPECT_DOUBLE_EQ(ch.preferable_bound.to_double(), 32.0);
+  for (std::size_t k = 0; k < 2; ++k) {
+    EXPECT_LE(ch.preferable[k].compare(ch.preferable_bound), 0);
+    EXPECT_LE(ch.assignable[k].compare(ch.assignable_bound), 0);
+    EXPECT_LE(ch.preferable[k].compare(ch.assignable[k]), 0);
+  }
+}
+
+TEST(Characterize, WideVectorBoundsAreAstronomical) {
+  // b = 8 bound: 2^256 ~ 1.2e77, exactly the alu4 row's parenthesized bound.
+  std::vector<TruthTable> fs{TruthTable::var(9, 0)};
+  VarPartition vp;
+  for (unsigned v = 0; v < 9; ++v)
+    (v < 8 ? vp.bound : vp.free_set).push_back(v);
+  const auto ch = characterize_vector(fs, vp);
+  EXPECT_EQ(ch.assignable_bound.to_string(2), "1.2e+77");
+}
+
+}  // namespace
+}  // namespace imodec

@@ -1,0 +1,96 @@
+// Tests for cubes, covers, and the ISOP extraction.
+
+#include <gtest/gtest.h>
+
+#include "logic/cube.hpp"
+#include "util/rng.hpp"
+
+namespace imodec {
+namespace {
+
+TEST(Cube, ContainsAndLiterals) {
+  Cube c;  // tautology cube
+  EXPECT_TRUE(c.contains(0));
+  EXPECT_TRUE(c.contains(7));
+  EXPECT_EQ(c.num_literals(), 0u);
+
+  Cube d{0b101, 0b001};  // x0 & ~x2
+  EXPECT_TRUE(d.contains(0b001));
+  EXPECT_TRUE(d.contains(0b011));
+  EXPECT_FALSE(d.contains(0b000));
+  EXPECT_FALSE(d.contains(0b101));
+  EXPECT_EQ(d.num_literals(), 2u);
+}
+
+TEST(Cube, Rendering) {
+  Cube d{0b101, 0b001};
+  EXPECT_EQ(d.to_pla(3), "1-0");
+  EXPECT_EQ(d.to_algebraic({"a", "b", "c"}), "a ~c");
+  EXPECT_EQ(Cube{}.to_algebraic({"a"}), "1");
+}
+
+TEST(Cover, ToTruthTable) {
+  Cover cover(2);
+  cover.add(Cube{0b01, 0b01});  // x0
+  cover.add(Cube{0b10, 0b10});  // x1
+  const TruthTable t = cover.to_truthtable();
+  EXPECT_EQ(t.to_string(), "0111");
+}
+
+TEST(Cover, Algebraic) {
+  Cover cover(2);
+  EXPECT_EQ(cover.to_algebraic({"a", "b"}), "0");
+  cover.add(Cube{0b11, 0b01});
+  EXPECT_EQ(cover.to_algebraic({"a", "b"}), "a ~b");
+}
+
+TEST(Isop, Constants) {
+  EXPECT_TRUE(isop(TruthTable(3)).empty());
+  const Cover one = isop(TruthTable(3, true));
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one.cubes()[0].num_literals(), 0u);
+}
+
+TEST(Isop, SingleVariable) {
+  const Cover c = isop(TruthTable::var(3, 1));
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_EQ(c.cubes()[0].to_pla(3), "-1-");
+}
+
+TEST(Isop, XorNeedsTwoCubes) {
+  const TruthTable f = TruthTable::var(2, 0) ^ TruthTable::var(2, 1);
+  const Cover c = isop(f);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.to_truthtable(), f);
+}
+
+class IsopRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(IsopRoundTrip, CoverEqualsFunction) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 6151 + 3);
+  const unsigned n = 2 + GetParam() % 5;  // 2..6 variables
+  TruthTable f(n);
+  for (std::uint64_t row = 0; row < f.num_rows(); ++row)
+    f.set(row, rng.coin());
+  const Cover c = isop(f);
+  EXPECT_EQ(c.to_truthtable(), f);
+  // Irredundancy: removing any cube must lose part of the onset.
+  for (std::size_t skip = 0; skip < c.size(); ++skip) {
+    Cover reduced(n);
+    for (std::size_t i = 0; i < c.size(); ++i)
+      if (i != skip) reduced.add(c.cubes()[i]);
+    EXPECT_NE(reduced.to_truthtable(), f) << "cube " << skip << " redundant";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IsopRoundTrip, ::testing::Range(0, 15));
+
+TEST(DefaultVarNames, Format) {
+  const auto names = default_var_names(3, "v");
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "v0");
+  EXPECT_EQ(names[2], "v2");
+}
+
+}  // namespace
+}  // namespace imodec

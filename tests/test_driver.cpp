@@ -1,0 +1,97 @@
+// Tests for the synthesis driver (the CLI's engine).
+
+#include <gtest/gtest.h>
+
+#include "circuits/registry.hpp"
+#include "logic/simulate.hpp"
+#include "map/driver.hpp"
+
+namespace imodec {
+namespace {
+
+TEST(Driver, CollapsedPathOnSmallCircuit) {
+  const auto net = circuits::make_benchmark("rd73");
+  ASSERT_TRUE(net.has_value());
+  Network mapped;
+  const DriverReport rep = run_synthesis(*net, {}, mapped);
+  EXPECT_TRUE(rep.collapsed);
+  EXPECT_TRUE(rep.verified);
+  EXPECT_TRUE(rep.verified_exhaustive);
+  EXPECT_GT(rep.flow.luts, 0u);
+  EXPECT_GT(rep.clbs.clbs, 0u);
+  EXPECT_LE(rep.clbs.clbs, rep.flow.luts);
+  EXPECT_GT(rep.depth, 0u);
+  EXPECT_TRUE(check_equivalence(*net, mapped).equivalent);
+}
+
+TEST(Driver, WideCircuitFallsBackToRestructuring) {
+  const auto net = circuits::make_benchmark("C499");
+  ASSERT_TRUE(net.has_value());
+  Network mapped;
+  const DriverReport rep = run_synthesis(*net, {}, mapped);
+  EXPECT_FALSE(rep.collapsed);  // cones exceed the truth-table limit
+  EXPECT_TRUE(rep.verified);
+  EXPECT_TRUE(check_equivalence(*net, mapped).equivalent);
+}
+
+TEST(Driver, NoCollapseOptionForcesRestructure) {
+  const auto net = circuits::make_benchmark("rd73");
+  DriverOptions opts;
+  opts.collapse = false;
+  Network mapped;
+  const DriverReport rep = run_synthesis(*net, opts, mapped);
+  EXPECT_FALSE(rep.collapsed);
+  EXPECT_TRUE(rep.verified);
+}
+
+TEST(Driver, NoVerifySkipsCheckButStillMaps) {
+  const auto net = circuits::make_benchmark("rd53");
+  DriverOptions opts;
+  opts.verify = false;
+  Network mapped;
+  const DriverReport rep = run_synthesis(*net, opts, mapped);
+  EXPECT_TRUE(rep.verified);  // default value, no check ran
+  EXPECT_FALSE(rep.verified_exhaustive);
+  EXPECT_TRUE(check_equivalence(*net, mapped).equivalent);  // still correct
+}
+
+TEST(Driver, SingleModeUsesMoreClbs) {
+  const auto net = circuits::make_benchmark("rd84");
+  DriverOptions multi;
+  DriverOptions single;
+  single.flow.multi_output = false;
+  Network m, s;
+  const DriverReport rm = run_synthesis(*net, multi, m);
+  const DriverReport rs = run_synthesis(*net, single, s);
+  EXPECT_TRUE(rm.verified);
+  EXPECT_TRUE(rs.verified);
+  EXPECT_LT(rm.clbs.clbs, rs.clbs.clbs);
+}
+
+TEST(Driver, CustomLutSize) {
+  const auto net = circuits::make_benchmark("rd53");
+  DriverOptions opts;
+  opts.flow.k = 4;
+  Network mapped;
+  const DriverReport rep = run_synthesis(*net, opts, mapped);
+  EXPECT_TRUE(rep.verified);
+  for (SigId s = 0; s < mapped.node_count(); ++s) {
+    if (mapped.node(s).kind == Network::Kind::Logic) {
+      EXPECT_LE(mapped.node(s).fanins.size(), 4u);
+    }
+  }
+}
+
+TEST(Driver, FormatReportMentionsKeyFields) {
+  const auto net = circuits::make_benchmark("z4ml");
+  Network mapped;
+  const DriverReport rep = run_synthesis(*net, {}, mapped);
+  const std::string report = format_report("z4ml", rep);
+  EXPECT_NE(report.find("z4ml"), std::string::npos);
+  EXPECT_NE(report.find("CLB"), std::string::npos);
+  EXPECT_NE(report.find("PASS"), std::string::npos);
+  EXPECT_NE(report.find("collapsed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace imodec

@@ -1,0 +1,196 @@
+// Tests for the multiple-output decomposition engine: correctness
+// (recomposition), optimality properties (Property 1, sharing vs.
+// single-output), option modes, and randomized property sweeps.
+
+#include <gtest/gtest.h>
+
+#include "decomp/single.hpp"
+#include "imodec/engine.hpp"
+#include "paper_fixtures.hpp"
+#include "util/rng.hpp"
+
+namespace imodec {
+namespace {
+
+using testfix::paper_f1;
+using testfix::paper_f2;
+using testfix::paper_vp;
+
+TEST(Engine, PaperExampleSharesOneFunction) {
+  const std::vector<TruthTable> fs{paper_f1(), paper_f2()};
+  ImodecStats stats;
+  const auto dec = decompose_multi_output(fs, paper_vp(), {}, &stats);
+  ASSERT_TRUE(dec.has_value());
+
+  // Example 3: c1 = c2 = 2, p = 5, q = 3 (one shared function); Property 1
+  // gives q >= ⌈ld 5⌉ = 3, so 3 is optimal.
+  EXPECT_EQ(stats.p, 5u);
+  EXPECT_EQ(stats.l_k, (std::vector<std::uint32_t>{3, 4}));
+  EXPECT_EQ(stats.c_k, (std::vector<unsigned>{2, 2}));
+  EXPECT_EQ(dec->q(), 3u);
+  EXPECT_EQ(dec->outputs[0].d_index.size(), 2u);
+  EXPECT_EQ(dec->outputs[1].d_index.size(), 2u);
+
+  // Recomposition correctness for both outputs.
+  EXPECT_EQ(recompose(*dec, 0, 5), paper_f1());
+  EXPECT_EQ(recompose(*dec, 1, 5), paper_f2());
+}
+
+TEST(Engine, SingleOutputVectorMatchesCodewidth) {
+  const std::vector<TruthTable> fs{paper_f1()};
+  ImodecStats stats;
+  const auto dec = decompose_multi_output(fs, paper_vp(), {}, &stats);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(dec->q(), 2u);  // ℓ = 3 -> c = 2
+  EXPECT_EQ(recompose(*dec, 0, 5), paper_f1());
+}
+
+TEST(Engine, ConstantOutputsCompleteImmediately) {
+  const std::vector<TruthTable> fs{TruthTable(5, true), paper_f1()};
+  const auto dec = decompose_multi_output(fs, paper_vp());
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_TRUE(dec->outputs[0].d_index.empty());
+  EXPECT_EQ(recompose(*dec, 0, 5), TruthTable(5, true));
+  EXPECT_EQ(recompose(*dec, 1, 5), paper_f1());
+}
+
+TEST(Engine, IdenticalOutputsShareEverything) {
+  const std::vector<TruthTable> fs{paper_f1(), paper_f1(), paper_f1()};
+  ImodecStats stats;
+  const auto dec = decompose_multi_output(fs, paper_vp(), {}, &stats);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(dec->q(), 2u);  // same functions for all three outputs
+  for (int k = 0; k < 3; ++k) EXPECT_EQ(recompose(*dec, k, 5), paper_f1());
+}
+
+TEST(Engine, ComplementOutputsShareEverything) {
+  // f and ~f induce identical partitions, hence identical preferable sets.
+  const std::vector<TruthTable> fs{paper_f1(), ~paper_f1()};
+  ImodecStats stats;
+  const auto dec = decompose_multi_output(fs, paper_vp(), {}, &stats);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(dec->q(), 2u);
+  EXPECT_EQ(recompose(*dec, 0, 5), paper_f1());
+  EXPECT_EQ(recompose(*dec, 1, 5), ~paper_f1());
+}
+
+TEST(Engine, RespectsMaxP) {
+  const std::vector<TruthTable> fs{paper_f1(), paper_f2()};
+  ImodecOptions opts;
+  opts.max_p = 4;  // p is 5
+  ImodecStats stats;
+  EXPECT_FALSE(decompose_multi_output(fs, paper_vp(), opts, &stats).has_value());
+  EXPECT_EQ(stats.p, 5u);
+}
+
+TEST(Engine, Property1LowerBound) {
+  const std::vector<TruthTable> fs{paper_f1(), paper_f2()};
+  ImodecStats stats;
+  const auto dec = decompose_multi_output(fs, paper_vp(), {}, &stats);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_GE(std::uint64_t{1} << dec->q(), stats.p);
+}
+
+TEST(Engine, NeverWorseThanSingleOutput) {
+  const std::vector<TruthTable> fs{paper_f1(), paper_f2()};
+  const auto dec = decompose_multi_output(fs, paper_vp());
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_LE(dec->q(), sum_codewidths(fs, paper_vp()));
+}
+
+TEST(Engine, StrictModeStillCorrectButNoBetter) {
+  const std::vector<TruthTable> fs{paper_f1(), paper_f2()};
+  ImodecOptions strict;
+  strict.strict = true;
+  const auto dec_strict = decompose_multi_output(fs, paper_vp(), strict);
+  ASSERT_TRUE(dec_strict.has_value());
+  EXPECT_EQ(recompose(*dec_strict, 0, 5), paper_f1());
+  EXPECT_EQ(recompose(*dec_strict, 1, 5), paper_f2());
+  const auto dec_loose = decompose_multi_output(fs, paper_vp());
+  EXPECT_GE(dec_strict->q(), dec_loose->q());
+}
+
+TEST(Engine, VSubstitutionModeMatchesDirectMode) {
+  const std::vector<TruthTable> fs{paper_f1(), paper_f2()};
+  ImodecOptions subst;
+  subst.via_v_substitution = true;
+  ImodecStats sa, sb;
+  const auto a = decompose_multi_output(fs, paper_vp(), {}, &sa);
+  const auto b = decompose_multi_output(fs, paper_vp(), subst, &sb);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  // Same characteristic functions -> same greedy choices -> same q.
+  EXPECT_EQ(a->q(), b->q());
+  EXPECT_EQ(recompose(*b, 0, 5), paper_f1());
+  EXPECT_EQ(recompose(*b, 1, 5), paper_f2());
+}
+
+TEST(Engine, SumCodewidths) {
+  EXPECT_EQ(sum_codewidths({paper_f1(), paper_f2()}, paper_vp()), 4u);
+  EXPECT_EQ(sum_codewidths({TruthTable(5, true)}, paper_vp()), 0u);
+}
+
+// --- Randomized property sweep ---------------------------------------------
+
+struct EngineSweepParam {
+  int seed;
+  unsigned n, b, m;
+  bool strict;
+};
+
+class EngineRandom : public ::testing::TestWithParam<EngineSweepParam> {};
+
+TEST_P(EngineRandom, DecomposesAndRecomposes) {
+  const auto [seed, n, b, m, strict] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 48271 + 11);
+  std::vector<TruthTable> fs;
+  for (unsigned k = 0; k < m; ++k) {
+    TruthTable f(n);
+    for (std::uint64_t row = 0; row < f.num_rows(); ++row)
+      f.set(row, rng.coin());
+    // Bias towards sharing: every second output reuses half of another.
+    if (k > 0 && (k & 1)) {
+      const TruthTable& prev = fs[k - 1];
+      for (std::uint64_t row = 0; row < f.num_rows(); row += 2)
+        f.set(row, prev.get(row));
+    }
+    fs.push_back(std::move(f));
+  }
+  VarPartition vp;
+  for (unsigned v = 0; v < n; ++v)
+    (v < b ? vp.bound : vp.free_set).push_back(v);
+
+  ImodecOptions opts;
+  opts.strict = strict;
+  ImodecStats stats;
+  const auto dec = decompose_multi_output(fs, vp, opts, &stats);
+  ASSERT_TRUE(dec.has_value());
+
+  for (unsigned k = 0; k < m; ++k)
+    EXPECT_EQ(recompose(*dec, k, n), fs[k]) << "output " << k;
+
+  // q bounds: Property 1 lower bound, single-output upper bound.
+  EXPECT_GE(std::uint64_t{1} << dec->q(), stats.p);
+  EXPECT_LE(dec->q(), sum_codewidths(fs, vp));
+  // Each output uses exactly its codewidth many functions.
+  for (unsigned k = 0; k < m; ++k)
+    EXPECT_EQ(dec->outputs[k].d_index.size(), stats.c_k[k]);
+}
+
+std::vector<EngineSweepParam> sweep_params() {
+  std::vector<EngineSweepParam> ps;
+  int seed = 0;
+  for (unsigned n : {5u, 6u, 7u})
+    for (unsigned b : {3u, 4u})
+      for (unsigned m : {1u, 2u, 3u})
+        ps.push_back({++seed, n, b, m, false});
+  // A strict-mode slice.
+  for (unsigned m : {2u, 3u}) ps.push_back({++seed, 6, 3, m, true});
+  return ps;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EngineRandom,
+                         ::testing::ValuesIn(sweep_params()));
+
+}  // namespace
+}  // namespace imodec

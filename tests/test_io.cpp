@@ -1,0 +1,208 @@
+// Tests for BLIF and PLA parsing / writing.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "logic/blif.hpp"
+#include "logic/pla.hpp"
+#include "logic/simulate.hpp"
+
+namespace imodec {
+namespace {
+
+TEST(Blif, ParseSimpleModel) {
+  std::istringstream in(R"(
+# comment
+.model test
+.inputs a b c
+.outputs y
+.names a b t
+11 1
+.names t c y
+1- 1
+-1 1
+.end
+)");
+  const Network net = read_blif(in);
+  EXPECT_EQ(net.name(), "test");
+  EXPECT_EQ(net.num_inputs(), 3u);
+  EXPECT_EQ(net.num_outputs(), 1u);
+  // y = (a & b) | c
+  for (std::uint64_t row = 0; row < 8; ++row) {
+    const bool a = row & 1, b = (row >> 1) & 1, c = (row >> 2) & 1;
+    EXPECT_EQ(net.eval({a, b, c})[0], (a && b) || c);
+  }
+}
+
+TEST(Blif, OffsetCover) {
+  std::istringstream in(R"(
+.model t
+.inputs a b
+.outputs y
+.names a b y
+00 0
+01 0
+.end
+)");
+  const Network net = read_blif(in);
+  // Offset cover: y = 0 iff a==0; so y = a.
+  for (std::uint64_t row = 0; row < 4; ++row) {
+    const bool a = row & 1, b = (row >> 1) & 1;
+    EXPECT_EQ(net.eval({a, b})[0], a) << a << b;
+  }
+}
+
+TEST(Blif, ConstantNodes) {
+  std::istringstream in(R"(
+.model t
+.inputs a
+.outputs one zero
+.names one
+1
+.names zero
+.end
+)");
+  const Network net = read_blif(in);
+  const auto out = net.eval({false});
+  EXPECT_TRUE(out[0]);
+  EXPECT_FALSE(out[1]);
+}
+
+TEST(Blif, OutOfOrderDefinitions) {
+  std::istringstream in(R"(
+.model t
+.inputs a b
+.outputs y
+.names t1 t2 y
+11 1
+.names a b t1
+10 1
+.names a b t2
+01 1
+.end
+)");
+  const Network net = read_blif(in);
+  EXPECT_FALSE(net.eval({true, false})[0]);   // t1=1, t2=0
+  EXPECT_FALSE(net.eval({false, true})[0]);   // t1=0, t2=1
+}
+
+TEST(Blif, Continuations) {
+  std::istringstream in(".model t\n.inputs \\\na b\n.outputs y\n"
+                        ".names a b y\n11 1\n.end\n");
+  const Network net = read_blif(in);
+  EXPECT_EQ(net.num_inputs(), 2u);
+}
+
+TEST(Blif, RejectsLatches) {
+  std::istringstream in(".model t\n.inputs a\n.outputs y\n.latch a y 0\n.end\n");
+  EXPECT_THROW(read_blif(in), BlifError);
+}
+
+TEST(Blif, RejectsUndefinedSignal) {
+  std::istringstream in(".model t\n.inputs a\n.outputs y\n"
+                        ".names a ghost y\n11 1\n.end\n");
+  EXPECT_THROW(read_blif(in), BlifError);
+}
+
+TEST(Blif, RejectsCycle) {
+  std::istringstream in(R"(
+.model t
+.inputs a
+.outputs y
+.names a u y
+11 1
+.names y v
+1 1
+.names v u
+1 1
+.end
+)");
+  EXPECT_THROW(read_blif(in), BlifError);
+}
+
+TEST(Blif, WriteReadRoundTrip) {
+  std::istringstream in(R"(
+.model rt
+.inputs a b c d
+.outputs y z
+.names a b t
+01 1
+10 1
+.names t c d y
+1-0 1
+-11 1
+.names t z
+0 1
+.end
+)");
+  const Network original = read_blif(in);
+  std::ostringstream out;
+  write_blif(out, original);
+  std::istringstream back(out.str());
+  const Network reparsed = read_blif(back);
+  const auto res = check_equivalence(original, reparsed);
+  EXPECT_TRUE(res.equivalent) << out.str();
+  EXPECT_TRUE(res.exhaustive);
+}
+
+TEST(Pla, ParseMultiOutput) {
+  std::istringstream in(R"(
+.i 3
+.o 2
+.ilb a b c
+.ob f g
+.p 3
+1-0 10
+-11 11
+000 01
+.e
+)");
+  const Network net = read_pla(in);
+  EXPECT_EQ(net.num_inputs(), 3u);
+  EXPECT_EQ(net.num_outputs(), 2u);
+  // f = a~c | bc ; g = bc | ~a~b~c
+  for (std::uint64_t row = 0; row < 8; ++row) {
+    const bool a = row & 1, b = (row >> 1) & 1, c = (row >> 2) & 1;
+    const auto out = net.eval({a, b, c});
+    EXPECT_EQ(out[0], (a && !c) || (b && c));
+    EXPECT_EQ(out[1], (b && c) || (!a && !b && !c));
+  }
+}
+
+TEST(Pla, DefaultNames) {
+  std::istringstream in(".i 2\n.o 1\n11 1\n.e\n");
+  const Network net = read_pla(in);
+  EXPECT_NE(net.find("in0"), kInvalidSig);
+  EXPECT_EQ(net.output_names()[0], "out0");
+}
+
+TEST(Pla, RejectsMissingHeader) {
+  std::istringstream in("11 1\n");
+  EXPECT_THROW(read_pla(in), PlaError);
+}
+
+TEST(Pla, RejectsWidthMismatch) {
+  std::istringstream in(".i 3\n.o 1\n11 1\n.e\n");
+  EXPECT_THROW(read_pla(in), PlaError);
+}
+
+TEST(Pla, BlifRoundTripOfPla) {
+  std::istringstream in(R"(
+.i 4
+.o 2
+1--0 10
+-11- 01
+0--1 11
+.e
+)");
+  const Network net = read_pla(in);
+  std::ostringstream blif;
+  write_blif(blif, net);
+  std::istringstream back(blif.str());
+  const Network reparsed = read_blif(back);
+  EXPECT_TRUE(check_equivalence(net, reparsed).equivalent);
+}
+
+}  // namespace
+}  // namespace imodec

@@ -1,0 +1,99 @@
+// Tests for the implicit (ADD-based) Lmax against the explicit covering-
+// table reference, plus targeted behavioural cases.
+
+#include <gtest/gtest.h>
+
+#include "imodec/lmax.hpp"
+#include "util/rng.hpp"
+
+namespace imodec {
+namespace {
+
+using bdd::Bdd;
+using bdd::Manager;
+
+TEST(Lmax, SingleFunctionPicksAnyOnsetVertex) {
+  Manager mgr(4);
+  const Bdd chi = Bdd::var(mgr, 1) & ~Bdd::var(mgr, 3);
+  const LmaxResult r = lmax(mgr, 4, {chi});
+  EXPECT_EQ(r.coverage, 1u);
+  EXPECT_TRUE(r.covers[0]);
+  // Chosen mask must satisfy chi.
+  std::vector<bool> a(4, false);
+  for (unsigned i = 0; i < 4; ++i) a[i] = (r.z_mask >> i) & 1;
+  EXPECT_TRUE(chi.eval(a));
+}
+
+TEST(Lmax, PrefersSharedVertex) {
+  Manager mgr(3);
+  const Bdd a = Bdd::var(mgr, 0);
+  const Bdd b = Bdd::var(mgr, 0) & Bdd::var(mgr, 1);
+  const Bdd c = ~Bdd::var(mgr, 0);
+  const LmaxResult r = lmax(mgr, 3, {a, b, c});
+  EXPECT_EQ(r.coverage, 2u);  // a and b share x0=1,x1=1; c conflicts
+  EXPECT_TRUE(r.covers[0]);
+  EXPECT_TRUE(r.covers[1]);
+  EXPECT_FALSE(r.covers[2]);
+}
+
+TEST(Lmax, DisjointFunctionsGiveCoverageOne) {
+  Manager mgr(2);
+  const Bdd a = Bdd::var(mgr, 0) & Bdd::var(mgr, 1);
+  const Bdd b = ~Bdd::var(mgr, 0) & ~Bdd::var(mgr, 1);
+  const LmaxResult r = lmax(mgr, 2, {a, b});
+  EXPECT_EQ(r.coverage, 1u);
+}
+
+TEST(LmaxExplicit, MatchesPaperCoveringTable) {
+  // Fig. 5 columns: chi1 with 7 vertices, chi2 with 3; shared = 2.
+  Manager mgr(5);
+  const Bdd z0 = Bdd::var(mgr, 0), z1 = Bdd::var(mgr, 1), z2 = Bdd::var(mgr, 2),
+            z3 = Bdd::var(mgr, 3), z4 = Bdd::var(mgr, 4);
+  const Bdd chi1 = (~z0 & ~z1 & z2 & z3) | (~z0 & z2 & z3 & ~z4) |
+                   (~z0 & ~z1 & z4) | (~z0 & ~z2 & ~z3 & z4);
+  const Bdd chi2 = (~z0 & ~z1 & ~z2 & z3 & z4) | (~z0 & z1 & z2 & z3 & ~z4) |
+                   (~z0 & z1 & z2 & ~z3 & z4);
+  const LmaxResult imp = lmax(mgr, 5, {chi1, chi2});
+  const LmaxResult exp = lmax_explicit(mgr, 5, {chi1, chi2});
+  EXPECT_EQ(imp.coverage, 2u);
+  EXPECT_EQ(exp.coverage, 2u);
+}
+
+class LmaxRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(LmaxRandom, ImplicitMatchesExplicit) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 92821 + 1);
+  const std::uint32_t p = 6 + GetParam() % 5;  // 6..10 classes
+  Manager mgr(p);
+  const std::size_t m = 2 + rng.below(6);
+  std::vector<Bdd> chis;
+  for (std::size_t k = 0; k < m; ++k) {
+    Bdd f = Bdd::zero(mgr);
+    const int cubes = 1 + static_cast<int>(rng.below(4));
+    for (int c = 0; c < cubes; ++c) {
+      std::vector<unsigned> vars;
+      std::vector<bool> phases;
+      for (std::uint32_t v = 0; v < p; ++v) {
+        if (rng.chance(1, 2)) continue;
+        vars.push_back(v);
+        phases.push_back(rng.coin());
+      }
+      f = f | Bdd::cube(mgr, vars, phases);
+    }
+    chis.push_back(f);
+  }
+  const LmaxResult imp = lmax(mgr, p, chis);
+  const LmaxResult exp = lmax_explicit(mgr, p, chis);
+  EXPECT_EQ(imp.coverage, exp.coverage);
+  // The implicit pick must attain the explicit maximum.
+  std::vector<bool> a(p, false);
+  for (std::uint32_t i = 0; i < p; ++i) a[i] = (imp.z_mask >> i) & 1;
+  unsigned cover = 0;
+  for (const Bdd& chi : chis) cover += chi.eval(a);
+  EXPECT_EQ(cover, exp.coverage);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LmaxRandom, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace imodec

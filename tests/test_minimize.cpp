@@ -1,0 +1,101 @@
+// Tests for the espresso-style two-level minimizer.
+
+#include <gtest/gtest.h>
+
+#include "logic/minimize.hpp"
+#include "util/rng.hpp"
+
+namespace imodec {
+namespace {
+
+TEST(Minimize, ConstantAndEmpty) {
+  EXPECT_TRUE(minimize_cover(TruthTable(3)).empty());
+  const Cover one = minimize_cover(TruthTable(3, true));
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one.cubes()[0].num_literals(), 0u);
+}
+
+TEST(Minimize, RedundantIsopShrinks) {
+  // f = ab + ~ac + bc: the consensus term bc is redundant.
+  TruthTable f(3);
+  for (std::uint64_t r = 0; r < 8; ++r) {
+    const bool a = r & 1, b = (r >> 1) & 1, c = (r >> 2) & 1;
+    f.set(r, (a && b) || (!a && c) || (b && c));
+  }
+  const Cover m = minimize_cover(f);
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_EQ(m.to_truthtable(), f);
+}
+
+TEST(Minimize, XorStaysTwoCubes) {
+  const TruthTable f = TruthTable::var(2, 0) ^ TruthTable::var(2, 1);
+  const Cover m = minimize_cover(f);
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_EQ(m.to_truthtable(), f);
+}
+
+TEST(Minimize, FullDontCareCollapsesToTautology) {
+  TruthTable on(3);
+  on.set(5, true);
+  const TruthTable dc = ~on;  // everything else is free
+  const Cover m = minimize_cover(on, dc);
+  ASSERT_EQ(m.size(), 1u);
+  EXPECT_EQ(m.cubes()[0].num_literals(), 0u);
+}
+
+TEST(Minimize, DontCaresEnableWiderCubes) {
+  // on = a&b, dc = a&~b: together they cover 'a', one literal.
+  TruthTable on(2), dc(2);
+  on.set(3, true);
+  dc.set(1, true);
+  const Cover m = minimize_cover(on, dc);
+  ASSERT_EQ(m.size(), 1u);
+  EXPECT_EQ(m.cubes()[0].num_literals(), 1u);
+  const TruthTable h = m.to_truthtable();
+  EXPECT_TRUE(on.bits().is_subset_of(h.bits()));
+  EXPECT_TRUE(h.bits().is_subset_of((on | dc).bits()));
+}
+
+class MinimizeRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(MinimizeRandom, SoundIrredundantAndNoWorseThanIsop) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 1223 + 9);
+  const unsigned n = 3 + GetParam() % 4;  // 3..6
+  TruthTable on(n), dc(n);
+  for (std::uint64_t r = 0; r < on.num_rows(); ++r) {
+    const unsigned roll = static_cast<unsigned>(rng.below(4));
+    if (roll == 0) on.set(r, true);
+    if (roll == 1) dc.set(r, true);
+  }
+  const Cover m = minimize_cover(on, dc);
+  const TruthTable h = m.to_truthtable();
+  // Sound: on <= h <= on | dc.
+  EXPECT_TRUE(on.bits().is_subset_of(h.bits()));
+  EXPECT_TRUE(h.bits().is_subset_of((on | dc).bits()));
+  // Never more cubes than the ISOP starting point.
+  EXPECT_LE(m.size(), isop(on).size());
+  // Irredundant: dropping any cube loses some onset minterm.
+  for (std::size_t skip = 0; skip < m.size(); ++skip) {
+    Cover reduced(n);
+    for (std::size_t i = 0; i < m.size(); ++i)
+      if (i != skip) reduced.add(m.cubes()[i]);
+    const TruthTable r = reduced.to_truthtable();
+    EXPECT_FALSE(on.bits().is_subset_of(r.bits())) << "cube " << skip;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MinimizeRandom, ::testing::Range(0, 16));
+
+TEST(Minimize, LiteralCountNeverAboveIsop) {
+  Rng rng(31);
+  for (int trial = 0; trial < 10; ++trial) {
+    TruthTable f(5);
+    for (std::uint64_t r = 0; r < 32; ++r) f.set(r, rng.chance(1, 3));
+    const Cover m = minimize_cover(f);
+    EXPECT_LE(m.num_literals(), isop(f).num_literals()) << trial;
+    EXPECT_EQ(m.to_truthtable(), f);
+  }
+}
+
+}  // namespace
+}  // namespace imodec

@@ -1,0 +1,146 @@
+// Tests for the Boolean network substrate: construction, evaluation, cones,
+// collapse, sweep, and the equivalence checker.
+
+#include <gtest/gtest.h>
+
+#include "circuits/gates.hpp"
+#include "logic/network.hpp"
+#include "logic/simulate.hpp"
+
+namespace imodec {
+namespace {
+
+using circuits::gate_and;
+using circuits::gate_not;
+using circuits::gate_or;
+using circuits::gate_xor;
+
+Network make_xor_and() {
+  // y0 = (a ^ b) & c ; y1 = a ^ b  (shared subexpression)
+  Network net("t");
+  const SigId a = net.add_input("a");
+  const SigId b = net.add_input("b");
+  const SigId c = net.add_input("c");
+  const SigId x = gate_xor(net, a, b);
+  const SigId y = gate_and(net, x, c);
+  net.add_output(y, "y0");
+  net.add_output(x, "y1");
+  return net;
+}
+
+TEST(Network, EvalMatchesDefinition) {
+  const Network net = make_xor_and();
+  for (std::uint64_t row = 0; row < 8; ++row) {
+    const bool a = row & 1, b = (row >> 1) & 1, c = (row >> 2) & 1;
+    const auto out = net.eval({a, b, c});
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0], (a ^ b) && c);
+    EXPECT_EQ(out[1], a ^ b);
+  }
+}
+
+TEST(Network, FindByName) {
+  const Network net = make_xor_and();
+  EXPECT_NE(net.find("a"), kInvalidSig);
+  EXPECT_EQ(net.find("nonexistent"), kInvalidSig);
+}
+
+TEST(Network, Stats) {
+  const Network net = make_xor_and();
+  EXPECT_EQ(net.num_inputs(), 3u);
+  EXPECT_EQ(net.num_outputs(), 2u);
+  EXPECT_EQ(net.logic_count(), 2u);
+  EXPECT_EQ(net.depth(), 2u);
+  EXPECT_EQ(net.max_fanin(), 2u);
+}
+
+TEST(Network, ConeInputs) {
+  const Network net = make_xor_and();
+  const auto cone0 = net.cone_inputs(net.outputs()[0]);
+  EXPECT_EQ(cone0.size(), 3u);
+  const auto cone1 = net.cone_inputs(net.outputs()[1]);
+  EXPECT_EQ(cone1.size(), 2u);  // y1 does not depend on c
+}
+
+TEST(Network, ConeFunction) {
+  const Network net = make_xor_and();
+  const auto cone = net.cone_inputs(net.outputs()[0]);
+  const auto tt = net.cone_function(net.outputs()[0], cone);
+  ASSERT_TRUE(tt.has_value());
+  for (std::uint64_t row = 0; row < 8; ++row) {
+    const bool a = row & 1, b = (row >> 1) & 1, c = (row >> 2) & 1;
+    EXPECT_EQ(tt->eval(row), (a ^ b) && c);
+  }
+}
+
+TEST(Network, SweepRemovesDangling) {
+  Network net("t");
+  const SigId a = net.add_input("a");
+  const SigId b = net.add_input("b");
+  const SigId keep = gate_and(net, a, b);
+  gate_or(net, a, b);  // dangling
+  net.add_output(keep, "y");
+  EXPECT_EQ(net.logic_count(), 2u);
+  EXPECT_EQ(net.sweep(), 1u);
+  EXPECT_EQ(net.logic_count(), 1u);
+  // Function preserved.
+  EXPECT_EQ(net.eval({true, true})[0], true);
+  EXPECT_EQ(net.eval({true, false})[0], false);
+}
+
+TEST(Network, ConstantNodes) {
+  Network net("t");
+  const SigId one = net.add_constant(true);
+  net.add_input("a");
+  net.add_output(one, "y");
+  EXPECT_TRUE(net.eval({false})[0]);
+  EXPECT_TRUE(net.eval({true})[0]);
+}
+
+TEST(Equivalence, IdenticalNetworksEquivalent) {
+  const Network a = make_xor_and();
+  const Network b = make_xor_and();
+  const auto res = check_equivalence(a, b);
+  EXPECT_TRUE(res.equivalent);
+  EXPECT_TRUE(res.exhaustive);
+}
+
+TEST(Equivalence, DetectsDifference) {
+  const Network a = make_xor_and();
+  Network b("t");
+  const SigId x = b.add_input("a");
+  const SigId y = b.add_input("b");
+  const SigId z = b.add_input("c");
+  const SigId o = gate_or(b, x, y);  // OR instead of XOR
+  b.add_output(gate_and(b, o, z), "y0");
+  b.add_output(o, "y1");
+  const auto res = check_equivalence(a, b);
+  EXPECT_FALSE(res.equivalent);
+  ASSERT_TRUE(res.counterexample.has_value());
+  // The counterexample must actually differentiate the two networks.
+  EXPECT_NE(a.eval(*res.counterexample), b.eval(*res.counterexample));
+}
+
+TEST(Equivalence, RandomModeOnWideNetworks) {
+  // 20 inputs: above the default exhaustive limit.
+  Network a("wide"), b("wide");
+  std::vector<SigId> xa, xb;
+  for (int i = 0; i < 20; ++i) {
+    xa.push_back(a.add_input("x" + std::to_string(i)));
+    xb.push_back(b.add_input("x" + std::to_string(i)));
+  }
+  a.add_output(circuits::gate_tree(a, xa, gate_xor), "y");
+  b.add_output(circuits::gate_tree(b, xb, gate_xor), "y");
+  const auto res = check_equivalence(a, b);
+  EXPECT_TRUE(res.equivalent);
+  EXPECT_FALSE(res.exhaustive);
+
+  // Flip one leaf: must be caught by random vectors (parity differs on every
+  // input, so any vector is a counterexample).
+  Network c = b;
+  c.node(c.outputs()[0]).func = ~c.node(c.outputs()[0]).func;
+  EXPECT_FALSE(check_equivalence(a, c).equivalent);
+}
+
+}  // namespace
+}  // namespace imodec

@@ -1,0 +1,103 @@
+// Tests for the subset(δ, ℓ) threshold construction (paper Fig. 4) and the
+// fused cube-threshold variant.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "imodec/subset.hpp"
+
+namespace imodec {
+namespace {
+
+using bdd::Bdd;
+using bdd::Manager;
+
+TEST(Subset, BoundaryCases) {
+  Manager mgr(4);
+  EXPECT_TRUE(subset_threshold(mgr, 0, 4, 0).is_one());
+  EXPECT_TRUE(subset_threshold(mgr, 5, 4, 0).is_zero());
+  EXPECT_TRUE(subset_threshold(mgr, 0, 0, 0).is_one());
+  EXPECT_TRUE(subset_threshold(mgr, 1, 0, 0).is_zero());
+}
+
+TEST(Subset, AtLeastOneIsDisjunction) {
+  Manager mgr(3);
+  const Bdd tau = subset_threshold(mgr, 1, 3, 0);
+  const Bdd expect = Bdd::var(mgr, 0) | Bdd::var(mgr, 1) | Bdd::var(mgr, 2);
+  EXPECT_EQ(tau, expect);
+}
+
+TEST(Subset, AllIsConjunction) {
+  Manager mgr(3);
+  const Bdd tau = subset_threshold(mgr, 3, 3, 0);
+  const Bdd expect = Bdd::var(mgr, 0) & Bdd::var(mgr, 1) & Bdd::var(mgr, 2);
+  EXPECT_EQ(tau, expect);
+}
+
+class SubsetThreshold
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>> {};
+
+TEST_P(SubsetThreshold, MatchesPopcountSemantics) {
+  const auto [delta, ell] = GetParam();
+  Manager mgr(ell);
+  const Bdd tau = subset_threshold(mgr, delta, ell, 0);
+  std::vector<bool> a(ell, false);
+  for (std::uint64_t pat = 0; pat < (std::uint64_t{1} << ell); ++pat) {
+    for (unsigned v = 0; v < ell; ++v) a[v] = (pat >> v) & 1;
+    EXPECT_EQ(tau.eval(a),
+              static_cast<unsigned>(std::popcount(pat)) >= delta)
+        << "pat " << pat;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DeltaEll, SubsetThreshold,
+    ::testing::Values(std::tuple{1u, 5u}, std::tuple{2u, 5u},
+                      std::tuple{3u, 5u}, std::tuple{5u, 5u},
+                      std::tuple{2u, 7u}, std::tuple{4u, 8u},
+                      std::tuple{7u, 8u}, std::tuple{3u, 9u}));
+
+TEST(Subset, VariableOffset) {
+  Manager mgr(6);
+  const Bdd tau = subset_threshold(mgr, 2, 3, 3);  // over vars 3,4,5
+  std::vector<bool> a(6, false);
+  a[3] = a[5] = true;
+  EXPECT_TRUE(tau.eval(a));
+  a[5] = false;
+  EXPECT_FALSE(tau.eval(a));
+  // Must not depend on vars 0..2.
+  const auto sup = tau.support();
+  for (unsigned v : sup) EXPECT_GE(v, 3u);
+}
+
+TEST(Subset, SizeIsLinearInDeltaTimesEll) {
+  // The threshold BDD has O(δ·ℓ) nodes; check a generous bound to catch
+  // accidental exponential blowups.
+  Manager mgr(32);
+  const Bdd tau = subset_threshold(mgr, 16, 32, 0);
+  EXPECT_LE(tau.dag_size(), 16u * 32u + 64u);
+}
+
+TEST(ThresholdOverCubes, SubstitutesTerms) {
+  // Terms: (z0 & z1), (~z0), (z2). At least 2 true.
+  Manager mgr(3);
+  const Bdd z0 = Bdd::var(mgr, 0), z1 = Bdd::var(mgr, 1), z2 = Bdd::var(mgr, 2);
+  const std::vector<Bdd> terms{z0 & z1, ~z0, z2};
+  const Bdd t = threshold_over_cubes(mgr, 2, terms);
+  std::vector<bool> a(3, false);
+  for (std::uint64_t pat = 0; pat < 8; ++pat) {
+    for (unsigned v = 0; v < 3; ++v) a[v] = (pat >> v) & 1;
+    const int count = (a[0] && a[1]) + (!a[0]) + a[2];
+    EXPECT_EQ(t.eval(a), count >= 2) << pat;
+  }
+}
+
+TEST(ThresholdOverCubes, EmptyTermList) {
+  Manager mgr(2);
+  EXPECT_TRUE(threshold_over_cubes(mgr, 0, {}).is_one());
+  EXPECT_TRUE(threshold_over_cubes(mgr, 1, {}).is_zero());
+}
+
+}  // namespace
+}  // namespace imodec

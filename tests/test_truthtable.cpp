@@ -1,0 +1,97 @@
+// Unit tests for TruthTable.
+
+#include <gtest/gtest.h>
+
+#include "logic/truthtable.hpp"
+#include "util/rng.hpp"
+
+namespace imodec {
+namespace {
+
+TEST(TruthTable, ConstantsAndVars) {
+  TruthTable zero(3);
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_TRUE(zero.is_constant());
+  TruthTable one(3, true);
+  EXPECT_TRUE(one.is_constant());
+  EXPECT_EQ(one.count_ones(), 8u);
+
+  const TruthTable x1 = TruthTable::var(3, 1);
+  for (std::uint64_t row = 0; row < 8; ++row)
+    EXPECT_EQ(x1.eval(row), (row >> 1) & 1);
+  EXPECT_EQ(x1.count_ones(), 4u);
+}
+
+TEST(TruthTable, FromString) {
+  const TruthTable t = TruthTable::from_string("0110");
+  EXPECT_EQ(t.num_vars(), 2u);
+  EXPECT_FALSE(t.eval(0));
+  EXPECT_TRUE(t.eval(1));
+  EXPECT_TRUE(t.eval(2));
+  EXPECT_FALSE(t.eval(3));
+  EXPECT_EQ(t.to_string(), "0110");
+}
+
+TEST(TruthTable, Operators) {
+  const TruthTable a = TruthTable::var(2, 0);
+  const TruthTable b = TruthTable::var(2, 1);
+  EXPECT_EQ((a & b).to_string(), "0001");
+  EXPECT_EQ((a | b).to_string(), "0111");
+  EXPECT_EQ((a ^ b).to_string(), "0110");
+  EXPECT_EQ((~a).to_string(), "1010");
+}
+
+TEST(TruthTable, Cofactor) {
+  const TruthTable a = TruthTable::var(3, 0);
+  const TruthTable b = TruthTable::var(3, 1);
+  const TruthTable f = a ^ b;
+  EXPECT_EQ(f.cofactor(0, false), b);
+  EXPECT_EQ(f.cofactor(0, true), ~b);
+  // Cofactored variable becomes a don't-care.
+  EXPECT_TRUE(f.cofactor(0, false).is_dont_care(0));
+}
+
+TEST(TruthTable, SupportAndDontCare) {
+  const TruthTable f =
+      TruthTable::var(4, 0) & TruthTable::var(4, 2);
+  EXPECT_EQ(f.support(), (std::vector<unsigned>{0, 2}));
+  EXPECT_TRUE(f.is_dont_care(1));
+  EXPECT_TRUE(f.is_dont_care(3));
+  EXPECT_FALSE(f.is_dont_care(0));
+}
+
+TEST(TruthTable, PermuteShrinksToSupport) {
+  const TruthTable f =
+      TruthTable::var(4, 1) ^ TruthTable::var(4, 3);
+  const TruthTable g = f.permute({1, 3});
+  EXPECT_EQ(g.num_vars(), 2u);
+  const TruthTable expect = TruthTable::var(2, 0) ^ TruthTable::var(2, 1);
+  EXPECT_EQ(g, expect);
+}
+
+TEST(TruthTable, PermuteReorders) {
+  // f(x0,x1) = x0 & ~x1; swap variables.
+  const TruthTable f = TruthTable::var(2, 0) & ~TruthTable::var(2, 1);
+  const TruthTable g = f.permute({1, 0});
+  const TruthTable expect = ~TruthTable::var(2, 0) & TruthTable::var(2, 1);
+  EXPECT_EQ(g, expect);
+}
+
+TEST(TruthTable, PermuteRoundTrip) {
+  Rng rng(99);
+  TruthTable f(5);
+  for (std::uint64_t row = 0; row < f.num_rows(); ++row)
+    f.set(row, rng.coin());
+  const TruthTable g = f.permute({4, 3, 2, 1, 0});
+  const TruthTable back = g.permute({4, 3, 2, 1, 0});
+  EXPECT_EQ(back, f);
+}
+
+TEST(TruthTable, HashConsistency) {
+  const TruthTable a = TruthTable::var(3, 0);
+  const TruthTable b = TruthTable::var(3, 0);
+  EXPECT_EQ(a.hash(), b.hash());
+}
+
+}  // namespace
+}  // namespace imodec

@@ -1,0 +1,227 @@
+// Unit tests for the utility layer: BitVec, BigFloat, Rng, combinatorics,
+// string helpers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/bigfloat.hpp"
+#include "util/bitvec.hpp"
+#include "util/combinatorics.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace imodec {
+namespace {
+
+TEST(BitVec, BasicSetGet) {
+  BitVec v(130);
+  EXPECT_EQ(v.size(), 130u);
+  EXPECT_TRUE(v.none());
+  v.set(0, true);
+  v.set(64, true);
+  v.set(129, true);
+  EXPECT_TRUE(v.get(0));
+  EXPECT_TRUE(v.get(64));
+  EXPECT_TRUE(v.get(129));
+  EXPECT_FALSE(v.get(1));
+  EXPECT_EQ(v.count(), 3u);
+  EXPECT_EQ(v.first_set(), 0u);
+  v.set(0, false);
+  EXPECT_EQ(v.first_set(), 64u);
+}
+
+TEST(BitVec, FillAndComplementNormalizeTail) {
+  BitVec v(70, true);
+  EXPECT_EQ(v.count(), 70u);
+  EXPECT_TRUE(v.all());
+  v.complement();
+  EXPECT_TRUE(v.none());
+  v.complement();
+  EXPECT_EQ(v.count(), 70u);  // tail bits must not leak into count
+}
+
+TEST(BitVec, BitwiseOps) {
+  BitVec a(100), b(100);
+  for (std::size_t i = 0; i < 100; i += 2) a.set(i, true);
+  for (std::size_t i = 0; i < 100; i += 3) b.set(i, true);
+  const BitVec both = a & b;
+  for (std::size_t i = 0; i < 100; ++i)
+    EXPECT_EQ(both.get(i), i % 6 == 0) << i;
+  const BitVec any = a | b;
+  for (std::size_t i = 0; i < 100; ++i)
+    EXPECT_EQ(any.get(i), i % 2 == 0 || i % 3 == 0) << i;
+  const BitVec diff = a ^ b;
+  for (std::size_t i = 0; i < 100; ++i)
+    EXPECT_EQ(diff.get(i), (i % 2 == 0) != (i % 3 == 0)) << i;
+}
+
+TEST(BitVec, SubsetAndDisjoint) {
+  BitVec a(64), b(64);
+  a.set(3, true);
+  a.set(40, true);
+  b.set(3, true);
+  b.set(40, true);
+  b.set(41, true);
+  EXPECT_TRUE(a.is_subset_of(b));
+  EXPECT_FALSE(b.is_subset_of(a));
+  BitVec c(64);
+  c.set(5, true);
+  EXPECT_TRUE(a.disjoint_with(c));
+  EXPECT_FALSE(a.disjoint_with(b));
+}
+
+TEST(BitVec, HashDiscriminates) {
+  BitVec a(64), b(64);
+  a.set(1, true);
+  b.set(2, true);
+  EXPECT_NE(a.hash(), b.hash());
+  BitVec a2(64);
+  a2.set(1, true);
+  EXPECT_EQ(a.hash(), a2.hash());
+}
+
+TEST(BitVec, Resize) {
+  BitVec v(10, true);
+  v.resize(100);
+  EXPECT_EQ(v.count(), 10u);
+  v.resize(5);
+  EXPECT_EQ(v.count(), 5u);
+}
+
+TEST(BigFloat, SmallValuesRoundTrip) {
+  EXPECT_DOUBLE_EQ(BigFloat{0.0}.to_double(), 0.0);
+  EXPECT_DOUBLE_EQ(BigFloat{1.0}.to_double(), 1.0);
+  EXPECT_DOUBLE_EQ(BigFloat{12345.0}.to_double(), 12345.0);
+  EXPECT_DOUBLE_EQ(BigFloat{0.5}.to_double(), 0.5);
+}
+
+TEST(BigFloat, AddMul) {
+  BigFloat a{3.0}, b{4.0};
+  EXPECT_DOUBLE_EQ((a + b).to_double(), 7.0);
+  EXPECT_DOUBLE_EQ((a * b).to_double(), 12.0);
+  EXPECT_DOUBLE_EQ((a + BigFloat{}).to_double(), 3.0);
+  EXPECT_TRUE((a * BigFloat{}).is_zero());
+}
+
+TEST(BigFloat, HugeMagnitudes) {
+  // 2^(2^8) = 2^256 ~ 1.16e77, the alu4 assignable bound of Table 1.
+  const BigFloat huge = BigFloat::from_pow2(256);
+  EXPECT_NEAR(huge.log10(), 256 * std::log10(2.0), 1e-9);
+  EXPECT_EQ(huge.to_string(2), "1.2e+77");
+  // Beyond double range.
+  const BigFloat enormous = BigFloat::from_pow2(5000);
+  EXPECT_TRUE(std::isinf(enormous.to_double()));
+  EXPECT_NEAR(enormous.log10(), 5000 * std::log10(2.0), 1e-6);
+}
+
+TEST(BigFloat, AdditionAcrossScales) {
+  BigFloat big = BigFloat::from_pow2(100);
+  const BigFloat tiny{1.0};
+  const BigFloat sum = big + tiny;  // tiny vanishes at this scale
+  EXPECT_EQ(sum.compare(big), 0);
+  BigFloat acc;
+  for (int i = 0; i < 1000; ++i) acc += BigFloat{1.0};
+  EXPECT_DOUBLE_EQ(acc.to_double(), 1000.0);
+}
+
+TEST(BigFloat, Compare) {
+  EXPECT_LT(BigFloat{3.0}, BigFloat{4.0});
+  EXPECT_LT(BigFloat{}, BigFloat{1e-10});
+  EXPECT_LT(BigFloat::from_pow2(100), BigFloat::from_pow2(101));
+  EXPECT_EQ(BigFloat{8.0}.compare(BigFloat::from_pow2(3)), 0);
+}
+
+TEST(BigFloat, ToStringIntegerAndScientific) {
+  EXPECT_EQ(BigFloat{2.0}.to_string(), "2");
+  EXPECT_EQ(BigFloat{30.0}.to_string(), "30");
+  EXPECT_EQ(BigFloat{4.3e9}.to_string(2), "4.3e+9");
+  EXPECT_EQ(BigFloat{1.3e7}.to_string(2), "1.3e+7");
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool differs = false;
+  for (int i = 0; i < 10; ++i) differs |= (a.next() != b.next());
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.below(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all values hit over 1000 draws
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(9);
+  for (int i = 0; i < 200; ++i) {
+    const auto v = rng.range(5, 7);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 7u);
+  }
+}
+
+TEST(Combinatorics, Binomials) {
+  EXPECT_DOUBLE_EQ(big_binomial(5, 2).to_double(), 10.0);
+  EXPECT_DOUBLE_EQ(big_binomial(10, 0).to_double(), 1.0);
+  EXPECT_DOUBLE_EQ(big_binomial(10, 10).to_double(), 1.0);
+  EXPECT_TRUE(big_binomial(3, 5).is_zero());
+  EXPECT_NEAR(big_binomial(100, 50).log10(), std::log10(1.0089134e29), 1e-6);
+}
+
+TEST(Combinatorics, MixedLabelings) {
+  EXPECT_TRUE(big_mixed_labelings(1).is_zero());
+  EXPECT_DOUBLE_EQ(big_mixed_labelings(2).to_double(), 2.0);
+  EXPECT_DOUBLE_EQ(big_mixed_labelings(4).to_double(), 14.0);
+  EXPECT_NEAR(big_mixed_labelings(100).log10(), 100 * std::log10(2.0), 1e-9);
+}
+
+TEST(Combinatorics, CeilLog2) {
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(ceil_log2(4), 2);
+  EXPECT_EQ(ceil_log2(5), 3);
+  EXPECT_EQ(ceil_log2(1u << 20), 20);
+  EXPECT_EQ(ceil_log2((1u << 20) + 1), 21);
+}
+
+TEST(Strings, Split) {
+  const auto t = split("  a b\tcc   ");
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[0], "a");
+  EXPECT_EQ(t[1], "b");
+  EXPECT_EQ(t[2], "cc");
+  EXPECT_TRUE(split("").empty());
+  EXPECT_TRUE(split(" \t ").empty());
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("x"), "x");
+  EXPECT_EQ(trim(" \r\n"), "");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with(".names a b", ".names"));
+  EXPECT_FALSE(starts_with(".name", ".names"));
+}
+
+TEST(Strings, Strprintf) {
+  EXPECT_EQ(strprintf("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(strprintf("%5.1f", 3.25), "  3.2");
+}
+
+}  // namespace
+}  // namespace imodec

@@ -1,0 +1,92 @@
+// Tests for XC3000 CLB packing.
+
+#include <gtest/gtest.h>
+
+#include "circuits/gates.hpp"
+#include "circuits/registry.hpp"
+#include "map/lutflow.hpp"
+#include "map/xc3000.hpp"
+
+namespace imodec {
+namespace {
+
+using circuits::gate_and;
+using circuits::gate_or;
+
+Network five_input_node() {
+  Network net("t");
+  std::vector<SigId> pis;
+  for (int i = 0; i < 5; ++i)
+    pis.push_back(net.add_input("x" + std::to_string(i)));
+  TruthTable t(5);
+  t.set(31, true);
+  net.add_output(net.add_node(pis, t), "y");
+  return net;
+}
+
+TEST(Xc3000, SingleFiveInputNodeIsOneClb) {
+  const auto p = pack_xc3000(five_input_node());
+  EXPECT_EQ(p.clbs, 1u);
+  EXPECT_EQ(p.single_function_blocks, 1u);
+  EXPECT_EQ(p.paired_blocks, 0u);
+}
+
+TEST(Xc3000, TwoSmallNodesSharingInputsPairUp) {
+  Network net("t");
+  const SigId a = net.add_input("a");
+  const SigId b = net.add_input("b");
+  const SigId c = net.add_input("c");
+  net.add_output(gate_and(net, a, b), "y0");
+  net.add_output(gate_or(net, b, c), "y1");
+  const auto p = pack_xc3000(net);
+  EXPECT_EQ(p.clbs, 1u);  // union support = {a,b,c} <= 5 pins
+  EXPECT_EQ(p.paired_blocks, 1u);
+}
+
+TEST(Xc3000, DisjointWideNodesCannotPair) {
+  // Two 4-input nodes with disjoint supports need 8 pins: two CLBs.
+  Network net("t");
+  std::vector<SigId> pis;
+  for (int i = 0; i < 8; ++i)
+    pis.push_back(net.add_input("x" + std::to_string(i)));
+  TruthTable t(4);
+  t.set(15, true);
+  net.add_output(net.add_node({pis[0], pis[1], pis[2], pis[3]}, t), "y0");
+  net.add_output(net.add_node({pis[4], pis[5], pis[6], pis[7]}, t), "y1");
+  const auto p = pack_xc3000(net);
+  EXPECT_EQ(p.clbs, 2u);
+  EXPECT_EQ(p.paired_blocks, 0u);
+}
+
+TEST(Xc3000, DanglingNodesAreNotPacked) {
+  Network net("t");
+  const SigId a = net.add_input("a");
+  const SigId b = net.add_input("b");
+  const SigId live = gate_and(net, a, b);
+  gate_or(net, a, b);  // dead: not reachable from outputs
+  net.add_output(live, "y");
+  const auto p = pack_xc3000(net);
+  EXPECT_EQ(p.clbs, 1u);
+}
+
+TEST(Xc3000, ConstantsAndInputsAreFree) {
+  Network net("t");
+  const SigId a = net.add_input("a");
+  const SigId one = net.add_constant(true);
+  net.add_output(a, "y0");
+  net.add_output(one, "y1");
+  const auto p = pack_xc3000(net);
+  EXPECT_EQ(p.clbs, 0u);
+}
+
+TEST(Xc3000, PackingIsNeverWorseThanNodeCount) {
+  const auto collapsed = collapse_network(*circuits::make_benchmark("rd84"));
+  ASSERT_TRUE(collapsed.has_value());
+  const FlowResult r = decompose_to_luts(*collapsed, {});
+  const auto p = pack_xc3000(r.network);
+  EXPECT_LE(p.clbs, r.stats.luts);
+  EXPECT_GE(p.clbs, (r.stats.luts + 1) / 2);  // at most 2 functions per CLB
+}
+
+}  // namespace
+}  // namespace imodec

@@ -1,0 +1,104 @@
+// Tests for XC4000 CLB packing (extension target).
+
+#include <gtest/gtest.h>
+
+#include "circuits/gates.hpp"
+#include "circuits/registry.hpp"
+#include "map/lutflow.hpp"
+#include "map/xc4000.hpp"
+
+namespace imodec {
+namespace {
+
+using circuits::gate_and;
+using circuits::gate_or;
+using circuits::gate_xor;
+
+TEST(Xc4000, SingleSmallNode) {
+  Network net("t");
+  const SigId a = net.add_input("a");
+  const SigId b = net.add_input("b");
+  net.add_output(gate_and(net, a, b), "y");
+  const auto p = pack_xc4000(net);
+  EXPECT_EQ(p.clbs, 1u);
+  EXPECT_EQ(p.single_blocks, 1u);
+  EXPECT_EQ(p.h_patterns, 0u);
+}
+
+TEST(Xc4000, HPatternAbsorbsTwoLevelCone) {
+  // y = (a & b) | (c ^ d): root OR with two single-fanout LUT fanins.
+  Network net("t");
+  const SigId a = net.add_input("a");
+  const SigId b = net.add_input("b");
+  const SigId c = net.add_input("c");
+  const SigId d = net.add_input("d");
+  const SigId f = gate_and(net, a, b);
+  const SigId g = gate_xor(net, c, d);
+  net.add_output(gate_or(net, f, g), "y");
+  const auto p = pack_xc4000(net);
+  EXPECT_EQ(p.clbs, 1u);
+  EXPECT_EQ(p.h_patterns, 1u);
+}
+
+TEST(Xc4000, SharedFaninBlocksAbsorption) {
+  // The AND feeds two consumers: it cannot vanish into an H pattern.
+  Network net("t");
+  const SigId a = net.add_input("a");
+  const SigId b = net.add_input("b");
+  const SigId c = net.add_input("c");
+  const SigId f = gate_and(net, a, b);
+  const SigId y0 = gate_or(net, f, c);
+  net.add_output(y0, "y0");
+  net.add_output(f, "y1");  // second fanout via output
+  const auto p = pack_xc4000(net);
+  // Two nodes, no H pattern (f is an output), one paired CLB.
+  EXPECT_EQ(p.h_patterns, 0u);
+  EXPECT_EQ(p.clbs, 1u);
+  EXPECT_EQ(p.paired_blocks, 1u);
+}
+
+TEST(Xc4000, PairingLeftovers) {
+  Network net("t");
+  std::vector<SigId> pis;
+  for (int i = 0; i < 8; ++i)
+    pis.push_back(net.add_input("x" + std::to_string(i)));
+  for (int i = 0; i < 3; ++i)
+    net.add_output(gate_and(net, pis[2 * i], pis[2 * i + 1]),
+                   "y" + std::to_string(i));
+  const auto p = pack_xc4000(net);
+  EXPECT_EQ(p.clbs, 2u);  // 3 nodes -> 1 pair + 1 single
+  EXPECT_EQ(p.paired_blocks, 1u);
+  EXPECT_EQ(p.single_blocks, 1u);
+}
+
+TEST(Xc4000, FullFlowAtK4) {
+  const auto collapsed = collapse_network(*circuits::make_benchmark("rd84"));
+  ASSERT_TRUE(collapsed.has_value());
+  FlowOptions opts;
+  opts.k = 4;
+  const FlowResult r = decompose_to_luts(*collapsed, opts);
+  const auto p = pack_xc4000(r.network);
+  EXPECT_GT(p.clbs, 0u);
+  // Upper bound: one node per CLB; lower bound: three nodes per CLB (H).
+  EXPECT_LE(p.clbs, r.stats.luts);
+  EXPECT_GE(p.clbs * 3, r.stats.luts);
+}
+
+TEST(Xc4000, HPatternBeatsNaivePairingOnChains) {
+  // A chain of 2-level cones profits from H absorption.
+  Network net("t");
+  std::vector<SigId> pis;
+  for (int i = 0; i < 12; ++i)
+    pis.push_back(net.add_input("x" + std::to_string(i)));
+  for (int i = 0; i < 3; ++i) {
+    const SigId f = gate_and(net, pis[4 * i], pis[4 * i + 1]);
+    const SigId g = gate_xor(net, pis[4 * i + 2], pis[4 * i + 3]);
+    net.add_output(gate_or(net, f, g), "y" + std::to_string(i));
+  }
+  const auto p = pack_xc4000(net);
+  EXPECT_EQ(p.h_patterns, 3u);
+  EXPECT_EQ(p.clbs, 3u);  // 9 nodes in 3 CLBs
+}
+
+}  // namespace
+}  // namespace imodec

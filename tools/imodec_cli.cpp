@@ -1,0 +1,122 @@
+// imodec — command-line front end to the synthesis pipeline (the role the
+// IMODEC program plays inside TOS in the paper's §7).
+//
+// Usage:
+//   imodec [options] <input.blif|input.pla|@circuit>
+//
+// Inputs: BLIF or PLA files (decided by extension, '.pla' vs anything else),
+// or a built-in benchmark by name with a leading '@' (e.g. @rd84).
+//
+// Options:
+//   -k <n>          LUT input count (default 5)
+//   --single        single-output decomposition baseline
+//   --strict        strict codes (one code per compatibility class)
+//   --classical     classical flow: kernel extraction + per-output mapping
+//   --no-collapse   skip collapsing; restructure instead
+//   --no-verify     skip the equivalence check
+//   -o <file>       write the mapped network as BLIF
+//   --list          list built-in benchmark names and exit
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "circuits/registry.hpp"
+#include "logic/blif.hpp"
+#include "logic/pla.hpp"
+#include "map/driver.hpp"
+
+using namespace imodec;
+
+namespace {
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [-k n] [--single] [--strict] [--no-collapse] "
+               "[--no-verify] [-o out.blif] <input.blif|input.pla|@name>\n"
+               "       %s --list\n",
+               argv0, argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  DriverOptions opts;
+  std::string input;
+  std::string output;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-k" && i + 1 < argc) {
+      opts.flow.k = static_cast<unsigned>(std::stoul(argv[++i]));
+      if (opts.flow.k < 2 || opts.flow.k > 16) {
+        std::fprintf(stderr, "imodec: -k must be in [2, 16]\n");
+        return 2;
+      }
+    } else if (arg == "--single") {
+      opts.flow.multi_output = false;
+    } else if (arg == "--strict") {
+      opts.flow.imodec.strict = true;
+    } else if (arg == "--classical") {
+      opts.classical = true;
+    } else if (arg == "--no-collapse") {
+      opts.collapse = false;
+    } else if (arg == "--no-verify") {
+      opts.verify = false;
+    } else if (arg == "-o" && i + 1 < argc) {
+      output = argv[++i];
+    } else if (arg == "--list") {
+      for (const auto& name : circuits::benchmark_names())
+        std::printf("%s\n", name.c_str());
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(argv[0]);
+    } else {
+      input = arg;
+    }
+  }
+  if (input.empty()) return usage(argv[0]);
+
+  Network net;
+  try {
+    if (input[0] == '@') {
+      const auto bench = circuits::make_benchmark(input.substr(1));
+      if (!bench) {
+        std::fprintf(stderr, "imodec: unknown benchmark '%s' (try --list)\n",
+                     input.c_str() + 1);
+        return 1;
+      }
+      net = *bench;
+    } else if (ends_with(input, ".pla")) {
+      net = read_pla_file(input);
+    } else {
+      net = read_blif_file(input);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "imodec: %s\n", e.what());
+    return 1;
+  }
+
+  Network mapped;
+  const DriverReport rep = run_synthesis(net, opts, mapped);
+  std::fputs(format_report(net.name().empty() ? input : net.name(), rep)
+                 .c_str(),
+             stdout);
+
+  if (!output.empty()) {
+    try {
+      write_blif_file(output, mapped);
+      std::printf("wrote %s\n", output.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "imodec: %s\n", e.what());
+      return 1;
+    }
+  }
+  return rep.verified ? 0 : 1;
+}
