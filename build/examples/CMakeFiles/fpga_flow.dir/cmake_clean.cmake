@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpga_flow.dir/fpga_flow.cpp.o"
+  "CMakeFiles/fpga_flow.dir/fpga_flow.cpp.o.d"
+  "fpga_flow"
+  "fpga_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpga_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

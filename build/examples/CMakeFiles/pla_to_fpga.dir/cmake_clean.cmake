@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pla_to_fpga.dir/pla_to_fpga.cpp.o"
+  "CMakeFiles/pla_to_fpga.dir/pla_to_fpga.cpp.o.d"
+  "pla_to_fpga"
+  "pla_to_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pla_to_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_logic.dir/shared_logic.cpp.o"
+  "CMakeFiles/shared_logic.dir/shared_logic.cpp.o.d"
+  "shared_logic"
+  "shared_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bdd/add.cpp" "src/bdd/CMakeFiles/imodec_bdd.dir/add.cpp.o" "gcc" "src/bdd/CMakeFiles/imodec_bdd.dir/add.cpp.o.d"
+  "/root/repo/src/bdd/dot.cpp" "src/bdd/CMakeFiles/imodec_bdd.dir/dot.cpp.o" "gcc" "src/bdd/CMakeFiles/imodec_bdd.dir/dot.cpp.o.d"
+  "/root/repo/src/bdd/manager.cpp" "src/bdd/CMakeFiles/imodec_bdd.dir/manager.cpp.o" "gcc" "src/bdd/CMakeFiles/imodec_bdd.dir/manager.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/imodec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

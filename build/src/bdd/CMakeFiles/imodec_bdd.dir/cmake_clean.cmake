@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imodec_bdd.dir/add.cpp.o"
+  "CMakeFiles/imodec_bdd.dir/add.cpp.o.d"
+  "CMakeFiles/imodec_bdd.dir/dot.cpp.o"
+  "CMakeFiles/imodec_bdd.dir/dot.cpp.o.d"
+  "CMakeFiles/imodec_bdd.dir/manager.cpp.o"
+  "CMakeFiles/imodec_bdd.dir/manager.cpp.o.d"
+  "libimodec_bdd.a"
+  "libimodec_bdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imodec_bdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libimodec_bdd.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuits/gates.cpp" "src/circuits/CMakeFiles/imodec_circuits.dir/gates.cpp.o" "gcc" "src/circuits/CMakeFiles/imodec_circuits.dir/gates.cpp.o.d"
+  "/root/repo/src/circuits/generators.cpp" "src/circuits/CMakeFiles/imodec_circuits.dir/generators.cpp.o" "gcc" "src/circuits/CMakeFiles/imodec_circuits.dir/generators.cpp.o.d"
+  "/root/repo/src/circuits/registry.cpp" "src/circuits/CMakeFiles/imodec_circuits.dir/registry.cpp.o" "gcc" "src/circuits/CMakeFiles/imodec_circuits.dir/registry.cpp.o.d"
+  "/root/repo/src/circuits/synthetic.cpp" "src/circuits/CMakeFiles/imodec_circuits.dir/synthetic.cpp.o" "gcc" "src/circuits/CMakeFiles/imodec_circuits.dir/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/logic/CMakeFiles/imodec_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/imodec_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/imodec_bdd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imodec_circuits.dir/gates.cpp.o"
+  "CMakeFiles/imodec_circuits.dir/gates.cpp.o.d"
+  "CMakeFiles/imodec_circuits.dir/generators.cpp.o"
+  "CMakeFiles/imodec_circuits.dir/generators.cpp.o.d"
+  "CMakeFiles/imodec_circuits.dir/registry.cpp.o"
+  "CMakeFiles/imodec_circuits.dir/registry.cpp.o.d"
+  "CMakeFiles/imodec_circuits.dir/synthetic.cpp.o"
+  "CMakeFiles/imodec_circuits.dir/synthetic.cpp.o.d"
+  "libimodec_circuits.a"
+  "libimodec_circuits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imodec_circuits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/decomp/chart.cpp" "src/decomp/CMakeFiles/imodec_decomp.dir/chart.cpp.o" "gcc" "src/decomp/CMakeFiles/imodec_decomp.dir/chart.cpp.o.d"
+  "/root/repo/src/decomp/classes.cpp" "src/decomp/CMakeFiles/imodec_decomp.dir/classes.cpp.o" "gcc" "src/decomp/CMakeFiles/imodec_decomp.dir/classes.cpp.o.d"
+  "/root/repo/src/decomp/single.cpp" "src/decomp/CMakeFiles/imodec_decomp.dir/single.cpp.o" "gcc" "src/decomp/CMakeFiles/imodec_decomp.dir/single.cpp.o.d"
+  "/root/repo/src/decomp/types.cpp" "src/decomp/CMakeFiles/imodec_decomp.dir/types.cpp.o" "gcc" "src/decomp/CMakeFiles/imodec_decomp.dir/types.cpp.o.d"
+  "/root/repo/src/decomp/varpart.cpp" "src/decomp/CMakeFiles/imodec_decomp.dir/varpart.cpp.o" "gcc" "src/decomp/CMakeFiles/imodec_decomp.dir/varpart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/logic/CMakeFiles/imodec_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/imodec_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/imodec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

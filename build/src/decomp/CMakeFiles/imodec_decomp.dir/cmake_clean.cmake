@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imodec_decomp.dir/chart.cpp.o"
+  "CMakeFiles/imodec_decomp.dir/chart.cpp.o.d"
+  "CMakeFiles/imodec_decomp.dir/classes.cpp.o"
+  "CMakeFiles/imodec_decomp.dir/classes.cpp.o.d"
+  "CMakeFiles/imodec_decomp.dir/single.cpp.o"
+  "CMakeFiles/imodec_decomp.dir/single.cpp.o.d"
+  "CMakeFiles/imodec_decomp.dir/types.cpp.o"
+  "CMakeFiles/imodec_decomp.dir/types.cpp.o.d"
+  "CMakeFiles/imodec_decomp.dir/varpart.cpp.o"
+  "CMakeFiles/imodec_decomp.dir/varpart.cpp.o.d"
+  "libimodec_decomp.a"
+  "libimodec_decomp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imodec_decomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/imodec/chi.cpp" "src/imodec/CMakeFiles/imodec_core.dir/chi.cpp.o" "gcc" "src/imodec/CMakeFiles/imodec_core.dir/chi.cpp.o.d"
+  "/root/repo/src/imodec/counting.cpp" "src/imodec/CMakeFiles/imodec_core.dir/counting.cpp.o" "gcc" "src/imodec/CMakeFiles/imodec_core.dir/counting.cpp.o.d"
+  "/root/repo/src/imodec/engine.cpp" "src/imodec/CMakeFiles/imodec_core.dir/engine.cpp.o" "gcc" "src/imodec/CMakeFiles/imodec_core.dir/engine.cpp.o.d"
+  "/root/repo/src/imodec/lmax.cpp" "src/imodec/CMakeFiles/imodec_core.dir/lmax.cpp.o" "gcc" "src/imodec/CMakeFiles/imodec_core.dir/lmax.cpp.o.d"
+  "/root/repo/src/imodec/subset.cpp" "src/imodec/CMakeFiles/imodec_core.dir/subset.cpp.o" "gcc" "src/imodec/CMakeFiles/imodec_core.dir/subset.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/decomp/CMakeFiles/imodec_decomp.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/imodec_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/imodec_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/imodec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

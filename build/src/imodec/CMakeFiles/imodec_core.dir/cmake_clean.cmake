@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imodec_core.dir/chi.cpp.o"
+  "CMakeFiles/imodec_core.dir/chi.cpp.o.d"
+  "CMakeFiles/imodec_core.dir/counting.cpp.o"
+  "CMakeFiles/imodec_core.dir/counting.cpp.o.d"
+  "CMakeFiles/imodec_core.dir/engine.cpp.o"
+  "CMakeFiles/imodec_core.dir/engine.cpp.o.d"
+  "CMakeFiles/imodec_core.dir/lmax.cpp.o"
+  "CMakeFiles/imodec_core.dir/lmax.cpp.o.d"
+  "CMakeFiles/imodec_core.dir/subset.cpp.o"
+  "CMakeFiles/imodec_core.dir/subset.cpp.o.d"
+  "libimodec_core.a"
+  "libimodec_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imodec_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

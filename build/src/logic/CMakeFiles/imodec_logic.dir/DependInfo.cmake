@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logic/blif.cpp" "src/logic/CMakeFiles/imodec_logic.dir/blif.cpp.o" "gcc" "src/logic/CMakeFiles/imodec_logic.dir/blif.cpp.o.d"
+  "/root/repo/src/logic/cube.cpp" "src/logic/CMakeFiles/imodec_logic.dir/cube.cpp.o" "gcc" "src/logic/CMakeFiles/imodec_logic.dir/cube.cpp.o.d"
+  "/root/repo/src/logic/minimize.cpp" "src/logic/CMakeFiles/imodec_logic.dir/minimize.cpp.o" "gcc" "src/logic/CMakeFiles/imodec_logic.dir/minimize.cpp.o.d"
+  "/root/repo/src/logic/net2bdd.cpp" "src/logic/CMakeFiles/imodec_logic.dir/net2bdd.cpp.o" "gcc" "src/logic/CMakeFiles/imodec_logic.dir/net2bdd.cpp.o.d"
+  "/root/repo/src/logic/network.cpp" "src/logic/CMakeFiles/imodec_logic.dir/network.cpp.o" "gcc" "src/logic/CMakeFiles/imodec_logic.dir/network.cpp.o.d"
+  "/root/repo/src/logic/pla.cpp" "src/logic/CMakeFiles/imodec_logic.dir/pla.cpp.o" "gcc" "src/logic/CMakeFiles/imodec_logic.dir/pla.cpp.o.d"
+  "/root/repo/src/logic/simplify.cpp" "src/logic/CMakeFiles/imodec_logic.dir/simplify.cpp.o" "gcc" "src/logic/CMakeFiles/imodec_logic.dir/simplify.cpp.o.d"
+  "/root/repo/src/logic/simulate.cpp" "src/logic/CMakeFiles/imodec_logic.dir/simulate.cpp.o" "gcc" "src/logic/CMakeFiles/imodec_logic.dir/simulate.cpp.o.d"
+  "/root/repo/src/logic/truthtable.cpp" "src/logic/CMakeFiles/imodec_logic.dir/truthtable.cpp.o" "gcc" "src/logic/CMakeFiles/imodec_logic.dir/truthtable.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/imodec_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/imodec_bdd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imodec_logic.dir/blif.cpp.o"
+  "CMakeFiles/imodec_logic.dir/blif.cpp.o.d"
+  "CMakeFiles/imodec_logic.dir/cube.cpp.o"
+  "CMakeFiles/imodec_logic.dir/cube.cpp.o.d"
+  "CMakeFiles/imodec_logic.dir/minimize.cpp.o"
+  "CMakeFiles/imodec_logic.dir/minimize.cpp.o.d"
+  "CMakeFiles/imodec_logic.dir/net2bdd.cpp.o"
+  "CMakeFiles/imodec_logic.dir/net2bdd.cpp.o.d"
+  "CMakeFiles/imodec_logic.dir/network.cpp.o"
+  "CMakeFiles/imodec_logic.dir/network.cpp.o.d"
+  "CMakeFiles/imodec_logic.dir/pla.cpp.o"
+  "CMakeFiles/imodec_logic.dir/pla.cpp.o.d"
+  "CMakeFiles/imodec_logic.dir/simplify.cpp.o"
+  "CMakeFiles/imodec_logic.dir/simplify.cpp.o.d"
+  "CMakeFiles/imodec_logic.dir/simulate.cpp.o"
+  "CMakeFiles/imodec_logic.dir/simulate.cpp.o.d"
+  "CMakeFiles/imodec_logic.dir/truthtable.cpp.o"
+  "CMakeFiles/imodec_logic.dir/truthtable.cpp.o.d"
+  "libimodec_logic.a"
+  "libimodec_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imodec_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

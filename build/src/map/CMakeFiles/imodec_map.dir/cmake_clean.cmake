@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imodec_map.dir/driver.cpp.o"
+  "CMakeFiles/imodec_map.dir/driver.cpp.o.d"
+  "CMakeFiles/imodec_map.dir/lutflow.cpp.o"
+  "CMakeFiles/imodec_map.dir/lutflow.cpp.o.d"
+  "CMakeFiles/imodec_map.dir/restructure.cpp.o"
+  "CMakeFiles/imodec_map.dir/restructure.cpp.o.d"
+  "CMakeFiles/imodec_map.dir/xc3000.cpp.o"
+  "CMakeFiles/imodec_map.dir/xc3000.cpp.o.d"
+  "CMakeFiles/imodec_map.dir/xc4000.cpp.o"
+  "CMakeFiles/imodec_map.dir/xc4000.cpp.o.d"
+  "libimodec_map.a"
+  "libimodec_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imodec_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

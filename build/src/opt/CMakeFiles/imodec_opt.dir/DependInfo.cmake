@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/algebra.cpp" "src/opt/CMakeFiles/imodec_opt.dir/algebra.cpp.o" "gcc" "src/opt/CMakeFiles/imodec_opt.dir/algebra.cpp.o.d"
+  "/root/repo/src/opt/extract.cpp" "src/opt/CMakeFiles/imodec_opt.dir/extract.cpp.o" "gcc" "src/opt/CMakeFiles/imodec_opt.dir/extract.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/logic/CMakeFiles/imodec_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/imodec_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/imodec_bdd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

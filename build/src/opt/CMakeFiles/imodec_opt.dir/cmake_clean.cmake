@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imodec_opt.dir/algebra.cpp.o"
+  "CMakeFiles/imodec_opt.dir/algebra.cpp.o.d"
+  "CMakeFiles/imodec_opt.dir/extract.cpp.o"
+  "CMakeFiles/imodec_opt.dir/extract.cpp.o.d"
+  "libimodec_opt.a"
+  "libimodec_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imodec_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

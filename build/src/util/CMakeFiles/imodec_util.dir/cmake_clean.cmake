@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imodec_util.dir/bigfloat.cpp.o"
+  "CMakeFiles/imodec_util.dir/bigfloat.cpp.o.d"
+  "CMakeFiles/imodec_util.dir/bitvec.cpp.o"
+  "CMakeFiles/imodec_util.dir/bitvec.cpp.o.d"
+  "CMakeFiles/imodec_util.dir/combinatorics.cpp.o"
+  "CMakeFiles/imodec_util.dir/combinatorics.cpp.o.d"
+  "CMakeFiles/imodec_util.dir/rng.cpp.o"
+  "CMakeFiles/imodec_util.dir/rng.cpp.o.d"
+  "CMakeFiles/imodec_util.dir/strings.cpp.o"
+  "CMakeFiles/imodec_util.dir/strings.cpp.o.d"
+  "libimodec_util.a"
+  "libimodec_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imodec_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

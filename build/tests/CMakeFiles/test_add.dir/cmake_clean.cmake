@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_add.dir/test_add.cpp.o"
+  "CMakeFiles/test_add.dir/test_add.cpp.o.d"
+  "test_add"
+  "test_add.pdb"
+  "test_add[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_add.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_algebra.cpp" "tests/CMakeFiles/test_algebra.dir/test_algebra.cpp.o" "gcc" "tests/CMakeFiles/test_algebra.dir/test_algebra.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/imodec/CMakeFiles/imodec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/map/CMakeFiles/imodec_map.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuits/CMakeFiles/imodec_circuits.dir/DependInfo.cmake"
+  "/root/repo/build/src/decomp/CMakeFiles/imodec_decomp.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/imodec_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/imodec_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/imodec_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/imodec_opt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

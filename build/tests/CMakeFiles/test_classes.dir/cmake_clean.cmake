@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_classes.dir/test_classes.cpp.o"
+  "CMakeFiles/test_classes.dir/test_classes.cpp.o.d"
+  "test_classes"
+  "test_classes.pdb"
+  "test_classes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cube.dir/test_cube.cpp.o"
+  "CMakeFiles/test_cube.dir/test_cube.cpp.o.d"
+  "test_cube"
+  "test_cube.pdb"
+  "test_cube[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

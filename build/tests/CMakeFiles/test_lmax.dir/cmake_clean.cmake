@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lmax.dir/test_lmax.cpp.o"
+  "CMakeFiles/test_lmax.dir/test_lmax.cpp.o.d"
+  "test_lmax"
+  "test_lmax.pdb"
+  "test_lmax[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lmax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lutflow.dir/test_lutflow.cpp.o"
+  "CMakeFiles/test_lutflow.dir/test_lutflow.cpp.o.d"
+  "test_lutflow"
+  "test_lutflow.pdb"
+  "test_lutflow[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lutflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net2bdd.dir/test_net2bdd.cpp.o"
+  "CMakeFiles/test_net2bdd.dir/test_net2bdd.cpp.o.d"
+  "test_net2bdd"
+  "test_net2bdd.pdb"
+  "test_net2bdd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net2bdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_single_decomp.dir/test_single_decomp.cpp.o"
+  "CMakeFiles/test_single_decomp.dir/test_single_decomp.cpp.o.d"
+  "test_single_decomp"
+  "test_single_decomp.pdb"
+  "test_single_decomp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_single_decomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

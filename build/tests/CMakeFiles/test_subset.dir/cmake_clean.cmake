@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_subset.dir/test_subset.cpp.o"
+  "CMakeFiles/test_subset.dir/test_subset.cpp.o.d"
+  "test_subset"
+  "test_subset.pdb"
+  "test_subset[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_subset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_truthtable.dir/test_truthtable.cpp.o"
+  "CMakeFiles/test_truthtable.dir/test_truthtable.cpp.o.d"
+  "test_truthtable"
+  "test_truthtable.pdb"
+  "test_truthtable[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_truthtable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

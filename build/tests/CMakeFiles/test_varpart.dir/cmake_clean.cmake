@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_varpart.dir/test_varpart.cpp.o"
+  "CMakeFiles/test_varpart.dir/test_varpart.cpp.o.d"
+  "test_varpart"
+  "test_varpart.pdb"
+  "test_varpart[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_varpart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xc3000.dir/test_xc3000.cpp.o"
+  "CMakeFiles/test_xc3000.dir/test_xc3000.cpp.o.d"
+  "test_xc3000"
+  "test_xc3000.pdb"
+  "test_xc3000[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xc3000.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xc4000.dir/test_xc4000.cpp.o"
+  "CMakeFiles/test_xc4000.dir/test_xc4000.cpp.o.d"
+  "test_xc4000"
+  "test_xc4000.pdb"
+  "test_xc4000[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xc4000.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_bdd[1]_include.cmake")
+include("/root/repo/build/tests/test_add[1]_include.cmake")
+include("/root/repo/build/tests/test_truthtable[1]_include.cmake")
+include("/root/repo/build/tests/test_cube[1]_include.cmake")
+include("/root/repo/build/tests/test_network[1]_include.cmake")
+include("/root/repo/build/tests/test_io[1]_include.cmake")
+include("/root/repo/build/tests/test_classes[1]_include.cmake")
+include("/root/repo/build/tests/test_single_decomp[1]_include.cmake")
+include("/root/repo/build/tests/test_varpart[1]_include.cmake")
+include("/root/repo/build/tests/test_subset[1]_include.cmake")
+include("/root/repo/build/tests/test_chi[1]_include.cmake")
+include("/root/repo/build/tests/test_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_paper_example[1]_include.cmake")
+include("/root/repo/build/tests/test_counting[1]_include.cmake")
+include("/root/repo/build/tests/test_lutflow[1]_include.cmake")
+include("/root/repo/build/tests/test_xc3000[1]_include.cmake")
+include("/root/repo/build/tests/test_circuits[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_lmax[1]_include.cmake")
+include("/root/repo/build/tests/test_driver[1]_include.cmake")
+include("/root/repo/build/tests/test_reorder[1]_include.cmake")
+include("/root/repo/build/tests/test_xc4000[1]_include.cmake")
+include("/root/repo/build/tests/test_simplify[1]_include.cmake")
+include("/root/repo/build/tests/test_minimize[1]_include.cmake")
+include("/root/repo/build/tests/test_algebra[1]_include.cmake")
+include("/root/repo/build/tests/test_net2bdd[1]_include.cmake")

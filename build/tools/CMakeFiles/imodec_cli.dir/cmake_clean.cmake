@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imodec_cli.dir/imodec_cli.cpp.o"
+  "CMakeFiles/imodec_cli.dir/imodec_cli.cpp.o.d"
+  "imodec"
+  "imodec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imodec_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
