@@ -20,6 +20,7 @@
 #include "map/lutflow.hpp"
 #include "map/xc3000.hpp"
 #include "map/xc4000.hpp"
+#include "obs/bench_json.hpp"
 #include "util/timer.hpp"
 
 using namespace imodec;
@@ -28,6 +29,8 @@ namespace {
 
 const std::vector<std::string> kCircuits{"rd73", "rd84", "f51m", "z4ml",
                                          "5xp1", "clip", "misex1", "sao2"};
+
+obs::BenchJson* g_sink = nullptr;
 
 void ablation_strict() {
   std::printf("--- A. non-strict vs strict codes (CLBs, collapsed flow) ---\n");
@@ -39,11 +42,23 @@ void ablation_strict() {
     FlowOptions a;
     FlowOptions b;
     b.imodec.strict = true;
-    const unsigned ca = pack_xc3000(decompose_to_luts(*flat, a).network).clbs;
-    const unsigned cb = pack_xc3000(decompose_to_luts(*flat, b).network).clbs;
+    const FlowResult ra = decompose_to_luts(*flat, a);
+    const FlowResult rb = decompose_to_luts(*flat, b);
+    const unsigned ca = pack_xc3000(ra.network).clbs;
+    const unsigned cb = pack_xc3000(rb.network).clbs;
     std::printf("%-8s %10u %8u\n", name.c_str(), ca, cb);
     ns += ca;
     st += cb;
+    if (g_sink) {
+      obs::Json& rec = g_sink->add_record(name, ra.stats.seconds);
+      rec["ablation"] = "strict";
+      rec["clbs"] = ca;
+      rec["clbs_strict"] = cb;
+      rec["luts"] = ra.stats.luts;
+      rec["lmax_rounds"] = ra.stats.lmax_rounds;
+      rec["bdd_nodes"] = ra.stats.bdd_nodes;
+      rec["cache_hit_rate"] = ra.stats.cache_hit_rate();
+    }
   }
   std::printf("%-8s %10ld %8ld  (non-strict should win or tie)\n\n", "sum", ns,
               st);
@@ -189,7 +204,11 @@ void ablation_classical() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto json_path = obs::strip_json_flag(argc, argv);
+  obs::BenchJson sink("ablation");
+  if (json_path) g_sink = &sink;
+
   std::printf("=== Ablations (design choices of DESIGN.md §3) ===\n\n");
   ablation_strict();
   ablation_output_partitioning();
@@ -198,5 +217,14 @@ int main() {
   ablation_sifting();
   ablation_xc4000();
   ablation_classical();
+  if (json_path) {
+    if (!sink.write(*json_path)) {
+      std::fprintf(stderr, "bench_ablation: cannot write %s\n",
+                   json_path->c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu records)\n", json_path->c_str(),
+                sink.num_records());
+  }
   return 0;
 }

@@ -14,6 +14,7 @@
 #include "logic/simulate.hpp"
 #include "map/lutflow.hpp"
 #include "map/xc3000.hpp"
+#include "obs/bench_json.hpp"
 
 using namespace imodec;
 
@@ -40,7 +41,7 @@ void print_netlist(const Network& net) {
 }
 
 unsigned run(const Network& flat, const Network& reference, bool multi,
-             const char* label) {
+             const char* label, obs::BenchJson* sink) {
   FlowOptions opts;
   opts.k = 4;  // the figure uses 4-input LUTs
   opts.multi_output = multi;
@@ -51,24 +52,50 @@ unsigned run(const Network& flat, const Network& reference, bool multi,
   print_netlist(r.network);
   std::printf("LUTs: %u   CLBs: %u   equivalence: %s\n\n", r.stats.luts,
               clbs.clbs, eq.equivalent ? "PASS" : "FAIL");
+  if (sink) {
+    obs::Json& rec = sink->add_record("rd53", r.stats.seconds);
+    rec["mode"] = multi ? "multi" : "single";
+    rec["luts"] = r.stats.luts;
+    rec["clbs"] = clbs.clbs;
+    rec["depth"] = r.network.depth();
+    rec["p"] = r.stats.max_p;
+    rec["m"] = r.stats.max_m;
+    rec["lmax_rounds"] = r.stats.lmax_rounds;
+    rec["bdd_nodes"] = r.stats.bdd_nodes;
+    rec["cache_hit_rate"] = r.stats.cache_hit_rate();
+    rec["verified"] = eq.equivalent;
+  }
   return r.stats.luts;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto json_path = obs::strip_json_flag(argc, argv);
+  obs::BenchJson sink("fig1");
+
   std::printf("=== Figure 1: decomposition of rd53, k = 4 ===\n\n");
   const Network rd53 = *circuits::make_benchmark("rd53");
   const Network flat = *collapse_network(rd53);
 
-  const unsigned single =
-      run(flat, rd53, false, "a) single-output decomposition");
-  const unsigned multi =
-      run(flat, rd53, true, "b) multiple-output decomposition (IMODEC)");
+  const unsigned single = run(flat, rd53, false,
+                              "a) single-output decomposition",
+                              json_path ? &sink : nullptr);
+  const unsigned multi = run(flat, rd53, true,
+                             "b) multiple-output decomposition (IMODEC)",
+                             json_path ? &sink : nullptr);
 
   std::printf("summary: single-output %u LUTs vs multiple-output %u LUTs\n",
               single, multi);
   std::printf("paper:   single-output 11 LUTs vs multiple-output 6 LUTs\n");
   std::printf("shape reproduced: %s\n", multi < single ? "YES" : "NO");
+  if (json_path) {
+    if (!sink.write(*json_path)) {
+      std::fprintf(stderr, "bench_fig1: cannot write %s\n", json_path->c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu records)\n", json_path->c_str(),
+                sink.num_records());
+  }
   return multi < single ? 0 : 1;
 }

@@ -5,7 +5,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
 #include "bdd/bdd.hpp"
+#include "obs/bench_json.hpp"
 #include "decomp/classes.hpp"
 #include "imodec/chi.hpp"
 #include "imodec/engine.hpp"
@@ -193,6 +196,49 @@ void BM_KernelExtraction(benchmark::State& state) {
 }
 BENCHMARK(BM_KernelExtraction);
 
+/// Console reporter that additionally collects one bench-JSON record per
+/// benchmark run ("circuit" carries the benchmark name, e.g. "BM_BddIte/32").
+class JsonCollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonCollectingReporter(obs::BenchJson* sink) : sink_(sink) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    benchmark::ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.error_occurred) continue;
+      const double to_sec =
+          1.0 / benchmark::GetTimeUnitMultiplier(run.time_unit);
+      obs::Json& rec = sink_->add_record(run.benchmark_name(),
+                                         run.GetAdjustedRealTime() * to_sec);
+      rec["iterations"] = static_cast<long long>(run.iterations);
+      rec["cpu_seconds"] = run.GetAdjustedCPUTime() * to_sec;
+    }
+  }
+
+ private:
+  obs::BenchJson* sink_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const auto json_path = obs::strip_json_flag(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  obs::BenchJson sink("micro");
+  if (json_path) {
+    JsonCollectingReporter reporter(&sink);
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    if (!sink.write(*json_path)) {
+      std::fprintf(stderr, "bench_micro: cannot write %s\n",
+                   json_path->c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu records)\n", json_path->c_str(),
+                sink.num_records());
+  } else {
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  benchmark::Shutdown();
+  return 0;
+}

@@ -22,19 +22,24 @@
 #include "imodec/engine.hpp"
 #include "map/lutflow.hpp"
 #include "map/restructure.hpp"
+#include "obs/bench_json.hpp"
 #include "util/timer.hpp"
 
 using namespace imodec;
 
 namespace {
 
-void print_vector_row(const std::string& name, const RecordedVector& rec) {
-  Timer timer;
+obs::BenchJson* g_sink = nullptr;
+
+void print_vector_row(const std::string& name, const std::string& circuit,
+                      const RecordedVector& rec) {
   // Reproduce the full implicit run for the CPU column (local/global class
-  // computation + χ construction + Lmax rounds until completion).
+  // computation + χ construction + Lmax rounds until completion). The CPU
+  // time is the engine's own span-derived stats.seconds — no second
+  // stopwatch around the call.
   ImodecStats stats;
   const auto dec = decompose_multi_output(rec.outputs, rec.vp, {}, &stats);
-  const double cpu = timer.seconds();
+  const double cpu = stats.seconds;
 
   const auto ch = characterize_vector(rec.outputs, rec.vp);
 
@@ -50,6 +55,14 @@ void print_vector_row(const std::string& name, const RecordedVector& rec) {
                 ch.preferable[k].to_string().c_str());
   }
   std::printf("  CPU/sec %.3f\n\n", cpu);
+
+  if (g_sink) {
+    obs::Json& jrec = g_sink->add_record(circuit, cpu);
+    jrec["m"] = static_cast<unsigned>(rec.outputs.size());
+    jrec["b"] = ch.b;
+    jrec["p"] = ch.p;
+    if (dec) jrec["q"] = dec->q();
+  }
 }
 
 /// Run the flow on `name` (collapsed when possible, else restructured),
@@ -83,7 +96,7 @@ void characterize_circuit(const std::string& name, unsigned want_m) {
       best = &rec;
   }
   print_vector_row("f_" + name + " m=" + std::to_string(best->outputs.size()),
-                   *best);
+                   name, *best);
 }
 
 /// The paper's Table 1 uses bound sets beyond the LUT size (b = 8 for alu4,
@@ -134,7 +147,11 @@ void characterize_paper_b(const std::string& name, unsigned want_m,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto json_path = obs::strip_json_flag(argc, argv);
+  obs::BenchJson sink("table1");
+  if (json_path) g_sink = &sink;
+
   std::printf("=== Table 1: characteristics of decompositions ===\n");
   std::printf("(values in parentheses: theoretical bounds 2^(2^b), 2^p)\n\n");
   characterize_circuit("f51m", 3);
@@ -148,5 +165,14 @@ int main() {
   // its exact counts are verified by the unit tests.
   std::printf("(see tests/test_counting.cpp for exact-count validation "
               "against brute force)\n");
+  if (json_path) {
+    if (!sink.write(*json_path)) {
+      std::fprintf(stderr, "bench_table1: cannot write %s\n",
+                   json_path->c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu records)\n", json_path->c_str(),
+                sink.num_records());
+  }
   return 0;
 }

@@ -21,6 +21,7 @@
 #include "map/lutflow.hpp"
 #include "map/restructure.hpp"
 #include "map/xc3000.hpp"
+#include "obs/bench_json.hpp"
 #include "util/timer.hpp"
 
 using namespace imodec;
@@ -31,17 +32,26 @@ struct Row {
   std::string name;
   int m = -1, p = -1;
   int imodec = -1, single_ = -1, r_imodec = -1, r_fgmap = -1;
+  unsigned depth = 0, lmax_rounds = 0;
+  std::uint64_t bdd_nodes = 0, bdd_cache_lookups = 0, bdd_cache_hits = 0;
   double cpu = 0.0;
   bool verified = true;
 };
 
 int run_mode(const Network& reference, const Network& start, bool multi,
-             int* max_m, int* max_p, bool* verified) {
+             int* max_m, int* max_p, bool* verified, Row* row) {
   FlowOptions opts;
   opts.multi_output = multi;
   const FlowResult r = decompose_to_luts(start, opts);
   if (max_m) *max_m = static_cast<int>(r.stats.max_m);
   if (max_p) *max_p = static_cast<int>(r.stats.max_p);
+  if (row) {
+    row->lmax_rounds += r.stats.lmax_rounds;
+    row->bdd_nodes += r.stats.bdd_nodes;
+    row->bdd_cache_lookups += r.stats.bdd_cache_lookups;
+    row->bdd_cache_hits += r.stats.bdd_cache_hits;
+    if (multi && row->depth == 0) row->depth = r.network.depth();
+  }
   EquivalenceOptions eq_opts;
   eq_opts.random_vectors = 512;  // light check; tests do the heavy lifting
   if (verified && !check_equivalence(reference, r.network, eq_opts).equivalent)
@@ -54,6 +64,8 @@ std::string cell(int v) { return v < 0 ? "-" : std::to_string(v); }
 }  // namespace
 
 int main(int argc, char** argv) {
+  const auto json_path = obs::strip_json_flag(argc, argv);
+  obs::BenchJson sink("table2");
   const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
   std::printf("=== Table 2: mapping to Xilinx XC3000 CLBs ===\n\n");
   std::printf("%-8s | %-7s %5s %7s %9s %8s | %5s %7s %9s %8s | %7s %5s\n",
@@ -80,11 +92,12 @@ int main(int argc, char** argv) {
     const auto collapsed = collapse_network(*net);
     if (collapsed) {
       int m = -1, p = -1;
-      row.imodec = run_mode(*net, *collapsed, true, &m, &p, &row.verified);
+      row.imodec =
+          run_mode(*net, *collapsed, true, &m, &p, &row.verified, &row);
       row.m = m;
       row.p = p;
       row.single_ = run_mode(*net, *collapsed, false, nullptr, nullptr,
-                             &row.verified);
+                             &row.verified, &row);
     }
     // The r+ rows use a more aggressive pre-structuring (closer to what
     // script.rugged leaves behind): bounded duplication gives the
@@ -93,9 +106,30 @@ int main(int argc, char** argv) {
     ropts.max_support = 12;
     ropts.max_fanout = 2;
     const Network pre = restructure(*net, ropts);
-    row.r_imodec = run_mode(*net, pre, true, nullptr, nullptr, &row.verified);
-    row.r_fgmap = run_mode(*net, pre, false, nullptr, nullptr, &row.verified);
+    row.r_imodec =
+        run_mode(*net, pre, true, nullptr, nullptr, &row.verified, &row);
+    row.r_fgmap =
+        run_mode(*net, pre, false, nullptr, nullptr, &row.verified, &row);
     row.cpu = timer.seconds();
+
+    if (json_path) {
+      obs::Json& rec = sink.add_record(row.name, row.cpu);
+      if (row.m >= 0) rec["m"] = row.m;
+      if (row.p >= 0) rec["p"] = row.p;
+      if (row.imodec >= 0) rec["clbs"] = row.imodec;
+      if (row.single_ >= 0) rec["clbs_single"] = row.single_;
+      rec["clbs_r_imodec"] = row.r_imodec;
+      rec["clbs_r_fgmap"] = row.r_fgmap;
+      if (row.depth > 0) rec["depth"] = row.depth;
+      rec["lmax_rounds"] = row.lmax_rounds;
+      rec["bdd_nodes"] = row.bdd_nodes;
+      rec["cache_hit_rate"] =
+          row.bdd_cache_lookups
+              ? static_cast<double>(row.bdd_cache_hits) /
+                    static_cast<double>(row.bdd_cache_lookups)
+              : 0.0;
+      rec["verified"] = row.verified;
+    }
 
     const std::string mp = collapsed ? (std::to_string(row.m) + "/" +
                                         std::to_string(row.p))
@@ -145,5 +179,14 @@ int main(int argc, char** argv) {
   std::printf("  (rot is mux-dominated: grouped bound sets widen the g\n"
               "   functions there; see EXPERIMENTS.md for the discussion)\n");
   std::printf("\n(paper: 38%% avg reduction vs Single, 16%% vs FGMap)\n");
+  if (json_path) {
+    if (!sink.write(*json_path)) {
+      std::fprintf(stderr, "bench_table2: cannot write %s\n",
+                   json_path->c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu records)\n", json_path->c_str(),
+                sink.num_records());
+  }
   return 0;
 }

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+
 namespace imodec::bdd {
 
 namespace {
@@ -84,8 +86,12 @@ NodeId Manager::make_node(unsigned v, NodeId lo, NodeId hi) {
   const std::size_t b = unique_hash(v, lo, hi);
   for (NodeId i = unique_[b]; i != 0; i = nodes_[i].next) {
     const Node& n = nodes_[i];
-    if (n.var == v && n.lo == lo && n.hi == hi) return i;
+    if (n.var == v && n.lo == lo && n.hi == hi) {
+      ++stats_.unique_hits;
+      return i;
+    }
   }
+  ++stats_.nodes_allocated;
   NodeId id;
   if (free_list_ != 0) {
     id = free_list_;
@@ -121,6 +127,7 @@ void Manager::mark_rec(NodeId f, std::vector<bool>& mark) const {
 }
 
 void Manager::garbage_collect() {
+  ++stats_.gc_runs;
   std::vector<bool> mark(nodes_.size(), false);
   mark[kFalse] = mark[kTrue] = true;
   for (NodeId i = 2; i < nodes_.size(); ++i) {
@@ -159,8 +166,11 @@ void Manager::maybe_gc() {
 }
 
 NodeId Manager::cached(const CacheKey& k) const {
+  ++stats_.cache_lookups;
   auto it = computed_.find(k);
-  return it == computed_.end() ? kNoReplacement : it->second;
+  if (it == computed_.end()) return kNoReplacement;
+  ++stats_.cache_hits;
+  return it->second;
 }
 
 void Manager::cache_insert(const CacheKey& k, NodeId r) { computed_[k] = r; }
@@ -562,6 +572,19 @@ void Manager::set_order(const std::vector<unsigned>& var_at_level) {
     assert(level_of(target) >= l && "input is not a permutation");
     while (level_of(target) > l) swap_levels(level_of(target) - 1);
   }
+}
+
+void Manager::publish_stats(const char* prefix) const {
+  if (!obs::enabled()) return;
+  const std::string p = prefix;
+  obs::Registry& reg = obs::Registry::instance();
+  reg.counter(p + ".nodes_allocated").add(stats_.nodes_allocated);
+  reg.counter(p + ".unique_hits").add(stats_.unique_hits);
+  reg.counter(p + ".cache_lookups").add(stats_.cache_lookups);
+  reg.counter(p + ".cache_hits").add(stats_.cache_hits);
+  reg.counter(p + ".gc_runs").add(stats_.gc_runs);
+  reg.gauge(p + ".peak_live_nodes")
+      .set(static_cast<std::int64_t>(peak_nodes_));
 }
 
 bool Manager::check_invariants() const {

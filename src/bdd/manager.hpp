@@ -117,6 +117,27 @@ class Manager {
   void set_order(const std::vector<unsigned>& var_at_level);
 
   // --- Introspection / maintenance -------------------------------------------
+  /// Hot-path event counts, updated unconditionally (plain increments next to
+  /// hash probes — noise-level cost). Consumers fold them into the
+  /// observability registry; see publish_stats().
+  struct Stats {
+    std::uint64_t nodes_allocated = 0;  // fresh nodes created
+    std::uint64_t unique_hits = 0;      // make_node found an existing node
+    std::uint64_t cache_lookups = 0;    // computed-table probes
+    std::uint64_t cache_hits = 0;
+    std::uint64_t gc_runs = 0;
+    double cache_hit_rate() const {
+      return cache_lookups ? static_cast<double>(cache_hits) /
+                                 static_cast<double>(cache_lookups)
+                           : 0.0;
+    }
+  };
+  const Stats& stats() const { return stats_; }
+  /// Fold this manager's stats into the process-wide obs registry under
+  /// `<prefix>.*` (plus a `<prefix>.peak_live_nodes` gauge). No-op when
+  /// observability is disabled.
+  void publish_stats(const char* prefix = "bdd") const;
+
   std::size_t live_node_count() const { return live_nodes_; }
   std::size_t peak_node_count() const { return peak_nodes_; }
   /// Nodes reachable from externally referenced roots (the sifting metric).
@@ -174,6 +195,7 @@ class Manager {
   std::size_t peak_nodes_ = 0;
   std::size_t gc_threshold_ = 1u << 14;
   std::unordered_map<CacheKey, NodeId, CacheKeyHash> computed_;
+  mutable Stats stats_;  // mutable: cached() is logically const
 };
 
 }  // namespace imodec::bdd

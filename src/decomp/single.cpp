@@ -2,6 +2,9 @@
 
 #include <cassert>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace imodec {
 
 TruthTable build_g(const TruthTable& f, const VarPartition& vp,
@@ -61,6 +64,7 @@ TruthTable build_g(const TruthTable& f, const VarPartition& vp,
 
 Decomposition decompose_single_output(const TruthTable& f,
                                       const VarPartition& vp) {
+  obs::ScopedSpan span("single.decompose");
   const VertexPartition pf = local_partition_tt(f, vp);
   const unsigned c = codewidth(pf.num_classes);
   const unsigned b = vp.b();
@@ -78,6 +82,10 @@ Decomposition decompose_single_output(const TruthTable& f,
     result.outputs[0].d_index.push_back(j);
   }
   result.outputs[0].g = build_g(f, vp, result.d_funcs);
+  if (obs::enabled()) {
+    obs::count("single.decompositions");
+    obs::count("single.d_functions", c);
+  }
   return result;
 }
 

@@ -5,7 +5,8 @@
 #include <map>
 
 #include "imodec/lmax.hpp"
-#include "util/timer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace imodec {
 
@@ -26,14 +27,19 @@ std::optional<Decomposition> decompose_multi_output(
     const std::vector<TruthTable>& outputs, const VarPartition& vp,
     const ImodecOptions& opts, ImodecStats* stats) {
   assert(!outputs.empty());
-  Timer timer;
+  // The span is the run's single timing source: stats->seconds comes from it
+  // and — when tracing is on — it anchors the engine's subtree in the trace.
+  obs::ScopedSpan run_span("engine.decompose");
   const std::size_t m = outputs.size();
 
   // --- Local partitions and the global partition (paper §3, §4). ----------
   std::vector<VertexPartition> locals;
   locals.reserve(m);
-  for (const TruthTable& f : outputs)
-    locals.push_back(local_partition_tt(f, vp));
+  {
+    obs::ScopedSpan span("engine.partitions");
+    for (const TruthTable& f : outputs)
+      locals.push_back(local_partition_tt(f, vp));
+  }
   const VertexPartition global = global_partition(locals);
   const std::uint32_t p = global.num_classes;
 
@@ -81,6 +87,9 @@ std::optional<Decomposition> decompose_multi_output(
   std::vector<bdd::Bdd> chi(m);
   std::vector<bool> chi_valid(m, false);
 
+  unsigned lmax_rounds = 0, chi_builds = 0;
+  std::uint64_t candidates = 0;
+
   for (unsigned round = 0;; ++round) {
     std::vector<std::size_t> incomplete;
     for (std::size_t k = 0; k < m; ++k)
@@ -89,20 +98,29 @@ std::optional<Decomposition> decompose_multi_output(
 
     std::vector<bdd::Bdd> active;
     active.reserve(incomplete.size());
-    for (std::size_t k : incomplete) {
-      if (!chi_valid[k]) {
-        chi[k] = build_chi(mgr, p, states[k], chi_opts);
-        chi_valid[k] = true;
-        // A preferable function always exists for an incomplete output
-        // (balanced split of the classes in each block is constructable and
-        // assignable); see DESIGN.md §5.
-        assert(!chi[k].is_zero());
+    {
+      obs::ScopedSpan span("engine.chi");
+      for (std::size_t k : incomplete) {
+        if (!chi_valid[k]) {
+          chi[k] = build_chi(mgr, p, states[k], chi_opts);
+          chi_valid[k] = true;
+          ++chi_builds;
+          // A preferable function always exists for an incomplete output
+          // (balanced split of the classes in each block is constructable and
+          // assignable); see DESIGN.md §5.
+          assert(!chi[k].is_zero());
+        }
+        active.push_back(chi[k]);
       }
-      active.push_back(chi[k]);
     }
 
-    const LmaxResult pick = lmax(mgr, p, active);
-    if (stats) ++stats->lmax_rounds;
+    LmaxResult pick;
+    {
+      obs::ScopedSpan span("engine.lmax");
+      pick = lmax(mgr, p, active);
+    }
+    ++lmax_rounds;
+    candidates += incomplete.size();
     assert(pick.coverage >= 1);
 
     const unsigned d_idx = accept(pick.z_mask);
@@ -118,14 +136,17 @@ std::optional<Decomposition> decompose_multi_output(
   }
 
   // --- Completion invariants and g construction. ----------------------------
-  for (std::size_t k = 0; k < m; ++k) {
-    assert(states[k].refined());
-    result.outputs[k].d_index = states[k].chosen;
-    std::vector<TruthTable> chosen_d;
-    chosen_d.reserve(states[k].chosen.size());
-    for (unsigned idx : states[k].chosen)
-      chosen_d.push_back(result.d_funcs[idx]);
-    result.outputs[k].g = build_g(outputs[k], vp, chosen_d);
+  {
+    obs::ScopedSpan span("engine.build_g");
+    for (std::size_t k = 0; k < m; ++k) {
+      assert(states[k].refined());
+      result.outputs[k].d_index = states[k].chosen;
+      std::vector<TruthTable> chosen_d;
+      chosen_d.reserve(states[k].chosen.size());
+      for (unsigned idx : states[k].chosen)
+        chosen_d.push_back(result.d_funcs[idx]);
+      result.outputs[k].g = build_g(outputs[k], vp, chosen_d);
+    }
   }
 
   // Property 1: ⌈ld p⌉ <= q must hold for any valid decomposition.
@@ -134,7 +155,21 @@ std::optional<Decomposition> decompose_multi_output(
 
   if (stats) {
     stats->q = result.q();
-    stats->seconds = timer.seconds();
+    stats->lmax_rounds = lmax_rounds;
+    stats->chi_builds = chi_builds;
+    stats->candidates = candidates;
+    stats->seconds = run_span.seconds();
+    stats->bdd_nodes = mgr.stats().nodes_allocated;
+    stats->bdd_cache_lookups = mgr.stats().cache_lookups;
+    stats->bdd_cache_hits = mgr.stats().cache_hits;
+  }
+  if (obs::enabled()) {
+    obs::count("engine.runs");
+    obs::count("engine.lmax_rounds", lmax_rounds);
+    obs::count("engine.chi_builds", chi_builds);
+    obs::count("engine.candidates", candidates);
+    obs::count("engine.d_functions", result.d_funcs.size());
+    mgr.publish_stats();
   }
   return result;
 }

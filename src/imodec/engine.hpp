@@ -33,13 +33,28 @@ struct ImodecOptions {
   bool via_v_substitution = false;
 };
 
+/// Per-run statistics. When observability is enabled (obs::set_enabled) the
+/// same quantities are also published as `engine.*` / `bdd.*` counters in
+/// obs::Registry and the run is recorded as an `engine.decompose` span tree;
+/// `seconds` is derived from that span (the engine holds no separate timer).
 struct ImodecStats {
   std::uint32_t p = 0;                   // number of global classes
   std::vector<std::uint32_t> l_k;        // local class count per output
   std::vector<unsigned> c_k;             // codewidth per output
   unsigned q = 0;                        // total decomposition functions
   unsigned lmax_rounds = 0;              // Lmax invocations
+  unsigned chi_builds = 0;               // χ_k (re)constructions
+  std::uint64_t candidates = 0;          // Σ over rounds of incomplete outputs
   double seconds = 0.0;
+  // The run's BDD manager, for cache-behaviour reporting downstream.
+  std::uint64_t bdd_nodes = 0;           // nodes allocated
+  std::uint64_t bdd_cache_lookups = 0;
+  std::uint64_t bdd_cache_hits = 0;
+  double cache_hit_rate() const {
+    return bdd_cache_lookups ? static_cast<double>(bdd_cache_hits) /
+                                   static_cast<double>(bdd_cache_lookups)
+                             : 0.0;
+  }
 };
 
 /// Decompose the vector under the given variable partition. Returns nullopt

@@ -1,6 +1,7 @@
 #include "map/driver.hpp"
 
 #include "logic/simulate.hpp"
+#include "obs/metrics.hpp"
 #include "util/strings.hpp"
 
 namespace imodec {
@@ -8,14 +9,18 @@ namespace imodec {
 DriverReport run_synthesis(const Network& input, const DriverOptions& opts,
                            Network& mapped) {
   DriverReport rep;
+  const std::size_t trace_base = obs::Trace::global().size();
+  obs::ScopedSpan run_span("driver.run_synthesis");
 
   Network start = input;
   if (opts.classical) {
     // Classical flow: extract common subfunctions algebraically, then map
     // each node on its own.
+    obs::ScopedSpan span("driver.restructure+extract");
     start = restructure(input, opts.restructure);
     opt::extract_kernels(start);
   } else if (opts.collapse) {
+    obs::ScopedSpan span("driver.collapse");
     if (auto flat = collapse_network(input)) {
       start = std::move(*flat);
       rep.collapsed = true;
@@ -23,6 +28,7 @@ DriverReport run_synthesis(const Network& input, const DriverOptions& opts,
       start = restructure(input, opts.restructure);
     }
   } else {
+    obs::ScopedSpan span("driver.restructure");
     start = restructure(input, opts.restructure);
   }
 
@@ -30,15 +36,30 @@ DriverReport run_synthesis(const Network& input, const DriverOptions& opts,
   if (opts.classical) flow_opts.multi_output = false;
   FlowResult flow = decompose_to_luts(start, flow_opts);
   rep.flow = flow.stats;
-  rep.clbs = pack_xc3000(flow.network);
-  rep.depth = flow.network.depth();
+  {
+    obs::ScopedSpan span("driver.pack");
+    rep.clbs = pack_xc3000(flow.network);
+    rep.depth = flow.network.depth();
+  }
 
   if (opts.verify) {
+    obs::ScopedSpan span("driver.verify");
     const auto eq = check_equivalence(input, flow.network);
     rep.verified = eq.equivalent;
     rep.verified_exhaustive = eq.exhaustive;
   }
   mapped = std::move(flow.network);
+
+  if (obs::enabled()) {
+    obs::count("driver.runs");
+    rep.spans = obs::Trace::global().snapshot_since(trace_base);
+    // The root span is still open (its ScopedSpan ends on return); close it
+    // in the copy so the report shows the full run time.
+    for (obs::Span& s : rep.spans)
+      if (s.dur < 0 && s.name == "driver.run_synthesis")
+        s.dur = run_span.seconds();
+    rep.counters = obs::Registry::instance().counters();
+  }
   return rep;
 }
 
@@ -56,8 +77,23 @@ std::string format_report(const std::string& name, const DriverReport& rep) {
                  rep.flow.vectors, rep.flow.max_m, rep.flow.max_p,
                  rep.flow.shared_functions);
   s += strprintf("flow time      : %.3f s\n", rep.flow.seconds);
+  if (rep.flow.bdd_cache_lookups > 0)
+    s += strprintf("BDD            : %llu nodes, %.1f%% cache hit rate, "
+                   "%u Lmax rounds\n",
+                   static_cast<unsigned long long>(rep.flow.bdd_nodes),
+                   100.0 * rep.flow.cache_hit_rate(), rep.flow.lmax_rounds);
   s += strprintf("equivalence    : %s\n",
                  rep.verified ? "PASS" : "FAIL");
+  if (!rep.spans.empty()) {
+    s += "--- phases (total ms x calls) ---\n";
+    s += obs::trace_summary(rep.spans);
+  }
+  if (!rep.counters.empty()) {
+    s += "--- counters ---\n";
+    for (const auto& [name, value] : rep.counters)
+      s += strprintf("  %-36s %12llu\n", name.c_str(),
+                     static_cast<unsigned long long>(value));
+  }
   return s;
 }
 

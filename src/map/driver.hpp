@@ -6,11 +6,15 @@
 // (multiple-output IMODEC or single-output baseline) -> XC3000 CLB packing ->
 // equivalence verification against the input.
 
+#include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "map/lutflow.hpp"
 #include "map/restructure.hpp"
 #include "map/xc3000.hpp"
+#include "obs/trace.hpp"
 #include "opt/extract.hpp"
 
 namespace imodec {
@@ -38,6 +42,11 @@ struct DriverReport {
   unsigned depth = 0;       // logic levels of the mapped network
   bool verified = true;     // equivalence result (true when !opts.verify)
   bool verified_exhaustive = false;
+  /// Observability section, populated only when obs::enabled(): the spans
+  /// recorded during this run (re-rooted at `driver.run_synthesis`) and a
+  /// snapshot of the process-wide counter registry taken at the end.
+  std::vector<obs::Span> spans;
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
 };
 
 /// Run the full synthesis pipeline; returns the report and stores the mapped

@@ -6,7 +6,8 @@
 #include <cassert>
 #include <unordered_map>
 
-#include "util/timer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace imodec {
 
@@ -69,16 +70,17 @@ class Flow {
       : net_(src), opts_(opts) {}
 
   FlowResult run() {
-    Timer timer;
+    obs::ScopedSpan flow_span("flow.decompose_to_luts");
     const bool debug = std::getenv("IMODEC_FLOW_DEBUG") != nullptr;
     // Initial worklist: wide logic nodes.
     for (SigId s = 0; s < net_.node_count(); ++s) enqueue_if_wide(s);
 
     std::size_t rounds = 0;
     while (!worklist_.empty()) {
-      Timer group_timer;
+      obs::ScopedSpan group_span("flow.group");
       std::vector<SigId> group = next_group();
-      const double t_group = group_timer.seconds();
+      const double t_group = group_span.seconds();
+      obs::count("flow.groups");
       process_group(group);
       if (debug) {
         std::fprintf(stderr,
@@ -86,15 +88,21 @@ class Flow {
                      "proc=%.2fs worklist=%zu nodes=%zu shannon=%u t=%.1fs\n",
                      ++rounds, group.size(),
                      group.empty() ? 0 : net_.node(group[0]).fanins.size(),
-                     t_group, group_timer.seconds() - t_group,
+                     t_group, group_span.seconds() - t_group,
                      worklist_.size(), net_.node_count(),
-                     stats_.shannon_fallbacks, timer.seconds());
+                     stats_.shannon_fallbacks, flow_span.seconds());
       }
     }
 
     FlowResult res{std::move(net_), stats_, std::move(recorded_)};
-    res.stats.seconds = timer.seconds();
+    res.stats.seconds = flow_span.seconds();
     res.stats.luts = count_luts(res.network);
+    if (obs::enabled()) {
+      obs::count("flow.runs");
+      obs::count("flow.vectors", res.stats.vectors);
+      obs::count("flow.shannon_fallbacks", res.stats.shannon_fallbacks);
+      obs::count("flow.luts", res.stats.luts);
+    }
     return res;
   }
 
@@ -251,6 +259,8 @@ class Flow {
     ImodecStats st;
     const auto dec =
         decompose_multi_output(funcs, choice->vp, opts_.imodec, &st);
+    absorb_bdd(st);
+    obs::count("flow.trial_decompositions");
     if (!dec) return -1;
     int own_sum = 0;
     for (SigId s : group) own_sum += static_cast<int>(own_cost(s));
@@ -290,6 +300,7 @@ class Flow {
     if (choice && choice->p() <= opts_.imodec.max_p) {
       if (opts_.multi_output) {
         dec = decompose_multi_output(funcs, choice->vp, opts_.imodec, &st);
+        absorb_bdd(st);
       } else {
         // Single-output mode within the group (groups are singletons there,
         // but keep it general): decompose each output separately and merge.
@@ -324,6 +335,7 @@ class Flow {
     apply_decomposition(group, inputs, *dec);
 
     ++stats_.vectors;
+    stats_.lmax_rounds += st.lmax_rounds;
     stats_.max_m = std::max(stats_.max_m, static_cast<unsigned>(group.size()));
     stats_.max_p = std::max(stats_.max_p, st.p);
     int sum_c = 0;
@@ -448,6 +460,14 @@ class Flow {
     }
     net_.node(s).fanins = {fanins[v], s1, s0};
     net_.node(s).func = std::move(mux);
+  }
+
+  /// Fold one engine run's BDD totals into the flow stats (trial and
+  /// committed decompositions alike — both burn the CPU we account for).
+  void absorb_bdd(const ImodecStats& st) {
+    stats_.bdd_nodes += st.bdd_nodes;
+    stats_.bdd_cache_lookups += st.bdd_cache_lookups;
+    stats_.bdd_cache_hits += st.bdd_cache_hits;
   }
 
   struct OwnCostKey {

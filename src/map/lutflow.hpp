@@ -54,7 +54,20 @@ struct FlowStats {
   unsigned vectors = 0;         // decompositions performed
   unsigned shared_functions = 0;  // Σ(Σc_k - q) over vectors: functions saved
   unsigned shannon_fallbacks = 0;
+  unsigned lmax_rounds = 0;     // Σ over committed engine runs
+  /// Derived from the flow's `flow.decompose_to_luts` span (one timing
+  /// source; see obs/trace.hpp).
   double seconds = 0.0;
+  // BDD manager totals summed over every engine run of the flow, trial
+  // decompositions included (they cost the same CPU as committed ones).
+  std::uint64_t bdd_nodes = 0;
+  std::uint64_t bdd_cache_lookups = 0;
+  std::uint64_t bdd_cache_hits = 0;
+  double cache_hit_rate() const {
+    return bdd_cache_lookups ? static_cast<double>(bdd_cache_hits) /
+                                   static_cast<double>(bdd_cache_lookups)
+                             : 0.0;
+  }
 };
 
 struct FlowResult {

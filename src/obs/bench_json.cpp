@@ -1,0 +1,38 @@
+#include "obs/bench_json.hpp"
+
+#include <cstring>
+
+namespace imodec::obs {
+
+BenchJson::BenchJson(std::string bench_name)
+    : bench_name_(std::move(bench_name)) {}
+
+Json& BenchJson::add_record(const std::string& circuit, double seconds) {
+  Json rec = Json::object();
+  rec["circuit"] = circuit;
+  rec["seconds"] = seconds;
+  records_.push_back(std::move(rec));
+  // Valid until the next add_record, which is the documented usage window.
+  return records_.back();
+}
+
+bool BenchJson::write(const std::string& path) const {
+  Json doc = Json::object();
+  doc["bench"] = bench_name_;
+  doc["schema_version"] = kBenchSchemaVersion;
+  doc["records"] = records_;
+  return write_json_file(path, doc);
+}
+
+std::optional<std::string> strip_json_flag(int& argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") != 0) continue;
+    const std::string path = argv[i + 1];
+    for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+    argc -= 2;
+    return path;
+  }
+  return std::nullopt;
+}
+
+}  // namespace imodec::obs

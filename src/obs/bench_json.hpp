@@ -1,0 +1,50 @@
+#pragma once
+// Per-circuit JSON result sink for the bench_* harnesses.
+//
+// Every harness keeps printing its human-readable tables; with `--json
+// <file>` it additionally appends one record per circuit/configuration and
+// writes a document future PRs regress against:
+//
+//   {
+//     "bench": "table2",
+//     "schema_version": 1,
+//     "records": [ {"circuit": "rd84", "seconds": 0.12, ...}, ... ]
+//   }
+//
+// Required record keys: "circuit" (string) and "seconds" (number); everything
+// else ("p", "q", "clbs", "depth", "luts", "bdd_nodes", "cache_hit_rate",
+// "lmax_rounds", ...) is optional and type-checked by
+// tools/check_bench_json.py against the same schema.
+
+#include <optional>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace imodec::obs {
+
+inline constexpr int kBenchSchemaVersion = 1;
+
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench_name);
+
+  /// Start a record; fill in more fields through the returned reference.
+  /// The record is owned by the sink and written out by write().
+  Json& add_record(const std::string& circuit, double seconds);
+
+  std::size_t num_records() const { return records_.size(); }
+
+  /// Write the document to `path`; returns false on I/O failure.
+  bool write(const std::string& path) const;
+
+ private:
+  std::string bench_name_;
+  Json records_ = Json::array();
+};
+
+/// Scan argv for `--json <path>`, remove the pair from argv/argc, and return
+/// the path. Harnesses call this before their own argument handling.
+std::optional<std::string> strip_json_flag(int& argc, char** argv);
+
+}  // namespace imodec::obs

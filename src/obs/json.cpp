@@ -1,0 +1,311 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace imodec::obs {
+
+namespace {
+
+void append_utf8(std::string& out, unsigned cp) {
+  if (cp < 0x80) {
+    out.push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out.push_back(static_cast<char>(0xc0 | (cp >> 6)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+  } else {
+    out.push_back(static_cast<char>(0xe0 | (cp >> 12)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+  }
+}
+
+std::string format_number(double d) {
+  if (!std::isfinite(d)) return "null";  // JSON has no Inf/NaN
+  // Integers in the exactly-representable range print without a fraction.
+  if (d == std::floor(d) && std::fabs(d) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", d);
+    return buf;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", d);
+  // Trim to the shortest round-tripping representation.
+  for (int prec = 1; prec < 17; ++prec) {
+    char probe[32];
+    std::snprintf(probe, sizeof probe, "%.*g", prec, d);
+    if (std::strtod(probe, nullptr) == d) return probe;
+  }
+  return buf;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : s_(text) {}
+
+  std::optional<Json> run() {
+    auto v = parse_value();
+    if (!v) return std::nullopt;
+    skip_ws();
+    if (pos_ != s_.size()) return std::nullopt;  // trailing garbage
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view word) {
+    if (s_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  std::optional<Json> parse_value() {
+    skip_ws();
+    if (pos_ >= s_.size()) return std::nullopt;
+    switch (s_[pos_]) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"':
+        return parse_string();
+      case 't':
+        return literal("true") ? std::optional<Json>(Json(true)) : std::nullopt;
+      case 'f':
+        return literal("false") ? std::optional<Json>(Json(false))
+                                : std::nullopt;
+      case 'n':
+        return literal("null") ? std::optional<Json>(Json(nullptr))
+                               : std::nullopt;
+      default:
+        return parse_number();
+    }
+  }
+
+  std::optional<Json> parse_object() {
+    ++pos_;  // '{'
+    Json obj = Json::object();
+    if (consume('}')) return obj;
+    for (;;) {
+      skip_ws();
+      if (pos_ >= s_.size() || s_[pos_] != '"') return std::nullopt;
+      auto key = parse_string();
+      if (!key) return std::nullopt;
+      if (!consume(':')) return std::nullopt;
+      auto val = parse_value();
+      if (!val) return std::nullopt;
+      obj[key->as_string()] = std::move(*val);
+      if (consume(',')) continue;
+      if (consume('}')) return obj;
+      return std::nullopt;
+    }
+  }
+
+  std::optional<Json> parse_array() {
+    ++pos_;  // '['
+    Json arr = Json::array();
+    if (consume(']')) return arr;
+    for (;;) {
+      auto val = parse_value();
+      if (!val) return std::nullopt;
+      arr.push_back(std::move(*val));
+      if (consume(',')) continue;
+      if (consume(']')) return arr;
+      return std::nullopt;
+    }
+  }
+
+  std::optional<Json> parse_string() {
+    ++pos_;  // '"'
+    std::string out;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return Json(std::move(out));
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= s_.size()) return std::nullopt;
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) return std::nullopt;
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+            else return std::nullopt;
+          }
+          append_utf8(out, cp);  // surrogate pairs not recombined (unused here)
+          break;
+        }
+        default:
+          return std::nullopt;
+      }
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<Json> parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) return std::nullopt;
+    const std::string tok(s_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double d = std::strtod(tok.c_str(), &end);
+    if (end != tok.c_str() + tok.size()) return std::nullopt;
+    return Json(d);
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string json_quote(std::string_view s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+void Json::push_back(Json v) {
+  if (kind_ == Kind::Null) kind_ = Kind::Array;
+  arr_.push_back(std::move(v));
+}
+
+Json& Json::operator[](std::string_view key) {
+  if (kind_ == Kind::Null) kind_ = Kind::Object;
+  for (auto& [k, v] : obj_)
+    if (k == key) return v;
+  obj_.emplace_back(std::string(key), Json());
+  return obj_.back().second;
+}
+
+const Json* Json::find(std::string_view key) const {
+  if (kind_ != Kind::Object) return nullptr;
+  for (const auto& [k, v] : obj_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+void Json::dump_rec(std::string& out, int indent, int depth) const {
+  const auto newline = [&](int d) {
+    if (indent < 0) return;
+    out.push_back('\n');
+    out.append(static_cast<std::size_t>(indent * d), ' ');
+  };
+  switch (kind_) {
+    case Kind::Null: out += "null"; break;
+    case Kind::Bool: out += bool_ ? "true" : "false"; break;
+    case Kind::Number: out += format_number(num_); break;
+    case Kind::String: out += json_quote(str_); break;
+    case Kind::Array: {
+      if (arr_.empty()) {
+        out += "[]";
+        break;
+      }
+      out.push_back('[');
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        if (i) out.push_back(',');
+        newline(depth + 1);
+        arr_[i].dump_rec(out, indent, depth + 1);
+      }
+      newline(depth);
+      out.push_back(']');
+      break;
+    }
+    case Kind::Object: {
+      if (obj_.empty()) {
+        out += "{}";
+        break;
+      }
+      out.push_back('{');
+      for (std::size_t i = 0; i < obj_.size(); ++i) {
+        if (i) out.push_back(',');
+        newline(depth + 1);
+        out += json_quote(obj_[i].first);
+        out += indent < 0 ? ":" : ": ";
+        obj_[i].second.dump_rec(out, indent, depth + 1);
+      }
+      newline(depth);
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_rec(out, indent, 0);
+  return out;
+}
+
+std::optional<Json> Json::parse(std::string_view text) {
+  return Parser(text).run();
+}
+
+bool write_json_file(const std::string& path, const Json& doc) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  const std::string text = doc.dump(2);
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size() &&
+                  std::fputc('\n', f) != EOF;
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace imodec::obs

@@ -1,0 +1,106 @@
+#pragma once
+// Minimal JSON document model for the observability layer: the metrics/trace
+// exporters build values, the bench harnesses emit per-circuit records, and
+// the tests parse the emitted text back to validate it. Deliberately small —
+// ordered object keys, doubles for all numbers (exact for the integer ranges
+// we emit), UTF-8 passthrough with standard escape handling.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace imodec::obs {
+
+class Json {
+ public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  using Array = std::vector<Json>;
+  /// Insertion-ordered; lookups are linear (objects here are small).
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  Json() : kind_(Kind::Null) {}
+  Json(std::nullptr_t) : kind_(Kind::Null) {}
+  Json(bool b) : kind_(Kind::Bool), bool_(b) {}
+  Json(double d) : kind_(Kind::Number), num_(d) {}
+  Json(int v) : kind_(Kind::Number), num_(v) {}
+  Json(unsigned v) : kind_(Kind::Number), num_(v) {}
+  Json(long v) : kind_(Kind::Number), num_(static_cast<double>(v)) {}
+  Json(long long v) : kind_(Kind::Number), num_(static_cast<double>(v)) {}
+  Json(unsigned long v) : kind_(Kind::Number), num_(static_cast<double>(v)) {}
+  Json(unsigned long long v)
+      : kind_(Kind::Number), num_(static_cast<double>(v)) {}
+  Json(const char* s) : kind_(Kind::String), str_(s) {}
+  Json(std::string s) : kind_(Kind::String), str_(std::move(s)) {}
+  Json(std::string_view s) : kind_(Kind::String), str_(s) {}
+
+  static Json array() {
+    Json j;
+    j.kind_ = Kind::Array;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.kind_ = Kind::Object;
+    return j;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::Null; }
+  bool is_bool() const { return kind_ == Kind::Bool; }
+  bool is_number() const { return kind_ == Kind::Number; }
+  bool is_string() const { return kind_ == Kind::String; }
+  bool is_array() const { return kind_ == Kind::Array; }
+  bool is_object() const { return kind_ == Kind::Object; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return num_; }
+  const std::string& as_string() const { return str_; }
+  const Array& items() const { return arr_; }
+  /// Last element of an array value (must be a non-empty array).
+  Json& back() { return arr_.back(); }
+  const Object& members() const { return obj_; }
+
+  /// Array append (value must be an array; a null value becomes one).
+  void push_back(Json v);
+  /// Object insert-or-assign (value must be an object; a null becomes one).
+  Json& operator[](std::string_view key);
+  /// Object lookup; nullptr when absent or not an object.
+  const Json* find(std::string_view key) const;
+
+  std::size_t size() const {
+    return kind_ == Kind::Array ? arr_.size()
+           : kind_ == Kind::Object ? obj_.size()
+                                   : 0;
+  }
+
+  /// Serialize. indent < 0: compact one-liner; otherwise pretty-printed
+  /// with `indent` spaces per level.
+  std::string dump(int indent = -1) const;
+
+  /// Strict parse of a complete document; nullopt on any syntax error or
+  /// trailing garbage.
+  static std::optional<Json> parse(std::string_view text);
+
+ private:
+  void dump_rec(std::string& out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  Array arr_;
+  Object obj_;
+};
+
+/// Escape a string for embedding in JSON output (adds the quotes).
+std::string json_quote(std::string_view s);
+
+/// Write `doc.dump(2)` plus a trailing newline to `path`. Returns false on
+/// I/O failure.
+bool write_json_file(const std::string& path, const Json& doc);
+
+}  // namespace imodec::obs

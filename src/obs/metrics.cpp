@@ -1,0 +1,88 @@
+#include "obs/metrics.hpp"
+
+#include "util/strings.hpp"
+
+namespace imodec::obs {
+
+namespace {
+std::atomic<bool> g_enabled{false};
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+Registry& Registry::instance() {
+  static Registry* reg = new Registry();  // leaked: outlives all users
+  return *reg;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end())
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  return *it->second;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> Registry::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.emplace_back(name, c->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, Registry::GaugeValue>> Registry::gauges()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, GaugeValue>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_)
+    out.emplace_back(name, GaugeValue{g->value(), g->max()});
+  return out;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+}
+
+Json Registry::to_json() const {
+  Json out = Json::object();
+  Json& counters = out["counters"];
+  counters = Json::object();
+  for (const auto& [name, value] : this->counters()) counters[name] = value;
+  Json& gauges = out["gauges"];
+  gauges = Json::object();
+  for (const auto& [name, gv] : this->gauges()) {
+    Json g = Json::object();
+    g["value"] = gv.value;
+    g["max"] = gv.max;
+    gauges[name] = std::move(g);
+  }
+  return out;
+}
+
+std::string Registry::to_text() const {
+  std::string out;
+  for (const auto& [name, value] : counters())
+    out += strprintf("  %-36s %12llu\n", name.c_str(),
+                     static_cast<unsigned long long>(value));
+  for (const auto& [name, gv] : gauges())
+    out += strprintf("  %-36s %12lld  (max %lld)\n", name.c_str(),
+                     static_cast<long long>(gv.value),
+                     static_cast<long long>(gv.max));
+  return out;
+}
+
+}  // namespace imodec::obs

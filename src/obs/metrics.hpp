@@ -1,0 +1,107 @@
+#pragma once
+// Named counters and gauges in a process-wide registry (the numeric half of
+// the observability layer; spans live in obs/trace.hpp).
+//
+// Counters are monotonic uint64 accumulators; gauges are settable int64
+// values that also remember their maximum (e.g. peak live BDD nodes).
+// Handles returned by the registry are stable for the process lifetime, so
+// hot call sites can look a counter up once and increment a pointer
+// thereafter. All instrumentation sites in the pipeline are gated on
+// obs::enabled() — when observability is off (the default) no registry entry
+// is created or touched, which is what the zero-overhead tests assert.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace imodec::obs {
+
+/// Global observability switch. Off by default; flipping it on makes spans
+/// record and instrumentation sites publish counters.
+bool enabled();
+void set_enabled(bool on);
+
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) {
+    value_.store(v, std::memory_order_relaxed);
+    std::int64_t prev = max_.load(std::memory_order_relaxed);
+    while (v > prev &&
+           !max_.compare_exchange_weak(prev, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  std::int64_t max() const { return max_.load(std::memory_order_relaxed); }
+  void reset() {
+    value_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+  std::atomic<std::int64_t> max_{0};
+};
+
+class Registry {
+ public:
+  static Registry& instance();
+
+  /// Find-or-create; the returned reference stays valid forever.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+
+  /// Sorted-by-name snapshots.
+  std::vector<std::pair<std::string, std::uint64_t>> counters() const;
+  struct GaugeValue {
+    std::int64_t value;
+    std::int64_t max;
+  };
+  std::vector<std::pair<std::string, GaugeValue>> gauges() const;
+
+  /// Zero every metric (entries stay registered). Tests and bench harnesses
+  /// use this to isolate runs.
+  void reset();
+
+  /// {"counters": {...}, "gauges": {name: {"value":..,"max":..}, ...}}
+  Json to_json() const;
+  /// Aligned name/value table; empty string when nothing is registered.
+  std::string to_text() const;
+
+ private:
+  Registry() = default;
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+};
+
+/// `Registry::instance().counter(name).add(delta)` gated on enabled().
+inline void count(std::string_view name, std::uint64_t delta = 1) {
+  if (enabled()) Registry::instance().counter(name).add(delta);
+}
+
+/// `Registry::instance().gauge(name).set(v)` gated on enabled().
+inline void gauge_set(std::string_view name, std::int64_t v) {
+  if (enabled()) Registry::instance().gauge(name).set(v);
+}
+
+}  // namespace imodec::obs

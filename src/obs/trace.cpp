@@ -1,0 +1,209 @@
+#include "obs/trace.hpp"
+
+#include <functional>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "util/strings.hpp"
+
+namespace imodec::obs {
+
+namespace {
+
+std::uint64_t this_thread_id() {
+  return std::hash<std::thread::id>{}(std::this_thread::get_id());
+}
+
+}  // namespace
+
+Trace::Trace() : epoch_(std::chrono::steady_clock::now()) {}
+
+Trace& Trace::global() {
+  static Trace* trace = new Trace();  // leaked: outlives all users
+  return *trace;
+}
+
+int Trace::begin(std::string name) {
+  if (!enabled()) return -1;
+  const auto now = std::chrono::steady_clock::now();
+  const std::uint64_t tid = this_thread_id();
+  std::lock_guard<std::mutex> lock(mu_);
+  Span span;
+  span.name = std::move(name);
+  span.start = std::chrono::duration<double>(now - epoch_).count();
+  span.tid = tid;
+  std::vector<int>& stack = open_[tid];
+  span.parent = stack.empty() ? -1 : stack.back();
+  const int id = static_cast<int>(spans_.size());
+  spans_.push_back(std::move(span));
+  stack.push_back(id);
+  return id;
+}
+
+void Trace::end(int id) {
+  if (id < 0) return;
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (static_cast<std::size_t>(id) >= spans_.size()) return;  // cleared since
+  Span& span = spans_[static_cast<std::size_t>(id)];
+  span.dur = std::chrono::duration<double>(now - epoch_).count() - span.start;
+  std::vector<int>& stack = open_[span.tid];
+  // Normally `id` is the top of this thread's stack; tolerate out-of-order
+  // ends (e.g. a span outliving a clear) by popping through it.
+  while (!stack.empty()) {
+    const int top = stack.back();
+    stack.pop_back();
+    if (top == id) break;
+  }
+}
+
+std::size_t Trace::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+std::vector<Span> Trace::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+std::vector<Span> Trace::snapshot_since(std::size_t base) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Span> out;
+  if (base >= spans_.size()) return out;
+  out.assign(spans_.begin() + static_cast<long>(base), spans_.end());
+  for (Span& s : out)
+    s.parent = s.parent < static_cast<int>(base)
+                   ? -1
+                   : s.parent - static_cast<int>(base);
+  return out;
+}
+
+void Trace::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+  open_.clear();
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+std::string trace_text(const std::vector<Span>& spans) {
+  // Children in recorded (chronological) order.
+  std::vector<std::vector<int>> children(spans.size());
+  std::vector<int> roots;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    if (spans[i].parent < 0)
+      roots.push_back(static_cast<int>(i));
+    else
+      children[static_cast<std::size_t>(spans[i].parent)].push_back(
+          static_cast<int>(i));
+  }
+  std::string out;
+  const std::function<void(int, int)> emit = [&](int idx, int depth) {
+    const Span& s = spans[static_cast<std::size_t>(idx)];
+    out += strprintf("  %*s%-*s %9.3f ms\n", depth * 2, "",
+                     36 - depth * 2, s.name.c_str(),
+                     (s.dur < 0 ? 0.0 : s.dur) * 1e3);
+    for (int c : children[static_cast<std::size_t>(idx)]) emit(c, depth + 1);
+  };
+  for (int r : roots) emit(r, 0);
+  return out;
+}
+
+namespace {
+
+struct AggNode {
+  double total = 0.0;
+  std::size_t count = 0;
+  std::vector<std::pair<std::string, AggNode>> children;  // insertion order
+  AggNode& child(const std::string& name) {
+    for (auto& [n, c] : children)
+      if (n == name) return c;
+    children.emplace_back(name, AggNode{});
+    return children.back().second;
+  }
+};
+
+}  // namespace
+
+std::string trace_summary(const std::vector<Span>& spans) {
+  std::vector<std::vector<int>> children(spans.size());
+  std::vector<int> roots;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    if (spans[i].parent < 0)
+      roots.push_back(static_cast<int>(i));
+    else
+      children[static_cast<std::size_t>(spans[i].parent)].push_back(
+          static_cast<int>(i));
+  }
+  AggNode top;
+  const std::function<void(int, AggNode&)> fold = [&](int idx, AggNode& into) {
+    const Span& s = spans[static_cast<std::size_t>(idx)];
+    AggNode& n = into.child(s.name);
+    n.total += s.dur < 0 ? 0.0 : s.dur;
+    ++n.count;
+    for (int c : children[static_cast<std::size_t>(idx)]) fold(c, n);
+  };
+  for (int r : roots) fold(r, top);
+
+  std::string out;
+  const std::function<void(const AggNode&, int)> emit = [&](const AggNode& n,
+                                                           int depth) {
+    for (const auto& [name, c] : n.children) {
+      out += strprintf("  %*s%-*s %9.3f ms", depth * 2, "", 36 - depth * 2,
+                       name.c_str(), c.total * 1e3);
+      if (c.count > 1) out += strprintf("  x%zu", c.count);
+      out.push_back('\n');
+      emit(c, depth + 1);
+    }
+  };
+  emit(top, 0);
+  return out;
+}
+
+Json trace_json(const std::vector<Span>& spans) {
+  std::vector<std::vector<int>> children(spans.size());
+  std::vector<int> roots;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    if (spans[i].parent < 0)
+      roots.push_back(static_cast<int>(i));
+    else
+      children[static_cast<std::size_t>(spans[i].parent)].push_back(
+          static_cast<int>(i));
+  }
+  const std::function<Json(int)> emit = [&](int idx) {
+    const Span& s = spans[static_cast<std::size_t>(idx)];
+    Json node = Json::object();
+    node["name"] = s.name;
+    node["start_s"] = s.start;
+    node["dur_s"] = s.dur;
+    Json kids = Json::array();
+    for (int c : children[static_cast<std::size_t>(idx)])
+      kids.push_back(emit(c));
+    node["children"] = std::move(kids);
+    return node;
+  };
+  Json out = Json::array();
+  for (int r : roots) out.push_back(emit(r));
+  return out;
+}
+
+Json trace_chrome_json(const std::vector<Span>& spans) {
+  Json events = Json::array();
+  for (const Span& s : spans) {
+    if (s.dur < 0) continue;
+    Json ev = Json::object();
+    ev["name"] = s.name;
+    ev["ph"] = "X";
+    ev["ts"] = s.start * 1e6;
+    ev["dur"] = s.dur * 1e6;
+    ev["pid"] = 1;
+    ev["tid"] = s.tid % 1000000;  // keep readable in the viewer
+    events.push_back(std::move(ev));
+  }
+  Json out = Json::object();
+  out["traceEvents"] = std::move(events);
+  out["displayTimeUnit"] = "ms";
+  return out;
+}
+
+}  // namespace imodec::obs

@@ -1,0 +1,103 @@
+#pragma once
+// Phase-scoped tracing: RAII spans forming a tree with durations.
+//
+// A Trace records spans into a flat vector; each span knows its parent index
+// so exporters can rebuild the tree. Nesting is tracked per thread (each
+// thread has its own open-span stack), and all mutation goes through one
+// per-trace mutex, so concurrent pipeline stages can trace into the same
+// object. When obs::enabled() is false, ScopedSpan records nothing and costs
+// one relaxed atomic load plus a clock read — the clock read is kept because
+// ScopedSpan::seconds() doubles as the pipeline's only timing primitive
+// (ImodecStats/FlowStats derive their `seconds` from it, traced or not).
+//
+// Exporters: indented text, a nested JSON tree, and the Chrome trace-event
+// format (load the file at chrome://tracing or https://ui.perfetto.dev).
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace imodec::obs {
+
+struct Span {
+  std::string name;
+  int parent = -1;     // index into the trace's span vector; -1 = root
+  double start = 0.0;  // seconds since the trace epoch
+  double dur = -1.0;   // -1 while still open
+  std::uint64_t tid = 0;
+};
+
+class Trace {
+ public:
+  Trace();
+
+  /// The process-wide trace all pipeline instrumentation records into.
+  static Trace& global();
+
+  /// Open a span under the calling thread's current span. Returns its index,
+  /// or -1 when obs::enabled() is false (end(-1) is a no-op).
+  int begin(std::string name);
+  void end(int id);
+
+  std::size_t size() const;
+  /// Copy of all spans so far (open spans have dur == -1).
+  std::vector<Span> snapshot() const;
+  /// Spans recorded at index >= base, re-rooted: parents below `base` become
+  /// -1 and surviving parent indices are shifted by -base. Lets callers
+  /// capture just "the spans of this run" out of the global trace.
+  std::vector<Span> snapshot_since(std::size_t base) const;
+  /// Drop all spans and reset the epoch. Open-span stacks are cleared; any
+  /// live ScopedSpan from before the clear ends harmlessly.
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<Span> spans_;
+  std::unordered_map<std::uint64_t, std::vector<int>> open_;  // per thread
+};
+
+/// RAII span in Trace::global(); also a stopwatch (see header comment).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name)
+      : start_(std::chrono::steady_clock::now()),
+        id_(Trace::global().begin(name)) {}
+  ~ScopedSpan() { Trace::global().end(id_); }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Seconds since construction; valid whether or not tracing is enabled.
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+  int id_;
+};
+
+/// Indented tree, one line per span: name and milliseconds.
+std::string trace_text(const std::vector<Span>& spans);
+
+/// Aggregated tree: same-named siblings merge into one line with their total
+/// duration and an invocation count ("engine.lmax  12.3 ms  x41"). The right
+/// view for reports where a phase repeats per work item.
+std::string trace_summary(const std::vector<Span>& spans);
+
+/// Nested tree: [{"name":..,"start_s":..,"dur_s":..,"children":[...]}, ...]
+Json trace_json(const std::vector<Span>& spans);
+
+/// Chrome trace-event JSON: {"traceEvents":[{"ph":"X",...}, ...]}. Times are
+/// microseconds as the format requires; open spans are skipped.
+Json trace_chrome_json(const std::vector<Span>& spans);
+
+}  // namespace imodec::obs

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Validate the bench JSON emitted by the bench_* harnesses (--json <file>).
+
+Schema (version 1):
+
+  {
+    "bench": "<harness name>",          # required, string
+    "schema_version": 1,                # required, number
+    "records": [                        # required, array of objects
+      {
+        "circuit": "rd53",              # required, string
+        "seconds": 0.123,               # required, number >= 0
+        ... optional typed keys, see OPTIONAL_KEYS ...
+      }
+    ]
+  }
+
+Unknown record keys are allowed (forward compatibility) but known keys must
+have the right type. Exits non-zero with a message on the first violation.
+"""
+
+import json
+import sys
+
+NUMBER = (int, float)
+
+# key -> (type tuple, must be >= 0 when numeric)
+OPTIONAL_KEYS = {
+    "mode": (str, False),
+    "ablation": (str, False),
+    "b": (NUMBER, True),
+    "p": (NUMBER, True),
+    "q": (NUMBER, True),
+    "m": (NUMBER, True),
+    "luts": (NUMBER, True),
+    "clbs": (NUMBER, True),
+    "clbs_single": (NUMBER, True),
+    "clbs_strict": (NUMBER, True),
+    "clbs_r_imodec": (NUMBER, True),
+    "clbs_r_fgmap": (NUMBER, True),
+    "depth": (NUMBER, True),
+    "lmax_rounds": (NUMBER, True),
+    "bdd_nodes": (NUMBER, True),
+    "cache_hit_rate": (NUMBER, True),
+    "iterations": (NUMBER, True),
+    "cpu_seconds": (NUMBER, True),
+    "verified": (bool, False),
+}
+
+
+def fail(msg):
+    print(f"check_bench_json: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_record(i, rec):
+    where = f"records[{i}]"
+    if not isinstance(rec, dict):
+        fail(f"{where}: not an object")
+    circuit = rec.get("circuit")
+    if not isinstance(circuit, str) or not circuit:
+        fail(f"{where}: missing or non-string 'circuit'")
+    seconds = rec.get("seconds")
+    # bool is an int subclass in Python; reject it explicitly.
+    if isinstance(seconds, bool) or not isinstance(seconds, NUMBER):
+        fail(f"{where} ({circuit}): missing or non-numeric 'seconds'")
+    if seconds < 0:
+        fail(f"{where} ({circuit}): negative 'seconds' ({seconds})")
+    for key, value in rec.items():
+        if key in ("circuit", "seconds") or key not in OPTIONAL_KEYS:
+            continue
+        want, nonneg = OPTIONAL_KEYS[key]
+        if want is not bool and isinstance(value, bool):
+            fail(f"{where} ({circuit}): '{key}' should not be a bool")
+        if not isinstance(value, want):
+            fail(f"{where} ({circuit}): '{key}' has wrong type "
+                 f"({type(value).__name__})")
+        if nonneg and isinstance(value, NUMBER) and value < 0:
+            fail(f"{where} ({circuit}): '{key}' is negative ({value})")
+
+
+def check_file(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except OSError as e:
+        fail(f"cannot read {path}: {e}")
+    except json.JSONDecodeError as e:
+        fail(f"{path}: invalid JSON: {e}")
+    if not isinstance(doc, dict):
+        fail(f"{path}: top level is not an object")
+    if not isinstance(doc.get("bench"), str) or not doc["bench"]:
+        fail(f"{path}: missing or non-string 'bench'")
+    sv = doc.get("schema_version")
+    if isinstance(sv, bool) or not isinstance(sv, NUMBER):
+        fail(f"{path}: missing or non-numeric 'schema_version'")
+    if sv != 1:
+        fail(f"{path}: unsupported schema_version {sv}")
+    records = doc.get("records")
+    if not isinstance(records, list):
+        fail(f"{path}: missing or non-array 'records'")
+    for i, rec in enumerate(records):
+        check_record(i, rec)
+    print(f"check_bench_json: {path}: OK "
+          f"(bench={doc['bench']}, {len(records)} records)")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(f"usage: {argv[0]} <bench.json> [more.json ...]",
+              file=sys.stderr)
+        return 2
+    for path in argv[1:]:
+        check_file(path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

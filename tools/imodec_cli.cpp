@@ -15,6 +15,9 @@
 //   --no-collapse   skip collapsing; restructure instead
 //   --no-verify     skip the equivalence check
 //   -o <file>       write the mapped network as BLIF
+//   --stats         per-phase times, BDD cache behaviour and counters
+//   --trace-json <file>    write the span tree + counters as JSON
+//   --trace-chrome <file>  write a chrome://tracing / Perfetto event file
 //   --list          list built-in benchmark names and exit
 
 #include <cstdio>
@@ -25,6 +28,8 @@
 #include "logic/blif.hpp"
 #include "logic/pla.hpp"
 #include "map/driver.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 using namespace imodec;
 
@@ -38,7 +43,8 @@ bool ends_with(const std::string& s, const std::string& suffix) {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [-k n] [--single] [--strict] [--no-collapse] "
-               "[--no-verify] [-o out.blif] <input.blif|input.pla|@name>\n"
+               "[--no-verify] [--stats] [--trace-json f] [--trace-chrome f] "
+               "[-o out.blif] <input.blif|input.pla|@name>\n"
                "       %s --list\n",
                argv0, argv0);
   return 2;
@@ -50,6 +56,9 @@ int main(int argc, char** argv) {
   DriverOptions opts;
   std::string input;
   std::string output;
+  bool stats = false;
+  std::string trace_json_path;
+  std::string trace_chrome_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -71,6 +80,12 @@ int main(int argc, char** argv) {
       opts.verify = false;
     } else if (arg == "-o" && i + 1 < argc) {
       output = argv[++i];
+    } else if (arg == "--stats") {
+      stats = true;
+    } else if (arg == "--trace-json" && i + 1 < argc) {
+      trace_json_path = argv[++i];
+    } else if (arg == "--trace-chrome" && i + 1 < argc) {
+      trace_chrome_path = argv[++i];
     } else if (arg == "--list") {
       for (const auto& name : circuits::benchmark_names())
         std::printf("%s\n", name.c_str());
@@ -103,11 +118,49 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Any observability output requested -> record spans and counters.
+  const bool observe =
+      stats || !trace_json_path.empty() || !trace_chrome_path.empty();
+  if (observe) obs::set_enabled(true);
+
   Network mapped;
-  const DriverReport rep = run_synthesis(net, opts, mapped);
+  DriverReport rep = run_synthesis(net, opts, mapped);
+  if (!stats) {
+    // Tracing without --stats: keep the report compact.
+    rep.spans.clear();
+    rep.counters.clear();
+  }
   std::fputs(format_report(net.name().empty() ? input : net.name(), rep)
                  .c_str(),
              stdout);
+
+  if (observe) {
+    const std::vector<obs::Span> spans = obs::Trace::global().snapshot();
+    bool write_failed = false;
+    if (!trace_json_path.empty()) {
+      obs::Json doc = obs::Json::object();
+      doc["trace"] = obs::trace_json(spans);
+      doc["metrics"] = obs::Registry::instance().to_json();
+      if (obs::write_json_file(trace_json_path, doc)) {
+        std::printf("wrote %s\n", trace_json_path.c_str());
+      } else {
+        std::fprintf(stderr, "imodec: cannot write %s\n",
+                     trace_json_path.c_str());
+        write_failed = true;
+      }
+    }
+    if (!trace_chrome_path.empty()) {
+      if (obs::write_json_file(trace_chrome_path,
+                               obs::trace_chrome_json(spans))) {
+        std::printf("wrote %s\n", trace_chrome_path.c_str());
+      } else {
+        std::fprintf(stderr, "imodec: cannot write %s\n",
+                     trace_chrome_path.c_str());
+        write_failed = true;
+      }
+    }
+    if (write_failed) return 1;
+  }
 
   if (!output.empty()) {
     try {
