@@ -9,7 +9,9 @@
 
 #include <cmath>
 #include <cstdio>
+#include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "circuits/registry.hpp"
@@ -21,6 +23,7 @@
 #include "map/xc3000.hpp"
 #include "map/xc4000.hpp"
 #include "obs/bench_json.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 using namespace imodec;
@@ -31,6 +34,15 @@ const std::vector<std::string> kCircuits{"rd73", "rd84", "f51m", "z4ml",
                                          "5xp1", "clip", "misex1", "sao2"};
 
 obs::BenchJson* g_sink = nullptr;
+util::ThreadPool* g_pool = nullptr;  // set by --threads; results identical
+unsigned g_threads = 1;
+
+/// All ablations share the pooled flow entry point so `--threads` speeds up
+/// every section the same way.
+FlowResult run_flow(const Network& net, FlowOptions opts) {
+  opts.pool = g_pool;
+  return decompose_to_luts(net, opts);
+}
 
 void ablation_strict() {
   std::printf("--- A. non-strict vs strict codes (CLBs, collapsed flow) ---\n");
@@ -42,8 +54,8 @@ void ablation_strict() {
     FlowOptions a;
     FlowOptions b;
     b.imodec.strict = true;
-    const FlowResult ra = decompose_to_luts(*flat, a);
-    const FlowResult rb = decompose_to_luts(*flat, b);
+    const FlowResult ra = run_flow(*flat, a);
+    const FlowResult rb = run_flow(*flat, b);
     const unsigned ca = pack_xc3000(ra.network).clbs;
     const unsigned cb = pack_xc3000(rb.network).clbs;
     std::printf("%-8s %10u %8u\n", name.c_str(), ca, cb);
@@ -58,6 +70,7 @@ void ablation_strict() {
       rec["lmax_rounds"] = ra.stats.lmax_rounds;
       rec["bdd_nodes"] = ra.stats.bdd_nodes;
       rec["cache_hit_rate"] = ra.stats.cache_hit_rate();
+      rec["threads"] = g_threads;
     }
   }
   std::printf("%-8s %10ld %8ld  (non-strict should win or tie)\n\n", "sum", ns,
@@ -74,8 +87,8 @@ void ablation_output_partitioning() {
     FlowOptions a;
     FlowOptions b;
     b.output_partitioning = false;
-    const unsigned la = decompose_to_luts(*flat, a).stats.luts;
-    const unsigned lb = decompose_to_luts(*flat, b).stats.luts;
+    const unsigned la = run_flow(*flat, a).stats.luts;
+    const unsigned lb = run_flow(*flat, b).stats.luts;
     std::printf("%-8s %8u %8u\n", name.c_str(), la, lb);
     g += la;
     s += lb;
@@ -93,7 +106,7 @@ void ablation_preferable() {
     if (!flat) continue;
     FlowOptions opts;
     opts.record_vectors = true;
-    const FlowResult r = decompose_to_luts(*flat, opts);
+    const FlowResult r = run_flow(*flat, opts);
     if (r.recorded.empty()) continue;
     const RecordedVector* best = &r.recorded.front();
     for (const auto& rec : r.recorded)
@@ -122,7 +135,7 @@ void ablation_bound_size() {
       const auto flat = collapse_network(*circuits::make_benchmark(name));
       FlowOptions opts;
       opts.varpart.bound_size = b;
-      const FlowResult r = decompose_to_luts(*flat, opts);
+      const FlowResult r = run_flow(*flat, opts);
       std::printf(" %6u", r.stats.luts);
     }
     std::printf("\n");
@@ -172,7 +185,7 @@ void ablation_xc4000() {
     if (!flat) continue;
     FlowOptions opts;
     opts.k = 4;
-    const FlowResult r = decompose_to_luts(*flat, opts);
+    const FlowResult r = run_flow(*flat, opts);
     const auto p = pack_xc4000(r.network);
     std::printf("%-8s %10u %10u %10u\n", name.c_str(), r.stats.luts, p.clbs,
                 p.h_patterns);
@@ -188,10 +201,10 @@ void ablation_classical() {
     const auto net = circuits::make_benchmark(name);
     Network mapped;
     DriverOptions a;
-    const DriverReport ra = run_synthesis(*net, a, mapped);
+    const DriverReport ra = run_synthesis(*net, a, mapped, g_pool);
     DriverOptions b;
     b.classical = true;
-    const DriverReport rb = run_synthesis(*net, b, mapped);
+    const DriverReport rb = run_synthesis(*net, b, mapped, g_pool);
     std::printf("%-8s %10u %12u%s\n", name.c_str(), ra.clbs.clbs,
                 rb.clbs.clbs,
                 (ra.verified && rb.verified) ? "" : "  VERIFY-FAIL");
@@ -206,8 +219,17 @@ void ablation_classical() {
 
 int main(int argc, char** argv) {
   const auto json_path = obs::strip_json_flag(argc, argv);
+  const auto threads = obs::strip_threads_flag(argc, argv);
   obs::BenchJson sink("ablation");
   if (json_path) g_sink = &sink;
+
+  g_threads = threads.value_or(1);
+  if (g_threads == 0) g_threads = std::thread::hardware_concurrency();
+  std::optional<util::ThreadPool> pool;
+  if (g_threads > 1) {
+    pool.emplace(g_threads);
+    g_pool = &*pool;
+  }
 
   std::printf("=== Ablations (design choices of DESIGN.md §3) ===\n\n");
   ablation_strict();

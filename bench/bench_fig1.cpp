@@ -8,6 +8,8 @@
 // the resulting XC3000 CLB counts.
 
 #include <cstdio>
+#include <optional>
+#include <thread>
 
 #include "circuits/registry.hpp"
 #include "logic/cube.hpp"
@@ -15,10 +17,14 @@
 #include "map/lutflow.hpp"
 #include "map/xc3000.hpp"
 #include "obs/bench_json.hpp"
+#include "util/thread_pool.hpp"
 
 using namespace imodec;
 
 namespace {
+
+util::ThreadPool* g_pool = nullptr;  // set by --threads; results identical
+unsigned g_threads = 1;
 
 void print_netlist(const Network& net) {
   const auto order = net.topo_order();
@@ -45,6 +51,7 @@ unsigned run(const Network& flat, const Network& reference, bool multi,
   FlowOptions opts;
   opts.k = 4;  // the figure uses 4-input LUTs
   opts.multi_output = multi;
+  opts.pool = g_pool;
   const FlowResult r = decompose_to_luts(flat, opts);
   const auto eq = check_equivalence(reference, r.network);
   const auto clbs = pack_xc3000(r.network);
@@ -64,6 +71,7 @@ unsigned run(const Network& flat, const Network& reference, bool multi,
     rec["bdd_nodes"] = r.stats.bdd_nodes;
     rec["cache_hit_rate"] = r.stats.cache_hit_rate();
     rec["verified"] = eq.equivalent;
+    rec["threads"] = g_threads;
   }
   return r.stats.luts;
 }
@@ -72,7 +80,16 @@ unsigned run(const Network& flat, const Network& reference, bool multi,
 
 int main(int argc, char** argv) {
   const auto json_path = obs::strip_json_flag(argc, argv);
+  const auto threads = obs::strip_threads_flag(argc, argv);
   obs::BenchJson sink("fig1");
+
+  g_threads = threads.value_or(1);
+  if (g_threads == 0) g_threads = std::thread::hardware_concurrency();
+  std::optional<util::ThreadPool> pool;
+  if (g_threads > 1) {
+    pool.emplace(g_threads);
+    g_pool = &*pool;
+  }
 
   std::printf("=== Figure 1: decomposition of rd53, k = 4 ===\n\n");
   const Network rd53 = *circuits::make_benchmark("rd53");

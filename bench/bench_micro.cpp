@@ -6,6 +6,8 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <optional>
+#include <thread>
 
 #include "bdd/bdd.hpp"
 #include "obs/bench_json.hpp"
@@ -16,14 +18,18 @@
 #include "imodec/subset.hpp"
 #include "circuits/registry.hpp"
 #include "logic/minimize.hpp"
+#include "map/lutflow.hpp"
 #include "opt/extract.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
 using namespace imodec;
 using bdd::Bdd;
 using bdd::Manager;
+
+unsigned g_threads = 1;  // set by --threads; width of BM_FlowPooled's pool
 
 TruthTable random_table(unsigned n, std::uint64_t seed) {
   Rng rng(seed);
@@ -196,6 +202,21 @@ void BM_KernelExtraction(benchmark::State& state) {
 }
 BENCHMARK(BM_KernelExtraction);
 
+void BM_FlowPooled(benchmark::State& state) {
+  // The full decomposition flow at the width requested with --threads
+  // (default 1): the macro-benchmark for the parallel runtime. Results are
+  // identical at every width, so times are directly comparable.
+  const Network flat = *collapse_network(*circuits::make_benchmark("rd84"));
+  std::optional<util::ThreadPool> pool;
+  if (g_threads > 1) pool.emplace(g_threads);
+  FlowOptions opts;
+  opts.pool = pool ? &*pool : nullptr;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(decompose_to_luts(flat, opts).stats.luts);
+  }
+}
+BENCHMARK(BM_FlowPooled);
+
 /// Console reporter that additionally collects one bench-JSON record per
 /// benchmark run ("circuit" carries the benchmark name, e.g. "BM_BddIte/32").
 class JsonCollectingReporter : public benchmark::ConsoleReporter {
@@ -212,6 +233,7 @@ class JsonCollectingReporter : public benchmark::ConsoleReporter {
                                          run.GetAdjustedRealTime() * to_sec);
       rec["iterations"] = static_cast<long long>(run.iterations);
       rec["cpu_seconds"] = run.GetAdjustedCPUTime() * to_sec;
+      rec["threads"] = g_threads;
     }
   }
 
@@ -223,6 +245,9 @@ class JsonCollectingReporter : public benchmark::ConsoleReporter {
 
 int main(int argc, char** argv) {
   const auto json_path = obs::strip_json_flag(argc, argv);
+  const auto threads = obs::strip_threads_flag(argc, argv);
+  g_threads = threads.value_or(1);
+  if (g_threads == 0) g_threads = std::thread::hardware_concurrency();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   obs::BenchJson sink("micro");

@@ -14,7 +14,9 @@
 // check: #preferable << #assignable << the bounds, and CPU time driven by p.
 
 #include <cstdio>
+#include <optional>
 #include <string>
+#include <thread>
 
 #include "circuits/registry.hpp"
 #include "decomp/varpart.hpp"
@@ -23,6 +25,7 @@
 #include "map/lutflow.hpp"
 #include "map/restructure.hpp"
 #include "obs/bench_json.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 using namespace imodec;
@@ -30,6 +33,8 @@ using namespace imodec;
 namespace {
 
 obs::BenchJson* g_sink = nullptr;
+util::ThreadPool* g_pool = nullptr;  // set by --threads; results identical
+unsigned g_threads = 1;
 
 void print_vector_row(const std::string& name, const std::string& circuit,
                       const RecordedVector& rec) {
@@ -62,6 +67,7 @@ void print_vector_row(const std::string& name, const std::string& circuit,
     jrec["b"] = ch.b;
     jrec["p"] = ch.p;
     if (dec) jrec["q"] = dec->q();
+    jrec["threads"] = g_threads;
   }
 }
 
@@ -82,6 +88,7 @@ void characterize_circuit(const std::string& name, unsigned want_m) {
   FlowOptions opts;
   opts.record_vectors = true;
   opts.max_vector_outputs = want_m;
+  opts.pool = g_pool;
   const FlowResult result = decompose_to_luts(start, opts);
   if (result.recorded.empty()) {
     std::printf("%s: no vectors decomposed (already k-feasible)\n\n",
@@ -114,6 +121,7 @@ void characterize_paper_b(const std::string& name, unsigned want_m,
   FlowOptions opts;
   opts.record_vectors = true;
   opts.max_vector_outputs = want_m;
+  opts.pool = g_pool;
   const FlowResult result = decompose_to_luts(start, opts);
   if (result.recorded.empty()) return;
   const RecordedVector* best = &result.recorded.front();
@@ -125,6 +133,7 @@ void characterize_paper_b(const std::string& name, unsigned want_m,
   VarPartOptions vopts;
   vopts.bound_size = paper_b;
   vopts.require_nontrivial = false;  // characterization only, not mapping
+  vopts.pool = g_pool;
   const auto choice = choose_bound_set(best->outputs, n, vopts);
   if (!choice) return;
 
@@ -149,8 +158,17 @@ void characterize_paper_b(const std::string& name, unsigned want_m,
 
 int main(int argc, char** argv) {
   const auto json_path = obs::strip_json_flag(argc, argv);
+  const auto threads = obs::strip_threads_flag(argc, argv);
   obs::BenchJson sink("table1");
   if (json_path) g_sink = &sink;
+
+  g_threads = threads.value_or(1);
+  if (g_threads == 0) g_threads = std::thread::hardware_concurrency();
+  std::optional<util::ThreadPool> pool;
+  if (g_threads > 1) {
+    pool.emplace(g_threads);
+    g_pool = &*pool;
+  }
 
   std::printf("=== Table 1: characteristics of decompositions ===\n");
   std::printf("(values in parentheses: theoretical bounds 2^(2^b), 2^p)\n\n");

@@ -14,7 +14,9 @@
 // IMODEC <= Single on (almost) every row, with a double-digit average gain.
 
 #include <cstdio>
+#include <optional>
 #include <string>
+#include <thread>
 
 #include "circuits/registry.hpp"
 #include "logic/simulate.hpp"
@@ -22,11 +24,15 @@
 #include "map/restructure.hpp"
 #include "map/xc3000.hpp"
 #include "obs/bench_json.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 using namespace imodec;
 
 namespace {
+
+util::ThreadPool* g_pool = nullptr;  // set by --threads; results identical
+unsigned g_threads = 1;
 
 struct Row {
   std::string name;
@@ -42,6 +48,7 @@ int run_mode(const Network& reference, const Network& start, bool multi,
              int* max_m, int* max_p, bool* verified, Row* row) {
   FlowOptions opts;
   opts.multi_output = multi;
+  opts.pool = g_pool;
   const FlowResult r = decompose_to_luts(start, opts);
   if (max_m) *max_m = static_cast<int>(r.stats.max_m);
   if (max_p) *max_p = static_cast<int>(r.stats.max_p);
@@ -65,8 +72,17 @@ std::string cell(int v) { return v < 0 ? "-" : std::to_string(v); }
 
 int main(int argc, char** argv) {
   const auto json_path = obs::strip_json_flag(argc, argv);
+  const auto threads = obs::strip_threads_flag(argc, argv);
   obs::BenchJson sink("table2");
   const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+
+  g_threads = threads.value_or(1);
+  if (g_threads == 0) g_threads = std::thread::hardware_concurrency();
+  std::optional<util::ThreadPool> pool;
+  if (g_threads > 1) {
+    pool.emplace(g_threads);
+    g_pool = &*pool;
+  }
   std::printf("=== Table 2: mapping to Xilinx XC3000 CLBs ===\n\n");
   std::printf("%-8s | %-7s %5s %7s %9s %8s | %5s %7s %9s %8s | %7s %5s\n",
               "net", "m/p", "CLB", "Single", "r+IMODEC", "r+FGMap", "CLB",
@@ -129,6 +145,7 @@ int main(int argc, char** argv) {
                     static_cast<double>(row.bdd_cache_lookups)
               : 0.0;
       rec["verified"] = row.verified;
+      rec["threads"] = g_threads;
     }
 
     const std::string mp = collapsed ? (std::to_string(row.m) + "/" +

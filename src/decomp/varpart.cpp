@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
-#include <cmath>
 
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace imodec {
 
@@ -28,10 +29,6 @@ std::pair<std::uint64_t, std::uint64_t> score(const VarPartChoice& c) {
   return {c.global.num_classes, sum_l};
 }
 
-}  // namespace
-
-namespace {
-
 std::optional<VarPartChoice> evaluate_with_supports(
     const std::vector<TruthTable>& outputs, unsigned num_vars,
     const std::vector<unsigned>& bound, bool require_nontrivial,
@@ -54,6 +51,37 @@ std::optional<VarPartChoice> evaluate_with_supports(
   }
   choice.global = global_partition(choice.locals);
   return choice;
+}
+
+/// Evaluate every candidate in `cands` (in parallel when a pool is given)
+/// and return the best by (score, candidate index) — the same winner a
+/// serial first-strictly-better scan keeps, so results are independent of
+/// the thread count.
+std::optional<VarPartChoice> evaluate_candidates(
+    const std::vector<TruthTable>& outputs, unsigned num_vars,
+    const std::vector<std::vector<unsigned>>& cands, bool require_nontrivial,
+    const std::vector<std::vector<unsigned>>& supports,
+    util::ThreadPool* pool) {
+  std::vector<std::optional<VarPartChoice>> results(cands.size());
+  const auto eval_one = [&](std::size_t i) {
+    results[i] = evaluate_with_supports(outputs, num_vars, cands[i],
+                                        require_nontrivial, supports);
+  };
+  if (pool && cands.size() > 1) {
+    const int parent = obs::enabled() ? obs::Trace::global().current() : -1;
+    pool->parallel_for(cands.size(), [&](std::size_t i) {
+      obs::AdoptParentScope adopt(parent);
+      eval_one(i);
+    });
+  } else {
+    for (std::size_t i = 0; i < cands.size(); ++i) eval_one(i);
+  }
+  std::optional<VarPartChoice> best;
+  for (auto& cand : results) {
+    if (!cand) continue;
+    if (!best || score(*cand) < score(*best)) best = std::move(cand);
+  }
+  return best;
 }
 
 }  // namespace
@@ -82,22 +110,16 @@ std::optional<VarPartChoice> choose_bound_set(
 
   // Evaluating one candidate costs m * 2^n row reads; budget the number of
   // candidates so wide vectors stay tractable (the paper's flow likewise
-  // limits effort on large supports, §7).
-  const double row_cost = static_cast<double>(outputs.size()) *
-                          std::ldexp(1.0, static_cast<int>(num_vars));
-  const std::size_t allowed = static_cast<std::size_t>(
-      std::max(4.0, std::min<double>(opts.eval_budget / row_cost, 1u << 20)));
+  // limits effort on large supports, §7). All in exact uint64 arithmetic:
+  // m <= 64 and n <= TruthTable::kMaxVars keep m << n far below overflow.
+  const std::uint64_t row_cost = static_cast<std::uint64_t>(outputs.size())
+                                 << num_vars;
+  const std::size_t allowed = static_cast<std::size_t>(std::clamp<std::uint64_t>(
+      opts.eval_budget / row_cost, 4, std::uint64_t{1} << 20));
 
-  std::optional<VarPartChoice> best;
   std::vector<std::vector<unsigned>> supports;
   supports.reserve(outputs.size());
   for (const TruthTable& f : outputs) supports.push_back(f.support());
-  auto consider = [&](const std::vector<unsigned>& bound) {
-    auto cand = evaluate_with_supports(outputs, num_vars, bound,
-                                       opts.require_nontrivial, supports);
-    if (!cand) return;
-    if (!best || score(*cand) < score(*best)) best = std::move(cand);
-  };
 
   // Count C(num_vars, b) with saturation.
   std::uint64_t combos = 1;
@@ -106,12 +128,16 @@ std::optional<VarPartChoice> choose_bound_set(
     if (combos > opts.max_exhaustive * 4) break;
   }
 
+  // Candidate generation is serial and cheap; evaluation is the hot part
+  // and fans out over the pool.
+  std::vector<std::vector<unsigned>> cands;
   if (combos <= std::min(opts.max_exhaustive, allowed)) {
     // Exhaustive enumeration of all bound sets of size b.
+    cands.reserve(static_cast<std::size_t>(combos));
     std::vector<unsigned> idx(b);
     for (unsigned i = 0; i < b; ++i) idx[i] = i;
     for (;;) {
-      consider(idx);
+      cands.push_back(idx);
       // next combination
       int i = static_cast<int>(b) - 1;
       while (i >= 0 && idx[i] == num_vars - b + i) --i;
@@ -120,7 +146,8 @@ std::optional<VarPartChoice> choose_bound_set(
       for (unsigned j = static_cast<unsigned>(i) + 1; j < b; ++j)
         idx[j] = idx[j - 1] + 1;
     }
-    return best;
+    return evaluate_candidates(outputs, num_vars, cands,
+                               opts.require_nontrivial, supports, opts.pool);
   }
 
   // Sampling + hill climbing.
@@ -129,21 +156,25 @@ std::optional<VarPartChoice> choose_bound_set(
   for (unsigned v = 0; v < num_vars; ++v) all[v] = v;
 
   const std::size_t samples = std::min(opts.samples, allowed);
+  cands.reserve(samples);
   for (std::size_t s = 0; s < samples; ++s) {
     // Random b-subset (partial Fisher-Yates).
-    std::vector<unsigned> pool = all;
+    std::vector<unsigned> pool_vars = all;
     for (unsigned i = 0; i < b; ++i) {
       const std::size_t j =
-          i + static_cast<std::size_t>(rng.below(pool.size() - i));
-      std::swap(pool[i], pool[j]);
+          i + static_cast<std::size_t>(rng.below(pool_vars.size() - i));
+      std::swap(pool_vars[i], pool_vars[j]);
     }
-    std::vector<unsigned> bound(pool.begin(), pool.begin() + b);
-    consider(bound);
+    cands.emplace_back(pool_vars.begin(), pool_vars.begin() + b);
   }
-
+  std::optional<VarPartChoice> best = evaluate_candidates(
+      outputs, num_vars, cands, opts.require_nontrivial, supports, opts.pool);
   if (!best) return std::nullopt;
 
   // Hill climbing: try swapping one bound variable against one free one.
+  // Each iteration evaluates the whole neighborhood in parallel, then keeps
+  // the first improving neighbor in (bi, fi) order — the same neighbor the
+  // serial first-improvement scan accepts.
   const std::size_t climb_cost =
       static_cast<std::size_t>(b) * (num_vars - b);
   const std::size_t climb_iters =
@@ -152,18 +183,36 @@ std::optional<VarPartChoice> choose_bound_set(
                                                    allowed / climb_cost + 1);
   for (std::size_t it = 0; it < climb_iters; ++it) {
     const auto current = score(*best);
-    VarPartition vp = best->vp;
-    bool improved = false;
-    for (std::size_t bi = 0; bi < vp.bound.size() && !improved; ++bi) {
-      for (std::size_t fi = 0; fi < vp.free_set.size() && !improved; ++fi) {
+    const VarPartition vp = best->vp;
+    std::vector<std::vector<unsigned>> neighbors;
+    neighbors.reserve(climb_cost);
+    for (std::size_t bi = 0; bi < vp.bound.size(); ++bi) {
+      for (std::size_t fi = 0; fi < vp.free_set.size(); ++fi) {
         std::vector<unsigned> bound = vp.bound;
         bound[bi] = vp.free_set[fi];
-        auto cand = evaluate_bound_set(outputs, num_vars, bound,
-                                       opts.require_nontrivial);
-        if (cand && score(*cand) < current) {
-          best = std::move(cand);
-          improved = true;
-        }
+        neighbors.push_back(std::move(bound));
+      }
+    }
+    std::vector<std::optional<VarPartChoice>> results(neighbors.size());
+    const auto eval_one = [&](std::size_t i) {
+      results[i] = evaluate_with_supports(outputs, num_vars, neighbors[i],
+                                          opts.require_nontrivial, supports);
+    };
+    if (opts.pool && neighbors.size() > 1) {
+      const int parent = obs::enabled() ? obs::Trace::global().current() : -1;
+      opts.pool->parallel_for(neighbors.size(), [&](std::size_t i) {
+        obs::AdoptParentScope adopt(parent);
+        eval_one(i);
+      });
+    } else {
+      for (std::size_t i = 0; i < neighbors.size(); ++i) eval_one(i);
+    }
+    bool improved = false;
+    for (auto& cand : results) {
+      if (cand && score(*cand) < current) {
+        best = std::move(cand);
+        improved = true;
+        break;
       }
     }
     if (!improved) break;

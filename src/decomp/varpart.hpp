@@ -15,6 +15,10 @@
 #include "decomp/classes.hpp"
 #include "decomp/types.hpp"
 
+namespace imodec::util {
+class ThreadPool;
+}  // namespace imodec::util
+
 namespace imodec {
 
 struct VarPartOptions {
@@ -24,8 +28,14 @@ struct VarPartOptions {
   std::size_t climb_iters = 48;       // swap-improvement steps
   /// Total row-evaluation budget for the search; one candidate costs
   /// m * 2^n rows, so wide vectors automatically get fewer candidates.
-  double eval_budget = 1 << 24;
+  /// Integral on purpose: the candidate-cost math stays exact (and clamps)
+  /// instead of drifting through doubles on huge supports.
+  std::uint64_t eval_budget = std::uint64_t{1} << 24;
   std::uint64_t seed = 0xB0D5ull;
+  /// Evaluate candidate bound sets in parallel on this pool (not owned;
+  /// nullptr = serial). The chosen bound set is identical either way: the
+  /// candidate list is generated up front and reduced in candidate order.
+  util::ThreadPool* pool = nullptr;
   /// Require strict progress for every output: the bound set must overlap
   /// output k's support in more than c_k variables, so replacing f_k by its
   /// g strictly shrinks the support (c_k + |FS ∩ sup| < |sup|). For a

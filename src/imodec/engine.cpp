@@ -23,7 +23,7 @@ TruthTable d_from_mask(const VertexPartition& global, std::uint64_t z_mask) {
 
 }  // namespace
 
-std::optional<Decomposition> decompose_multi_output(
+Result<Decomposition> decompose_multi_output(
     const std::vector<TruthTable>& outputs, const VarPartition& vp,
     const ImodecOptions& opts, ImodecStats* stats) {
   assert(!outputs.empty());
@@ -52,7 +52,10 @@ std::optional<Decomposition> decompose_multi_output(
       stats->c_k.push_back(codewidth(l.num_classes));
     }
   }
-  if (p > opts.max_p) return std::nullopt;
+  if (p > opts.max_p) return DecomposeError::p_overflow;
+  for (const auto& l : locals)
+    if (codewidth(l.num_classes) > vp.b())
+      return DecomposeError::codewidth_exceeds_b;
 
   // --- Per-output assignment state. ----------------------------------------
   std::vector<OutputState> states(m);

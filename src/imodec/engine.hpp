@@ -15,11 +15,11 @@
 // how the decomposition was obtained.
 
 #include <cstdint>
-#include <optional>
 
 #include "decomp/single.hpp"
 #include "decomp/types.hpp"
 #include "imodec/chi.hpp"
+#include "imodec/result.hpp"
 
 namespace imodec {
 
@@ -57,12 +57,14 @@ struct ImodecStats {
   }
 };
 
-/// Decompose the vector under the given variable partition. Returns nullopt
-/// iff p exceeds opts.max_p (caller should fall back to single-output
-/// decomposition or a different partition). Every output must satisfy
-/// c_k <= b; c_k == b yields a trivial-for-that-output decomposition and is
+/// Decompose the vector under the given variable partition. Fails with
+/// DecomposeError::p_overflow when p exceeds opts.max_p (caller should fall
+/// back to single-output decomposition or a different partition) and with
+/// codewidth_exceeds_b when some output's local classes cannot be encoded in
+/// b bits. c_k == b yields a trivial-for-that-output decomposition and is
 /// permitted (the caller's bound-set selection normally prevents it).
-std::optional<Decomposition> decompose_multi_output(
+/// `stats` (when given) is filled even on failure, up to the point reached.
+Result<Decomposition> decompose_multi_output(
     const std::vector<TruthTable>& outputs, const VarPartition& vp,
     const ImodecOptions& opts = {}, ImodecStats* stats = nullptr);
 

@@ -1,0 +1,66 @@
+#pragma once
+// Typed failure modes of the decomposition pipeline.
+//
+// The engine and the flow used to signal failure with std::optional plus
+// comment-documented reasons; Result<T> carries the reason in-band so
+// lutflow/driver can log *why* a vector fell back (FlowStats::errors,
+// DriverReport) instead of silently degrading.
+
+#include <cassert>
+#include <cstdint>
+#include <string_view>
+#include <variant>
+
+namespace imodec {
+
+enum class DecomposeError : std::uint8_t {
+  /// Global class count p exceeded ImodecOptions::max_p (z-vertices are
+  /// stored in 64-bit masks; the paper limits m for the same reason).
+  p_overflow,
+  /// choose_bound_set found no bound set giving strict per-output progress.
+  no_nontrivial_bound_set,
+  /// An output's codewidth c_k exceeds the bound-set size b, so no encoding
+  /// of its local classes fits (defensive: callers validate vp first).
+  codewidth_exceeds_b,
+};
+inline constexpr unsigned kNumDecomposeErrors = 3;
+
+constexpr std::string_view to_string(DecomposeError e) {
+  switch (e) {
+    case DecomposeError::p_overflow: return "p_overflow";
+    case DecomposeError::no_nontrivial_bound_set:
+      return "no_nontrivial_bound_set";
+    case DecomposeError::codewidth_exceeds_b: return "codewidth_exceeds_b";
+  }
+  return "unknown";
+}
+
+/// Minimal expected-like carrier: a T or a DecomposeError. The accessor
+/// surface deliberately matches std::optional (has_value / operator* / ->)
+/// so call sites read the same whether they inspect the error or not.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}                  // NOLINT(implicit)
+  Result(DecomposeError error) : v_(error) {}                // NOLINT(implicit)
+
+  bool has_value() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return has_value(); }
+
+  T& value() { return std::get<T>(v_); }
+  const T& value() const { return std::get<T>(v_); }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  DecomposeError error() const {
+    assert(!has_value());
+    return std::get<DecomposeError>(v_);
+  }
+
+ private:
+  std::variant<T, DecomposeError> v_;
+};
+
+}  // namespace imodec

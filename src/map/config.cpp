@@ -1,0 +1,66 @@
+#include "map/config.hpp"
+
+#include "util/strings.hpp"
+
+namespace imodec {
+
+std::vector<std::string> SynthesisConfig::validate() const {
+  std::vector<std::string> diags;
+  const auto bad = [&](const char* fmt, auto... args) {
+    diags.push_back(strprintf(fmt, args...));
+  };
+
+  if (k < 2 || k > 16) bad("k must be in [2, 16] (got %u)", k);
+  if (max_vector_outputs == 0)
+    bad("max_vector_outputs must be >= 1 (got 0)");
+  if (max_vector_outputs > 64)
+    bad("max_vector_outputs must be <= 64 (z-vertex masks are 64-bit; got %u)",
+        max_vector_outputs);
+  if (max_vector_inputs < k)
+    bad("max_vector_inputs (%u) must be >= k (%u): a vector narrower than "
+        "one LUT cannot occur",
+        max_vector_inputs, k);
+  if (max_vector_inputs > TruthTable::kMaxVars)
+    bad("max_vector_inputs must be <= %u (TruthTable limit; got %u)",
+        TruthTable::kMaxVars, max_vector_inputs);
+  if (max_p == 0) bad("max_p must be >= 1 (got 0)");
+  if (max_p > 64)
+    bad("max_p must be <= 64 (global classes live in 64-bit masks; got %u)",
+        max_p);
+  if (bound_size == 0) bad("bound_size must be >= 1 (got 0)");
+  if (bound_size > k)
+    bad("bound_size (%u) must be <= k (%u): a d-node wider than one LUT "
+        "could never be mapped",
+        bound_size, k);
+  if (eval_budget == 0) bad("eval_budget must be positive (got 0)");
+  if (samples == 0) bad("samples must be >= 1 (got 0)");
+  if (batch_groups == 0) bad("batch_groups must be >= 1 (got 0)");
+  return diags;
+}
+
+DriverOptions SynthesisConfig::lower() const {
+  DriverOptions opts;
+  opts.flow.k = k;
+  opts.flow.multi_output = multi_output;
+  opts.flow.output_partitioning = output_partitioning;
+  opts.flow.max_vector_outputs = max_vector_outputs;
+  opts.flow.max_vector_inputs = max_vector_inputs;
+  opts.flow.max_group_trials = max_group_trials;
+  opts.flow.imodec.max_p = max_p;
+  opts.flow.imodec.strict = strict;
+  opts.flow.imodec.via_v_substitution = via_v_substitution;
+  opts.flow.varpart.bound_size = bound_size;
+  opts.flow.varpart.max_exhaustive = max_exhaustive;
+  opts.flow.varpart.samples = samples;
+  opts.flow.varpart.climb_iters = climb_iters;
+  opts.flow.varpart.eval_budget = eval_budget;
+  opts.flow.varpart.seed = seed;
+  opts.flow.batch_groups = batch_groups;
+  opts.collapse = collapse;
+  opts.classical = classical;
+  opts.verify = verify;
+  opts.threads = threads;
+  return opts;
+}
+
+}  // namespace imodec

@@ -1,0 +1,63 @@
+#pragma once
+// SynthesisConfig: the one validated knob surface of the pipeline.
+//
+// The library internally still layers DriverOptions -> FlowOptions ->
+// ImodecOptions/VarPartOptions, but embedders and the CLI should not have to
+// know which struct a knob lives in, and none of the nested structs can
+// check cross-cutting invariants (e.g. max_vector_inputs >= k). This struct
+// flattens every user-facing knob, validates the whole set with
+// human-readable diagnostics, and lowers to the nested structs in one place.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "map/driver.hpp"
+
+namespace imodec {
+
+struct SynthesisConfig {
+  // --- LUT flow ------------------------------------------------------------
+  unsigned k = 5;                    ///< LUT input count (XC3000: 5)
+  bool multi_output = true;          ///< false = "Single" baseline
+  bool output_partitioning = true;   ///< greedy §7 grouping
+  unsigned max_vector_outputs = 8;   ///< m cap per vector
+  unsigned max_vector_inputs = 18;   ///< input-union cap per vector
+  unsigned max_group_trials = 6;     ///< grouping attempts per vector
+
+  // --- Engine --------------------------------------------------------------
+  std::uint32_t max_p = 64;          ///< global class cap (64-bit z masks)
+  bool strict = false;               ///< one code per local class
+  bool via_v_substitution = false;   ///< paper-faithful ψ construction
+
+  // --- Bound-set search ----------------------------------------------------
+  unsigned bound_size = 5;           ///< b; clamped to n-1 at run time
+  std::size_t max_exhaustive = 4096;
+  std::size_t samples = 64;
+  std::size_t climb_iters = 48;
+  std::uint64_t eval_budget = std::uint64_t{1} << 24;
+  std::uint64_t seed = 0xB0D5ull;
+
+  // --- Driver --------------------------------------------------------------
+  bool collapse = true;
+  bool classical = false;
+  bool verify = true;
+
+  // --- Parallel runtime ----------------------------------------------------
+  /// Execution width (threads incl. the caller); 0 = hardware concurrency,
+  /// 1 = serial. Results are identical for every value.
+  unsigned threads = 0;
+  /// Groups decomposed concurrently per worklist round; affects results the
+  /// way a seed does (deterministically), never per thread count.
+  unsigned batch_groups = 8;
+
+  /// Validate the whole configuration. Returns one human-readable line per
+  /// violation ("k must be in [2, 16] (got 1)"); empty means valid. The CLI
+  /// prints these instead of asserting deep inside the pipeline.
+  std::vector<std::string> validate() const;
+
+  /// Lower to the nested option structs (pre: validate().empty()).
+  DriverOptions lower() const;
+};
+
+}  // namespace imodec

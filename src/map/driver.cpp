@@ -1,13 +1,27 @@
 #include "map/driver.hpp"
 
+#include <optional>
+
 #include "logic/simulate.hpp"
 #include "obs/metrics.hpp"
 #include "util/strings.hpp"
+#include "util/thread_pool.hpp"
 
 namespace imodec {
 
 DriverReport run_synthesis(const Network& input, const DriverOptions& opts,
                            Network& mapped) {
+  // Resolve the runtime width here so a width-1 run never pays for thread
+  // creation; the overload below does the actual work.
+  const unsigned resolved =
+      opts.threads ? opts.threads : std::thread::hardware_concurrency();
+  std::optional<util::ThreadPool> pool;
+  if (resolved > 1) pool.emplace(resolved);
+  return run_synthesis(input, opts, mapped, pool ? &*pool : nullptr);
+}
+
+DriverReport run_synthesis(const Network& input, const DriverOptions& opts,
+                           Network& mapped, util::ThreadPool* pool) {
   DriverReport rep;
   const std::size_t trace_base = obs::Trace::global().size();
   obs::ScopedSpan run_span("driver.run_synthesis");
@@ -34,6 +48,7 @@ DriverReport run_synthesis(const Network& input, const DriverOptions& opts,
 
   FlowOptions flow_opts = opts.flow;
   if (opts.classical) flow_opts.multi_output = false;
+  flow_opts.pool = pool;
   FlowResult flow = decompose_to_luts(start, flow_opts);
   rep.flow = flow.stats;
   {
@@ -76,6 +91,16 @@ std::string format_report(const std::string& name, const DriverReport& rep) {
   s += strprintf("vectors        : %u (max m=%u, max p=%u, saved=%u)\n",
                  rep.flow.vectors, rep.flow.max_m, rep.flow.max_p,
                  rep.flow.shared_functions);
+  if (rep.flow.total_errors() > 0 || rep.flow.shannon_fallbacks > 0) {
+    s += strprintf("fallbacks      : %u shannon", rep.flow.shannon_fallbacks);
+    for (unsigned i = 0; i < kNumDecomposeErrors; ++i) {
+      const auto e = static_cast<DecomposeError>(i);
+      if (rep.flow.error_count(e))
+        s += strprintf(", %u %s", rep.flow.error_count(e),
+                       std::string(to_string(e)).c_str());
+    }
+    s += "\n";
+  }
   s += strprintf("flow time      : %.3f s\n", rep.flow.seconds);
   if (rep.flow.bdd_cache_lookups > 0)
     s += strprintf("BDD            : %llu nodes, %.1f%% cache hit rate, "

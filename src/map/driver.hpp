@@ -17,6 +17,10 @@
 #include "obs/trace.hpp"
 #include "opt/extract.hpp"
 
+namespace imodec::util {
+class ThreadPool;
+}  // namespace imodec::util
+
 namespace imodec {
 
 struct DriverOptions {
@@ -33,6 +37,10 @@ struct DriverOptions {
   bool classical = false;
   /// Check the mapped network against the input.
   bool verify = true;
+  /// Width of the parallel runtime: worker threads including the caller.
+  /// 0 = hardware concurrency, 1 = fully serial (no pool is created).
+  /// Results are bit-identical for every value (DESIGN.md §9).
+  unsigned threads = 0;
 };
 
 struct DriverReport {
@@ -50,9 +58,16 @@ struct DriverReport {
 };
 
 /// Run the full synthesis pipeline; returns the report and stores the mapped
-/// network in `mapped`.
+/// network in `mapped`. Creates a thread pool per call when opts.threads
+/// resolves to > 1; SynthesisSession (map/session.hpp) amortizes the pool
+/// across runs.
 DriverReport run_synthesis(const Network& input, const DriverOptions& opts,
                            Network& mapped);
+
+/// As above, but execute on the caller's pool (nullptr = serial). The pool
+/// is not owned.
+DriverReport run_synthesis(const Network& input, const DriverOptions& opts,
+                           Network& mapped, util::ThreadPool* pool);
 
 /// Render a human-readable report block (used by the CLI).
 std::string format_report(const std::string& name, const DriverReport& rep);

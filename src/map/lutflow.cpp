@@ -4,10 +4,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cassert>
+#include <string>
 #include <unordered_map>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/thread_pool.hpp"
 
 namespace imodec {
 
@@ -75,22 +77,54 @@ class Flow {
     // Initial worklist: wide logic nodes.
     for (SigId s = 0; s < net_.node_count(); ++s) enqueue_if_wide(s);
 
+    // Worklist rounds: select a batch of node-disjoint groups (serial),
+    // decompose every group of the batch (parallel — the expensive part),
+    // then merge the results into the network in batch order (serial; this
+    // is where d-node structural hashing runs, so the hash map needs no
+    // lock). Selection never sees a half-applied batch and application
+    // order is fixed, so the result is identical for every thread count.
     std::size_t rounds = 0;
     while (!worklist_.empty()) {
-      obs::ScopedSpan group_span("flow.group");
-      std::vector<SigId> group = next_group();
-      const double t_group = group_span.seconds();
-      obs::count("flow.groups");
-      process_group(group);
+      std::vector<std::vector<SigId>> batch;
+      {
+        obs::ScopedSpan span("flow.select");
+        const unsigned limit = std::max(1u, opts_.batch_groups);
+        while (!worklist_.empty() && batch.size() < limit)
+          batch.push_back(next_group());
+      }
+      obs::count("flow.groups", batch.size());
+
+      std::vector<GroupComputation> comps(batch.size());
+      {
+        obs::ScopedSpan span("flow.decompose_batch");
+        const auto compute = [&](std::size_t i) {
+          comps[i] = compute_group(std::move(batch[i]));
+        };
+        if (opts_.pool && batch.size() > 1) {
+          const int parent =
+              obs::enabled() ? obs::Trace::global().current() : -1;
+          opts_.pool->parallel_for(batch.size(), [&](std::size_t i) {
+            obs::AdoptParentScope adopt(parent);
+            compute(i);
+          });
+        } else {
+          // Single-group batches stay on the caller so choose_bound_set's
+          // inner candidate parallelism gets the whole pool.
+          for (std::size_t i = 0; i < batch.size(); ++i) compute(i);
+        }
+      }
+
+      {
+        obs::ScopedSpan span("flow.merge");
+        for (GroupComputation& c : comps) apply_computation(c);
+      }
       if (debug) {
         std::fprintf(stderr,
-                     "[flow] round=%zu group=%zu(fanin %zu) next=%.2fs "
-                     "proc=%.2fs worklist=%zu nodes=%zu shannon=%u t=%.1fs\n",
-                     ++rounds, group.size(),
-                     group.empty() ? 0 : net_.node(group[0]).fanins.size(),
-                     t_group, group_span.seconds() - t_group,
-                     worklist_.size(), net_.node_count(),
-                     stats_.shannon_fallbacks, flow_span.seconds());
+                     "[flow] round=%zu batch=%zu worklist=%zu nodes=%zu "
+                     "shannon=%u errors=%u t=%.1fs\n",
+                     ++rounds, comps.size(), worklist_.size(),
+                     net_.node_count(), stats_.shannon_fallbacks,
+                     stats_.total_errors(), flow_span.seconds());
       }
     }
 
@@ -102,6 +136,12 @@ class Flow {
       obs::count("flow.vectors", res.stats.vectors);
       obs::count("flow.shannon_fallbacks", res.stats.shannon_fallbacks);
       obs::count("flow.luts", res.stats.luts);
+      for (unsigned i = 0; i < kNumDecomposeErrors; ++i) {
+        if (res.stats.errors[i])
+          obs::count("flow.error." +
+                         std::string(to_string(static_cast<DecomposeError>(i))),
+                     res.stats.errors[i]);
+      }
     }
     return res;
   }
@@ -225,7 +265,8 @@ class Flow {
       return it->second;
     VarPartOptions vopts = opts_.varpart;
     vopts.bound_size = bound_size_for(node.fanins.size());
-    vopts.eval_budget = std::min(vopts.eval_budget, double(1 << 21));
+    vopts.eval_budget = std::min<std::uint64_t>(vopts.eval_budget, 1 << 21);
+    vopts.pool = opts_.pool;
     const auto choice = choose_bound_set(
         {node.func}, static_cast<unsigned>(node.fanins.size()), vopts);
     const unsigned cost =
@@ -251,7 +292,8 @@ class Flow {
     vopts.samples = std::min<std::size_t>(vopts.samples, 12);
     vopts.climb_iters = std::min<std::size_t>(vopts.climb_iters, 4);
     vopts.max_exhaustive = std::min<std::size_t>(vopts.max_exhaustive, 512);
-    vopts.eval_budget = std::min(vopts.eval_budget, double(1 << 21));
+    vopts.eval_budget = std::min<std::uint64_t>(vopts.eval_budget, 1 << 21);
+    vopts.pool = opts_.pool;
     const auto choice =
         choose_bound_set(funcs, static_cast<unsigned>(inputs.size()), vopts);
     if (!choice) return -1;
@@ -273,7 +315,22 @@ class Flow {
     return static_cast<unsigned>(std::min(cap, num_inputs - 1));
   }
 
-  void process_group(std::vector<SigId> group) {
+  /// Everything one group needs computed before it can be merged into the
+  /// network. Produced in parallel (read-only over net_); consumed serially.
+  struct GroupComputation {
+    std::vector<SigId> group;
+    std::vector<SigId> inputs;
+    std::vector<TruthTable> funcs;
+    std::optional<Decomposition> dec;
+    std::optional<DecomposeError> error;  // set when !dec
+    ImodecStats st;
+    bool engine_ran = false;
+  };
+
+  /// Phase 2 worker: decompose one group. Reads net_ and opts_ only — no
+  /// member mutation, so any number of these can run concurrently.
+  GroupComputation compute_group(std::vector<SigId> group) const {
+    GroupComputation c;
     // Drop group members that became narrow in the meantime (cannot happen
     // today, but keeps the invariant local).
     group.erase(std::remove_if(group.begin(), group.end(),
@@ -281,74 +338,102 @@ class Flow {
                                  return net_.node(s).fanins.size() <= opts_.k;
                                }),
                 group.end());
-    if (group.empty()) return;
+    c.group = std::move(group);
+    if (c.group.empty()) return c;
 
-    const std::vector<SigId> inputs = group_inputs(group);
-    std::vector<TruthTable> funcs;
-    funcs.reserve(group.size());
-    for (SigId s : group)
-      funcs.push_back(
-          extend_table(net_.node(s).func, net_.node(s).fanins, inputs));
+    c.inputs = group_inputs(c.group);
+    c.funcs.reserve(c.group.size());
+    for (SigId s : c.group)
+      c.funcs.push_back(
+          extend_table(net_.node(s).func, net_.node(s).fanins, c.inputs));
 
     VarPartOptions vopts = opts_.varpart;
-    vopts.bound_size = bound_size_for(inputs.size());
-    const auto choice =
-        choose_bound_set(funcs, static_cast<unsigned>(inputs.size()), vopts);
-
-    std::optional<Decomposition> dec;
-    ImodecStats st;
-    if (choice && choice->p() <= opts_.imodec.max_p) {
-      if (opts_.multi_output) {
-        dec = decompose_multi_output(funcs, choice->vp, opts_.imodec, &st);
-        absorb_bdd(st);
-      } else {
-        // Single-output mode within the group (groups are singletons there,
-        // but keep it general): decompose each output separately and merge.
-        dec = single_output_decomposition(funcs, choice->vp, &st);
-      }
+    vopts.bound_size = bound_size_for(c.inputs.size());
+    vopts.pool = opts_.pool;  // nested calls degrade to inline gracefully
+    const auto choice = choose_bound_set(
+        c.funcs, static_cast<unsigned>(c.inputs.size()), vopts);
+    if (!choice) {
+      c.error = DecomposeError::no_nontrivial_bound_set;
+      return c;
     }
+    if (choice->p() > opts_.imodec.max_p) {
+      c.error = DecomposeError::p_overflow;
+      return c;
+    }
+    if (opts_.multi_output) {
+      auto res = decompose_multi_output(c.funcs, choice->vp, opts_.imodec,
+                                        &c.st);
+      c.engine_ran = true;
+      if (res)
+        c.dec = std::move(*res);
+      else
+        c.error = res.error();
+    } else {
+      // Single-output mode within the group (groups are singletons there,
+      // but keep it general): decompose each output separately and merge.
+      c.dec = single_output_decomposition(c.funcs, choice->vp, &c.st);
+    }
+    return c;
+  }
 
-    if (!dec) {
-      if (group.size() > 1) {
+  /// Phase 3 merge: apply one computed group to the network (serial, in
+  /// batch order). Structural hashing, stats accumulation and the fallback
+  /// paths all live here so they need no synchronization.
+  void apply_computation(GroupComputation& c) {
+    if (c.group.empty()) return;
+    if (c.engine_ran) absorb_bdd(c.st);
+    if (!c.dec) {
+      if (c.error)
+        ++stats_.errors[static_cast<std::size_t>(*c.error)];
+      if (c.group.size() > 1) {
         // No common bound set: fall back to individual processing.
-        for (SigId s : group) process_group({s});
+        for (SigId s : c.group) process_single(s);
         return;
       }
-      shannon_fallback(group.front());
+      shannon_fallback(c.group.front());
       return;
     }
 
-    if (opts_.multi_output && group.size() > 1) {
+    if (opts_.multi_output && c.group.size() > 1) {
       // Final gain gate (§7): the shared decomposition must not need more
       // functions than the outputs' own single-output decompositions would.
       unsigned own_sum = 0;
-      for (SigId s : group) own_sum += own_cost(s);
-      if (dec->q() > own_sum) {
-        for (SigId s : group) process_group({s});
+      for (SigId s : c.group) own_sum += own_cost(s);
+      if (c.dec->q() > own_sum) {
+        for (SigId s : c.group) process_single(s);
         return;
       }
     }
 
     if (opts_.record_vectors && recorded_.size() < 64)
-      recorded_.push_back(RecordedVector{funcs, dec->vp, st});
+      recorded_.push_back(RecordedVector{c.funcs, c.dec->vp, c.st});
 
-    apply_decomposition(group, inputs, *dec);
+    apply_decomposition(c.group, c.inputs, *c.dec);
 
     ++stats_.vectors;
-    stats_.lmax_rounds += st.lmax_rounds;
-    stats_.max_m = std::max(stats_.max_m, static_cast<unsigned>(group.size()));
-    stats_.max_p = std::max(stats_.max_p, st.p);
+    stats_.lmax_rounds += c.st.lmax_rounds;
+    stats_.max_m =
+        std::max(stats_.max_m, static_cast<unsigned>(c.group.size()));
+    stats_.max_p = std::max(stats_.max_p, c.st.p);
     int sum_c = 0;
-    for (unsigned c : st.c_k) sum_c += static_cast<int>(c);
-    if (sum_c > static_cast<int>(st.q))
-      stats_.shared_functions += static_cast<unsigned>(sum_c) - st.q;
+    for (unsigned cw : c.st.c_k) sum_c += static_cast<int>(cw);
+    if (sum_c > static_cast<int>(c.st.q))
+      stats_.shared_functions += static_cast<unsigned>(sum_c) - c.st.q;
+  }
+
+  /// Compute-and-merge of a singleton group, used by the fallback paths of
+  /// the merge step. Serial, but choose_bound_set still fans its candidate
+  /// evaluation out over the pool.
+  void process_single(SigId s) {
+    GroupComputation c = compute_group({s});
+    apply_computation(c);
   }
 
   /// Per-output strict decomposition merged into one Decomposition (the
   /// "Single" baseline; identical d functions are still merged since they
   /// are structurally hashed when materialized, but no cross-output search
   /// happens).
-  std::optional<Decomposition> single_output_decomposition(
+  static std::optional<Decomposition> single_output_decomposition(
       const std::vector<TruthTable>& funcs, const VarPartition& vp,
       ImodecStats* st) {
     Decomposition merged;

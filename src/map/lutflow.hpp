@@ -11,11 +11,16 @@
 // g-nodes wider than k re-enter the worklist. A Shannon-expansion fallback
 // guarantees progress on undecomposable functions.
 
+#include <array>
 #include <cstdint>
 
 #include "decomp/varpart.hpp"
 #include "imodec/engine.hpp"
 #include "logic/network.hpp"
+
+namespace imodec::util {
+class ThreadPool;
+}  // namespace imodec::util
 
 namespace imodec {
 
@@ -38,6 +43,15 @@ struct FlowOptions {
   /// Record the function vectors handed to the engine (Table-1 style
   /// analysis); capped at 64 records.
   bool record_vectors = false;
+  /// Execution pool of the parallel runtime (not owned; nullptr = serial).
+  /// Independent group decompositions of one worklist round run
+  /// concurrently; d-node structural hashing happens in the serial merge
+  /// step afterwards, so results are identical for every thread count.
+  util::ThreadPool* pool = nullptr;
+  /// Groups selected per worklist round (the unit of concurrency). Part of
+  /// the deterministic contract: results depend on this value — like on a
+  /// seed — but never on the thread count or on whether a pool is set.
+  unsigned batch_groups = 8;
 };
 
 /// One decomposed function vector as it occurred during a flow run.
@@ -55,6 +69,18 @@ struct FlowStats {
   unsigned shared_functions = 0;  // Σ(Σc_k - q) over vectors: functions saved
   unsigned shannon_fallbacks = 0;
   unsigned lmax_rounds = 0;     // Σ over committed engine runs
+  /// Why selected vectors could not be decomposed as chosen, indexed by
+  /// DecomposeError; the driver surfaces these instead of the old silent
+  /// fallback.
+  std::array<unsigned, kNumDecomposeErrors> errors{};
+  unsigned error_count(DecomposeError e) const {
+    return errors[static_cast<std::size_t>(e)];
+  }
+  unsigned total_errors() const {
+    unsigned sum = 0;
+    for (unsigned c : errors) sum += c;
+    return sum;
+  }
   /// Derived from the flow's `flow.decompose_to_luts` span (one timing
   /// source; see obs/trace.hpp).
   double seconds = 0.0;

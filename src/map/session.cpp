@@ -1,0 +1,20 @@
+#include "map/session.hpp"
+
+#include <cassert>
+#include <thread>
+
+namespace imodec {
+
+SynthesisSession::SynthesisSession(const SynthesisConfig& cfg)
+    : cfg_(cfg), lowered_(cfg.lower()) {
+  assert(cfg.validate().empty() && "SynthesisSession requires a valid config");
+  const unsigned resolved =
+      cfg_.threads ? cfg_.threads : std::thread::hardware_concurrency();
+  if (resolved > 1) pool_.emplace(resolved);
+}
+
+DriverReport SynthesisSession::run(const Network& input, Network& mapped) {
+  return run_synthesis(input, lowered_, mapped, pool());
+}
+
+}  // namespace imodec

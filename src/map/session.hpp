@@ -1,0 +1,42 @@
+#pragma once
+// SynthesisSession: the session-scoped engine API.
+//
+// A session binds one validated SynthesisConfig to one thread pool and runs
+// any number of circuits through the pipeline. Compared to the free
+// run_synthesis(), the session amortizes thread creation across runs (a
+// server mapping a stream of circuits pays for pool startup once) and is the
+// single place where the parallel runtime's resources live — engine runs
+// own their BDD managers, so nothing else is session-global.
+
+#include <optional>
+
+#include "map/config.hpp"
+#include "map/driver.hpp"
+#include "util/thread_pool.hpp"
+
+namespace imodec {
+
+class SynthesisSession {
+ public:
+  /// Precondition: cfg.validate().empty() — callers surface the diagnostics
+  /// themselves (the CLI prints them and exits). Creates the pool eagerly
+  /// when the config resolves to a width > 1.
+  explicit SynthesisSession(const SynthesisConfig& cfg);
+
+  const SynthesisConfig& config() const { return cfg_; }
+  /// Execution width the session resolved to (>= 1).
+  unsigned threads() const { return pool_ ? pool_->size() : 1; }
+  /// The session's pool; nullptr when running serially.
+  util::ThreadPool* pool() { return pool_ ? &*pool_ : nullptr; }
+
+  /// Run the full pipeline on `input`; stores the mapped network in
+  /// `mapped`. Safe to call repeatedly; each run's report is independent.
+  DriverReport run(const Network& input, Network& mapped);
+
+ private:
+  SynthesisConfig cfg_;
+  DriverOptions lowered_;
+  std::optional<util::ThreadPool> pool_;
+};
+
+}  // namespace imodec

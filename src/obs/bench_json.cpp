@@ -35,4 +35,16 @@ std::optional<std::string> strip_json_flag(int& argc, char** argv) {
   return std::nullopt;
 }
 
+std::optional<unsigned> strip_threads_flag(int& argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") != 0) continue;
+    const unsigned threads =
+        static_cast<unsigned>(std::strtoul(argv[i + 1], nullptr, 10));
+    for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+    argc -= 2;
+    return threads;
+  }
+  return std::nullopt;
+}
+
 }  // namespace imodec::obs

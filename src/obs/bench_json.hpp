@@ -47,4 +47,10 @@ class BenchJson {
 /// the path. Harnesses call this before their own argument handling.
 std::optional<std::string> strip_json_flag(int& argc, char** argv);
 
+/// Same for `--threads <n>`: the execution width the harness should run the
+/// flow at (0 = hardware concurrency). nullopt when the flag is absent, in
+/// which case harnesses default to 1 so published numbers stay serial unless
+/// parallelism is requested explicitly.
+std::optional<unsigned> strip_threads_flag(int& argc, char** argv);
+
 }  // namespace imodec::obs

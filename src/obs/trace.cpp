@@ -33,7 +33,12 @@ int Trace::begin(std::string name) {
   span.start = std::chrono::duration<double>(now - epoch_).count();
   span.tid = tid;
   std::vector<int>& stack = open_[tid];
-  span.parent = stack.empty() ? -1 : stack.back();
+  if (!stack.empty()) {
+    span.parent = stack.back();
+  } else {
+    const auto it = adopted_.find(tid);
+    span.parent = it == adopted_.end() ? -1 : it->second;
+  }
   const int id = static_cast<int>(spans_.size());
   spans_.push_back(std::move(span));
   stack.push_back(id);
@@ -55,6 +60,27 @@ void Trace::end(int id) {
     stack.pop_back();
     if (top == id) break;
   }
+}
+
+int Trace::current() const {
+  const std::uint64_t tid = this_thread_id();
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = open_.find(tid);
+  if (it == open_.end() || it->second.empty()) return -1;
+  return it->second.back();
+}
+
+int Trace::adopt_parent(int span_id) {
+  const std::uint64_t tid = this_thread_id();
+  std::lock_guard<std::mutex> lock(mu_);
+  int prev = -1;
+  if (const auto it = adopted_.find(tid); it != adopted_.end())
+    prev = it->second;
+  if (span_id < 0)
+    adopted_.erase(tid);
+  else
+    adopted_[tid] = span_id;
+  return prev;
 }
 
 std::size_t Trace::size() const {
@@ -83,6 +109,7 @@ void Trace::clear() {
   std::lock_guard<std::mutex> lock(mu_);
   spans_.clear();
   open_.clear();
+  adopted_.clear();
   epoch_ = std::chrono::steady_clock::now();
 }
 

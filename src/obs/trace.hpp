@@ -24,6 +24,8 @@
 
 namespace imodec::obs {
 
+bool enabled();  // defined with the registry in obs/metrics.hpp
+
 struct Span {
   std::string name;
   int parent = -1;     // index into the trace's span vector; -1 = root
@@ -44,6 +46,18 @@ class Trace {
   int begin(std::string name);
   void end(int id);
 
+  /// Innermost open span of the calling thread (-1 when none). The parallel
+  /// runtime captures this before fanning out so worker spans can be
+  /// re-parented under the submitting thread's span.
+  int current() const;
+
+  /// Install `span_id` as the calling thread's base parent: spans this
+  /// thread opens while its own stack is empty nest under `span_id` instead
+  /// of becoming roots. Returns the previous base (-1 when none) so scopes
+  /// can nest; pass it back to restore. This is how spans recorded on pool
+  /// workers merge into one coherent tree (DESIGN.md §9).
+  int adopt_parent(int span_id);
+
   std::size_t size() const;
   /// Copy of all spans so far (open spans have dur == -1).
   std::vector<Span> snapshot() const;
@@ -60,6 +74,7 @@ class Trace {
   std::chrono::steady_clock::time_point epoch_;
   std::vector<Span> spans_;
   std::unordered_map<std::uint64_t, std::vector<int>> open_;  // per thread
+  std::unordered_map<std::uint64_t, int> adopted_;            // per thread
 };
 
 /// RAII span in Trace::global(); also a stopwatch (see header comment).
@@ -83,6 +98,30 @@ class ScopedSpan {
  private:
   std::chrono::steady_clock::time_point start_;
   int id_;
+};
+
+/// RAII adoption scope for pool tasks: while alive, spans the current thread
+/// opens at stack depth 0 become children of `parent`. No-op when tracing is
+/// disabled or parent < 0. Restores the previous adoption on destruction, so
+/// nested parallel sections compose.
+class AdoptParentScope {
+ public:
+  explicit AdoptParentScope(int parent) {
+    if (enabled() && parent >= 0) {
+      prev_ = Trace::global().adopt_parent(parent);
+      active_ = true;
+    }
+  }
+  ~AdoptParentScope() {
+    if (active_) Trace::global().adopt_parent(prev_);
+  }
+
+  AdoptParentScope(const AdoptParentScope&) = delete;
+  AdoptParentScope& operator=(const AdoptParentScope&) = delete;
+
+ private:
+  int prev_ = -1;
+  bool active_ = false;
 };
 
 /// Indented tree, one line per span: name and milliseconds.

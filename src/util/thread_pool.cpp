@@ -1,0 +1,198 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace imodec::util {
+
+namespace {
+thread_local bool tls_on_worker = false;
+}  // namespace
+
+/// Shared state of one parallel_for: a chunk-claim counter plus completion
+/// tracking. Runners (pool workers and the caller) claim disjoint index
+/// ranges off `next`; `in_flight` counts runners currently executing chunks
+/// so the caller knows when the last claimed chunk has finished.
+struct ThreadPool::Job {
+  std::size_t n = 0;
+  std::size_t chunk = 1;
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::atomic<std::size_t> next{0};
+  std::mutex mu;
+  std::condition_variable done_cv;
+  unsigned in_flight = 0;
+  std::exception_ptr error;
+
+  void fail(std::exception_ptr e) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (!error) error = std::move(e);
+    // Stop further claims; chunks already claimed finish on their own.
+    next.store(n, std::memory_order_relaxed);
+  }
+
+  /// Claim-and-run loop shared by the caller and the pool workers.
+  void run_chunks() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      ++in_flight;
+    }
+    for (;;) {
+      const std::size_t begin = next.fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= n) break;
+      const std::size_t end = std::min(n, begin + chunk);
+      try {
+        for (std::size_t i = begin; i < end; ++i) (*fn)(i);
+      } catch (...) {
+        fail(std::current_exception());
+        break;
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      --in_flight;
+    }
+    done_cv.notify_all();
+  }
+};
+
+ThreadPool::ThreadPool(unsigned threads) {
+  unsigned resolved = threads ? threads : std::thread::hardware_concurrency();
+  if (resolved == 0) resolved = 1;
+  const unsigned workers = resolved - 1;
+  queues_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i)
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  workers_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i)
+    workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    stopping_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+bool ThreadPool::on_worker_thread() { return tls_on_worker; }
+
+void ThreadPool::worker_loop(std::size_t self) {
+  tls_on_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      // Own queue first, back end (most recently pushed, cache-warm).
+      WorkerQueue& q = *queues_[self];
+      std::lock_guard<std::mutex> lock(q.mu);
+      if (!q.tasks.empty()) {
+        task = std::move(q.tasks.back());
+        q.tasks.pop_back();
+      }
+    }
+    if (task) {
+      note_task_taken();
+      task();
+      continue;
+    }
+    if (try_steal_and_run(self)) continue;
+    // queued_ pairs every push with a notify under wake_mu_, so a task
+    // enqueued between the scans above and this wait cannot be lost: the
+    // predicate sees queued_ > 0 and the worker rescans.
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    wake_cv_.wait(lock, [&] { return stopping_ || queued_ > 0; });
+    if (stopping_ && queued_ == 0) return;  // drained; safe to exit
+  }
+}
+
+void ThreadPool::note_task_taken() {
+  std::lock_guard<std::mutex> lock(wake_mu_);
+  --queued_;
+}
+
+bool ThreadPool::try_steal_and_run(std::size_t self) {
+  // Steal from the front (oldest task) of the other queues, round robin
+  // starting after our own slot so victims spread out.
+  const std::size_t count = queues_.size();
+  for (std::size_t off = 1; off < count; ++off) {
+    WorkerQueue& victim = *queues_[(self + off) % count];
+    std::function<void()> task;
+    {
+      std::lock_guard<std::mutex> lock(victim.mu);
+      if (!victim.tasks.empty()) {
+        task = std::move(victim.tasks.front());
+        victim.tasks.pop_front();
+      }
+    }
+    if (task) {
+      note_task_taken();
+      task();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  // Serial paths: a width-1 pool, a single item, or a nested call from
+  // inside a pool task (running inline keeps the task tree acyclic, so
+  // blocking waits can never deadlock).
+  if (workers_.empty() || n == 1 || on_worker_thread()) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->n = n;
+  job->fn = &fn;
+  job->chunk = std::max<std::size_t>(1, n / (std::size_t{size()} * 8));
+
+  // One runner per worker; each claims chunks until the counter runs dry.
+  for (auto& q : queues_) {
+    std::lock_guard<std::mutex> lock(q->mu);
+    q->tasks.push_back([job] { job->run_chunks(); });
+  }
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    queued_ += queues_.size();
+  }
+  wake_cv_.notify_all();
+
+  job->run_chunks();  // the caller is an execution lane too
+
+  std::unique_lock<std::mutex> lock(job->mu);
+  job->done_cv.wait(lock, [&] {
+    return job->next.load(std::memory_order_relaxed) >= job->n &&
+           job->in_flight == 0;
+  });
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> fn) {
+  auto task = std::make_shared<std::packaged_task<void()>>(std::move(fn));
+  std::future<void> fut = task->get_future();
+  if (queues_.empty()) {
+    (*task)();  // width-1 pool: run inline
+    return fut;
+  }
+  std::size_t slot;
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    slot = next_queue_++ % queues_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(queues_[slot]->mu);
+    queues_[slot]->tasks.push_back([task] { (*task)(); });
+  }
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    ++queued_;
+  }
+  wake_cv_.notify_one();
+  return fut;
+}
+
+}  // namespace imodec::util

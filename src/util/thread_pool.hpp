@@ -1,0 +1,79 @@
+#pragma once
+// Work-stealing thread pool — the execution substrate of the parallel
+// synthesis runtime (DESIGN.md §9).
+//
+// A pool of `threads - 1` workers plus the calling thread. Each worker owns a
+// deque: it pops its own back (LIFO, cache-warm) and steals from the fronts
+// of the others (FIFO, oldest first). parallel_for() additionally uses a
+// shared chunk counter so the caller participates and load-balances without
+// per-item task objects.
+//
+// Determinism contract: the pool never makes results depend on scheduling.
+// parallel_for writes results by index (callers reduce in index order), and
+// nested parallel_for calls from inside a worker run inline — so a run with
+// any thread count computes bit-identical results to `threads == 1`.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace imodec::util {
+
+class ThreadPool {
+ public:
+  /// `threads` counts the calling thread: the pool spawns `threads - 1`
+  /// workers. 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total execution width (workers + caller); >= 1.
+  unsigned size() const { return static_cast<unsigned>(workers_.size()) + 1; }
+
+  /// Run fn(i) for every i in [0, n), blocking until all complete. The
+  /// caller executes chunks alongside the workers. The first exception
+  /// thrown by any fn(i) is rethrown here (remaining indices are skipped on
+  /// a best-effort basis). Safe to call from inside a pool task: nested
+  /// calls run inline on the calling thread.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Enqueue one task; the future reports completion or rethrows the task's
+  /// exception. Tasks submitted from one thread start in submission order
+  /// (a stealing worker takes the oldest first), but run concurrently.
+  std::future<void> submit(std::function<void()> fn);
+
+  /// True when the calling thread is one of this process's pool workers
+  /// (any pool). parallel_for uses it to detect nesting.
+  static bool on_worker_thread();
+
+ private:
+  struct Job;  // shared state of one parallel_for
+
+  void worker_loop(std::size_t self);
+  bool try_steal_and_run(std::size_t self);
+  void note_task_taken();
+
+  struct WorkerQueue {
+    std::deque<std::function<void()>> tasks;
+    std::mutex mu;
+  };
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  std::size_t next_queue_ = 0;  // round-robin submit target (under wake_mu_)
+  std::size_t queued_ = 0;      // tasks pushed but not yet taken (wake_mu_)
+  bool stopping_ = false;
+};
+
+}  // namespace imodec::util

@@ -1,0 +1,303 @@
+// Tests for the parallel synthesis runtime: the work-stealing thread pool
+// itself, and the determinism contract — the pipeline's results are
+// bit-identical at every thread count.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "circuits/generators.hpp"
+#include "circuits/registry.hpp"
+#include "decomp/varpart.hpp"
+#include "logic/simulate.hpp"
+#include "map/config.hpp"
+#include "map/driver.hpp"
+#include "map/lutflow.hpp"
+#include "map/session.hpp"
+#include "paper_fixtures.hpp"
+#include "util/thread_pool.hpp"
+
+namespace imodec {
+namespace {
+
+using util::ThreadPool;
+
+// ---------------------------------------------------------------------------
+// Thread pool unit tests
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPool, ParallelForVisitsEveryIndexOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  constexpr std::size_t n = 10000;
+  std::vector<int> hits(n, 0);
+  pool.parallel_for(n, [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i], 1) << "index " << i;
+}
+
+TEST(ThreadPool, ParallelForByIndexMatchesSerial) {
+  ThreadPool pool(8);
+  constexpr std::size_t n = 512;
+  std::vector<std::uint64_t> par(n), ser(n);
+  const auto work = [](std::size_t i) {
+    std::uint64_t h = i * 2654435761u;
+    for (int r = 0; r < 50; ++r) h = h * 6364136223846793005ull + 1;
+    return h;
+  };
+  pool.parallel_for(n, [&](std::size_t i) { par[i] = work(i); });
+  for (std::size_t i = 0; i < n; ++i) ser[i] = work(i);
+  EXPECT_EQ(par, ser);
+}
+
+TEST(ThreadPool, ParallelForHandlesEmptyAndSingle) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+  pool.parallel_for(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPool, WidthOneRunsInlineWithoutWorkers) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  std::vector<int> hits(100, 0);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 100);
+  auto fut = pool.submit([] {});
+  fut.get();  // inline execution still satisfies the future
+}
+
+TEST(ThreadPool, SubmitRunsTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> sum{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 1; i <= 10; ++i)
+    futs.push_back(pool.submit([&sum, i] { sum += i; }));
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(sum.load(), 55);
+}
+
+TEST(ThreadPool, ParallelForPropagatesExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [](std::size_t i) {
+                                   if (i == 37)
+                                     throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+  // The pool survives a failed loop and keeps working.
+  std::atomic<int> ok{0};
+  pool.parallel_for(16, [&](std::size_t) { ++ok; });
+  EXPECT_EQ(ok.load(), 16);
+}
+
+TEST(ThreadPool, SubmitFutureCarriesException) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([] { throw std::logic_error("bad task"); });
+  EXPECT_THROW(fut.get(), std::logic_error);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  ThreadPool pool(4);
+  constexpr std::size_t outer = 16, inner = 64;
+  std::vector<std::atomic<int>> hits(outer * inner);
+  pool.parallel_for(outer, [&](std::size_t o) {
+    // From a worker thread this must not deadlock waiting on the same pool.
+    pool.parallel_for(inner, [&](std::size_t i) { ++hits[o * inner + i]; });
+  });
+  for (auto& h : hits) ASSERT_EQ(h.load(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: identical results at every thread count
+// ---------------------------------------------------------------------------
+
+void expect_same_network(const Network& a, const Network& b) {
+  ASSERT_EQ(a.node_count(), b.node_count());
+  for (SigId s = 0; s < a.node_count(); ++s) {
+    ASSERT_EQ(a.node(s).kind, b.node(s).kind) << "node " << s;
+    ASSERT_EQ(a.node(s).fanins, b.node(s).fanins) << "node " << s;
+    if (a.node(s).kind == Network::Kind::Logic) {
+      ASSERT_EQ(a.node(s).func, b.node(s).func) << "node " << s;
+    }
+  }
+  ASSERT_EQ(a.outputs(), b.outputs());
+}
+
+void expect_thread_count_invariant(const Network& input,
+                                   DriverOptions base = {}) {
+  base.threads = 1;
+  Network ref;
+  const DriverReport ref_rep = run_synthesis(input, base, ref);
+  EXPECT_TRUE(ref_rep.verified);
+  EXPECT_GT(ref_rep.flow.luts, 0u);
+
+  for (unsigned threads : {2u, 8u}) {
+    DriverOptions opts = base;
+    opts.threads = threads;
+    Network mapped;
+    const DriverReport rep = run_synthesis(input, opts, mapped);
+    EXPECT_TRUE(rep.verified) << threads << " threads";
+    EXPECT_EQ(rep.flow.luts, ref_rep.flow.luts) << threads << " threads";
+    EXPECT_EQ(rep.clbs.clbs, ref_rep.clbs.clbs) << threads << " threads";
+    EXPECT_EQ(rep.flow.vectors, ref_rep.flow.vectors) << threads << " threads";
+    EXPECT_EQ(rep.flow.max_m, ref_rep.flow.max_m) << threads << " threads";
+    EXPECT_EQ(rep.flow.max_p, ref_rep.flow.max_p) << threads << " threads";
+    expect_same_network(ref, mapped);
+  }
+}
+
+TEST(ParallelDeterminism, Fig1CircuitIdenticalAtAllThreadCounts) {
+  // rd53 with k = 4 is the paper's Fig. 1 circuit.
+  DriverOptions opts;
+  opts.flow.k = 4;
+  expect_thread_count_invariant(circuits::make_rd(5, 3), opts);
+}
+
+TEST(ParallelDeterminism, PaperExampleIdenticalAtAllThreadCounts) {
+  // The running example of the paper: f1 and f2 of Fig. 2 as one network.
+  Network net("paper_example");
+  std::vector<SigId> ins;
+  for (const char* n : {"x1", "x2", "x3", "y1", "y2"})
+    ins.push_back(net.add_input(n));
+  net.add_output(net.add_node(ins, testfix::paper_f1()), "f1");
+  net.add_output(net.add_node(ins, testfix::paper_f2()), "f2");
+  expect_thread_count_invariant(net);
+}
+
+TEST(ParallelDeterminism, BenchmarkCircuitIdenticalAtAllThreadCounts) {
+  const auto net = circuits::make_benchmark("rd73");
+  ASSERT_TRUE(net.has_value());
+  expect_thread_count_invariant(*net);
+}
+
+TEST(ParallelDeterminism, ChooseBoundSetMatchesSerial) {
+  const std::vector<TruthTable> fs{testfix::paper_f1(), testfix::paper_f2()};
+  VarPartOptions opts;
+  opts.bound_size = 3;
+  const auto serial = choose_bound_set(fs, 5, opts);
+  ASSERT_TRUE(serial.has_value());
+
+  ThreadPool pool(4);
+  opts.pool = &pool;
+  const auto parallel = choose_bound_set(fs, 5, opts);
+  ASSERT_TRUE(parallel.has_value());
+  EXPECT_EQ(parallel->vp.bound, serial->vp.bound);
+  EXPECT_EQ(parallel->vp.free_set, serial->vp.free_set);
+  EXPECT_EQ(parallel->p(), serial->p());
+}
+
+// ---------------------------------------------------------------------------
+// SynthesisConfig / SynthesisSession
+// ---------------------------------------------------------------------------
+
+TEST(SynthesisConfig, DefaultIsValid) {
+  EXPECT_TRUE(SynthesisConfig{}.validate().empty());
+}
+
+TEST(SynthesisConfig, ReportsEveryViolationReadably) {
+  SynthesisConfig cfg;
+  cfg.k = 1;
+  cfg.bound_size = 0;
+  cfg.max_p = 0;
+  const auto diags = cfg.validate();
+  ASSERT_EQ(diags.size(), 3u);
+  EXPECT_NE(diags[0].find("k must be in [2, 16]"), std::string::npos);
+  EXPECT_NE(diags[0].find("got 1"), std::string::npos);
+}
+
+TEST(SynthesisConfig, CrossFieldChecks) {
+  SynthesisConfig cfg;
+  cfg.bound_size = cfg.k + 1;  // d-node wider than one LUT
+  EXPECT_EQ(cfg.validate().size(), 1u);
+  cfg = SynthesisConfig{};
+  cfg.max_vector_inputs = cfg.k - 1;  // vector narrower than one LUT
+  EXPECT_EQ(cfg.validate().size(), 1u);
+}
+
+TEST(SynthesisConfig, LowersEveryKnob) {
+  SynthesisConfig cfg;
+  cfg.k = 4;
+  cfg.max_p = 16;
+  cfg.bound_size = 3;
+  cfg.threads = 2;
+  cfg.batch_groups = 3;
+  cfg.seed = 42;
+  const DriverOptions opts = cfg.lower();
+  EXPECT_EQ(opts.flow.k, 4u);
+  EXPECT_EQ(opts.flow.imodec.max_p, 16u);
+  EXPECT_EQ(opts.flow.varpart.bound_size, 3u);
+  EXPECT_EQ(opts.flow.varpart.seed, 42u);
+  EXPECT_EQ(opts.flow.batch_groups, 3u);
+  EXPECT_EQ(opts.threads, 2u);
+}
+
+TEST(SynthesisSession, RunsRepeatedlyOnOnePool) {
+  SynthesisConfig cfg;
+  cfg.threads = 2;
+  SynthesisSession session(cfg);
+  EXPECT_EQ(session.threads(), 2u);
+  ASSERT_NE(session.pool(), nullptr);
+
+  const auto net = circuits::make_benchmark("rd53");
+  ASSERT_TRUE(net.has_value());
+  Network first, second;
+  const DriverReport r1 = session.run(*net, first);
+  const DriverReport r2 = session.run(*net, second);
+  EXPECT_TRUE(r1.verified);
+  EXPECT_TRUE(r2.verified);
+  EXPECT_EQ(r1.flow.luts, r2.flow.luts);
+  expect_same_network(first, second);
+}
+
+TEST(SynthesisSession, SerialConfigHasNoPool) {
+  SynthesisConfig cfg;
+  cfg.threads = 1;
+  SynthesisSession session(cfg);
+  EXPECT_EQ(session.threads(), 1u);
+  EXPECT_EQ(session.pool(), nullptr);
+
+  const auto net = circuits::make_benchmark("rd53");
+  Network mapped;
+  EXPECT_TRUE(session.run(*net, mapped).verified);
+}
+
+// ---------------------------------------------------------------------------
+// Typed decomposition errors
+// ---------------------------------------------------------------------------
+
+TEST(DecomposeResult, ReportsPOverflow) {
+  const std::vector<TruthTable> fs{testfix::paper_f1(), testfix::paper_f2()};
+  ImodecOptions opts;
+  opts.max_p = 4;  // p is 5
+  ImodecStats stats;
+  const auto res =
+      decompose_multi_output(fs, testfix::paper_vp(), opts, &stats);
+  ASSERT_FALSE(res.has_value());
+  EXPECT_EQ(res.error(), DecomposeError::p_overflow);
+  EXPECT_EQ(stats.p, 5u);  // stats still filled on failure
+  EXPECT_EQ(to_string(res.error()), "p_overflow");
+}
+
+TEST(DecomposeResult, FlowCountsErrorReasons) {
+  // max_p = 1 rejects essentially every group, forcing the flow through its
+  // fallback ladder; the result must still be correct.
+  const auto collapsed = collapse_network(circuits::make_rd(7, 3));
+  ASSERT_TRUE(collapsed.has_value());
+  FlowOptions opts;
+  opts.imodec.max_p = 1;
+  const FlowResult r = decompose_to_luts(*collapsed, opts);
+  EXPECT_TRUE(check_equivalence(*collapsed, r.network).equivalent);
+  EXPECT_GT(r.stats.total_errors(), 0u);
+  EXPECT_GT(r.stats.error_count(DecomposeError::p_overflow), 0u);
+}
+
+}  // namespace
+}  // namespace imodec

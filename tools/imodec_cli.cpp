@@ -9,16 +9,24 @@
 //
 // Options:
 //   -k <n>          LUT input count (default 5)
+//   --threads <n>   execution width (0 = hardware concurrency, 1 = serial);
+//                   results are identical at every width
 //   --single        single-output decomposition baseline
 //   --strict        strict codes (one code per compatibility class)
 //   --classical     classical flow: kernel extraction + per-output mapping
 //   --no-collapse   skip collapsing; restructure instead
 //   --no-verify     skip the equivalence check
+//   --max-p <n>     global class cap
+//   --bound <n>     bound-set size b
+//   --seed <n>      bound-set sampling seed
 //   -o <file>       write the mapped network as BLIF
 //   --stats         per-phase times, BDD cache behaviour and counters
 //   --trace-json <file>    write the span tree + counters as JSON
 //   --trace-chrome <file>  write a chrome://tracing / Perfetto event file
 //   --list          list built-in benchmark names and exit
+//
+// Flags are collected into a SynthesisConfig and validated as a whole;
+// invalid combinations print every diagnostic, not just the first.
 
 #include <cstdio>
 #include <cstring>
@@ -27,7 +35,7 @@
 #include "circuits/registry.hpp"
 #include "logic/blif.hpp"
 #include "logic/pla.hpp"
-#include "map/driver.hpp"
+#include "map/session.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -42,8 +50,9 @@ bool ends_with(const std::string& s, const std::string& suffix) {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [-k n] [--single] [--strict] [--no-collapse] "
-               "[--no-verify] [--stats] [--trace-json f] [--trace-chrome f] "
+               "usage: %s [-k n] [--threads n] [--single] [--strict] "
+               "[--no-collapse] [--no-verify] [--max-p n] [--bound n] "
+               "[--seed n] [--stats] [--trace-json f] [--trace-chrome f] "
                "[-o out.blif] <input.blif|input.pla|@name>\n"
                "       %s --list\n",
                argv0, argv0);
@@ -53,31 +62,36 @@ int usage(const char* argv0) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  DriverOptions opts;
+  SynthesisConfig cfg;
   std::string input;
   std::string output;
   bool stats = false;
   std::string trace_json_path;
   std::string trace_chrome_path;
 
+  try {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "-k" && i + 1 < argc) {
-      opts.flow.k = static_cast<unsigned>(std::stoul(argv[++i]));
-      if (opts.flow.k < 2 || opts.flow.k > 16) {
-        std::fprintf(stderr, "imodec: -k must be in [2, 16]\n");
-        return 2;
-      }
+      cfg.k = static_cast<unsigned>(std::stoul(argv[++i]));
+    } else if (arg == "--threads" && i + 1 < argc) {
+      cfg.threads = static_cast<unsigned>(std::stoul(argv[++i]));
+    } else if (arg == "--max-p" && i + 1 < argc) {
+      cfg.max_p = static_cast<std::uint32_t>(std::stoul(argv[++i]));
+    } else if (arg == "--bound" && i + 1 < argc) {
+      cfg.bound_size = static_cast<unsigned>(std::stoul(argv[++i]));
+    } else if (arg == "--seed" && i + 1 < argc) {
+      cfg.seed = std::stoull(argv[++i]);
     } else if (arg == "--single") {
-      opts.flow.multi_output = false;
+      cfg.multi_output = false;
     } else if (arg == "--strict") {
-      opts.flow.imodec.strict = true;
+      cfg.strict = true;
     } else if (arg == "--classical") {
-      opts.classical = true;
+      cfg.classical = true;
     } else if (arg == "--no-collapse") {
-      opts.collapse = false;
+      cfg.collapse = false;
     } else if (arg == "--no-verify") {
-      opts.verify = false;
+      cfg.verify = false;
     } else if (arg == "-o" && i + 1 < argc) {
       output = argv[++i];
     } else if (arg == "--stats") {
@@ -96,7 +110,19 @@ int main(int argc, char** argv) {
       input = arg;
     }
   }
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "imodec: malformed numeric argument\n");
+    return usage(argv[0]);
+  }
   if (input.empty()) return usage(argv[0]);
+
+  // Validate the whole configuration up front: the user sees every problem
+  // as a readable diagnostic instead of an assertion deep in the pipeline.
+  if (const auto diags = cfg.validate(); !diags.empty()) {
+    for (const auto& d : diags)
+      std::fprintf(stderr, "imodec: invalid configuration: %s\n", d.c_str());
+    return 2;
+  }
 
   Network net;
   try {
@@ -123,8 +149,9 @@ int main(int argc, char** argv) {
       stats || !trace_json_path.empty() || !trace_chrome_path.empty();
   if (observe) obs::set_enabled(true);
 
+  SynthesisSession session(cfg);
   Network mapped;
-  DriverReport rep = run_synthesis(net, opts, mapped);
+  DriverReport rep = session.run(net, mapped);
   if (!stats) {
     // Tracing without --stats: keep the report compact.
     rep.spans.clear();
