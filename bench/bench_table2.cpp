@@ -145,6 +145,7 @@ int main(int argc, char** argv) {
                     static_cast<double>(row.bdd_cache_lookups)
               : 0.0;
       rec["verified"] = row.verified;
+      rec["verify_mode"] = "sim";  // 512-vector spot check, not the miter
       rec["threads"] = g_threads;
     }
 

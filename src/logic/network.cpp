@@ -245,4 +245,18 @@ std::size_t Network::sweep() {
   return changed;
 }
 
+bool structurally_equal(const Network& a, const Network& b) {
+  if (a.node_count() != b.node_count() || a.inputs() != b.inputs() ||
+      a.outputs() != b.outputs() || a.output_names() != b.output_names())
+    return false;
+  for (SigId s = 0; s < a.node_count(); ++s) {
+    const Network::Node& na = a.node(s);
+    const Network::Node& nb = b.node(s);
+    if (na.kind != nb.kind || na.name != nb.name || na.fanins != nb.fanins ||
+        na.func != nb.func)
+      return false;
+  }
+  return true;
+}
+
 }  // namespace imodec

@@ -101,4 +101,11 @@ class Network {
   std::unordered_map<std::string, SigId> by_name_;
 };
 
+/// Bit-identical structural comparison: same nodes (kind, name, fanins,
+/// function), inputs, outputs, and output names, in the same order. The
+/// network name is ignored. This is the determinism contract the parallel
+/// runtime promises (DESIGN.md §9) and the differential fuzzer enforces —
+/// far stronger than functional equivalence.
+bool structurally_equal(const Network& a, const Network& b);
+
 }  // namespace imodec

@@ -1,18 +1,19 @@
 #include "logic/simulate.hpp"
 
-#include <cassert>
-
 #include "util/rng.hpp"
 
 namespace imodec {
 
 EquivalenceResult check_equivalence(const Network& a, const Network& b,
                                     const EquivalenceOptions& opts) {
-  assert(a.num_inputs() == b.num_inputs());
-  assert(a.num_outputs() == b.num_outputs());
-  const unsigned n = static_cast<unsigned>(a.num_inputs());
-
   EquivalenceResult res;
+  if (a.num_inputs() != b.num_inputs() ||
+      a.num_outputs() != b.num_outputs()) {
+    res.equivalent = false;
+    res.interface_mismatch = true;
+    return res;
+  }
+  const unsigned n = static_cast<unsigned>(a.num_inputs());
   const auto order_a = a.topo_order();
   const auto order_b = b.topo_order();
   const auto try_vector = [&](const std::vector<bool>& v) {

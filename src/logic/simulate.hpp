@@ -26,11 +26,15 @@ struct EquivalenceOptions {
 struct EquivalenceResult {
   bool equivalent = true;
   bool exhaustive = false;
+  /// The networks have different input or output counts; no vectors were
+  /// simulated (comparing them by position would read garbage).
+  bool interface_mismatch = false;
   std::optional<std::vector<bool>> counterexample;
 };
 
-/// Compare two networks with identical input/output interfaces (matched by
-/// position; both must have the same input and output counts).
+/// Compare two networks by interface position. Mismatched input/output
+/// counts report non-equivalent with `interface_mismatch` set rather than
+/// asserting (the old assert vanished under NDEBUG).
 EquivalenceResult check_equivalence(const Network& a, const Network& b,
                                     const EquivalenceOptions& opts = {});
 

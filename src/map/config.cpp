@@ -35,6 +35,8 @@ std::vector<std::string> SynthesisConfig::validate() const {
   if (eval_budget == 0) bad("eval_budget must be positive (got 0)");
   if (samples == 0) bad("samples must be >= 1 (got 0)");
   if (batch_groups == 0) bad("batch_groups must be >= 1 (got 0)");
+  if (verify_node_budget == 0)
+    bad("verify_node_budget must be positive (got 0)");
   return diags;
 }
 
@@ -59,6 +61,7 @@ DriverOptions SynthesisConfig::lower() const {
   opts.collapse = collapse;
   opts.classical = classical;
   opts.verify = verify;
+  opts.verify_node_budget = verify_node_budget;
   opts.threads = threads;
   return opts;
 }

@@ -41,7 +41,11 @@ struct SynthesisConfig {
   // --- Driver --------------------------------------------------------------
   bool collapse = true;
   bool classical = false;
-  bool verify = true;
+  /// Equivalence check of the result: off / sim / exact / auto (see
+  /// VerifyMode in map/driver.hpp).
+  VerifyMode verify = VerifyMode::auto_;
+  /// Live BDD-node cap for the miter when verify == auto.
+  std::size_t verify_node_budget = std::size_t{1} << 21;
 
   // --- Parallel runtime ----------------------------------------------------
   /// Execution width (threads incl. the caller); 0 = hardware concurrency,

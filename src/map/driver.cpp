@@ -6,8 +6,56 @@
 #include "obs/metrics.hpp"
 #include "util/strings.hpp"
 #include "util/thread_pool.hpp"
+#include "verify/miter.hpp"
 
 namespace imodec {
+
+std::optional<VerifyMode> parse_verify_mode(std::string_view s) {
+  if (s == "off") return VerifyMode::off;
+  if (s == "sim") return VerifyMode::sim;
+  if (s == "exact") return VerifyMode::exact;
+  if (s == "auto") return VerifyMode::auto_;
+  return std::nullopt;
+}
+
+namespace {
+
+/// Run the configured equivalence check and fill the report's verify
+/// fields. Counters: flow.verify.exact / .sim count which engine produced
+/// the verdict, flow.verify.fallback counts auto-mode budget misses, and
+/// flow.verify.fail counts failed verdicts.
+void run_verification(const Network& input, const Network& mapped,
+                      const DriverOptions& opts, DriverReport& rep) {
+  bool done = false;
+  if (opts.verify == VerifyMode::exact || opts.verify == VerifyMode::auto_) {
+    verify::MiterOptions mopts;
+    if (opts.verify == VerifyMode::auto_)
+      mopts.node_budget = opts.verify_node_budget;
+    const verify::MiterResult mr = verify::check_miter(input, mapped, mopts);
+    if (mr.proven) {
+      rep.verify_mode = VerifyMode::exact;
+      rep.verify_proven = true;
+      rep.verified = mr.equivalent;
+      rep.verified_exhaustive = true;
+      rep.counterexample = mr.counterexample;
+      obs::count("flow.verify.exact");
+      done = true;
+    } else {
+      obs::count("flow.verify.fallback");
+    }
+  }
+  if (!done) {
+    const auto eq = check_equivalence(input, mapped);
+    rep.verify_mode = VerifyMode::sim;
+    rep.verified = eq.equivalent;
+    rep.verified_exhaustive = eq.exhaustive;
+    rep.counterexample = eq.counterexample;
+    obs::count("flow.verify.sim");
+  }
+  if (!rep.verified) obs::count("flow.verify.fail");
+}
+
+}  // namespace
 
 DriverReport run_synthesis(const Network& input, const DriverOptions& opts,
                            Network& mapped) {
@@ -57,11 +105,9 @@ DriverReport run_synthesis(const Network& input, const DriverOptions& opts,
     rep.depth = flow.network.depth();
   }
 
-  if (opts.verify) {
+  if (opts.verify != VerifyMode::off) {
     obs::ScopedSpan span("driver.verify");
-    const auto eq = check_equivalence(input, flow.network);
-    rep.verified = eq.equivalent;
-    rep.verified_exhaustive = eq.exhaustive;
+    run_verification(input, flow.network, opts, rep);
   }
   mapped = std::move(flow.network);
 
@@ -107,8 +153,15 @@ std::string format_report(const std::string& name, const DriverReport& rep) {
                    "%u Lmax rounds\n",
                    static_cast<unsigned long long>(rep.flow.bdd_nodes),
                    100.0 * rep.flow.cache_hit_rate(), rep.flow.lmax_rounds);
-  s += strprintf("equivalence    : %s\n",
-                 rep.verified ? "PASS" : "FAIL");
+  if (rep.verify_mode == VerifyMode::off) {
+    s += "equivalence    : skipped\n";
+  } else {
+    const char* strength = rep.verify_proven           ? "miter proof"
+                           : rep.verified_exhaustive   ? "exhaustive simulation"
+                                                       : "sampled simulation";
+    s += strprintf("equivalence    : %s (%s)\n",
+                   rep.verified ? "PASS" : "FAIL", strength);
+  }
   if (!rep.spans.empty()) {
     s += "--- phases (total ms x calls) ---\n";
     s += obs::trace_summary(rep.spans);

@@ -7,7 +7,9 @@
 // equivalence verification against the input.
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -23,6 +25,27 @@ class ThreadPool;
 
 namespace imodec {
 
+/// How the driver checks the mapped network against its input.
+enum class VerifyMode : std::uint8_t {
+  off,    ///< skip the check entirely
+  sim,    ///< simulation: exhaustive up to 16 inputs, sampled beyond
+  exact,  ///< BDD miter proof, no node budget (exact at any input count)
+  auto_,  ///< miter within DriverOptions::verify_node_budget, else sim
+};
+
+constexpr std::string_view to_string(VerifyMode m) {
+  switch (m) {
+    case VerifyMode::off: return "off";
+    case VerifyMode::sim: return "sim";
+    case VerifyMode::exact: return "exact";
+    case VerifyMode::auto_: return "auto";
+  }
+  return "?";
+}
+
+/// Parse "off" / "sim" / "exact" / "auto"; nullopt otherwise.
+std::optional<VerifyMode> parse_verify_mode(std::string_view s);
+
 struct DriverOptions {
   FlowOptions flow;
   RestructureOptions restructure;
@@ -35,8 +58,15 @@ struct DriverOptions {
   /// and single-output mode — the baseline IMODEC's combined approach is
   /// pitched against.
   bool classical = false;
-  /// Check the mapped network against the input.
-  bool verify = true;
+  /// Check the mapped network against the input. `auto_` (the default)
+  /// proves equivalence with the BDD miter (src/verify/miter) whenever the
+  /// build fits `verify_node_budget` live nodes and falls back to
+  /// simulation otherwise — so every circuit gets the strongest check that
+  /// fits memory, and Table 2's >16-input circuits get a proof instead of
+  /// 4096 samples.
+  VerifyMode verify = VerifyMode::auto_;
+  /// Live BDD-node cap for the miter in `auto_` mode (~16 B/node).
+  std::size_t verify_node_budget = std::size_t{1} << 21;
   /// Width of the parallel runtime: worker threads including the caller.
   /// 0 = hardware concurrency, 1 = fully serial (no pool is created).
   /// Results are bit-identical for every value (DESIGN.md §9).
@@ -48,8 +78,19 @@ struct DriverReport {
   FlowStats flow;
   ClbPacking clbs;
   unsigned depth = 0;       // logic levels of the mapped network
-  bool verified = true;     // equivalence result (true when !opts.verify)
+  bool verified = true;     // equivalence result (true when verify == off)
+  /// The verdict covers the whole input space: exhaustive simulation or a
+  /// miter proof (see verify_proven for which).
   bool verified_exhaustive = false;
+  /// Check that actually ran: `exact` when the miter produced a verdict,
+  /// `sim` when simulation did (requested, or auto fell back on budget),
+  /// `off` when no check ran.
+  VerifyMode verify_mode = VerifyMode::off;
+  /// The verdict is a BDD miter proof (not sampled, not enumerated).
+  bool verify_proven = false;
+  /// Input assignment (indexed like input.inputs()) where the mapped
+  /// network differs, when !verified and the check found one.
+  std::optional<std::vector<bool>> counterexample;
   /// Observability section, populated only when obs::enabled(): the spans
   /// recorded during this run (re-rooted at `driver.run_synthesis`) and a
   /// snapshot of the process-wide counter registry taken at the end.

@@ -1,0 +1,82 @@
+#include "verify/gen.hpp"
+
+#include <fstream>
+
+#include "util/strings.hpp"
+
+namespace imodec::verify {
+
+std::size_t FuzzCase::total_cubes() const {
+  std::size_t n = 0;
+  for (const Cover& c : outputs) n += c.size();
+  return n;
+}
+
+Network FuzzCase::to_network() const {
+  Network net(name);
+  std::vector<SigId> pis;
+  pis.reserve(num_inputs);
+  for (unsigned v = 0; v < num_inputs; ++v)
+    pis.push_back(net.add_input(strprintf("in%u", v)));
+  for (std::size_t j = 0; j < outputs.size(); ++j) {
+    const std::string oname = strprintf("out%zu", j);
+    const SigId node = net.add_node(pis, outputs[j].to_truthtable(), oname);
+    net.add_output(node, oname);
+  }
+  return net;
+}
+
+std::string FuzzCase::to_pla() const {
+  std::string s = strprintf(".i %u\n.o %zu\n.p %zu\n", num_inputs,
+                            outputs.size(), total_cubes());
+  for (std::size_t j = 0; j < outputs.size(); ++j) {
+    std::string out_part(outputs.size(), '0');
+    out_part[j] = '1';
+    for (const Cube& q : outputs[j].cubes())
+      s += q.to_pla(num_inputs) + " " + out_part + "\n";
+  }
+  s += ".e\n";
+  return s;
+}
+
+FuzzCase random_case(Rng& rng, const GenOptions& opts) {
+  FuzzCase c;
+  c.num_inputs =
+      static_cast<unsigned>(rng.range(opts.min_inputs, opts.max_inputs));
+  const auto num_outputs = rng.range(opts.min_outputs, opts.max_outputs);
+  c.outputs.reserve(num_outputs);
+  for (std::uint64_t j = 0; j < num_outputs; ++j) {
+    Cover cov(c.num_inputs);
+    const auto num_cubes = rng.range(1, opts.max_cubes_per_output);
+    for (std::uint64_t t = 0; t < num_cubes; ++t) {
+      Cube q;
+      for (unsigned v = 0; v < c.num_inputs; ++v) {
+        // Equal thirds absent / positive / negative: dense enough that
+        // outputs are non-trivial, sparse enough that cubes overlap (the
+        // interesting regime for decomposition sharing).
+        switch (rng.below(3)) {
+          case 0: break;
+          case 1:
+            q.mask |= 1u << v;
+            q.value |= 1u << v;
+            break;
+          default:
+            q.mask |= 1u << v;
+            break;
+        }
+      }
+      cov.add(q);
+    }
+    c.outputs.push_back(std::move(cov));
+  }
+  return c;
+}
+
+bool write_pla_file(const std::string& path, const FuzzCase& c) {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << c.to_pla();
+  return static_cast<bool>(f);
+}
+
+}  // namespace imodec::verify

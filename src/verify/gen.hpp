@@ -1,0 +1,49 @@
+#pragma once
+// Seeded random multi-output function generator for the differential fuzzer.
+//
+// A FuzzCase is a cube-level description (one SOP cover per output) rather
+// than a Network: the shrinker needs to drop outputs, delete cubes, and
+// merge inputs, and those edits are natural on covers. Cases convert to a
+// two-level Network (the shape logic/pla produces) and serialize as Espresso
+// PLA text, so every shrunk repro on disk reloads through read_pla.
+
+#include <string>
+#include <vector>
+
+#include "logic/cube.hpp"
+#include "logic/network.hpp"
+#include "util/rng.hpp"
+
+namespace imodec::verify {
+
+struct GenOptions {
+  unsigned min_inputs = 3;
+  unsigned max_inputs = 10;
+  unsigned min_outputs = 1;
+  unsigned max_outputs = 5;
+  unsigned max_cubes_per_output = 10;
+};
+
+struct FuzzCase {
+  std::string name = "fuzz";
+  unsigned num_inputs = 0;
+  std::vector<Cover> outputs;  // one cover per output, all over num_inputs
+
+  std::size_t num_outputs() const { return outputs.size(); }
+  std::size_t total_cubes() const;
+
+  /// Two-level network: one node per output over all inputs (read_pla's
+  /// shape, so PLA round trips compare structurally).
+  Network to_network() const;
+  /// Espresso PLA text (.i/.o/.p rows, F-type cover).
+  std::string to_pla() const;
+};
+
+/// Draw a random case. Every structural choice comes from `rng`, so a seed
+/// reproduces the case bit-identically.
+FuzzCase random_case(Rng& rng, const GenOptions& opts = {});
+
+/// Write `c.to_pla()` to `path`; false on I/O failure.
+bool write_pla_file(const std::string& path, const FuzzCase& c);
+
+}  // namespace imodec::verify

@@ -1,0 +1,139 @@
+#include "verify/miter.hpp"
+
+#include <unordered_map>
+
+#include "bdd/bdd.hpp"
+#include "logic/net2bdd.hpp"
+
+namespace imodec::verify {
+namespace {
+
+/// True iff the manager still fits the budget, garbage-collecting once when
+/// it does not (dead trial nodes from ite() intermediates often free enough).
+bool within_budget(bdd::Manager& mgr, std::size_t budget) {
+  if (mgr.live_node_count() <= budget) return true;
+  mgr.garbage_collect();
+  return mgr.live_node_count() <= budget;
+}
+
+/// Static variable order: BDD variable of input position p is var_of_pos[p].
+/// Computed by a depth-first walk of the reference network from its outputs
+/// — inputs are numbered at first visit, which keeps the inputs of one cone
+/// adjacent in the order (the classical fanin-interleaving heuristic).
+/// Identity order makes wide shifter-like circuits (rot, 135 inputs)
+/// exponential; DFS order keeps them linear.
+std::vector<unsigned> dfs_variable_order(const Network& net) {
+  std::vector<unsigned> pos_of_sig(net.node_count(), 0);
+  for (std::size_t p = 0; p < net.inputs().size(); ++p)
+    pos_of_sig[net.inputs()[p]] = static_cast<unsigned>(p);
+
+  std::vector<unsigned> var_of_pos(net.inputs().size(),
+                                   std::numeric_limits<unsigned>::max());
+  unsigned next_var = 0;
+  std::vector<bool> seen(net.node_count(), false);
+  std::vector<SigId> stack;
+  for (auto it = net.outputs().rbegin(); it != net.outputs().rend(); ++it)
+    stack.push_back(*it);
+  while (!stack.empty()) {
+    const SigId s = stack.back();
+    stack.pop_back();
+    if (seen[s]) continue;
+    seen[s] = true;
+    const Network::Node& node = net.node(s);
+    if (node.kind == Network::Kind::Input) {
+      var_of_pos[pos_of_sig[s]] = next_var++;
+      continue;
+    }
+    for (auto f = node.fanins.rbegin(); f != node.fanins.rend(); ++f)
+      stack.push_back(*f);
+  }
+  // Inputs outside every output cone keep their relative order at the end.
+  for (unsigned& v : var_of_pos)
+    if (v == std::numeric_limits<unsigned>::max()) v = next_var++;
+  return var_of_pos;
+}
+
+/// Build one BDD per output of `net` over PI variables keyed by input
+/// position. Walks the output cones in topological order so every
+/// signal_bdd call only composes one node over cached fanins — the budget is
+/// therefore enforced at node granularity, not per whole cone. Returns false
+/// on budget exhaustion.
+bool build_outputs(bdd::Manager& mgr, const Network& net,
+                   const std::vector<unsigned>& var_of_pos, std::size_t budget,
+                   std::vector<bdd::Bdd>& out) {
+  PiVarMap pi_var;
+  for (std::size_t i = 0; i < net.inputs().size(); ++i)
+    pi_var.emplace(net.inputs()[i], var_of_pos[i]);
+
+  // Restrict the walk to nodes actually feeding an output.
+  std::vector<bool> in_cone(net.node_count(), false);
+  std::vector<SigId> stack(net.outputs().begin(), net.outputs().end());
+  while (!stack.empty()) {
+    const SigId s = stack.back();
+    stack.pop_back();
+    if (in_cone[s]) continue;
+    in_cone[s] = true;
+    for (SigId f : net.node(s).fanins) stack.push_back(f);
+  }
+
+  std::unordered_map<SigId, bdd::Bdd> cache;
+  for (SigId s : net.topo_order()) {
+    if (!in_cone[s]) continue;
+    signal_bdd(mgr, net, s, pi_var, cache);
+    if (!within_budget(mgr, budget)) return false;
+  }
+  out.reserve(net.outputs().size());
+  for (SigId o : net.outputs()) out.push_back(cache.at(o));
+  return true;
+}
+
+}  // namespace
+
+MiterResult check_miter(const Network& a, const Network& b,
+                        const MiterOptions& opts) {
+  MiterResult res;
+  if (a.num_inputs() != b.num_inputs() ||
+      a.num_outputs() != b.num_outputs()) {
+    res.proven = true;
+    res.interface_mismatch = true;
+    return res;  // equivalent stays false
+  }
+
+  bdd::Manager mgr(static_cast<unsigned>(a.num_inputs()));
+  // Order variables by a DFS over `a` (the reference network); `b` maps its
+  // inputs by position, so both sides agree on the variables.
+  const std::vector<unsigned> var_of_pos = dfs_variable_order(a);
+  std::vector<bdd::Bdd> fa, fb;
+  const bool built = build_outputs(mgr, a, var_of_pos, opts.node_budget, fa) &&
+                     build_outputs(mgr, b, var_of_pos, opts.node_budget, fb);
+  if (built) {
+    res.equivalent = true;
+    res.proven = true;
+    for (std::size_t j = 0; j < fa.size(); ++j) {
+      const bdd::Bdd miter = fa[j] ^ fb[j];
+      if (!within_budget(mgr, opts.node_budget)) {
+        res.proven = false;
+        res.equivalent = false;
+        break;
+      }
+      if (!miter.is_zero()) {
+        res.equivalent = false;
+        res.failing_output = j;
+        std::vector<bool> assignment;
+        if (mgr.pick_minterm(miter.node(), assignment)) {
+          // pick_minterm indexes by BDD variable; permute back to input
+          // position so callers can feed the cube straight to eval().
+          std::vector<bool> cex(a.num_inputs(), false);
+          for (std::size_t p = 0; p < cex.size(); ++p)
+            cex[p] = assignment[var_of_pos[p]];
+          res.counterexample = std::move(cex);
+        }
+        break;
+      }
+    }
+  }
+  res.peak_nodes = mgr.peak_node_count();
+  return res;
+}
+
+}  // namespace imodec::verify

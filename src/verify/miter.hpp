@@ -1,0 +1,50 @@
+#pragma once
+// Exact equivalence oracle: a BDD miter over two networks.
+//
+// Both networks are built into one bdd::Manager (inputs matched by position
+// via logic/net2bdd), and f_a ⊕ f_b is proved zero per output. Unlike
+// logic/simulate's sampled mode this is a proof for any input count — the
+// Table 2 circuits beyond 16 inputs (count, e64, rot, ...) live here. A
+// live-node budget bounds memory: when the build outgrows it the check
+// returns unproven and callers fall back to simulation.
+
+#include <cstddef>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "logic/network.hpp"
+
+namespace imodec::verify {
+
+struct MiterOptions {
+  /// Live BDD-node cap during the build (checked after every node and every
+  /// per-output XOR; a garbage collection is tried before giving up).
+  /// Default: unbounded.
+  std::size_t node_budget = std::numeric_limits<std::size_t>::max();
+};
+
+struct MiterResult {
+  /// The check reached an exact verdict within the node budget. When false,
+  /// `equivalent` is meaningless and the caller should fall back to
+  /// simulation.
+  bool proven = false;
+  bool equivalent = false;
+  /// Input or output counts differ; reported as proven non-equivalent
+  /// instead of asserting (mirrors EquivalenceResult::interface_mismatch).
+  bool interface_mismatch = false;
+  /// Index (into outputs()) of the first differing output, when !equivalent.
+  std::size_t failing_output = 0;
+  /// Satisfying cube of the failing miter: an input assignment (indexed like
+  /// a.inputs()) on which the networks differ.
+  std::optional<std::vector<bool>> counterexample;
+  /// Peak live nodes of the miter manager (budget tuning / reporting).
+  std::size_t peak_nodes = 0;
+};
+
+/// Prove or refute equivalence of `a` and `b` (inputs/outputs matched by
+/// position).
+MiterResult check_miter(const Network& a, const Network& b,
+                        const MiterOptions& opts = {});
+
+}  // namespace imodec::verify

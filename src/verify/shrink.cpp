@@ -1,0 +1,146 @@
+#include "verify/shrink.hpp"
+
+namespace imodec::verify {
+namespace {
+
+/// Delete bit `v` from a literal word, shifting higher bits down.
+std::uint32_t squeeze_bit(std::uint32_t word, unsigned v) {
+  const std::uint32_t low = word & ((1u << v) - 1);
+  const std::uint32_t high = (word >> (v + 1)) << v;
+  return low | high;
+}
+
+FuzzCase drop_output(const FuzzCase& c, std::size_t j) {
+  FuzzCase r = c;
+  r.outputs.erase(r.outputs.begin() + static_cast<std::ptrdiff_t>(j));
+  return r;
+}
+
+FuzzCase delete_cube(const FuzzCase& c, std::size_t j, std::size_t t) {
+  FuzzCase r = c;
+  Cover cov(c.num_inputs);
+  for (std::size_t i = 0; i < c.outputs[j].size(); ++i)
+    if (i != t) cov.add(c.outputs[j].cubes()[i]);
+  r.outputs[j] = std::move(cov);
+  return r;
+}
+
+/// Substitute x_gone := x_keep in every cube, then remove input `gone`.
+/// Cubes requiring opposite phases of the merged pair become unsatisfiable
+/// and are deleted.
+FuzzCase merge_inputs(const FuzzCase& c, unsigned keep, unsigned gone) {
+  FuzzCase r;
+  r.name = c.name;
+  r.num_inputs = c.num_inputs - 1;
+  for (const Cover& cov : c.outputs) {
+    Cover out(r.num_inputs);
+    for (Cube q : cov.cubes()) {
+      if ((q.mask >> gone) & 1) {
+        const bool phase = (q.value >> gone) & 1;
+        if (((q.mask >> keep) & 1) && (((q.value >> keep) & 1) != phase))
+          continue;  // x_keep and ~x_keep: empty cube
+        q.mask |= 1u << keep;
+        if (phase)
+          q.value |= 1u << keep;
+        else
+          q.value &= ~(1u << keep);
+      }
+      q.mask = squeeze_bit(q.mask, gone);
+      q.value = squeeze_bit(q.value, gone);
+      out.add(q);
+    }
+    r.outputs.push_back(std::move(out));
+  }
+  return r;
+}
+
+/// Remove input `v`; pre: no cube mentions it.
+FuzzCase drop_input(const FuzzCase& c, unsigned v) {
+  FuzzCase r;
+  r.name = c.name;
+  r.num_inputs = c.num_inputs - 1;
+  for (const Cover& cov : c.outputs) {
+    Cover out(r.num_inputs);
+    for (Cube q : cov.cubes()) {
+      q.mask = squeeze_bit(q.mask, v);
+      q.value = squeeze_bit(q.value, v);
+      out.add(q);
+    }
+    r.outputs.push_back(std::move(out));
+  }
+  return r;
+}
+
+bool input_used(const FuzzCase& c, unsigned v) {
+  for (const Cover& cov : c.outputs)
+    for (const Cube& q : cov.cubes())
+      if ((q.mask >> v) & 1) return true;
+  return false;
+}
+
+}  // namespace
+
+FuzzCase shrink_case(const FuzzCase& failing, const FailPredicate& fails,
+                     ShrinkStats* stats) {
+  ShrinkStats local;
+  ShrinkStats& st = stats ? *stats : local;
+  FuzzCase cur = failing;
+
+  const auto accept = [&](FuzzCase cand) {
+    ++st.predicate_calls;
+    if (!fails(cand)) return false;
+    cur = std::move(cand);
+    return true;
+  };
+
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    ++st.rounds;
+
+    // 1. Drop whole outputs (largest wins first, so back-to-front).
+    for (std::size_t j = cur.outputs.size(); j-- > 0;) {
+      if (cur.outputs.size() <= 1) break;
+      if (accept(drop_output(cur, j))) {
+        ++st.outputs_dropped;
+        progress = true;
+      }
+    }
+
+    // 2. Delete individual cubes.
+    for (std::size_t j = 0; j < cur.outputs.size(); ++j) {
+      for (std::size_t t = cur.outputs[j].size(); t-- > 0;) {
+        if (accept(delete_cube(cur, j, t))) {
+          ++st.cubes_deleted;
+          progress = true;
+        }
+      }
+    }
+
+    // 3. Merge input pairs: try to identify the highest input with any
+    // lower one (first success wins; the pass reruns until fixpoint).
+    for (unsigned gone = cur.num_inputs; gone-- > 1;) {
+      if (cur.num_inputs <= 1) break;
+      for (unsigned keep = 0; keep < gone; ++keep) {
+        if (accept(merge_inputs(cur, keep, gone))) {
+          ++st.inputs_merged;
+          progress = true;
+          break;
+        }
+      }
+    }
+
+    // 4. Drop inputs no remaining cube mentions (semantics preserved, but
+    // still re-checked through the predicate).
+    for (unsigned v = cur.num_inputs; v-- > 0;) {
+      if (cur.num_inputs <= 1) break;
+      if (!input_used(cur, v) && accept(drop_input(cur, v))) {
+        ++st.inputs_dropped;
+        progress = true;
+      }
+    }
+  }
+  return cur;
+}
+
+}  // namespace imodec::verify

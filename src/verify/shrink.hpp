@@ -1,0 +1,36 @@
+#pragma once
+// Greedy counterexample shrinking.
+//
+// Given a failing FuzzCase and a predicate that re-runs the failure, reduce
+// the case while the failure still reproduces: drop whole outputs, delete
+// individual cubes, merge input pairs (substitute x_j := x_i), and drop
+// inputs no cube mentions. Passes repeat to a fixpoint, so the result is
+// 1-minimal with respect to these edits — typically a handful of cubes over
+// a few inputs, small enough to debug by hand from the .pla repro.
+
+#include <cstddef>
+#include <functional>
+
+#include "verify/gen.hpp"
+
+namespace imodec::verify {
+
+/// Re-runs the failing scenario on a candidate case; true = still fails.
+using FailPredicate = std::function<bool(const FuzzCase&)>;
+
+struct ShrinkStats {
+  std::size_t predicate_calls = 0;
+  std::size_t outputs_dropped = 0;
+  std::size_t cubes_deleted = 0;
+  std::size_t inputs_merged = 0;
+  std::size_t inputs_dropped = 0;
+  std::size_t rounds = 0;
+};
+
+/// Shrink `failing` (pre: fails(failing)) to a locally minimal case that
+/// still satisfies `fails`. Never returns a case with zero inputs or zero
+/// outputs.
+FuzzCase shrink_case(const FuzzCase& failing, const FailPredicate& fails,
+                     ShrinkStats* stats = nullptr);
+
+}  // namespace imodec::verify

@@ -47,7 +47,7 @@ TEST(Driver, NoCollapseOptionForcesRestructure) {
 TEST(Driver, NoVerifySkipsCheckButStillMaps) {
   const auto net = circuits::make_benchmark("rd53");
   DriverOptions opts;
-  opts.verify = false;
+  opts.verify = VerifyMode::off;
   Network mapped;
   const DriverReport rep = run_synthesis(*net, opts, mapped);
   EXPECT_TRUE(rep.verified);  // default value, no check ran

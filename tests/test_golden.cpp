@@ -1,0 +1,58 @@
+// Golden regression corpus: pinned end-to-end snapshots of the synthesis
+// pipeline. The flow is deterministic for any thread count (DESIGN.md §9),
+// so these numbers are stable — a change here is a real behavior change and
+// must be reviewed, not silently re-pinned.
+
+#include <gtest/gtest.h>
+
+#include "circuits/registry.hpp"
+#include "map/driver.hpp"
+#include "paper_fixtures.hpp"
+
+namespace imodec {
+namespace {
+
+struct Golden {
+  const char* name;
+  unsigned luts;
+  unsigned depth;
+};
+
+void expect_snapshot(const Network& net, const Golden& g) {
+  Network mapped;
+  const DriverReport rep = run_synthesis(net, {}, mapped);
+  EXPECT_EQ(rep.flow.luts, g.luts) << g.name;
+  EXPECT_EQ(rep.depth, g.depth) << g.name;
+  // Every corpus circuit must come out verified, and by proof: the default
+  // auto mode reaches the miter for all of them.
+  EXPECT_TRUE(rep.verified) << g.name;
+  EXPECT_TRUE(rep.verify_proven) << g.name;
+  EXPECT_EQ(rep.verify_mode, VerifyMode::exact) << g.name;
+}
+
+TEST(Golden, PaperExample) {
+  // The running example of the paper: f1/f2 of Fig. 2 as one two-output
+  // network over {x1,x2,x3,y1,y2}.
+  Network net("paper");
+  std::vector<SigId> ins;
+  for (const char* n : {"x1", "x2", "x3", "y1", "y2"})
+    ins.push_back(net.add_input(n));
+  net.add_output(net.add_node(ins, testfix::paper_f1(), "f1"), "f1");
+  net.add_output(net.add_node(ins, testfix::paper_f2(), "f2"), "f2");
+  expect_snapshot(net, {"paper", 2, 1});
+}
+
+TEST(Golden, RegistryCircuits) {
+  const Golden corpus[] = {
+      {"z4ml", 5, 2}, {"rd84", 10, 3},  {"9sym", 6, 3},
+      {"5xp1", 24, 3}, {"count", 52, 5},
+  };
+  for (const Golden& g : corpus) {
+    const auto net = circuits::make_benchmark(g.name);
+    ASSERT_TRUE(net.has_value()) << g.name;
+    expect_snapshot(*net, g);
+  }
+}
+
+}  // namespace
+}  // namespace imodec

@@ -172,6 +172,59 @@ TEST(Rng, RangeInclusive) {
   }
 }
 
+TEST(Rng, BelowBoundsOverManyDrawsAndBounds) {
+  // 10k draws per bound, including bounds near the rejection-sampling edge
+  // cases (1, powers of two, a bound above 2^63).
+  const std::uint64_t bounds[] = {1, 2, 3, 10, 1000, std::uint64_t{1} << 32,
+                                  (std::uint64_t{1} << 63) + 12345};
+  for (const std::uint64_t b : bounds) {
+    Rng rng(0xB0D5 + b);
+    for (int i = 0; i < 10000; ++i) ASSERT_LT(rng.below(b), b);
+  }
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, RangeBoundsOverManyDraws) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.range(17, 42);
+    ASSERT_GE(v, 17u);
+    ASSERT_LE(v, 42u);
+  }
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.range(9, 9), 9u);
+}
+
+TEST(Rng, ChanceFrequencySanity) {
+  // chance(1,4) over 10k draws: expected 2500, sd = sqrt(10000*1/4*3/4) ~ 43,
+  // so [2250, 2750] is a > 5-sigma window — effectively never flaky while
+  // still catching an off-by-phase or inverted comparison.
+  Rng rng(0xC0FFEE);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.chance(1, 4) ? 1 : 0;
+  EXPECT_GE(hits, 2250);
+  EXPECT_LE(hits, 2750);
+  // Degenerate probabilities are exact, not statistical.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0, 7));
+    EXPECT_TRUE(rng.chance(7, 7));
+  }
+}
+
+TEST(Rng, IdenticalSeedIdenticalStreamAcrossMixedCalls) {
+  // The generator contract is a reproducible stream for every drawing
+  // method, not just next(): interleave them all.
+  Rng a(0xDEADBEEF), b(0xDEADBEEF);
+  for (int i = 0; i < 10000; ++i) {
+    switch (i % 4) {
+      case 0: ASSERT_EQ(a.next(), b.next()); break;
+      case 1: ASSERT_EQ(a.below(97), b.below(97)); break;
+      case 2: ASSERT_EQ(a.range(5, 500), b.range(5, 500)); break;
+      default: ASSERT_EQ(a.chance(3, 8), b.chance(3, 8)); break;
+    }
+  }
+}
+
 TEST(Combinatorics, Binomials) {
   EXPECT_DOUBLE_EQ(big_binomial(5, 2).to_double(), 10.0);
   EXPECT_DOUBLE_EQ(big_binomial(10, 0).to_double(), 1.0);

@@ -46,6 +46,7 @@ OPTIONAL_KEYS = {
     "cpu_seconds": (NUMBER, True),
     "threads": (NUMBER, True),
     "verified": (bool, False),
+    "verify_mode": (str, False),
 }
 
 

@@ -16,6 +16,10 @@
 //   --classical     classical flow: kernel extraction + per-output mapping
 //   --no-collapse   skip collapsing; restructure instead
 //   --no-verify     skip the equivalence check
+//   --verify-mode <off|sim|exact|auto>
+//                   equivalence engine: sim = simulation (exhaustive <= 16
+//                   inputs, sampled beyond), exact = BDD miter proof, auto
+//                   (default) = miter within a node budget, else sim
 //   --max-p <n>     global class cap
 //   --bound <n>     bound-set size b
 //   --seed <n>      bound-set sampling seed
@@ -51,9 +55,9 @@ bool ends_with(const std::string& s, const std::string& suffix) {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [-k n] [--threads n] [--single] [--strict] "
-               "[--no-collapse] [--no-verify] [--max-p n] [--bound n] "
-               "[--seed n] [--stats] [--trace-json f] [--trace-chrome f] "
-               "[-o out.blif] <input.blif|input.pla|@name>\n"
+               "[--no-collapse] [--no-verify] [--verify-mode m] [--max-p n] "
+               "[--bound n] [--seed n] [--stats] [--trace-json f] "
+               "[--trace-chrome f] [-o out.blif] <input.blif|input.pla|@name>\n"
                "       %s --list\n",
                argv0, argv0);
   return 2;
@@ -91,7 +95,16 @@ int main(int argc, char** argv) {
     } else if (arg == "--no-collapse") {
       cfg.collapse = false;
     } else if (arg == "--no-verify") {
-      cfg.verify = false;
+      cfg.verify = VerifyMode::off;
+    } else if (arg == "--verify-mode" && i + 1 < argc) {
+      const auto mode = parse_verify_mode(argv[++i]);
+      if (!mode) {
+        std::fprintf(stderr,
+                     "imodec: bad --verify-mode '%s' (off|sim|exact|auto)\n",
+                     argv[i]);
+        return usage(argv[0]);
+      }
+      cfg.verify = *mode;
     } else if (arg == "-o" && i + 1 < argc) {
       output = argv[++i];
     } else if (arg == "--stats") {
