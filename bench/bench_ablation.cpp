@@ -200,9 +200,9 @@ void ablation_classical() {
   for (const auto& name : kCircuits) {
     const auto net = circuits::make_benchmark(name);
     Network mapped;
-    DriverOptions a;
+    SynthesisConfig a;
     const DriverReport ra = run_synthesis(*net, a, mapped, g_pool);
-    DriverOptions b;
+    SynthesisConfig b;
     b.classical = true;
     const DriverReport rb = run_synthesis(*net, b, mapped, g_pool);
     std::printf("%-8s %10u %12u%s\n", name.c_str(), ra.clbs.clbs,

@@ -51,6 +51,126 @@ void BM_BddIte(benchmark::State& state) {
 }
 BENCHMARK(BM_BddIte)->Arg(16)->Arg(32)->Arg(64);
 
+// --- BDD-op throughput suite -------------------------------------------------
+// Each iteration builds seeded random functions (unions of random cubes) in a
+// fresh manager, then runs a fixed batch of kernel operations on them;
+// SetItemsProcessed counts the batch so google-benchmark reports ops/sec
+// (surfaced as "ops_per_sec" in the bench JSON). Fresh managers keep the
+// computed table cold across iterations, so the numbers track real
+// construction work, not just cache lookups.
+
+constexpr unsigned kBddOpFuncs = 12;
+constexpr unsigned kBddOpCubes = 16;
+
+std::vector<Bdd> random_bdds(Manager& mgr, unsigned n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Bdd> fs;
+  fs.reserve(kBddOpFuncs);
+  for (unsigned i = 0; i < kBddOpFuncs; ++i) {
+    Bdd f = Bdd::zero(mgr);
+    for (unsigned c = 0; c < kBddOpCubes; ++c) {
+      std::vector<unsigned> vars;
+      std::vector<bool> phases;
+      for (unsigned v = 0; v < n; ++v) {
+        if (rng.chance(1, 3)) {
+          vars.push_back(v);
+          phases.push_back(rng.coin());
+        }
+      }
+      f = f | Bdd::cube(mgr, vars, phases);
+    }
+    fs.push_back(f);
+  }
+  return fs;
+}
+
+void BM_BddOpAnd(benchmark::State& state) {
+  const unsigned n = static_cast<unsigned>(state.range(0));
+  std::int64_t ops = 0;
+  for (auto _ : state) {
+    Manager mgr(n);
+    const std::vector<Bdd> fs = random_bdds(mgr, n, 0xB00A + n);
+    for (unsigned i = 0; i < kBddOpFuncs; ++i)
+      for (unsigned j = i + 1; j < kBddOpFuncs; ++j) {
+        benchmark::DoNotOptimize((fs[i] & fs[j]).node());
+        ++ops;
+      }
+  }
+  state.SetItemsProcessed(ops);
+}
+BENCHMARK(BM_BddOpAnd)->Arg(12)->Arg(18)->Arg(24);
+
+void BM_BddOpXor(benchmark::State& state) {
+  const unsigned n = static_cast<unsigned>(state.range(0));
+  std::int64_t ops = 0;
+  for (auto _ : state) {
+    Manager mgr(n);
+    const std::vector<Bdd> fs = random_bdds(mgr, n, 0xB00B + n);
+    for (unsigned i = 0; i < kBddOpFuncs; ++i)
+      for (unsigned j = i + 1; j < kBddOpFuncs; ++j) {
+        benchmark::DoNotOptimize((fs[i] ^ fs[j]).node());
+        ++ops;
+      }
+  }
+  state.SetItemsProcessed(ops);
+}
+BENCHMARK(BM_BddOpXor)->Arg(12)->Arg(18)->Arg(24);
+
+void BM_BddOpIte(benchmark::State& state) {
+  const unsigned n = static_cast<unsigned>(state.range(0));
+  std::int64_t ops = 0;
+  for (auto _ : state) {
+    Manager mgr(n);
+    const std::vector<Bdd> fs = random_bdds(mgr, n, 0xB00C + n);
+    for (unsigned i = 0; i < kBddOpFuncs; ++i)
+      for (unsigned j = i + 1; j < kBddOpFuncs; ++j) {
+        benchmark::DoNotOptimize(
+            fs[i].ite(fs[j], fs[(i + j) % kBddOpFuncs]).node());
+        ++ops;
+      }
+  }
+  state.SetItemsProcessed(ops);
+}
+BENCHMARK(BM_BddOpIte)->Arg(12)->Arg(18)->Arg(24);
+
+void BM_BddOpExists(benchmark::State& state) {
+  const unsigned n = static_cast<unsigned>(state.range(0));
+  std::vector<std::vector<unsigned>> var_sets(3);
+  for (unsigned v = 0; v < n; ++v) {
+    if (v % 2 == 0) var_sets[0].push_back(v);
+    if (v % 2 == 1) var_sets[1].push_back(v);
+    if (v < n / 2) var_sets[2].push_back(v);
+  }
+  std::int64_t ops = 0;
+  for (auto _ : state) {
+    Manager mgr(n);
+    const std::vector<Bdd> fs = random_bdds(mgr, n, 0xB00D + n);
+    for (const Bdd& f : fs)
+      for (const auto& vars : var_sets) {
+        benchmark::DoNotOptimize(f.exists(vars).node());
+        ++ops;
+      }
+  }
+  state.SetItemsProcessed(ops);
+}
+BENCHMARK(BM_BddOpExists)->Arg(12)->Arg(18)->Arg(24);
+
+void BM_BddOpCompose(benchmark::State& state) {
+  const unsigned n = static_cast<unsigned>(state.range(0));
+  std::int64_t ops = 0;
+  for (auto _ : state) {
+    Manager mgr(n);
+    const std::vector<Bdd> fs = random_bdds(mgr, n, 0xB00E + n);
+    for (unsigned i = 0; i < kBddOpFuncs; ++i)
+      for (unsigned j = i + 1; j < kBddOpFuncs; ++j) {
+        benchmark::DoNotOptimize(fs[i].compose((i + j) % n, fs[j]).node());
+        ++ops;
+      }
+  }
+  state.SetItemsProcessed(ops);
+}
+BENCHMARK(BM_BddOpCompose)->Arg(12)->Arg(18)->Arg(24);
+
 void BM_SubsetThreshold(benchmark::State& state) {
   const unsigned ell = static_cast<unsigned>(state.range(0));
   for (auto _ : state) {
@@ -234,6 +354,11 @@ class JsonCollectingReporter : public benchmark::ConsoleReporter {
       rec["iterations"] = static_cast<long long>(run.iterations);
       rec["cpu_seconds"] = run.GetAdjustedCPUTime() * to_sec;
       rec["threads"] = g_threads;
+      // SetItemsProcessed surfaces as an items_per_second rate counter; the
+      // BDD-op suite uses it for ops/sec (the perf-smoke regression metric).
+      const auto ips = run.counters.find("items_per_second");
+      if (ips != run.counters.end())
+        rec["ops_per_sec"] = static_cast<double>(ips->second);
     }
   }
 

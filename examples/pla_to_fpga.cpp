@@ -55,14 +55,14 @@ int main(int argc, char** argv) {
   std::printf("SOP literals: %u (ISOP) -> %u (minimized)\n", before, after);
 
   // Map to 5-input LUTs / XC3000 CLBs with the full pipeline.
-  DriverOptions opts;
+  SynthesisConfig opts;
   Network mapped;
   const DriverReport rep = run_synthesis(pla, opts, mapped);
   std::fputs(format_report("seg7", rep).c_str(), stdout);
 
   // Compare against the single-output baseline.
-  DriverOptions single;
-  single.flow.multi_output = false;
+  SynthesisConfig single;
+  single.multi_output = false;
   Network mapped_single;
   const DriverReport rs = run_synthesis(pla, single, mapped_single);
   std::printf("single-output baseline: %u CLBs (multi-output: %u)\n",

@@ -1,5 +1,6 @@
 #include "bdd/add.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <functional>
 
@@ -14,9 +15,22 @@ std::uint64_t mix64(std::uint64_t x) {
   x ^= x >> 33;
   return x;
 }
+
+std::uint64_t hash_triple(std::uint32_t var, std::uint32_t lo,
+                          std::uint32_t hi) {
+  return mix64((static_cast<std::uint64_t>(var) << 32 | lo) *
+                   0x9e3779b97f4a7c15ull ^
+               hi);
+}
+
+constexpr std::size_t kInitialUnique = std::size_t(1) << 8;
+constexpr std::size_t kMinPlusCache = std::size_t(1) << 8;
 }  // namespace
 
-AddManager::AddManager(unsigned num_vars) : num_vars_(num_vars) {}
+AddManager::AddManager(unsigned num_vars) : num_vars_(num_vars) {
+  unique_.assign(kInitialUnique, kNoAdd_);
+  plus_cache_.assign(kMinPlusCache, PlusEntry{});
+}
 
 AddManager::AddId AddManager::constant(std::int64_t value) {
   if (auto it = terminals_.find(value); it != terminals_.end())
@@ -29,19 +43,38 @@ AddManager::AddId AddManager::constant(std::int64_t value) {
 
 AddManager::AddId AddManager::make_node(unsigned v, AddId lo, AddId hi) {
   if (lo == hi) return lo;
-  const std::uint64_t key = mix64((static_cast<std::uint64_t>(v) << 48) ^
-                                  (static_cast<std::uint64_t>(lo) << 24) ^ hi);
-  if (auto it = unique_.find(key); it != unique_.end()) {
-    const Node& n = nodes_[it->second];
-    if (n.var == v && n.lo == lo && n.hi == hi) return it->second;
-    // Hash collision with a different triple: fall through and allocate.
-    // (mix64 over distinct triples collides with negligible probability;
-    // correctness is preserved because we re-checked the triple.)
+  const std::size_t mask = unique_.size() - 1;
+  std::size_t slot = hash_triple(v, lo, hi) & mask;
+  while (unique_[slot] != kNoAdd_) {
+    const Node& n = nodes_[unique_[slot]];
+    if (n.var == v && n.lo == lo && n.hi == hi) return unique_[slot];
+    slot = (slot + 1) & mask;
   }
   const AddId id = static_cast<AddId>(nodes_.size());
   nodes_.push_back(Node{v, lo, hi, 0});
-  unique_[key] = id;
+  unique_[slot] = id;
+  ++unique_occupied_;
+  if ((unique_occupied_ + 1) * 4 > unique_.size() * 3)
+    unique_rehash(unique_.size() * 2);
   return id;
+}
+
+void AddManager::unique_rehash(std::size_t new_size) {
+  unique_.assign(new_size, kNoAdd_);
+  unique_occupied_ = 0;
+  const std::size_t mask = new_size - 1;
+  for (AddId id = 0; id < nodes_.size(); ++id) {
+    const Node& n = nodes_[id];
+    if (n.var == kTerminalVar) continue;
+    std::size_t slot = hash_triple(n.var, n.lo, n.hi) & mask;
+    while (unique_[slot] != kNoAdd_) slot = (slot + 1) & mask;
+    unique_[slot] = id;
+    ++unique_occupied_;
+  }
+  // Grow the plus cache with the node population. Entries are exact-keyed
+  // and AddIds never die, so dropping them only costs recomputation.
+  const std::size_t target = std::max(kMinPlusCache, new_size / 2);
+  if (plus_cache_.size() < target) plus_cache_.assign(target, PlusEntry{});
 }
 
 AddManager::AddId AddManager::from_bdd_rec(
@@ -68,10 +101,11 @@ AddManager::AddId AddManager::plus_rec(AddId f, AddId g) {
   if (is_terminal(f) && is_terminal(g))
     return constant(value_of(f) + value_of(g));
   if (f > g) std::swap(f, g);  // plus is commutative
-  const std::uint64_t key =
-      mix64((static_cast<std::uint64_t>(f) << 32) ^ g);
-  if (auto it = plus_cache_.find(key); it != plus_cache_.end())
-    return it->second;
+  const std::size_t slot =
+      mix64((static_cast<std::uint64_t>(f) << 32) | g) &
+      (plus_cache_.size() - 1);
+  if (const PlusEntry& e = plus_cache_[slot]; e.f == f && e.g == g)
+    return e.result;
 
   unsigned v = kTerminalVar;
   if (!is_terminal(f)) v = var_of(f);
@@ -85,7 +119,9 @@ AddManager::AddId AddManager::plus_rec(AddId f, AddId g) {
   const AddId l = plus_rec(f0, g0);
   const AddId h = plus_rec(f1, g1);
   const AddId r = make_node(v, l, h);
-  plus_cache_[key] = r;
+  // Recompute the slot: make_node may have grown the cache underneath us.
+  plus_cache_[mix64((static_cast<std::uint64_t>(f) << 32) | g) &
+              (plus_cache_.size() - 1)] = PlusEntry{f, g, r};
   return r;
 }
 

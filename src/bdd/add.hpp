@@ -63,8 +63,20 @@ class AddManager {
     AddId lo, hi;
     std::int64_t value;  // terminal value (unused for internal nodes)
   };
+  // Same flat-table shapes as the BDD kernel: an open-addressed power-of-two
+  // unique table with exact triple compares (a mixed-hash map here used to
+  // allocate duplicates on collision), and a direct-mapped plus cache with
+  // exact operand keys (the packed-uint64 key it replaces could return a
+  // wrong node on collision). AddIds are never recycled, so lossy entries
+  // stay valid forever.
+  struct PlusEntry {
+    AddId f = kNoAdd_, g = kNoAdd_;
+    AddId result = 0;
+  };
+  static constexpr AddId kNoAdd_ = 0xffffffffu;
 
   AddId make_node(unsigned v, AddId lo, AddId hi);
+  void unique_rehash(std::size_t new_size);
   AddId plus_rec(AddId f, AddId g);
   AddId from_bdd_rec(Manager& src, NodeId f,
                      std::unordered_map<NodeId, AddId>& memo);
@@ -73,8 +85,9 @@ class AddManager {
   unsigned num_vars_;
   std::vector<Node> nodes_;
   std::unordered_map<std::int64_t, AddId> terminals_;
-  std::unordered_map<std::uint64_t, AddId> unique_;
-  std::unordered_map<std::uint64_t, AddId> plus_cache_;
+  std::vector<AddId> unique_;          // open-addressed; kNoAdd_ = empty slot
+  std::size_t unique_occupied_ = 0;    // internal nodes in the table
+  std::vector<PlusEntry> plus_cache_;  // direct-mapped, lossy
 };
 
 }  // namespace imodec::bdd

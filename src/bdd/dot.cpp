@@ -4,6 +4,11 @@
 
 namespace imodec::bdd {
 
+// With complement edges a function and its negation share one subgraph, so
+// nodes are rendered per arena index and the complement bit is drawn on the
+// edge instead (red, dot-shaped arrowhead). Terminal edges keep the familiar
+// 0/1 boxes: a regular edge into the terminal is 0, a complemented one is 1.
+
 void write_dot(std::ostream& os, const std::vector<Bdd>& roots,
                const std::vector<std::string>& var_names) {
   os << "digraph bdd {\n";
@@ -14,35 +19,44 @@ void write_dot(std::ostream& os, const std::vector<Bdd>& roots,
     return;
   }
   Manager* mgr = roots.front().manager();
-  std::unordered_set<NodeId> emitted;
+  std::unordered_set<NodeId> emitted;  // arena indices
   std::vector<NodeId> stack;
+  const auto target = [](NodeId e) {
+    if (e <= kTrue) return e == kTrue ? std::string("t1") : std::string("t0");
+    return "n" + std::to_string(e >> 1);
+  };
+  const auto attrs = [](NodeId e, bool dashed) {
+    std::string a;
+    if (dashed) a += "style=dashed";
+    if (e > kTrue && (e & 1u)) {  // complemented internal edge
+      if (!a.empty()) a += ",";
+      a += "color=red,arrowhead=odot";
+    }
+    return a.empty() ? a : " [" + a + "]";
+  };
   for (std::size_t i = 0; i < roots.size(); ++i) {
     os << "  r" << i << " [shape=plaintext,label=\"f" << i << "\"];\n";
-    const NodeId n = roots[i].node();
-    os << "  r" << i << " -> "
-       << (n <= kTrue ? (n == kTrue ? std::string("t1") : std::string("t0"))
-                      : "n" + std::to_string(n))
-       << ";\n";
-    stack.push_back(n);
+    const NodeId e = roots[i].node();
+    os << "  r" << i << " -> " << target(e) << attrs(e, false) << ";\n";
+    stack.push_back(e);
   }
   while (!stack.empty()) {
-    const NodeId n = stack.back();
+    const NodeId e = stack.back();
     stack.pop_back();
-    if (n <= kTrue || emitted.count(n)) continue;
-    emitted.insert(n);
-    const unsigned v = mgr->var_of(n);
+    if (e <= kTrue) continue;
+    const NodeId idx = e >> 1;
+    if (!emitted.insert(idx).second) continue;
+    const NodeId regular = idx << 1;
+    const unsigned v = mgr->var_of(regular);
     const std::string label =
         v < var_names.size() ? var_names[v] : "x" + std::to_string(v);
-    os << "  n" << n << " [label=\"" << label << "\"];\n";
+    os << "  n" << idx << " [label=\"" << label << "\"];\n";
     const auto edge = [&](NodeId c, bool dashed) {
-      os << "  n" << n << " -> "
-         << (c <= kTrue ? (c == kTrue ? std::string("t1") : std::string("t0"))
-                        : "n" + std::to_string(c))
-         << (dashed ? " [style=dashed]" : "") << ";\n";
+      os << "  n" << idx << " -> " << target(c) << attrs(c, dashed) << ";\n";
       stack.push_back(c);
     };
-    edge(mgr->lo(n), true);
-    edge(mgr->hi(n), false);
+    edge(mgr->lo(regular), true);
+    edge(mgr->hi(regular), false);
   }
   os << "}\n";
 }

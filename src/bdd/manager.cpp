@@ -3,15 +3,19 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <numeric>
+#include <set>
+#include <string>
+#include <tuple>
+#include <unordered_set>
 
 #include "obs/metrics.hpp"
 
 namespace imodec::bdd {
-
 namespace {
-constexpr std::uint32_t kFreeVar = 0xfffffffeu;
 
-std::uint64_t mix64(std::uint64_t x) {
+/// SplitMix64 finalizer — the mixing step behind both flat tables.
+inline std::uint64_t mix64(std::uint64_t x) {
   x ^= x >> 33;
   x *= 0xff51afd7ed558ccdull;
   x ^= x >> 33;
@@ -20,548 +24,715 @@ std::uint64_t mix64(std::uint64_t x) {
   return x;
 }
 
-std::uint64_t hash_vars(const std::vector<unsigned>& vars) {
-  std::uint64_t h = 0x9e3779b97f4a7c15ull;
-  for (unsigned v : vars) h = mix64(h ^ (v + 0x1234u));
-  return h;
+inline std::uint64_t hash_triple(std::uint32_t var, NodeId lo, NodeId hi) {
+  return mix64((static_cast<std::uint64_t>(var) << 32 | lo) *
+                   0x9e3779b97f4a7c15ull ^
+               hi);
 }
+
+constexpr NodeId kNotFound = 0xffffffffu;
+constexpr std::size_t kInitialUnique = std::size_t(1) << 11;
+constexpr std::size_t kMinCache = std::size_t(1) << 12;
+constexpr std::size_t kMaxCache = std::size_t(1) << 21;
+
 }  // namespace
 
-std::size_t Manager::CacheKeyHash::operator()(const CacheKey& k) const {
-  std::uint64_t h = static_cast<std::uint64_t>(k.op);
-  h = mix64(h ^ k.a);
-  h = mix64(h ^ k.b);
-  h = mix64(h ^ k.c);
-  h = mix64(h ^ k.tag);
-  return static_cast<std::size_t>(h);
-}
-
 Manager::Manager(unsigned num_vars) : num_vars_(num_vars) {
-  level_of_var_.resize(num_vars);
-  var_at_level_.resize(num_vars);
-  for (unsigned v = 0; v < num_vars; ++v) {
-    level_of_var_[v] = v;
-    var_at_level_[v] = v;
-  }
-  nodes_.reserve(1024);
-  // Terminal 0 and terminal 1. Permanent external reference keeps them live.
-  nodes_.push_back(Node{kTerminalVar, 0, 0, 0, 1});
-  nodes_.push_back(Node{kTerminalVar, 1, 1, 0, 1});
-  unique_.assign(1024, 0);
-  live_nodes_ = 2;
-  peak_nodes_ = 2;
-}
-
-std::size_t Manager::unique_hash(unsigned v, NodeId lo, NodeId hi) const {
-  std::uint64_t h = mix64((static_cast<std::uint64_t>(v) << 40) ^
-                          (static_cast<std::uint64_t>(lo) << 20) ^ hi);
-  return static_cast<std::size_t>(h) & (unique_.size() - 1);
-}
-
-void Manager::unique_resize() {
-  const std::size_t new_size = unique_.size() * 2;
-  unique_.assign(new_size, 0);
-  for (NodeId i = 2; i < nodes_.size(); ++i) {
-    Node& n = nodes_[i];
-    if (n.var == kFreeVar || n.var == kTerminalVar) continue;
-    const std::size_t b = unique_hash(n.var, n.lo, n.hi);
-    n.next = unique_[b];
-    unique_[b] = i;
-  }
+  level_of_var_.resize(num_vars_);
+  var_at_level_.resize(num_vars_);
+  std::iota(level_of_var_.begin(), level_of_var_.end(), 0u);
+  std::iota(var_at_level_.begin(), var_at_level_.end(), 0u);
+  // Arena slot 0 is the one terminal; its permanent external reference keeps
+  // every GC from touching it.
+  nodes_.push_back(Node{kTerminalVar, 0, 0, 1});
+  live_nodes_ = peak_nodes_ = 1;
+  unique_.assign(kInitialUnique, 0);
+  cache_.assign(kMinCache, CacheEntry{});
 }
 
 void Manager::add_vars(unsigned extra) {
   for (unsigned i = 0; i < extra; ++i) {
+    // New variables enter at the bottom of the order, whatever the current
+    // permutation looks like.
     level_of_var_.push_back(num_vars_ + i);
     var_at_level_.push_back(num_vars_ + i);
   }
   num_vars_ += extra;
 }
 
-NodeId Manager::make_node(unsigned v, NodeId lo, NodeId hi) {
-  if (lo == hi) return lo;
-  assert(v < num_vars_);
-  assert(is_terminal(lo) || level_of(var_of(lo)) > level_of(v));
-  assert(is_terminal(hi) || level_of(var_of(hi)) > level_of(v));
-  const std::size_t b = unique_hash(v, lo, hi);
-  for (NodeId i = unique_[b]; i != 0; i = nodes_[i].next) {
-    const Node& n = nodes_[i];
-    if (n.var == v && n.lo == lo && n.hi == hi) {
-      ++stats_.unique_hits;
-      return i;
-    }
-  }
-  ++stats_.nodes_allocated;
-  NodeId id;
-  if (free_list_ != 0) {
-    id = free_list_;
-    free_list_ = nodes_[id].next;
-  } else {
-    id = static_cast<NodeId>(nodes_.size());
-    nodes_.push_back(Node{});
-  }
-  nodes_[id] = Node{v, lo, hi, unique_[b], 0};
-  unique_[b] = id;
-  ++live_nodes_;
-  peak_nodes_ = std::max(peak_nodes_, live_nodes_);
-  if (live_nodes_ * 2 > unique_.size()) unique_resize();
-  return id;
+void Manager::assert_live(NodeId f) const {
+  (void)f;
+  assert(edge_live(f) &&
+         "BDD edge used after GC -- hold nodes in a bdd::Bdd handle");
 }
 
-NodeId Manager::var(unsigned v) { return make_node(v, kFalse, kTrue); }
-NodeId Manager::nvar(unsigned v) { return make_node(v, kTrue, kFalse); }
-
-void Manager::ref(NodeId f) { ++nodes_[f].ref; }
+void Manager::ref(NodeId f) {
+  assert_live(f);
+  ++nodes_[f >> 1].ref;
+}
 
 void Manager::deref(NodeId f) {
-  assert(nodes_[f].ref > 0);
-  --nodes_[f].ref;
+  assert_live(f);
+  Node& n = nodes_[f >> 1];
+  assert(n.ref > 0 && "unbalanced deref");
+  --n.ref;
 }
 
-void Manager::mark_rec(NodeId f, std::vector<bool>& mark) const {
-  if (mark[f]) return;
-  mark[f] = true;
-  if (is_terminal(f)) return;
-  mark_rec(nodes_[f].lo, mark);
-  mark_rec(nodes_[f].hi, mark);
+// --- Unique table ------------------------------------------------------------
+
+NodeId Manager::make_node(unsigned v, NodeId lo_e, NodeId hi_e) {
+  if (lo_e == hi_e) return lo_e;  // reduction rule
+  // Canonical form: regular hi child; the complement moves to the result.
+  const NodeId comp = hi_e & 1u;
+  lo_e ^= comp;
+  hi_e ^= comp;
+  assert(v < num_vars_);
+  assert(is_terminal(lo_e) ||
+         level_of_var_[nodes_[lo_e >> 1].var] > level_of_var_[v]);
+  assert(is_terminal(hi_e) ||
+         level_of_var_[nodes_[hi_e >> 1].var] > level_of_var_[v]);
+
+  const std::size_t mask = unique_.size() - 1;
+  std::size_t slot = hash_triple(v, lo_e, hi_e) & mask;
+  while (true) {
+    const std::uint32_t idx = unique_[slot];
+    if (idx == 0) break;
+    const Node& n = nodes_[idx];
+    if (n.var == v && n.lo == lo_e && n.hi == hi_e) {
+      ++stats_.unique_hits;
+      return (idx << 1) | comp;
+    }
+    slot = (slot + 1) & mask;
+  }
+
+  std::uint32_t idx;
+  if (free_head_) {
+    idx = free_head_;
+    free_head_ = nodes_[idx].lo;  // free list chains through lo
+  } else {
+    idx = static_cast<std::uint32_t>(nodes_.size());
+    nodes_.push_back(Node{});
+  }
+  nodes_[idx] = Node{v, lo_e, hi_e, 0};
+  unique_[slot] = idx;
+  ++unique_occupied_;
+  ++live_nodes_;
+  ++stats_.nodes_allocated;
+  if (live_nodes_ > peak_nodes_) peak_nodes_ = live_nodes_;
+  if ((unique_occupied_ + 1) * 4 > unique_.size() * 3)
+    unique_rehash(unique_.size() * 2);
+  return (idx << 1) | comp;
+}
+
+void Manager::unique_insert_slot(std::uint32_t i) {
+  const std::size_t mask = unique_.size() - 1;
+  const Node& n = nodes_[i];
+  std::size_t slot = hash_triple(n.var, n.lo, n.hi) & mask;
+  while (unique_[slot] != 0) slot = (slot + 1) & mask;
+  unique_[slot] = i;
+  ++unique_occupied_;
+}
+
+void Manager::unique_rehash(std::size_t new_size) {
+  unique_.assign(new_size, 0);
+  unique_occupied_ = 0;
+  for (std::uint32_t i = 1; i < nodes_.size(); ++i)
+    if (nodes_[i].var != kFreeVar_) unique_insert_slot(i);
+  cache_resize_for_table();
+}
+
+void Manager::cache_resize_for_table() {
+  const std::size_t target =
+      std::min(std::max(kMinCache, unique_.size() / 2), kMaxCache);
+  if (cache_.size() != target) cache_.assign(target, CacheEntry{});
+}
+
+// --- Computed table ----------------------------------------------------------
+
+NodeId Manager::cached(Op op, NodeId a, NodeId b, NodeId c, std::uint64_t tag) {
+  ++stats_.cache_lookups;
+  const std::uint64_t h =
+      mix64((static_cast<std::uint64_t>(a) << 32 | b) * 0x9e3779b97f4a7c15ull ^
+            (static_cast<std::uint64_t>(c) |
+             static_cast<std::uint64_t>(op) << 56) ^
+            tag);
+  const CacheEntry& e = cache_[h & (cache_.size() - 1)];
+  if (e.op == op && e.a == a && e.b == b && e.c == c && e.tag == tag) {
+    ++stats_.cache_hits;
+    return e.result;
+  }
+  return kNotFound;
+}
+
+void Manager::cache_insert(Op op, NodeId a, NodeId b, NodeId c,
+                           std::uint64_t tag, NodeId r) {
+  const std::uint64_t h =
+      mix64((static_cast<std::uint64_t>(a) << 32 | b) * 0x9e3779b97f4a7c15ull ^
+            (static_cast<std::uint64_t>(c) |
+             static_cast<std::uint64_t>(op) << 56) ^
+            tag);
+  cache_[h & (cache_.size() - 1)] = CacheEntry{a, b, c, op, tag, r};
+}
+
+// --- Garbage collection ------------------------------------------------------
+
+void Manager::maybe_gc() {
+  if (live_nodes_ < gc_threshold_) return;
+  garbage_collect();
+  // Still mostly live after collecting: raise the bar so we don't thrash.
+  if (live_nodes_ * 2 > gc_threshold_) gc_threshold_ *= 2;
 }
 
 void Manager::garbage_collect() {
   ++stats_.gc_runs;
   std::vector<bool> mark(nodes_.size(), false);
-  mark[kFalse] = mark[kTrue] = true;
-  for (NodeId i = 2; i < nodes_.size(); ++i) {
-    if (nodes_[i].var != kFreeVar && nodes_[i].ref > 0) mark_rec(i, mark);
+  mark[0] = true;
+  std::vector<std::uint32_t> stack;
+  for (std::uint32_t i = 1; i < nodes_.size(); ++i)
+    if (nodes_[i].var != kFreeVar_ && nodes_[i].ref > 0) stack.push_back(i);
+  while (!stack.empty()) {
+    const std::uint32_t i = stack.back();
+    stack.pop_back();
+    if (mark[i]) continue;
+    mark[i] = true;
+    const Node& n = nodes_[i];
+    if (!mark[n.lo >> 1]) stack.push_back(n.lo >> 1);
+    if (!mark[n.hi >> 1]) stack.push_back(n.hi >> 1);
   }
-  free_list_ = 0;
-  live_nodes_ = 2;
-  for (NodeId i = 2; i < nodes_.size(); ++i) {
-    if (nodes_[i].var == kFreeVar) {
-      nodes_[i].next = free_list_;
-      free_list_ = i;
-    } else if (!mark[i]) {
-      nodes_[i].var = kFreeVar;
-      nodes_[i].next = free_list_;
-      free_list_ = i;
-    } else {
+  // Sweep descending so the free list pops low indices first (locality).
+  live_nodes_ = 1;
+  free_head_ = 0;
+  for (std::uint32_t i = static_cast<std::uint32_t>(nodes_.size()) - 1; i >= 1;
+       --i) {
+    if (mark[i]) {
       ++live_nodes_;
+    } else {
+      nodes_[i].var = kFreeVar_;
+      nodes_[i].lo = free_head_;
+      nodes_[i].ref = 0;
+      free_head_ = i;
     }
   }
-  // Rebuild the unique table over surviving nodes.
-  std::fill(unique_.begin(), unique_.end(), 0);
-  for (NodeId i = 2; i < nodes_.size(); ++i) {
-    Node& n = nodes_[i];
-    if (n.var == kFreeVar) continue;
-    const std::size_t b = unique_hash(n.var, n.lo, n.hi);
-    n.next = unique_[b];
-    unique_[b] = i;
-  }
-  computed_.clear();
+  // Node ids get recycled, so every cached result is now suspect.
+  for (CacheEntry& e : cache_) e = CacheEntry{};
+  unique_rehash(unique_.size());
 }
 
-void Manager::maybe_gc() {
-  if (live_nodes_ < gc_threshold_) return;
-  garbage_collect();
-  if (live_nodes_ * 4 > gc_threshold_ * 3) gc_threshold_ *= 2;
-}
+// --- ITE core ----------------------------------------------------------------
 
-NodeId Manager::cached(const CacheKey& k) const {
-  ++stats_.cache_lookups;
-  auto it = computed_.find(k);
-  if (it == computed_.end()) return kNoReplacement;
-  ++stats_.cache_hits;
-  return it->second;
-}
-
-void Manager::cache_insert(const CacheKey& k, NodeId r) { computed_[k] = r; }
-
-NodeId Manager::ite(NodeId f, NodeId g, NodeId h) {
-  // Terminal cases.
+NodeId Manager::ite_rec(NodeId f, NodeId g, NodeId h) {
+  // Terminal selectors and trivially equal branches.
   if (f == kTrue) return g;
   if (f == kFalse) return h;
   if (g == h) return g;
-  if (g == kTrue && h == kFalse) return f;
-  if (f == g) g = kTrue;   // ite(f, f, h) == ite(f, 1, h)
-  if (f == h) h = kFalse;  // ite(f, g, f) == ite(f, g, 0)
-
-  const CacheKey key{Op::Ite, f, g, h, 0};
-  if (NodeId r = cached(key); r != kNoReplacement) return r;
-
-  unsigned v = var_of(f);
-  if (!is_terminal(g) && level_of(var_of(g)) < level_of(v)) v = var_of(g);
-  if (!is_terminal(h) && level_of(var_of(h)) < level_of(v)) v = var_of(h);
-
-  const NodeId f0 = (!is_terminal(f) && var_of(f) == v) ? lo(f) : f;
-  const NodeId f1 = (!is_terminal(f) && var_of(f) == v) ? hi(f) : f;
-  const NodeId g0 = (!is_terminal(g) && var_of(g) == v) ? lo(g) : g;
-  const NodeId g1 = (!is_terminal(g) && var_of(g) == v) ? hi(g) : g;
-  const NodeId h0 = (!is_terminal(h) && var_of(h) == v) ? lo(h) : h;
-  const NodeId h1 = (!is_terminal(h) && var_of(h) == v) ? hi(h) : h;
-
-  const NodeId t = ite(f1, g1, h1);
-  const NodeId e = ite(f0, g0, h0);
-  const NodeId r = make_node(v, e, t);
-  cache_insert(key, r);
-  return r;
-}
-
-NodeId Manager::apply_and(NodeId f, NodeId g) {
-  if (f > g) std::swap(f, g);
-  return ite(f, g, kFalse);
-}
-
-NodeId Manager::apply_or(NodeId f, NodeId g) {
-  if (f > g) std::swap(f, g);
-  return ite(f, kTrue, g);
-}
-
-NodeId Manager::apply_xor(NodeId f, NodeId g) {
-  if (f > g) std::swap(f, g);
-  const CacheKey key{Op::Xor, f, g, 0, 0};
-  if (NodeId r = cached(key); r != kNoReplacement) return r;
-  const NodeId r = ite(f, apply_not(g), g);
-  cache_insert(key, r);
-  return r;
-}
-
-NodeId Manager::apply_not(NodeId f) { return ite(f, kFalse, kTrue); }
-
-NodeId Manager::cofactor(NodeId f, unsigned v, bool value) {
-  if (is_terminal(f) || level_of(var_of(f)) > level_of(v)) return f;
-  if (var_of(f) == v) return value ? hi(f) : lo(f);
-  const CacheKey key{Op::Compose, f, value ? kTrue : kFalse, 0,
-                     0x4000000000000000ull | v};
-  if (NodeId r = cached(key); r != kNoReplacement) return r;
-  const NodeId r = make_node(var_of(f), cofactor(lo(f), v, value),
-                             cofactor(hi(f), v, value));
-  cache_insert(key, r);
-  return r;
-}
-
-NodeId Manager::quantify_rec(NodeId f, const std::vector<unsigned>& sorted_vars,
-                             bool existential, std::uint64_t tag) {
-  if (is_terminal(f)) return f;
-  const unsigned v = var_of(f);
-  // Stop once f's top level is below every quantified variable.
-  unsigned deepest = 0;
-  for (unsigned qv : sorted_vars) deepest = std::max(deepest, level_of(qv));
-  if (sorted_vars.empty() || level_of(v) > deepest) return f;
-
-  const CacheKey key{existential ? Op::Exists : Op::Forall, f, 0, 0, tag};
-  if (NodeId r = cached(key); r != kNoReplacement) return r;
-
-  const NodeId l = quantify_rec(lo(f), sorted_vars, existential, tag);
-  const NodeId h = quantify_rec(hi(f), sorted_vars, existential, tag);
-  NodeId r;
-  if (std::binary_search(sorted_vars.begin(), sorted_vars.end(), v)) {
-    r = existential ? apply_or(l, h) : apply_and(l, h);
-  } else {
-    r = make_node(v, l, h);
+  if (is_terminal(g) && is_terminal(h)) return g == kTrue ? f : f ^ 1u;
+  // Regular selector: ite(!f, g, h) == ite(f, h, g).
+  if (f & 1u) {
+    f ^= 1u;
+    const NodeId t = g;
+    g = h;
+    h = t;
   }
-  cache_insert(key, r);
-  return r;
+  // Branches that repeat the selector collapse to constants.
+  if (g == f)
+    g = kTrue;
+  else if (g == (f ^ 1u))
+    g = kFalse;
+  if (h == f)
+    h = kFalse;
+  else if (h == (f ^ 1u))
+    h = kTrue;
+  if (g == h) return g;
+  if (g == kTrue && h == kFalse) return f;
+  if (g == kFalse && h == kTrue) return f ^ 1u;
+
+  // Commutative forms (AND/OR/XOR shapes) pick the (level, index)-smaller
+  // operand as the selector so both argument orders share one cache entry.
+  const auto precedes = [this](NodeId x_regular, NodeId y_regular) {
+    const unsigned lx = level_of_var_[nodes_[x_regular >> 1].var];
+    const unsigned ly = level_of_var_[nodes_[y_regular >> 1].var];
+    return lx < ly || (lx == ly && x_regular < y_regular);
+  };
+  if (g == kTrue) {  // f OR h
+    if (!is_terminal(h) && precedes(h & ~1u, f)) {
+      const NodeId t = f;
+      f = h;
+      h = t;
+    }
+  } else if (h == kFalse) {  // f AND g
+    if (!is_terminal(g) && precedes(g & ~1u, f)) {
+      const NodeId t = f;
+      f = g;
+      g = t;
+    }
+  } else if (g == kFalse) {  // !f AND h == ite(!h, 0, !f)
+    if (!is_terminal(h) && precedes(h & ~1u, f)) {
+      const NodeId t = f;
+      f = h ^ 1u;
+      h = t ^ 1u;
+    }
+  } else if (h == kTrue) {  // !f OR g == ite(!g, !f, 1)
+    if (!is_terminal(g) && precedes(g & ~1u, f)) {
+      const NodeId t = f;
+      f = g ^ 1u;
+      g = t ^ 1u;
+    }
+  } else if (g == (h ^ 1u)) {  // f XNOR g == ite(g, f, !f)
+    if (precedes(g & ~1u, f)) {
+      const NodeId t = f;
+      f = g;
+      g = t;
+      h = t ^ 1u;
+    }
+  }
+  // The rewrites may have complemented the selector; restore regularity,
+  // then pull a complement out of g so the cached triple has a regular g.
+  if (f & 1u) {
+    f ^= 1u;
+    const NodeId t = g;
+    g = h;
+    h = t;
+  }
+  NodeId comp = 0;
+  if (g & 1u) {
+    g ^= 1u;
+    h ^= 1u;
+    comp = 1u;
+  }
+
+  NodeId r = cached(Op::Ite, f, g, h, 0);
+  if (r != kNotFound) return r ^ comp;
+
+  // Split on the top variable of the triple.
+  unsigned level = level_of_var_[nodes_[f >> 1].var];
+  if (!is_terminal(g))
+    level = std::min(level, level_of_var_[nodes_[g >> 1].var]);
+  if (!is_terminal(h))
+    level = std::min(level, level_of_var_[nodes_[h >> 1].var]);
+  const unsigned v = var_at_level_[level];
+
+  NodeId f0 = f, f1 = f, g0 = g, g1 = g, h0 = h, h1 = h;
+  if (nodes_[f >> 1].var == v) {
+    f0 = lo(f);
+    f1 = hi(f);
+  }
+  if (!is_terminal(g) && nodes_[g >> 1].var == v) {
+    g0 = lo(g);
+    g1 = hi(g);
+  }
+  if (!is_terminal(h) && nodes_[h >> 1].var == v) {
+    h0 = lo(h);
+    h1 = hi(h);
+  }
+  const NodeId t = ite_rec(f1, g1, h1);
+  const NodeId e = ite_rec(f0, g0, h0);
+  r = make_node(v, e, t);
+  cache_insert(Op::Ite, f, g, h, 0, r);
+  return r ^ comp;
 }
 
-NodeId Manager::exists(NodeId f, const std::vector<unsigned>& vars) {
-  std::vector<unsigned> sorted = vars;
-  std::sort(sorted.begin(), sorted.end());
-  ref(f);
-  maybe_gc();
-  const NodeId r = quantify_rec(f, sorted, true, hash_vars(sorted));
-  deref(f);
-  return r;
+NodeId Manager::ite(NodeId f, NodeId g, NodeId h) {
+  assert_live(f);
+  assert_live(g);
+  assert_live(h);
+  if (live_nodes_ >= gc_threshold_) {
+    ++nodes_[f >> 1].ref;
+    ++nodes_[g >> 1].ref;
+    ++nodes_[h >> 1].ref;
+    maybe_gc();
+    --nodes_[f >> 1].ref;
+    --nodes_[g >> 1].ref;
+    --nodes_[h >> 1].ref;
+  }
+  return ite_rec(f, g, h);
 }
 
-NodeId Manager::forall(NodeId f, const std::vector<unsigned>& vars) {
-  std::vector<unsigned> sorted = vars;
-  std::sort(sorted.begin(), sorted.end());
-  ref(f);
-  maybe_gc();
-  const NodeId r = quantify_rec(f, sorted, false, hash_vars(sorted));
-  deref(f);
-  return r;
-}
+NodeId Manager::apply_and(NodeId f, NodeId g) { return ite(f, g, kFalse); }
+NodeId Manager::apply_or(NodeId f, NodeId g) { return ite(f, kTrue, g); }
+NodeId Manager::apply_xor(NodeId f, NodeId g) { return ite(f, g ^ 1u, g); }
 
-NodeId Manager::compose(NodeId f, unsigned v, NodeId g) {
-  ref(f);
-  ref(g);
-  maybe_gc();
-  const NodeId f1 = cofactor(f, v, true);
-  const NodeId f0 = cofactor(f, v, false);
-  const NodeId r = ite(g, f1, f0);
-  deref(f);
-  deref(g);
-  return r;
-}
+// --- Construction helpers ----------------------------------------------------
 
-NodeId Manager::vector_compose_rec(NodeId f, const std::vector<NodeId>& map,
-                                   std::uint64_t tag,
-                                   std::unordered_map<NodeId, NodeId>& memo) {
-  if (is_terminal(f)) return f;
-  if (auto it = memo.find(f); it != memo.end()) return it->second;
-  (void)tag;
-  const unsigned v = var_of(f);
-  const NodeId l = vector_compose_rec(lo(f), map, tag, memo);
-  const NodeId h = vector_compose_rec(hi(f), map, tag, memo);
-  const NodeId sub =
-      (v < map.size() && map[v] != kNoReplacement) ? map[v] : var(v);
-  const NodeId r = ite(sub, h, l);
-  memo[f] = r;
-  return r;
-}
-
-NodeId Manager::vector_compose(NodeId f, const std::vector<NodeId>& map) {
-  ref(f);
-  for (NodeId g : map)
-    if (g != kNoReplacement) ref(g);
-  maybe_gc();
-  std::unordered_map<NodeId, NodeId> memo;
-  const NodeId r = vector_compose_rec(f, map, 0, memo);
-  for (NodeId g : map)
-    if (g != kNoReplacement) deref(g);
-  deref(f);
-  return r;
+NodeId Manager::var(unsigned v) {
+  assert(v < num_vars_);
+  return make_node(v, kFalse, kTrue);
 }
 
 NodeId Manager::cube(const std::vector<unsigned>& vars,
                      const std::vector<bool>& phases) {
   assert(vars.size() == phases.size());
-  std::vector<std::pair<unsigned, bool>> lits;
-  lits.reserve(vars.size());
-  for (std::size_t i = 0; i < vars.size(); ++i)
-    lits.emplace_back(vars[i], phases[i]);
-  // Build bottom-up in order of decreasing level.
-  std::sort(lits.begin(), lits.end(), [&](const auto& a, const auto& b) {
-    return level_of(a.first) < level_of(b.first);
+  // Build bottom-up in the current order; make_node wants ordered children.
+  std::vector<std::size_t> idx(vars.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    return level_of_var_[vars[a]] > level_of_var_[vars[b]];
   });
-  NodeId r = kTrue;
-  for (auto it = lits.rbegin(); it != lits.rend(); ++it) {
-    r = it->second ? make_node(it->first, kFalse, r)
-                   : make_node(it->first, r, kFalse);
+  NodeId acc = kTrue;
+  for (std::size_t k : idx) {
+    acc = phases[k] ? make_node(vars[k], kFalse, acc)
+                    : make_node(vars[k], acc, kFalse);
   }
+  return acc;
+}
+
+// --- Cofactor / quantification / composition ---------------------------------
+
+NodeId Manager::cofactor_rec(NodeId f, unsigned v, bool value) {
+  if (is_terminal(f)) return f;
+  // Cofactoring commutes with complement, so cache on the regular edge.
+  const NodeId c = f & 1u;
+  const NodeId fr = f ^ c;
+  const Node& n = nodes_[fr >> 1];
+  if (level_of_var_[n.var] > level_of_var_[v]) return f;
+  if (n.var == v) return (value ? n.hi : n.lo) ^ c;
+  const std::uint64_t tag = (static_cast<std::uint64_t>(v) << 1) | value;
+  NodeId r = cached(Op::Cofactor, fr, 0, 0, tag);
+  if (r == kNotFound) {
+    const NodeId l = cofactor_rec(n.lo, v, value);
+    const NodeId h = cofactor_rec(n.hi, v, value);
+    r = make_node(n.var, l, h);
+    cache_insert(Op::Cofactor, fr, 0, 0, tag, r);
+  }
+  return r ^ c;
+}
+
+NodeId Manager::cofactor(NodeId f, unsigned v, bool value) {
+  assert_live(f);
+  assert(v < num_vars_);
+  return cofactor_rec(f, v, value);
+}
+
+NodeId Manager::quantify_rec(NodeId f, const std::vector<unsigned>& sorted_vars,
+                             unsigned deepest, bool existential,
+                             std::uint64_t tag) {
+  if (is_terminal(f)) return f;
+  const Node& n = nodes_[f >> 1];
+  if (level_of_var_[n.var] > deepest) return f;  // no quantified var below
+  const Op op = existential ? Op::Exists : Op::Forall;
+  NodeId r = cached(op, f, 0, 0, tag);
+  if (r != kNotFound) return r;
+  const NodeId l = quantify_rec(lo(f), sorted_vars, deepest, existential, tag);
+  const NodeId h = quantify_rec(hi(f), sorted_vars, deepest, existential, tag);
+  if (std::binary_search(sorted_vars.begin(), sorted_vars.end(), n.var)) {
+    r = existential ? ite_rec(l, kTrue, h)    // l OR h
+                    : ite_rec(l, h, kFalse);  // l AND h
+  } else {
+    r = make_node(n.var, l, h);
+  }
+  cache_insert(op, f, 0, 0, tag, r);
   return r;
 }
 
-double Manager::sat_count_rec(NodeId f,
-                              std::unordered_map<NodeId, double>& memo) {
-  // Returns #minterms over the levels from f's own level downward,
-  // normalized so the caller scales by the level gap above.
+NodeId Manager::exists(NodeId f, const std::vector<unsigned>& vars) {
+  assert_live(f);
+  if (is_terminal(f) || vars.empty()) return f;
+  if (live_nodes_ >= gc_threshold_) {
+    ++nodes_[f >> 1].ref;
+    maybe_gc();
+    --nodes_[f >> 1].ref;
+  }
+  std::vector<unsigned> sorted(vars);
+  std::sort(sorted.begin(), sorted.end());
+  unsigned deepest = 0;
+  std::uint64_t tag = 0x9e3779b97f4a7c15ull;
+  for (unsigned v : sorted) {
+    deepest = std::max(deepest, level_of_var_[v]);
+    tag = mix64(tag ^ v);
+  }
+  return quantify_rec(f, sorted, deepest, true, tag);
+}
+
+NodeId Manager::forall(NodeId f, const std::vector<unsigned>& vars) {
+  assert_live(f);
+  if (is_terminal(f) || vars.empty()) return f;
+  if (live_nodes_ >= gc_threshold_) {
+    ++nodes_[f >> 1].ref;
+    maybe_gc();
+    --nodes_[f >> 1].ref;
+  }
+  std::vector<unsigned> sorted(vars);
+  std::sort(sorted.begin(), sorted.end());
+  unsigned deepest = 0;
+  std::uint64_t tag = 0x9e3779b97f4a7c15ull;
+  for (unsigned v : sorted) {
+    deepest = std::max(deepest, level_of_var_[v]);
+    tag = mix64(tag ^ v);
+  }
+  return quantify_rec(f, sorted, deepest, false, tag);
+}
+
+NodeId Manager::compose(NodeId f, unsigned v, NodeId g) {
+  assert_live(f);
+  assert_live(g);
+  assert(v < num_vars_);
+  if (live_nodes_ >= gc_threshold_) {
+    ++nodes_[f >> 1].ref;
+    ++nodes_[g >> 1].ref;
+    maybe_gc();
+    --nodes_[f >> 1].ref;
+    --nodes_[g >> 1].ref;
+  }
+  const NodeId f1 = cofactor_rec(f, v, true);
+  const NodeId f0 = cofactor_rec(f, v, false);
+  return ite_rec(g, f1, f0);
+}
+
+NodeId Manager::vector_compose_rec(NodeId f, const std::vector<NodeId>& map,
+                                   std::unordered_map<NodeId, NodeId>& memo) {
+  if (is_terminal(f)) return f;
+  // Substitution commutes with complement: memoize on the regular edge.
+  const NodeId c = f & 1u;
+  const NodeId fr = f ^ c;
+  const auto it = memo.find(fr);
+  if (it != memo.end()) return it->second ^ c;
+  const NodeId l = vector_compose_rec(nodes_[fr >> 1].lo, map, memo);
+  const NodeId h = vector_compose_rec(nodes_[fr >> 1].hi, map, memo);
+  const unsigned v = nodes_[fr >> 1].var;
+  const NodeId sel =
+      (v < map.size() && map[v] != kNoReplacement) ? map[v] : var(v);
+  const NodeId r = ite_rec(sel, h, l);
+  memo.emplace(fr, r);
+  return r ^ c;
+}
+
+NodeId Manager::vector_compose(NodeId f, const std::vector<NodeId>& map) {
+  assert_live(f);
+  if (live_nodes_ >= gc_threshold_) {
+    ++nodes_[f >> 1].ref;
+    for (NodeId m : map)
+      if (m != kNoReplacement) {
+        assert_live(m);
+        ++nodes_[m >> 1].ref;
+      }
+    maybe_gc();
+    --nodes_[f >> 1].ref;
+    for (NodeId m : map)
+      if (m != kNoReplacement) --nodes_[m >> 1].ref;
+  }
+  std::unordered_map<NodeId, NodeId> memo;
+  return vector_compose_rec(f, map, memo);
+}
+
+// --- Queries -----------------------------------------------------------------
+
+double Manager::prob_rec(NodeId f, std::unordered_map<NodeId, double>& memo) {
   if (f == kFalse) return 0.0;
   if (f == kTrue) return 1.0;
-  if (auto it = memo.find(f); it != memo.end()) return it->second;
-  const unsigned l = level_of(var_of(f));
-  const unsigned lo_level =
-      is_terminal(lo(f)) ? num_vars_ : level_of(var_of(lo(f)));
-  const unsigned hi_level =
-      is_terminal(hi(f)) ? num_vars_ : level_of(var_of(hi(f)));
-  const double cl = sat_count_rec(lo(f), memo) *
-                    std::ldexp(1.0, static_cast<int>(lo_level - l - 1));
-  const double ch = sat_count_rec(hi(f), memo) *
-                    std::ldexp(1.0, static_cast<int>(hi_level - l - 1));
-  const double r = cl + ch;
-  memo[f] = r;
-  return r;
+  const NodeId c = f & 1u;
+  const NodeId fr = f ^ c;
+  double p;
+  const auto it = memo.find(fr);
+  if (it != memo.end()) {
+    p = it->second;
+  } else {
+    // Skipped levels average out of the recurrence, so no gap scaling.
+    p = 0.5 * (prob_rec(nodes_[fr >> 1].lo, memo) +
+               prob_rec(nodes_[fr >> 1].hi, memo));
+    memo.emplace(fr, p);
+  }
+  return c ? 1.0 - p : p;
 }
 
 double Manager::sat_count(NodeId f) {
+  assert_live(f);
   std::unordered_map<NodeId, double> memo;
-  const unsigned top = is_terminal(f) ? num_vars_ : level_of(var_of(f));
-  return sat_count_rec(f, memo) * std::ldexp(1.0, static_cast<int>(top));
+  return prob_rec(f, memo) * std::ldexp(1.0, static_cast<int>(num_vars_));
 }
 
 std::vector<unsigned> Manager::support(NodeId f) {
-  std::vector<bool> seen(num_vars_, false);
-  std::vector<bool> visited_flag(nodes_.size(), false);
-  std::vector<NodeId> stack{f};
+  assert_live(f);
+  std::vector<bool> in(num_vars_, false);
+  std::unordered_set<std::uint32_t> seen;
+  std::vector<std::uint32_t> stack;
+  if (!is_terminal(f)) stack.push_back(f >> 1);
   while (!stack.empty()) {
-    const NodeId n = stack.back();
+    const std::uint32_t i = stack.back();
     stack.pop_back();
-    if (is_terminal(n) || visited_flag[n]) continue;
-    visited_flag[n] = true;
-    seen[var_of(n)] = true;
-    stack.push_back(lo(n));
-    stack.push_back(hi(n));
+    if (i == 0 || !seen.insert(i).second) continue;
+    in[nodes_[i].var] = true;
+    stack.push_back(nodes_[i].lo >> 1);
+    stack.push_back(nodes_[i].hi >> 1);
   }
-  std::vector<unsigned> out;
+  std::vector<unsigned> vars;
   for (unsigned v = 0; v < num_vars_; ++v)
-    if (seen[v]) out.push_back(v);
-  return out;
+    if (in[v]) vars.push_back(v);
+  return vars;
 }
 
 bool Manager::eval(NodeId f, const std::vector<bool>& assignment) const {
-  while (!is_terminal(f)) {
-    const Node& n = nodes_[f];
-    f = assignment[n.var] ? n.hi : n.lo;
-  }
+  assert_live(f);
+  while (!is_terminal(f)) f = assignment[var_of(f)] ? hi(f) : lo(f);
   return f == kTrue;
 }
 
 std::size_t Manager::dag_size(NodeId f) {
-  std::vector<bool> visited(nodes_.size(), false);
-  std::vector<NodeId> stack{f};
+  assert_live(f);
+  if (is_terminal(f)) return 0;
+  std::unordered_set<std::uint32_t> seen;
+  std::vector<std::uint32_t> stack{f >> 1};
   std::size_t count = 0;
   while (!stack.empty()) {
-    const NodeId n = stack.back();
+    const std::uint32_t i = stack.back();
     stack.pop_back();
-    if (is_terminal(n) || visited[n]) continue;
-    visited[n] = true;
+    if (i == 0 || !seen.insert(i).second) continue;
     ++count;
-    stack.push_back(lo(n));
-    stack.push_back(hi(n));
+    stack.push_back(nodes_[i].lo >> 1);
+    stack.push_back(nodes_[i].hi >> 1);
   }
   return count;
 }
 
 bool Manager::pick_minterm(NodeId f, std::vector<bool>& assignment) {
+  assert_live(f);
   assignment.assign(num_vars_, false);
   if (f == kFalse) return false;
+  // Any edge other than kFalse is satisfiable, so a greedy walk suffices.
   while (!is_terminal(f)) {
-    if (hi(f) != kFalse) {
-      assignment[var_of(f)] = true;
-      f = hi(f);
+    const unsigned v = var_of(f);
+    const NodeId l = lo(f);
+    if (l != kFalse) {
+      f = l;
     } else {
-      f = lo(f);
+      assignment[v] = true;
+      f = hi(f);
     }
   }
+  assert(f == kTrue);
   return true;
 }
 
 void Manager::foreach_minterm(
     NodeId f, const std::vector<unsigned>& vars,
     const std::function<bool(const std::vector<bool>&)>& cb) {
-  // Walk the variables in order of their current level; the callback's
-  // assignment stays indexed by the caller's positions.
-  std::vector<std::size_t> positions(vars.size());
-  for (std::size_t i = 0; i < positions.size(); ++i) positions[i] = i;
-  std::sort(positions.begin(), positions.end(), [&](std::size_t a,
-                                                    std::size_t b) {
-    return level_of(vars[a]) < level_of(vars[b]);
+  assert_live(f);
+  // Walk positions in level order so the cube expansion descends the DAG.
+  std::vector<std::size_t> order(vars.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return level_of_var_[vars[a]] < level_of_var_[vars[b]];
   });
-
   std::vector<bool> assignment(vars.size(), false);
-  bool stop = false;
-  std::function<void(std::size_t, NodeId)> rec = [&](std::size_t depth,
-                                                     NodeId g) {
-    if (stop || g == kFalse) return;
-    if (depth == positions.size()) {
-      assert(is_terminal(g));
-      if (g == kTrue && !cb(assignment)) stop = true;
-      return;
+  std::function<bool(NodeId, std::size_t)> rec = [&](NodeId g,
+                                                     std::size_t k) -> bool {
+    if (g == kFalse) return true;
+    if (k == order.size()) {
+      assert(g == kTrue && "f depends on variables outside vars");
+      return cb(assignment);
     }
-    const std::size_t pos = positions[depth];
-    const unsigned v = vars[pos];
+    const std::size_t pos = order[k];
     NodeId g0 = g, g1 = g;
-    if (!is_terminal(g) && var_of(g) == v) {
+    if (!is_terminal(g) && var_of(g) == vars[pos]) {
       g0 = lo(g);
       g1 = hi(g);
-    } else {
-      assert(is_terminal(g) || level_of(var_of(g)) > level_of(v));
     }
     assignment[pos] = false;
-    rec(depth + 1, g0);
+    if (!rec(g0, k + 1)) return false;
     assignment[pos] = true;
-    rec(depth + 1, g1);
+    if (!rec(g1, k + 1)) return false;
     assignment[pos] = false;
+    return true;
   };
-  rec(0, f);
+  rec(f, 0);
+}
+
+// --- Reordering --------------------------------------------------------------
+
+void Manager::swap_levels(unsigned level) {
+  assert(level + 1 < num_vars_);
+  const unsigned u = var_at_level_[level];
+  const unsigned v = var_at_level_[level + 1];
+  // Install the new order first: the make_node calls below must already see
+  // v above u.
+  var_at_level_[level] = v;
+  var_at_level_[level + 1] = u;
+  level_of_var_[u] = level + 1;
+  level_of_var_[v] = level;
+
+  // Rewrite every u-node that touches v in place, so edges into it keep
+  // denoting the same function. New (u, ...) children never touch v (their
+  // children sit at deeper levels), so sharing lookups below stay safe even
+  // while the loop is mid-flight.
+  const std::uint32_t end = static_cast<std::uint32_t>(nodes_.size());
+  for (std::uint32_t i = 1; i < end; ++i) {
+    if (nodes_[i].var != u) continue;
+    const NodeId flo = nodes_[i].lo;  // may carry a complement
+    const NodeId fhi = nodes_[i].hi;  // regular by canonical form
+    const bool lo_v = !is_terminal(flo) && nodes_[flo >> 1].var == v;
+    const bool hi_v = !is_terminal(fhi) && nodes_[fhi >> 1].var == v;
+    if (!lo_v && !hi_v) continue;
+    const NodeId f00 = lo_v ? lo(flo) : flo;
+    const NodeId f01 = lo_v ? hi(flo) : flo;
+    const NodeId f10 = hi_v ? nodes_[fhi >> 1].lo : fhi;
+    const NodeId f11 = hi_v ? nodes_[fhi >> 1].hi : fhi;
+    const NodeId nl = make_node(u, f00, f10);
+    // f11 is a stored hi (regular), so the new hi edge stays regular and the
+    // in-place rewrite preserves canonical form.
+    const NodeId nh = make_node(u, f01, f11);
+    assert((nh & 1u) == 0);
+    assert(nl != nh && "swap collapsed a node that branches on v");
+    Node& n = nodes_[i];  // re-take: make_node may reallocate the arena
+    n.var = v;
+    n.lo = nl;
+    n.hi = nh;
+  }
+  // The in-place relabeling leaves stale unique-table slots; rebuild. (The
+  // computed cache stays: it memoizes function identities, and those are
+  // preserved by reordering.)
+  unique_rehash(unique_.size());
 }
 
 std::size_t Manager::reachable_node_count() const {
   std::vector<bool> mark(nodes_.size(), false);
-  mark[kFalse] = mark[kTrue] = true;
-  for (NodeId i = 2; i < nodes_.size(); ++i)
-    if (nodes_[i].var != kFreeVar && nodes_[i].ref > 0) mark_rec(i, mark);
-  std::size_t count = 0;
-  for (NodeId i = 2; i < nodes_.size(); ++i) count += mark[i];
+  mark[0] = true;
+  std::size_t count = 1;
+  std::vector<std::uint32_t> stack;
+  for (std::uint32_t i = 1; i < nodes_.size(); ++i)
+    if (nodes_[i].var != kFreeVar_ && nodes_[i].ref > 0) stack.push_back(i);
+  while (!stack.empty()) {
+    const std::uint32_t i = stack.back();
+    stack.pop_back();
+    if (i == 0 || mark[i]) continue;
+    mark[i] = true;
+    ++count;
+    stack.push_back(nodes_[i].lo >> 1);
+    stack.push_back(nodes_[i].hi >> 1);
+  }
   return count;
-}
-
-void Manager::swap_levels(unsigned level) {
-  assert(level + 1 < num_vars_);
-  const unsigned u = var_at_level_[level];      // moves down
-  const unsigned v = var_at_level_[level + 1];  // moves up
-
-  std::vector<NodeId> u_nodes;
-  for (NodeId i = 2; i < nodes_.size(); ++i)
-    if (nodes_[i].var == u) u_nodes.push_back(i);
-
-  // Install the new order first: make_node's ordering asserts and lookups
-  // must see v above u while the replacement children are built.
-  std::swap(var_at_level_[level], var_at_level_[level + 1]);
-  level_of_var_[u] = level + 1;
-  level_of_var_[v] = level;
-
-  for (NodeId id : u_nodes) {
-    const NodeId f0 = nodes_[id].lo;
-    const NodeId f1 = nodes_[id].hi;
-    const bool lo_is_v = !is_terminal(f0) && var_of(f0) == v;
-    const bool hi_is_v = !is_terminal(f1) && var_of(f1) == v;
-    if (!lo_is_v && !hi_is_v) continue;  // independent of v: just sinks a level
-    // F = ~u f0 + u f1, with f_i = ~v f_i0 + v f_i1:
-    // F = ~v (~u f00 + u f10) + v (~u f01 + u f11).
-    const NodeId f00 = lo_is_v ? lo(f0) : f0;
-    const NodeId f01 = lo_is_v ? hi(f0) : f0;
-    const NodeId f10 = hi_is_v ? lo(f1) : f1;
-    const NodeId f11 = hi_is_v ? hi(f1) : f1;
-    const NodeId new_lo = make_node(u, f00, f10);
-    const NodeId new_hi = make_node(u, f01, f11);
-    assert(new_lo != new_hi);
-    nodes_[id].var = v;
-    nodes_[id].lo = new_lo;
-    nodes_[id].hi = new_hi;
-    // The node's function is unchanged; its unique-table key is not. The
-    // full table is rebuilt below.
-  }
-
-  // Rebuild the unique table over live nodes (relabeled keys changed).
-  std::fill(unique_.begin(), unique_.end(), 0);
-  for (NodeId i = 2; i < nodes_.size(); ++i) {
-    Node& n = nodes_[i];
-    if (n.var == kFreeVar) continue;
-    const std::size_t b = unique_hash(n.var, n.lo, n.hi);
-    n.next = unique_[b];
-    unique_[b] = i;
-  }
 }
 
 std::size_t Manager::sift() {
   garbage_collect();
-
-  // Variables ordered by how many live nodes carry them, largest first.
-  std::vector<std::size_t> population(num_vars_, 0);
-  for (NodeId i = 2; i < nodes_.size(); ++i)
-    if (nodes_[i].var != kFreeVar) ++population[nodes_[i].var];
-  std::vector<unsigned> order;
-  for (unsigned v = 0; v < num_vars_; ++v)
-    if (population[v] > 0) order.push_back(v);
-  std::sort(order.begin(), order.end(), [&](unsigned a, unsigned b) {
-    return population[a] > population[b];
-  });
-
-  for (unsigned v : order) {
-    unsigned best_level = level_of(v);
-    std::size_t best_size = reachable_node_count();
-    // Sink to the bottom, then float to the top, tracking the best spot.
-    while (level_of(v) + 1 < num_vars_) {
-      swap_levels(level_of(v));
-      const std::size_t size = reachable_node_count();
-      if (size < best_size) {
-        best_size = size;
-        best_level = level_of(v);
+  if (num_vars_ < 2) return reachable_node_count();
+  // Largest level population first — Rudell's ordering heuristic.
+  std::vector<std::size_t> pop(num_vars_, 0);
+  for (std::uint32_t i = 1; i < nodes_.size(); ++i)
+    if (nodes_[i].var != kFreeVar_) ++pop[nodes_[i].var];
+  std::vector<unsigned> vars(num_vars_);
+  std::iota(vars.begin(), vars.end(), 0u);
+  std::sort(vars.begin(), vars.end(),
+            [&](unsigned a, unsigned b) { return pop[a] > pop[b]; });
+  for (unsigned x : vars) {
+    std::size_t best = reachable_node_count();
+    unsigned best_level = level_of_var_[x];
+    // Sink to the bottom, then float to the top, tracking the best position.
+    while (level_of_var_[x] + 1 < num_vars_) {
+      swap_levels(level_of_var_[x]);
+      const std::size_t cur = reachable_node_count();
+      if (cur < best) {
+        best = cur;
+        best_level = level_of_var_[x];
       }
     }
-    while (level_of(v) > 0) {
-      swap_levels(level_of(v) - 1);
-      const std::size_t size = reachable_node_count();
-      if (size < best_size) {
-        best_size = size;
-        best_level = level_of(v);
+    while (level_of_var_[x] > 0) {
+      swap_levels(level_of_var_[x] - 1);
+      const std::size_t cur = reachable_node_count();
+      if (cur < best) {
+        best = cur;
+        best_level = level_of_var_[x];
       }
     }
-    while (level_of(v) < best_level) swap_levels(level_of(v));
-    assert(level_of(v) == best_level);
+    while (level_of_var_[x] < best_level) swap_levels(level_of_var_[x]);
   }
-  garbage_collect();
   return reachable_node_count();
 }
 
@@ -573,6 +744,8 @@ void Manager::set_order(const std::vector<unsigned>& var_at_level) {
     while (level_of(target) > l) swap_levels(level_of(target) - 1);
   }
 }
+
+// --- Introspection -----------------------------------------------------------
 
 void Manager::publish_stats(const char* prefix) const {
   if (!obs::enabled()) return;
@@ -593,27 +766,47 @@ bool Manager::check_invariants() const {
     if (level_of_var_[v] >= num_vars_) return false;
     if (var_at_level_[level_of_var_[v]] != v) return false;
   }
-  for (NodeId i = 2; i < nodes_.size(); ++i) {
+  if (nodes_.empty() || nodes_[0].var != kTerminalVar) return false;
+  if (nodes_[0].ref == 0) return false;
+  std::size_t live = 1;
+  std::set<std::tuple<std::uint32_t, NodeId, NodeId>> triples;
+  for (std::uint32_t i = 1; i < nodes_.size(); ++i) {
     const Node& n = nodes_[i];
-    if (n.var == kFreeVar) continue;
+    if (n.var == kFreeVar_) continue;
+    ++live;
     if (n.var >= num_vars_) return false;
     if (n.lo == n.hi) return false;
-    const auto check_child = [&](NodeId c) {
-      if (c <= kTrue) return true;
-      const Node& cn = nodes_[c];
-      return cn.var != kFreeVar &&
-             level_of_var_[cn.var] > level_of_var_[n.var];
-    };
-    if (!check_child(n.lo) || !check_child(n.hi)) return false;
+    if (n.hi & 1u) return false;  // canonical form: regular hi child
+    for (const NodeId child : {n.lo, n.hi}) {
+      const std::uint32_t ci = child >> 1;
+      if (ci >= nodes_.size()) return false;
+      if (nodes_[ci].var == kFreeVar_) return false;
+      if (ci != 0 && level_of_var_[nodes_[ci].var] <= level_of_var_[n.var])
+        return false;
+    }
+    if (!triples.insert({n.var, n.lo, n.hi}).second) return false;
   }
-  // No duplicate (var, lo, hi) triples among live nodes.
-  std::unordered_map<std::uint64_t, NodeId> seen;
-  for (NodeId i = 2; i < nodes_.size(); ++i) {
+  if (live != live_nodes_) return false;
+  // Every live internal node must be findable through the unique table.
+  const std::size_t mask = unique_.size() - 1;
+  for (std::uint32_t i = 1; i < nodes_.size(); ++i) {
     const Node& n = nodes_[i];
-    if (n.var == kFreeVar) continue;
-    const std::uint64_t key = (static_cast<std::uint64_t>(n.var) << 48) ^
-                              (static_cast<std::uint64_t>(n.lo) << 24) ^ n.hi;
-    if (!seen.emplace(key, i).second) return false;
+    if (n.var == kFreeVar_) continue;
+    std::size_t slot = hash_triple(n.var, n.lo, n.hi) & mask;
+    bool found = false;
+    while (unique_[slot] != 0) {
+      if (unique_[slot] == i) {
+        found = true;
+        break;
+      }
+      slot = (slot + 1) & mask;
+    }
+    if (!found) return false;
+  }
+  // Occupied slots must reference live nodes.
+  for (const std::uint32_t idx : unique_) {
+    if (idx == 0) continue;
+    if (idx >= nodes_.size() || nodes_[idx].var == kFreeVar_) return false;
   }
   return true;
 }

@@ -1,12 +1,24 @@
 #pragma once
 // From-scratch ROBDD package (the paper's CUDD substitute).
 //
-// Reduced ordered BDDs without complement edges. Nodes live in one arena
-// indexed by NodeId; ids 0 and 1 are the constant terminals. The unique table
-// is an intrusive hash (chained through Node::next), the computed table is an
-// operation cache cleared on garbage collection. External references are
-// ref-counted; users should hold nodes through the RAII `Bdd` handle
-// (bdd/bdd.hpp) rather than calling ref/deref by hand.
+// Reduced ordered BDDs *with complement edges*: a NodeId is an edge — the
+// arena index of a node shifted left one, with the complement flag in bit 0.
+// Negation is therefore O(1) (flip bit 0), and a function and its complement
+// share one DAG. Canonical form: the hi child of every stored node is a
+// regular (uncomplemented) edge; complement bits live only on lo children and
+// on external edges. The single terminal node occupies arena index 0 and
+// denotes FALSE when referenced regular, so the classic constants keep their
+// values: kFalse == 0, kTrue == 1.
+//
+// All operations lower onto one ITE core with the standard triple
+// normalization (Brace/Rudell/Bryant). The unique table is an open-addressed
+// power-of-two array over the node arena, and the computed table is a lossy
+// direct-mapped cache; both grow adaptively with the arena. External
+// references are counted per node; users hold nodes through the RAII `Bdd`
+// handle (bdd/bdd.hpp) — ref/deref are private to enforce that. In debug
+// builds every public operation asserts its operand edges are live, so a raw
+// NodeId held across a garbage collection (instead of through a handle)
+// fails fast instead of silently denoting a recycled node.
 //
 // Variable order starts as the identity over the manager's variable indices
 // but can be changed at runtime: swap_levels() exchanges two adjacent levels
@@ -21,10 +33,13 @@
 
 namespace imodec::bdd {
 
+/// An edge: (arena index << 1) | complement bit.
 using NodeId = std::uint32_t;
-inline constexpr NodeId kFalse = 0;
-inline constexpr NodeId kTrue = 1;
+inline constexpr NodeId kFalse = 0;  // regular edge to the terminal
+inline constexpr NodeId kTrue = 1;   // complemented edge to the terminal
 inline constexpr std::uint32_t kTerminalVar = 0xffffffffu;
+
+class Bdd;
 
 class Manager {
  public:
@@ -47,24 +62,23 @@ class Manager {
   /// Projection function of variable `v`.
   NodeId var(unsigned v);
   /// Complement of the projection function of variable `v`.
-  NodeId nvar(unsigned v);
+  NodeId nvar(unsigned v) { return var(v) ^ 1u; }
   /// Literal: variable `v` with the given phase (true = positive).
   NodeId literal(unsigned v, bool phase) { return phase ? var(v) : nvar(v); }
 
   bool is_terminal(NodeId f) const { return f <= kTrue; }
-  unsigned var_of(NodeId f) const { return nodes_[f].var; }
-  NodeId lo(NodeId f) const { return nodes_[f].lo; }
-  NodeId hi(NodeId f) const { return nodes_[f].hi; }
-
-  // --- External reference counting (use the Bdd handle instead) ------------
-  void ref(NodeId f);
-  void deref(NodeId f);
+  unsigned var_of(NodeId f) const { return nodes_[f >> 1].var; }
+  /// Children with the parent edge's complement bit pushed through, so
+  /// lo/hi always denote the actual cofactors of `f`.
+  NodeId lo(NodeId f) const { return nodes_[f >> 1].lo ^ (f & 1u); }
+  NodeId hi(NodeId f) const { return nodes_[f >> 1].hi ^ (f & 1u); }
 
   // --- Core operations ------------------------------------------------------
   NodeId apply_and(NodeId f, NodeId g);
   NodeId apply_or(NodeId f, NodeId g);
   NodeId apply_xor(NodeId f, NodeId g);
-  NodeId apply_not(NodeId f);
+  /// O(1): complement edges make negation a bit flip.
+  NodeId apply_not(NodeId f) const { return f ^ 1u; }
   NodeId ite(NodeId f, NodeId g, NodeId h);
 
   /// Shannon cofactor of f with variable v fixed to `value`.
@@ -90,7 +104,8 @@ class Manager {
   std::vector<unsigned> support(NodeId f);
   /// Evaluate under a complete assignment (indexed by variable).
   bool eval(NodeId f, const std::vector<bool>& assignment) const;
-  /// Number of internal DAG nodes of f (terminals excluded).
+  /// Number of internal DAG nodes of f (terminals excluded; a node shared by
+  /// f and its complement counts once).
   std::size_t dag_size(NodeId f);
 
   /// One satisfying assignment (values for all variables; unconstrained
@@ -104,8 +119,9 @@ class Manager {
                        const std::function<bool(const std::vector<bool>&)>& cb);
 
   // --- Dynamic variable reordering -------------------------------------------
-  /// Exchange the variables at `level` and `level + 1` in place. Every node
-  /// id keeps denoting the same function. The computed table is cleared.
+  /// Exchange the variables at `level` and `level + 1` in place. Every edge
+  /// keeps denoting the same function. (Computed-table entries stay valid:
+  /// they cache function identities, which reordering preserves.)
   void swap_levels(unsigned level);
   /// Rudell's sifting: move each variable (largest level population first)
   /// through all positions and leave it where the reachable node count is
@@ -140,62 +156,86 @@ class Manager {
 
   std::size_t live_node_count() const { return live_nodes_; }
   std::size_t peak_node_count() const { return peak_nodes_; }
+  /// Current capacities of the flat tables (tests pin resize invariants).
+  std::size_t unique_table_size() const { return unique_.size(); }
+  std::size_t computed_cache_size() const { return cache_.size(); }
   /// Nodes reachable from externally referenced roots (the sifting metric).
   std::size_t reachable_node_count() const;
   /// Reclaim dead nodes now; invoked automatically during growth.
   void garbage_collect();
 
-  /// Internal consistency check (unique-table sanity, orderedness); used by
-  /// tests and debug assertions. Returns true iff all invariants hold.
+  /// Internal consistency check (unique-table sanity, orderedness, canonical
+  /// regular-hi form); used by tests and debug assertions. Returns true iff
+  /// all invariants hold.
   bool check_invariants() const;
 
  private:
+  // The RAII handle is the only way to hold an external reference; everything
+  // else must not survive a GC point (enforced by assert_live in debug).
+  friend class Bdd;
+  void ref(NodeId f);
+  void deref(NodeId f);
+
   struct Node {
-    std::uint32_t var;  // kTerminalVar for terminals
-    NodeId lo;
-    NodeId hi;
-    NodeId next;  // unique-table chain
-    std::uint32_t ref;
+    std::uint32_t var;  // kTerminalVar terminal, kFreeVar on the free list
+    NodeId lo;          // edge, may be complemented; free-list next when free
+    NodeId hi;          // edge, always regular (canonical form)
+    std::uint32_t ref;  // external reference count
   };
+
+  enum class Op : std::uint32_t {
+    None = 0,  // empty cache slot
+    Ite,
+    Cofactor,
+    Exists,
+    Forall,
+  };
+  struct CacheEntry {
+    NodeId a = 0, b = 0, c = 0;
+    Op op = Op::None;
+    std::uint64_t tag = 0;  // discriminates quantified cubes / cofactor vars
+    NodeId result = 0;
+  };
+
+  static std::uint32_t index_of(NodeId f) { return f >> 1; }
+  bool edge_live(NodeId f) const {
+    const std::uint32_t i = index_of(f);
+    return i < nodes_.size() && nodes_[i].var != kFreeVar_;
+  }
+  void assert_live(NodeId f) const;
 
   NodeId make_node(unsigned v, NodeId lo, NodeId hi);
-  std::size_t unique_hash(unsigned v, NodeId lo, NodeId hi) const;
-  void unique_resize();
+  void unique_insert_slot(std::uint32_t i);
+  void unique_rehash(std::size_t new_size);
+  void cache_resize_for_table();
   void maybe_gc();
 
-  enum class Op : std::uint8_t { And, Xor, Ite, Exists, Forall, Compose };
-  struct CacheKey {
-    Op op;
-    NodeId a, b, c;
-    std::uint64_t tag;  // discriminates quantification cubes / compose maps
-    bool operator==(const CacheKey&) const = default;
-  };
-  struct CacheKeyHash {
-    std::size_t operator()(const CacheKey& k) const;
-  };
+  NodeId cached(Op op, NodeId a, NodeId b, NodeId c, std::uint64_t tag);
+  void cache_insert(Op op, NodeId a, NodeId b, NodeId c, std::uint64_t tag,
+                    NodeId r);
 
-  NodeId cached(const CacheKey& k) const;
-  void cache_insert(const CacheKey& k, NodeId r);
-
+  NodeId ite_rec(NodeId f, NodeId g, NodeId h);
+  NodeId cofactor_rec(NodeId f, unsigned v, bool value);
   NodeId quantify_rec(NodeId f, const std::vector<unsigned>& sorted_vars,
-                      bool existential, std::uint64_t tag);
+                      unsigned deepest, bool existential, std::uint64_t tag);
   NodeId vector_compose_rec(NodeId f, const std::vector<NodeId>& map,
-                            std::uint64_t tag,
                             std::unordered_map<NodeId, NodeId>& memo);
-  double sat_count_rec(NodeId f, std::unordered_map<NodeId, double>& memo);
-  void mark_rec(NodeId f, std::vector<bool>& mark) const;
+  double prob_rec(NodeId f, std::unordered_map<NodeId, double>& memo);
+
+  static constexpr std::uint32_t kFreeVar_ = 0xfffffffeu;
 
   unsigned num_vars_;
   std::vector<unsigned> level_of_var_;
   std::vector<unsigned> var_at_level_;
-  std::vector<Node> nodes_;
-  std::vector<NodeId> unique_;  // bucket heads
-  NodeId free_list_ = 0;        // chained through Node::next; 0 = empty
+  std::vector<Node> nodes_;       // arena; index 0 is the terminal
+  std::vector<NodeId> unique_;    // open-addressed node indices; 0 = empty
+  std::size_t unique_occupied_ = 0;  // filled slots (stale entries included)
+  std::vector<CacheEntry> cache_;    // direct-mapped, lossy
+  std::uint32_t free_head_ = 0;      // arena free list; 0 = empty
   std::size_t live_nodes_ = 0;
   std::size_t peak_nodes_ = 0;
   std::size_t gc_threshold_ = 1u << 14;
-  std::unordered_map<CacheKey, NodeId, CacheKeyHash> computed_;
-  mutable Stats stats_;  // mutable: cached() is logically const
+  mutable Stats stats_;
 };
 
 }  // namespace imodec::bdd

@@ -4,6 +4,14 @@
 
 namespace imodec {
 
+std::optional<VerifyMode> parse_verify_mode(std::string_view s) {
+  if (s == "off") return VerifyMode::off;
+  if (s == "sim") return VerifyMode::sim;
+  if (s == "exact") return VerifyMode::exact;
+  if (s == "auto") return VerifyMode::auto_;
+  return std::nullopt;
+}
+
 std::vector<std::string> SynthesisConfig::validate() const {
   std::vector<std::string> diags;
   const auto bad = [&](const char* fmt, auto... args) {
@@ -37,33 +45,40 @@ std::vector<std::string> SynthesisConfig::validate() const {
   if (batch_groups == 0) bad("batch_groups must be >= 1 (got 0)");
   if (verify_node_budget == 0)
     bad("verify_node_budget must be positive (got 0)");
+  if (restructure_max_support < 2)
+    bad("restructure_max_support must be >= 2 (got %u)",
+        restructure_max_support);
+  if (restructure_passes == 0) bad("restructure_passes must be >= 1 (got 0)");
   return diags;
 }
 
-DriverOptions SynthesisConfig::lower() const {
-  DriverOptions opts;
-  opts.flow.k = k;
-  opts.flow.multi_output = multi_output;
-  opts.flow.output_partitioning = output_partitioning;
-  opts.flow.max_vector_outputs = max_vector_outputs;
-  opts.flow.max_vector_inputs = max_vector_inputs;
-  opts.flow.max_group_trials = max_group_trials;
-  opts.flow.imodec.max_p = max_p;
-  opts.flow.imodec.strict = strict;
-  opts.flow.imodec.via_v_substitution = via_v_substitution;
-  opts.flow.varpart.bound_size = bound_size;
-  opts.flow.varpart.max_exhaustive = max_exhaustive;
-  opts.flow.varpart.samples = samples;
-  opts.flow.varpart.climb_iters = climb_iters;
-  opts.flow.varpart.eval_budget = eval_budget;
-  opts.flow.varpart.seed = seed;
-  opts.flow.batch_groups = batch_groups;
-  opts.collapse = collapse;
-  opts.classical = classical;
-  opts.verify = verify;
-  opts.verify_node_budget = verify_node_budget;
-  opts.threads = threads;
-  return opts;
+FlowOptions SynthesisConfig::flow_options() const {
+  FlowOptions flow;
+  flow.k = k;
+  flow.multi_output = multi_output;
+  flow.output_partitioning = output_partitioning;
+  flow.max_vector_outputs = max_vector_outputs;
+  flow.max_vector_inputs = max_vector_inputs;
+  flow.max_group_trials = max_group_trials;
+  flow.imodec.max_p = max_p;
+  flow.imodec.strict = strict;
+  flow.imodec.via_v_substitution = via_v_substitution;
+  flow.varpart.bound_size = bound_size;
+  flow.varpart.max_exhaustive = max_exhaustive;
+  flow.varpart.samples = samples;
+  flow.varpart.climb_iters = climb_iters;
+  flow.varpart.eval_budget = eval_budget;
+  flow.varpart.seed = seed;
+  flow.batch_groups = batch_groups;
+  return flow;
+}
+
+RestructureOptions SynthesisConfig::restructure_options() const {
+  RestructureOptions r;
+  r.max_support = restructure_max_support;
+  r.max_fanout = restructure_max_fanout;
+  r.passes = restructure_passes;
+  return r;
 }
 
 }  // namespace imodec

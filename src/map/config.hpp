@@ -1,20 +1,45 @@
 #pragma once
 // SynthesisConfig: the one validated knob surface of the pipeline.
 //
-// The library internally still layers DriverOptions -> FlowOptions ->
-// ImodecOptions/VarPartOptions, but embedders and the CLI should not have to
-// know which struct a knob lives in, and none of the nested structs can
-// check cross-cutting invariants (e.g. max_vector_inputs >= k). This struct
+// The library internally still layers FlowOptions -> ImodecOptions /
+// VarPartOptions, but embedders and the CLI should not have to know which
+// struct a knob lives in, and none of the nested structs can check
+// cross-cutting invariants (e.g. max_vector_inputs >= k). This struct
 // flattens every user-facing knob, validates the whole set with
-// human-readable diagnostics, and lowers to the nested structs in one place.
+// human-readable diagnostics, and lowers to the nested structs in one place
+// (flow_options() / restructure_options(), called by the driver).
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
-#include "map/driver.hpp"
+#include "map/lutflow.hpp"
+#include "map/restructure.hpp"
 
 namespace imodec {
+
+/// How the driver checks the mapped network against its input.
+enum class VerifyMode : std::uint8_t {
+  off,    ///< skip the check entirely
+  sim,    ///< simulation: exhaustive up to 16 inputs, sampled beyond
+  exact,  ///< BDD miter proof, no node budget (exact at any input count)
+  auto_,  ///< miter within SynthesisConfig::verify_node_budget, else sim
+};
+
+constexpr std::string_view to_string(VerifyMode m) {
+  switch (m) {
+    case VerifyMode::off: return "off";
+    case VerifyMode::sim: return "sim";
+    case VerifyMode::exact: return "exact";
+    case VerifyMode::auto_: return "auto";
+  }
+  return "?";
+}
+
+/// Parse "off" / "sim" / "exact" / "auto"; nullopt otherwise.
+std::optional<VerifyMode> parse_verify_mode(std::string_view s);
 
 struct SynthesisConfig {
   // --- LUT flow ------------------------------------------------------------
@@ -39,13 +64,27 @@ struct SynthesisConfig {
   std::uint64_t seed = 0xB0D5ull;
 
   // --- Driver --------------------------------------------------------------
+  /// Collapse the network first (the paper's default). Falls back to
+  /// restructuring when a cone exceeds the truth-table limit (the paper's
+  /// '*' circuits). When false, restructure unconditionally.
   bool collapse = true;
+  /// Classical two-step flow (paper §1): technology-independent kernel
+  /// extraction first, then per-output decomposition. Implies no collapsing
+  /// and single-output mode — the baseline IMODEC's combined approach is
+  /// pitched against.
   bool classical = false;
-  /// Equivalence check of the result: off / sim / exact / auto (see
-  /// VerifyMode in map/driver.hpp).
+  /// Equivalence check of the result: off / sim / exact / auto. `auto_` (the
+  /// default) proves equivalence with the BDD miter (src/verify/miter)
+  /// whenever the build fits `verify_node_budget` live nodes and falls back
+  /// to simulation otherwise.
   VerifyMode verify = VerifyMode::auto_;
-  /// Live BDD-node cap for the miter when verify == auto.
+  /// Live BDD-node cap for the miter when verify == auto (~16 B/node).
   std::size_t verify_node_budget = std::size_t{1} << 21;
+
+  // --- Restructuring (used when collapsing is off or falls back) -----------
+  unsigned restructure_max_support = 10;  ///< fanin cap after elimination
+  unsigned restructure_max_fanout = 1;    ///< 1 = never duplicate logic
+  unsigned restructure_passes = 4;
 
   // --- Parallel runtime ----------------------------------------------------
   /// Execution width (threads incl. the caller); 0 = hardware concurrency,
@@ -61,7 +100,8 @@ struct SynthesisConfig {
   std::vector<std::string> validate() const;
 
   /// Lower to the nested option structs (pre: validate().empty()).
-  DriverOptions lower() const;
+  FlowOptions flow_options() const;
+  RestructureOptions restructure_options() const;
 };
 
 }  // namespace imodec

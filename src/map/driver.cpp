@@ -10,14 +10,6 @@
 
 namespace imodec {
 
-std::optional<VerifyMode> parse_verify_mode(std::string_view s) {
-  if (s == "off") return VerifyMode::off;
-  if (s == "sim") return VerifyMode::sim;
-  if (s == "exact") return VerifyMode::exact;
-  if (s == "auto") return VerifyMode::auto_;
-  return std::nullopt;
-}
-
 namespace {
 
 /// Run the configured equivalence check and fill the report's verify
@@ -25,7 +17,7 @@ namespace {
 /// the verdict, flow.verify.fallback counts auto-mode budget misses, and
 /// flow.verify.fail counts failed verdicts.
 void run_verification(const Network& input, const Network& mapped,
-                      const DriverOptions& opts, DriverReport& rep) {
+                      const SynthesisConfig& opts, DriverReport& rep) {
   bool done = false;
   if (opts.verify == VerifyMode::exact || opts.verify == VerifyMode::auto_) {
     verify::MiterOptions mopts;
@@ -57,7 +49,7 @@ void run_verification(const Network& input, const Network& mapped,
 
 }  // namespace
 
-DriverReport run_synthesis(const Network& input, const DriverOptions& opts,
+DriverReport run_synthesis(const Network& input, const SynthesisConfig& opts,
                            Network& mapped) {
   // Resolve the runtime width here so a width-1 run never pays for thread
   // creation; the overload below does the actual work.
@@ -68,7 +60,7 @@ DriverReport run_synthesis(const Network& input, const DriverOptions& opts,
   return run_synthesis(input, opts, mapped, pool ? &*pool : nullptr);
 }
 
-DriverReport run_synthesis(const Network& input, const DriverOptions& opts,
+DriverReport run_synthesis(const Network& input, const SynthesisConfig& opts,
                            Network& mapped, util::ThreadPool* pool) {
   DriverReport rep;
   const std::size_t trace_base = obs::Trace::global().size();
@@ -79,7 +71,7 @@ DriverReport run_synthesis(const Network& input, const DriverOptions& opts,
     // Classical flow: extract common subfunctions algebraically, then map
     // each node on its own.
     obs::ScopedSpan span("driver.restructure+extract");
-    start = restructure(input, opts.restructure);
+    start = restructure(input, opts.restructure_options());
     opt::extract_kernels(start);
   } else if (opts.collapse) {
     obs::ScopedSpan span("driver.collapse");
@@ -87,14 +79,14 @@ DriverReport run_synthesis(const Network& input, const DriverOptions& opts,
       start = std::move(*flat);
       rep.collapsed = true;
     } else {
-      start = restructure(input, opts.restructure);
+      start = restructure(input, opts.restructure_options());
     }
   } else {
     obs::ScopedSpan span("driver.restructure");
-    start = restructure(input, opts.restructure);
+    start = restructure(input, opts.restructure_options());
   }
 
-  FlowOptions flow_opts = opts.flow;
+  FlowOptions flow_opts = opts.flow_options();
   if (opts.classical) flow_opts.multi_output = false;
   flow_opts.pool = pool;
   FlowResult flow = decompose_to_luts(start, flow_opts);

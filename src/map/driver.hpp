@@ -9,12 +9,10 @@
 #include <cstdint>
 #include <optional>
 #include <string>
-#include <string_view>
 #include <utility>
 #include <vector>
 
-#include "map/lutflow.hpp"
-#include "map/restructure.hpp"
+#include "map/config.hpp"
 #include "map/xc3000.hpp"
 #include "obs/trace.hpp"
 #include "opt/extract.hpp"
@@ -25,53 +23,10 @@ class ThreadPool;
 
 namespace imodec {
 
-/// How the driver checks the mapped network against its input.
-enum class VerifyMode : std::uint8_t {
-  off,    ///< skip the check entirely
-  sim,    ///< simulation: exhaustive up to 16 inputs, sampled beyond
-  exact,  ///< BDD miter proof, no node budget (exact at any input count)
-  auto_,  ///< miter within DriverOptions::verify_node_budget, else sim
-};
-
-constexpr std::string_view to_string(VerifyMode m) {
-  switch (m) {
-    case VerifyMode::off: return "off";
-    case VerifyMode::sim: return "sim";
-    case VerifyMode::exact: return "exact";
-    case VerifyMode::auto_: return "auto";
-  }
-  return "?";
-}
-
-/// Parse "off" / "sim" / "exact" / "auto"; nullopt otherwise.
-std::optional<VerifyMode> parse_verify_mode(std::string_view s);
-
-struct DriverOptions {
-  FlowOptions flow;
-  RestructureOptions restructure;
-  /// Collapse the network first (the paper's default). Falls back to
-  /// restructuring when a cone exceeds the truth-table limit (the paper's
-  /// '*' circuits). When false, restructure unconditionally.
-  bool collapse = true;
-  /// Classical two-step flow (paper §1): technology-independent kernel
-  /// extraction first, then per-output decomposition. Implies no collapsing
-  /// and single-output mode — the baseline IMODEC's combined approach is
-  /// pitched against.
-  bool classical = false;
-  /// Check the mapped network against the input. `auto_` (the default)
-  /// proves equivalence with the BDD miter (src/verify/miter) whenever the
-  /// build fits `verify_node_budget` live nodes and falls back to
-  /// simulation otherwise — so every circuit gets the strongest check that
-  /// fits memory, and Table 2's >16-input circuits get a proof instead of
-  /// 4096 samples.
-  VerifyMode verify = VerifyMode::auto_;
-  /// Live BDD-node cap for the miter in `auto_` mode (~16 B/node).
-  std::size_t verify_node_budget = std::size_t{1} << 21;
-  /// Width of the parallel runtime: worker threads including the caller.
-  /// 0 = hardware concurrency, 1 = fully serial (no pool is created).
-  /// Results are bit-identical for every value (DESIGN.md §9).
-  unsigned threads = 0;
-};
+/// Old name for the synthesis knob surface. SynthesisConfig (map/config.hpp)
+/// is the source of truth; this alias keeps pre-flattening embedder code
+/// compiling while they migrate.
+using DriverOptions [[deprecated("use SynthesisConfig")]] = SynthesisConfig;
 
 struct DriverReport {
   bool collapsed = false;   // did the collapsed path run?
@@ -101,13 +56,13 @@ struct DriverReport {
 /// Run the full synthesis pipeline; returns the report and stores the mapped
 /// network in `mapped`. Creates a thread pool per call when opts.threads
 /// resolves to > 1; SynthesisSession (map/session.hpp) amortizes the pool
-/// across runs.
-DriverReport run_synthesis(const Network& input, const DriverOptions& opts,
+/// across runs. Pre: opts.validate().empty().
+DriverReport run_synthesis(const Network& input, const SynthesisConfig& opts,
                            Network& mapped);
 
 /// As above, but execute on the caller's pool (nullptr = serial). The pool
 /// is not owned.
-DriverReport run_synthesis(const Network& input, const DriverOptions& opts,
+DriverReport run_synthesis(const Network& input, const SynthesisConfig& opts,
                            Network& mapped, util::ThreadPool* pool);
 
 /// Render a human-readable report block (used by the CLI).

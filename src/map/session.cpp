@@ -5,8 +5,7 @@
 
 namespace imodec {
 
-SynthesisSession::SynthesisSession(const SynthesisConfig& cfg)
-    : cfg_(cfg), lowered_(cfg.lower()) {
+SynthesisSession::SynthesisSession(const SynthesisConfig& cfg) : cfg_(cfg) {
   assert(cfg.validate().empty() && "SynthesisSession requires a valid config");
   const unsigned resolved =
       cfg_.threads ? cfg_.threads : std::thread::hardware_concurrency();
@@ -14,7 +13,7 @@ SynthesisSession::SynthesisSession(const SynthesisConfig& cfg)
 }
 
 DriverReport SynthesisSession::run(const Network& input, Network& mapped) {
-  return run_synthesis(input, lowered_, mapped, pool());
+  return run_synthesis(input, cfg_, mapped, pool());
 }
 
 }  // namespace imodec

@@ -35,7 +35,6 @@ class SynthesisSession {
 
  private:
   SynthesisConfig cfg_;
-  DriverOptions lowered_;
   std::optional<util::ThreadPool> pool_;
 };
 

@@ -20,7 +20,7 @@ DriverReport synth(const Network& net, const SynthesisConfig& cfg,
   SynthesisConfig c = cfg;
   c.threads = threads;
   c.verify = VerifyMode::off;
-  return run_synthesis(net, c.lower(), mapped);
+  return run_synthesis(net, c, mapped);
 }
 
 /// Correctness check: miter first, exhaustive/sampled simulation when the

@@ -56,6 +56,43 @@ TEST(Add, SumOfIndicatorsCountsCover) {
   EXPECT_TRUE(assign[1]);
 }
 
+TEST(Add, PlusStressMatchesPointwiseSum) {
+  // Enough indicator sums to force several unique-table rehashes and plus
+  // cache growths; every intermediate stays exact. The reference model is
+  // pointwise: the sum ADD at a point must equal the number of BDDs true
+  // there.
+  const unsigned n = 10;
+  Manager mgr(n);
+  AddManager add(n);
+  Rng rng(0xADD5);
+  std::vector<Bdd> fs;
+  auto sum = add.constant(0);
+  for (int i = 0; i < 40; ++i) {
+    Bdd f = Bdd::zero(mgr);
+    for (int c = 0; c < 6; ++c) {
+      Bdd cube = Bdd::one(mgr);
+      for (unsigned v = 0; v < n; ++v)
+        if (rng.chance(1, 3)) cube = cube & Bdd::literal(mgr, v, rng.coin());
+      f = f | cube;
+    }
+    fs.push_back(f);
+    sum = add.plus(sum, add.from_bdd(mgr, f.node()));
+  }
+  EXPECT_GT(add.node_count(), 192u) << "stress never grew the tables";
+
+  const auto eval_add = [&](AddManager::AddId g, const std::vector<bool>& a) {
+    while (!add.is_terminal(g)) g = a[add.var_of(g)] ? add.hi(g) : add.lo(g);
+    return add.value_of(g);
+  };
+  for (int p = 0; p < 200; ++p) {
+    std::vector<bool> a(n);
+    for (unsigned v = 0; v < n; ++v) a[v] = rng.coin();
+    std::int64_t want = 0;
+    for (const Bdd& f : fs) want += f.eval(a) ? 1 : 0;
+    ASSERT_EQ(eval_add(sum, a), want) << "point " << p;
+  }
+}
+
 TEST(Add, ArgmaxTiePrefersZeroBranch) {
   Manager mgr(2);
   AddManager add(2);

@@ -8,6 +8,7 @@
 #include "logic/truthtable.hpp"
 #include "util/rng.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 namespace imodec {
@@ -190,7 +191,7 @@ TEST(Bdd, NodesAreReusedAfterGc) {
     }
     mgr.garbage_collect();
     EXPECT_TRUE(mgr.check_invariants());
-    EXPECT_EQ(mgr.live_node_count(), 2u);  // only the terminals survive
+    EXPECT_EQ(mgr.live_node_count(), 1u);  // only the terminal survives
     // The free list must be reused: the arena peak stays flat after round 0.
     if (round == 0)
       peak_after_first = mgr.peak_node_count();
@@ -203,8 +204,109 @@ TEST(Bdd, DagSize) {
   Manager mgr(4);
   Bdd parity = Bdd::zero(mgr);
   for (unsigned v = 0; v < 4; ++v) parity = parity ^ Bdd::var(mgr, v);
-  // Parity of n variables has 2n-1 internal nodes without complement edges.
-  EXPECT_EQ(parity.dag_size(), 7u);
+  // Parity of n variables collapses to n internal nodes with complement
+  // edges: x_i and !x_i share a node, so each level needs just one.
+  EXPECT_EQ(parity.dag_size(), 4u);
+}
+
+// --- Flat-table resize and counter invariants -------------------------------
+
+TEST(Bdd, UniqueTableResizeInvariants) {
+  Manager mgr(16);
+  Rng rng(0x7AB1E);
+  const auto is_pow2 = [](std::size_t x) { return x && (x & (x - 1)) == 0; };
+  ASSERT_TRUE(is_pow2(mgr.unique_table_size()));
+  const std::size_t initial = mgr.unique_table_size();
+
+  // Union enough random cubes to force several table doublings; handles keep
+  // everything live so growth cannot be masked by collection.
+  std::vector<Bdd> roots;
+  Bdd f = Bdd::zero(mgr);
+  std::size_t last = initial;
+  for (int c = 0; c < 400; ++c) {
+    Bdd cube = Bdd::one(mgr);
+    for (unsigned v = 0; v < 16; ++v)
+      if (rng.chance(1, 2)) cube = cube & Bdd::literal(mgr, v, rng.coin());
+    f = f | cube;
+    roots.push_back(f);
+
+    const std::size_t size = mgr.unique_table_size();
+    ASSERT_TRUE(is_pow2(size));
+    ASSERT_GE(size, last);  // growth is monotone (no shrink mid-build)
+    last = size;
+    // The 3/4 load bound: live internal nodes can never exceed occupancy,
+    // and growth keeps occupancy at or below 3/4 of the slots.
+    ASSERT_LE((mgr.live_node_count() - 1) * 4, size * 3);
+  }
+  EXPECT_GT(mgr.unique_table_size(), initial) << "test never grew the table";
+  EXPECT_TRUE(mgr.check_invariants());
+}
+
+TEST(Bdd, ComputedCacheTracksUniqueTable) {
+  Manager mgr(14);
+  Rng rng(0xCAC4E);
+  const std::size_t kMin = std::size_t(1) << 12;
+  const std::size_t kMax = std::size_t(1) << 21;
+  const auto expected = [&] {
+    return std::min(std::max(kMin, mgr.unique_table_size() / 2), kMax);
+  };
+  ASSERT_EQ(mgr.computed_cache_size(), expected());
+  std::vector<Bdd> roots;
+  Bdd f = Bdd::zero(mgr);
+  for (int c = 0; c < 300; ++c) {
+    Bdd cube = Bdd::one(mgr);
+    for (unsigned v = 0; v < 14; ++v)
+      if (rng.chance(1, 2)) cube = cube & Bdd::literal(mgr, v, rng.coin());
+    f = f ^ cube;
+    roots.push_back(f);
+    ASSERT_EQ(mgr.computed_cache_size(), expected());
+  }
+  EXPECT_GT(mgr.computed_cache_size(), kMin) << "cache never grew";
+}
+
+TEST(Bdd, StatsLookupsNeverBelowHits) {
+  Manager mgr(10);
+  Rng rng(0x57A75);
+  Bdd f = Bdd::var(mgr, 0);
+  for (int i = 0; i < 200; ++i) {
+    const Bdd g = Bdd::literal(mgr, unsigned(rng.below(10)), rng.coin());
+    switch (rng.below(3)) {
+      case 0: f = f & g; break;
+      case 1: f = f | g; break;
+      default: f = f ^ g; break;
+    }
+    const auto& s = mgr.stats();
+    ASSERT_GE(s.cache_lookups, s.cache_hits);
+    ASSERT_GE(s.cache_hit_rate(), 0.0);
+    ASSERT_LE(s.cache_hit_rate(), 1.0);
+  }
+  EXPECT_GT(mgr.stats().cache_lookups, 0u);
+}
+
+TEST(Bdd, RepeatedIdenticalOpsRaiseHitRate) {
+  Manager mgr(8);
+  Rng rng(0x41717);
+  Bdd f = Bdd::zero(mgr);
+  Bdd g = Bdd::one(mgr);
+  for (int c = 0; c < 6; ++c) {
+    Bdd cube = Bdd::one(mgr);
+    for (unsigned v = 0; v < 8; ++v)
+      if (rng.chance(1, 2)) cube = cube & Bdd::literal(mgr, v, rng.coin());
+    if (c & 1)
+      f = f | cube;
+    else
+      g = g & ~cube;
+  }
+  const Bdd first = f & g;  // populates the computed table
+  double rate = mgr.stats().cache_hit_rate();
+  for (int i = 0; i < 16; ++i) {
+    const Bdd again = f & g;  // one lookup, one hit — a pure cache replay
+    ASSERT_EQ(again, first);
+    const double now = mgr.stats().cache_hit_rate();
+    ASSERT_GE(now, rate) << "hit rate dropped on an identical op";
+    rate = now;
+  }
+  EXPECT_GT(rate, 0.0);
 }
 
 TEST(Bdd, DotExport) {

@@ -36,7 +36,7 @@ TEST(Driver, WideCircuitFallsBackToRestructuring) {
 
 TEST(Driver, NoCollapseOptionForcesRestructure) {
   const auto net = circuits::make_benchmark("rd73");
-  DriverOptions opts;
+  SynthesisConfig opts;
   opts.collapse = false;
   Network mapped;
   const DriverReport rep = run_synthesis(*net, opts, mapped);
@@ -46,7 +46,7 @@ TEST(Driver, NoCollapseOptionForcesRestructure) {
 
 TEST(Driver, NoVerifySkipsCheckButStillMaps) {
   const auto net = circuits::make_benchmark("rd53");
-  DriverOptions opts;
+  SynthesisConfig opts;
   opts.verify = VerifyMode::off;
   Network mapped;
   const DriverReport rep = run_synthesis(*net, opts, mapped);
@@ -57,9 +57,9 @@ TEST(Driver, NoVerifySkipsCheckButStillMaps) {
 
 TEST(Driver, SingleModeUsesMoreClbs) {
   const auto net = circuits::make_benchmark("rd84");
-  DriverOptions multi;
-  DriverOptions single;
-  single.flow.multi_output = false;
+  SynthesisConfig multi;
+  SynthesisConfig single;
+  single.multi_output = false;
   Network m, s;
   const DriverReport rm = run_synthesis(*net, multi, m);
   const DriverReport rs = run_synthesis(*net, single, s);
@@ -70,8 +70,8 @@ TEST(Driver, SingleModeUsesMoreClbs) {
 
 TEST(Driver, CustomLutSize) {
   const auto net = circuits::make_benchmark("rd53");
-  DriverOptions opts;
-  opts.flow.k = 4;
+  SynthesisConfig opts;
+  opts.k = 4;
   Network mapped;
   const DriverReport rep = run_synthesis(*net, opts, mapped);
   EXPECT_TRUE(rep.verified);

@@ -133,7 +133,7 @@ TEST_P(RandomSyntheticFlow, DriverEndToEndOnRandomNetworks) {
   spec.gates_per_level = 8 + GetParam() % 6;
   const Network net = circuits::make_synthetic(spec);
 
-  DriverOptions opts;
+  SynthesisConfig opts;
   Network mapped;
   const DriverReport rep = run_synthesis(net, opts, mapped);
   EXPECT_TRUE(rep.verified) << "seed " << spec.seed;
@@ -143,7 +143,7 @@ TEST_P(RandomSyntheticFlow, DriverEndToEndOnRandomNetworks) {
     }
   }
   // The classical flow must also stay sound on arbitrary networks.
-  DriverOptions classical;
+  SynthesisConfig classical;
   classical.classical = true;
   Network mapped2;
   EXPECT_TRUE(run_synthesis(net, classical, mapped2).verified)

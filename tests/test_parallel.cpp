@@ -132,7 +132,7 @@ void expect_same_network(const Network& a, const Network& b) {
 }
 
 void expect_thread_count_invariant(const Network& input,
-                                   DriverOptions base = {}) {
+                                   SynthesisConfig base = {}) {
   base.threads = 1;
   Network ref;
   const DriverReport ref_rep = run_synthesis(input, base, ref);
@@ -140,7 +140,7 @@ void expect_thread_count_invariant(const Network& input,
   EXPECT_GT(ref_rep.flow.luts, 0u);
 
   for (unsigned threads : {2u, 8u}) {
-    DriverOptions opts = base;
+    SynthesisConfig opts = base;
     opts.threads = threads;
     Network mapped;
     const DriverReport rep = run_synthesis(input, opts, mapped);
@@ -156,8 +156,8 @@ void expect_thread_count_invariant(const Network& input,
 
 TEST(ParallelDeterminism, Fig1CircuitIdenticalAtAllThreadCounts) {
   // rd53 with k = 4 is the paper's Fig. 1 circuit.
-  DriverOptions opts;
-  opts.flow.k = 4;
+  SynthesisConfig opts;
+  opts.k = 4;
   expect_thread_count_invariant(circuits::make_rd(5, 3), opts);
 }
 
@@ -230,13 +230,12 @@ TEST(SynthesisConfig, LowersEveryKnob) {
   cfg.threads = 2;
   cfg.batch_groups = 3;
   cfg.seed = 42;
-  const DriverOptions opts = cfg.lower();
-  EXPECT_EQ(opts.flow.k, 4u);
-  EXPECT_EQ(opts.flow.imodec.max_p, 16u);
-  EXPECT_EQ(opts.flow.varpart.bound_size, 3u);
-  EXPECT_EQ(opts.flow.varpart.seed, 42u);
-  EXPECT_EQ(opts.flow.batch_groups, 3u);
-  EXPECT_EQ(opts.threads, 2u);
+  const FlowOptions flow = cfg.flow_options();
+  EXPECT_EQ(flow.k, 4u);
+  EXPECT_EQ(flow.imodec.max_p, 16u);
+  EXPECT_EQ(flow.varpart.bound_size, 3u);
+  EXPECT_EQ(flow.varpart.seed, 42u);
+  EXPECT_EQ(flow.batch_groups, 3u);
 }
 
 TEST(SynthesisSession, RunsRepeatedlyOnOnePool) {

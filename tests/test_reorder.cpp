@@ -203,6 +203,50 @@ TEST(Reorder, SiftRandomFunctionsKeepSemantics) {
   EXPECT_TRUE(mgr.check_invariants());
 }
 
+TEST(Reorder, ComplementEdgeFunctionsSurviveSiftAndRandomSwaps) {
+  // Mixed-polarity cube unions lean hard on complement edges (every nvar is
+  // a complemented edge into the var node); reordering must preserve the
+  // denoted function of every live handle, checked on a random point set
+  // since n = 10 is too wide for to_table to stay cheap in the swap loop.
+  const unsigned n = 10;
+  Manager mgr(n);
+  Rng rng(0xC0BE5);
+  std::vector<Bdd> fs;
+  for (int i = 0; i < 8; ++i) {
+    Bdd f = Bdd::zero(mgr);
+    for (int c = 0; c < 12; ++c) {
+      Bdd cube = Bdd::one(mgr);
+      for (unsigned v = 0; v < n; ++v)
+        if (rng.chance(1, 3)) cube = cube & Bdd::literal(mgr, v, rng.coin());
+      f = (i & 1) ? (f | cube) : (f ^ cube);
+    }
+    fs.push_back(f);
+  }
+  std::vector<std::vector<bool>> points;
+  for (int p = 0; p < 64; ++p) {
+    std::vector<bool> a(n);
+    for (unsigned v = 0; v < n; ++v) a[v] = rng.coin();
+    points.push_back(std::move(a));
+  }
+  std::vector<std::vector<bool>> before;
+  for (const Bdd& f : fs) {
+    std::vector<bool> evals;
+    for (const auto& a : points) evals.push_back(f.eval(a));
+    before.push_back(std::move(evals));
+  }
+
+  mgr.sift();
+  ASSERT_TRUE(mgr.check_invariants());
+  for (int s = 0; s < 40; ++s) {
+    mgr.swap_levels(unsigned(rng.below(n - 1)));
+    ASSERT_TRUE(mgr.check_invariants()) << "swap " << s;
+  }
+  for (std::size_t i = 0; i < fs.size(); ++i)
+    for (std::size_t p = 0; p < points.size(); ++p)
+      ASSERT_EQ(fs[i].eval(points[p]), before[i][p])
+          << "function " << i << " point " << p;
+}
+
 TEST(Reorder, GcAfterReorderIsSafe) {
   Manager mgr(6);
   Bdd keep = (Bdd::var(mgr, 0) & Bdd::var(mgr, 5)) | Bdd::var(mgr, 3);

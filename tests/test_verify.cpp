@@ -68,7 +68,7 @@ TEST(Miter, AgreesWithExhaustiveSimulationAfterSynthesis) {
     const auto net = circuits::make_benchmark(name);
     ASSERT_TRUE(net.has_value()) << name;
     if (net->num_inputs() > 16) continue;  // keep simulation exhaustive
-    DriverOptions opts;
+    SynthesisConfig opts;
     opts.verify = VerifyMode::off;
     Network mapped;
     run_synthesis(*net, opts, mapped);
@@ -144,7 +144,7 @@ TEST(Miter, ProvesWideTable2CircuitsExactly) {
 
 TEST(Miter, AutoModeFallsBackToSimulationOnTinyBudget) {
   const auto net = circuits::make_benchmark("count");  // 35 inputs
-  DriverOptions opts;
+  SynthesisConfig opts;
   opts.verify_node_budget = 8;  // nothing fits in 8 nodes
   Network mapped;
   const DriverReport rep = run_synthesis(*net, opts, mapped);

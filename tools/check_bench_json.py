@@ -44,6 +44,7 @@ OPTIONAL_KEYS = {
     "cache_hit_rate": (NUMBER, True),
     "iterations": (NUMBER, True),
     "cpu_seconds": (NUMBER, True),
+    "ops_per_sec": (NUMBER, True),
     "threads": (NUMBER, True),
     "verified": (bool, False),
     "verify_mode": (str, False),

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Perf smoke: run the bench_micro BDD-op suite and gate on ops/sec.
+
+Usage:
+  perf_smoke.py --bench <path/to/bench_micro> --baseline <committed.json>
+                [--filter BM_BddOp.*/12] [--min-time 0.1] [--threshold 0.7]
+                [--out current.json]
+
+Runs the filtered suite with a JSON sink, matches records to the committed
+baseline by benchmark name, and fails (exit 1) when the geometric mean of
+current/baseline ops_per_sec falls below the threshold — 0.7 means a >30%
+regression fails. The geomean across the suite is the contract, not any
+single benchmark: individual microbenches are too noisy on shared machines
+to gate on alone.
+
+The committed baseline (bench/baselines/bdd_ops.json) is refreshed by
+running this script with --print-update and pasting the output, or simply by
+copying the --out file over it after an intentional kernel change.
+"""
+
+import argparse
+import json
+import math
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def load_ops(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    return {
+        r["circuit"]: r["ops_per_sec"]
+        for r in doc["records"]
+        if "ops_per_sec" in r
+    }
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--bench", required=True)
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--filter", default="BM_BddOp.*/12")
+    ap.add_argument("--min-time", default="0.1")
+    ap.add_argument("--threshold", type=float, default=0.7)
+    ap.add_argument("--out", default=None)
+    args = ap.parse_args()
+
+    out = args.out
+    if out is None:
+        fd, out = tempfile.mkstemp(suffix=".json")
+        os.close(fd)
+
+    cmd = [
+        args.bench,
+        f"--benchmark_filter={args.filter}",
+        f"--benchmark_min_time={args.min_time}",
+        "--json",
+        out,
+    ]
+    proc = subprocess.run(cmd)
+    if proc.returncode != 0:
+        print(f"perf_smoke: bench run failed ({proc.returncode})",
+              file=sys.stderr)
+        return 1
+
+    base = load_ops(args.baseline)
+    cur = load_ops(out)
+    common = sorted(set(base) & set(cur))
+    if not common:
+        print("perf_smoke: no benchmarks in common with the baseline",
+              file=sys.stderr)
+        return 1
+
+    ratios = []
+    for name in common:
+        ratio = cur[name] / base[name]
+        ratios.append(ratio)
+        print(f"perf_smoke: {name:24s} {base[name]:12.1f} -> "
+              f"{cur[name]:12.1f} ops/s  ({ratio:5.2f}x)")
+    geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+    print(f"perf_smoke: geomean {geomean:.3f}x over {len(common)} benchmarks "
+          f"(threshold {args.threshold:.2f})")
+    if geomean < args.threshold:
+        print(f"perf_smoke: FAIL — ops/sec regressed "
+              f"{(1 - geomean) * 100:.0f}% vs committed baseline "
+              f"{args.baseline}", file=sys.stderr)
+        return 1
+    print("perf_smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
