@@ -382,15 +382,20 @@ NodeId Manager::cofactor_rec(NodeId f, unsigned v, bool value) {
   // Cofactoring commutes with complement, so cache on the regular edge.
   const NodeId c = f & 1u;
   const NodeId fr = f ^ c;
-  const Node& n = nodes_[fr >> 1];
-  if (level_of_var_[n.var] > level_of_var_[v]) return f;
-  if (n.var == v) return (value ? n.hi : n.lo) ^ c;
+  // Copy the fields out: the recursive calls below can grow the arena, so no
+  // reference into nodes_ may live across them (cf. the re-take in
+  // swap_levels).
+  const unsigned nvar = nodes_[fr >> 1].var;
+  const NodeId nlo = nodes_[fr >> 1].lo;
+  const NodeId nhi = nodes_[fr >> 1].hi;
+  if (level_of_var_[nvar] > level_of_var_[v]) return f;
+  if (nvar == v) return (value ? nhi : nlo) ^ c;
   const std::uint64_t tag = (static_cast<std::uint64_t>(v) << 1) | value;
   NodeId r = cached(Op::Cofactor, fr, 0, 0, tag);
   if (r == kNotFound) {
-    const NodeId l = cofactor_rec(n.lo, v, value);
-    const NodeId h = cofactor_rec(n.hi, v, value);
-    r = make_node(n.var, l, h);
+    const NodeId l = cofactor_rec(nlo, v, value);
+    const NodeId h = cofactor_rec(nhi, v, value);
+    r = make_node(nvar, l, h);
     cache_insert(Op::Cofactor, fr, 0, 0, tag, r);
   }
   return r ^ c;
@@ -406,18 +411,22 @@ NodeId Manager::quantify_rec(NodeId f, const std::vector<unsigned>& sorted_vars,
                              unsigned deepest, bool existential,
                              std::uint64_t tag) {
   if (is_terminal(f)) return f;
-  const Node& n = nodes_[f >> 1];
-  if (level_of_var_[n.var] > deepest) return f;  // no quantified var below
+  // Copy var and children out before recursing: the recursion grows the
+  // arena, so references into nodes_ must not survive it.
+  const unsigned nvar = nodes_[f >> 1].var;
+  if (level_of_var_[nvar] > deepest) return f;  // no quantified var below
   const Op op = existential ? Op::Exists : Op::Forall;
   NodeId r = cached(op, f, 0, 0, tag);
   if (r != kNotFound) return r;
-  const NodeId l = quantify_rec(lo(f), sorted_vars, deepest, existential, tag);
-  const NodeId h = quantify_rec(hi(f), sorted_vars, deepest, existential, tag);
-  if (std::binary_search(sorted_vars.begin(), sorted_vars.end(), n.var)) {
+  const NodeId flo = lo(f);
+  const NodeId fhi = hi(f);
+  const NodeId l = quantify_rec(flo, sorted_vars, deepest, existential, tag);
+  const NodeId h = quantify_rec(fhi, sorted_vars, deepest, existential, tag);
+  if (std::binary_search(sorted_vars.begin(), sorted_vars.end(), nvar)) {
     r = existential ? ite_rec(l, kTrue, h)    // l OR h
                     : ite_rec(l, h, kFalse);  // l AND h
   } else {
-    r = make_node(n.var, l, h);
+    r = make_node(nvar, l, h);
   }
   cache_insert(op, f, 0, 0, tag, r);
   return r;
@@ -433,12 +442,14 @@ NodeId Manager::exists(NodeId f, const std::vector<unsigned>& vars) {
   }
   std::vector<unsigned> sorted(vars);
   std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
   unsigned deepest = 0;
-  std::uint64_t tag = 0x9e3779b97f4a7c15ull;
-  for (unsigned v : sorted) {
-    deepest = std::max(deepest, level_of_var_[v]);
-    tag = mix64(tag ^ v);
-  }
+  for (unsigned v : sorted) deepest = std::max(deepest, level_of_var_[v]);
+  // Exact cache key (CUDD-style): the positive cube of the quantified set.
+  // Its NodeId is canonical via the unique table and the computed cache is
+  // flushed on GC, so distinct variable sets can never alias — unlike a
+  // 64-bit hash fold.
+  const NodeId tag = cube(sorted, std::vector<bool>(sorted.size(), true));
   return quantify_rec(f, sorted, deepest, true, tag);
 }
 
@@ -452,12 +463,11 @@ NodeId Manager::forall(NodeId f, const std::vector<unsigned>& vars) {
   }
   std::vector<unsigned> sorted(vars);
   std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
   unsigned deepest = 0;
-  std::uint64_t tag = 0x9e3779b97f4a7c15ull;
-  for (unsigned v : sorted) {
-    deepest = std::max(deepest, level_of_var_[v]);
-    tag = mix64(tag ^ v);
-  }
+  for (unsigned v : sorted) deepest = std::max(deepest, level_of_var_[v]);
+  // Same exact cube key as exists(); the Op enum separates the two caches.
+  const NodeId tag = cube(sorted, std::vector<bool>(sorted.size(), true));
   return quantify_rec(f, sorted, deepest, false, tag);
 }
 
@@ -652,6 +662,8 @@ void Manager::swap_levels(unsigned level) {
   // denoting the same function. New (u, ...) children never touch v (their
   // children sit at deeper levels), so sharing lookups below stay safe even
   // while the loop is mid-flight.
+  const bool track = !indeg_.empty();  // sift() keeps in-degrees live
+  std::vector<std::uint32_t> maybe_dead;
   const std::uint32_t end = static_cast<std::uint32_t>(nodes_.size());
   for (std::uint32_t i = 1; i < end; ++i) {
     if (nodes_[i].var != u) continue;
@@ -664,16 +676,63 @@ void Manager::swap_levels(unsigned level) {
     const NodeId f01 = lo_v ? hi(flo) : flo;
     const NodeId f10 = hi_v ? nodes_[fhi >> 1].lo : fhi;
     const NodeId f11 = hi_v ? nodes_[fhi >> 1].hi : fhi;
+    std::size_t live_before = live_nodes_;
     const NodeId nl = make_node(u, f00, f10);
+    const bool nl_fresh = live_nodes_ != live_before;
+    live_before = live_nodes_;
     // f11 is a stored hi (regular), so the new hi edge stays regular and the
     // in-place rewrite preserves canonical form.
     const NodeId nh = make_node(u, f01, f11);
+    const bool nh_fresh = live_nodes_ != live_before;
     assert((nh & 1u) == 0);
     assert(nl != nh && "swap collapsed a node that branches on v");
+    if (track) {
+      if (indeg_.size() < nodes_.size()) indeg_.resize(nodes_.size(), 0);
+      // Node i drops its edges to flo/fhi and gains edges to nl/nh; freshly
+      // created nodes contribute the edges to their own children.
+      --indeg_[flo >> 1];
+      --indeg_[fhi >> 1];
+      ++indeg_[nl >> 1];
+      ++indeg_[nh >> 1];
+      if (nl_fresh) {
+        ++indeg_[f00 >> 1];
+        ++indeg_[f10 >> 1];
+      }
+      if (nh_fresh) {
+        ++indeg_[f01 >> 1];
+        ++indeg_[f11 >> 1];
+      }
+      maybe_dead.push_back(flo >> 1);
+      maybe_dead.push_back(fhi >> 1);
+    }
     Node& n = nodes_[i];  // re-take: make_node may reallocate the arena
     n.var = v;
     n.lo = nl;
     n.hi = nh;
+  }
+  if (track) {
+    // Eagerly reclaim nodes the rewrite orphaned (cascading through their
+    // children) so live_nodes_ stays the exact reachable count and sift()
+    // never needs an O(arena) mark traversal. Safe here: sift() runs a full
+    // GC first and swap_levels never inserts computed-cache entries, so the
+    // cache holds no ids that could be recycled.
+    while (!maybe_dead.empty()) {
+      const std::uint32_t c = maybe_dead.back();
+      maybe_dead.pop_back();
+      if (c == 0 || nodes_[c].var == kFreeVar_) continue;
+      if (indeg_[c] != 0 || nodes_[c].ref != 0) continue;
+      const std::uint32_t cl = nodes_[c].lo >> 1;
+      const std::uint32_t ch = nodes_[c].hi >> 1;
+      --indeg_[cl];
+      --indeg_[ch];
+      maybe_dead.push_back(cl);
+      maybe_dead.push_back(ch);
+      nodes_[c].var = kFreeVar_;
+      nodes_[c].lo = free_head_;
+      nodes_[c].ref = 0;
+      free_head_ = c;
+      --live_nodes_;
+    }
   }
   // The in-place relabeling leaves stale unique-table slots; rebuild. (The
   // computed cache stays: it memoizes function identities, and those are
@@ -702,7 +761,17 @@ std::size_t Manager::reachable_node_count() const {
 
 std::size_t Manager::sift() {
   garbage_collect();
-  if (num_vars_ < 2) return reachable_node_count();
+  if (num_vars_ < 2) return live_nodes_;
+  // After the GC every arena node is reachable, so live_nodes_ equals the
+  // reachable count. Track in-degrees while sifting: swap_levels reclaims
+  // orphans eagerly, keeping live_nodes_ exact, and each swap's cost is just
+  // its rewrite work — no O(arena) mark traversal per position.
+  indeg_.assign(nodes_.size(), 0);
+  for (std::uint32_t i = 1; i < nodes_.size(); ++i) {
+    if (nodes_[i].var == kFreeVar_) continue;
+    ++indeg_[nodes_[i].lo >> 1];
+    ++indeg_[nodes_[i].hi >> 1];
+  }
   // Largest level population first — Rudell's ordering heuristic.
   std::vector<std::size_t> pop(num_vars_, 0);
   for (std::uint32_t i = 1; i < nodes_.size(); ++i)
@@ -712,28 +781,28 @@ std::size_t Manager::sift() {
   std::sort(vars.begin(), vars.end(),
             [&](unsigned a, unsigned b) { return pop[a] > pop[b]; });
   for (unsigned x : vars) {
-    std::size_t best = reachable_node_count();
+    std::size_t best = live_nodes_;
     unsigned best_level = level_of_var_[x];
     // Sink to the bottom, then float to the top, tracking the best position.
     while (level_of_var_[x] + 1 < num_vars_) {
       swap_levels(level_of_var_[x]);
-      const std::size_t cur = reachable_node_count();
-      if (cur < best) {
-        best = cur;
+      if (live_nodes_ < best) {
+        best = live_nodes_;
         best_level = level_of_var_[x];
       }
     }
     while (level_of_var_[x] > 0) {
       swap_levels(level_of_var_[x] - 1);
-      const std::size_t cur = reachable_node_count();
-      if (cur < best) {
-        best = cur;
+      if (live_nodes_ < best) {
+        best = live_nodes_;
         best_level = level_of_var_[x];
       }
     }
     while (level_of_var_[x] < best_level) swap_levels(level_of_var_[x]);
   }
-  return reachable_node_count();
+  indeg_.clear();
+  assert(live_nodes_ == reachable_node_count());
+  return live_nodes_;
 }
 
 void Manager::set_order(const std::vector<unsigned>& var_at_level) {

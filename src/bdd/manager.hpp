@@ -232,6 +232,10 @@ class Manager {
   std::size_t unique_occupied_ = 0;  // filled slots (stale entries included)
   std::vector<CacheEntry> cache_;    // direct-mapped, lossy
   std::uint32_t free_head_ = 0;      // arena free list; 0 = empty
+  // Per-node in-edge counts, non-empty only while sift() runs: lets
+  // swap_levels reclaim orphans eagerly so live_nodes_ stays the exact
+  // reachable count during reordering.
+  std::vector<std::uint32_t> indeg_;
   std::size_t live_nodes_ = 0;
   std::size_t peak_nodes_ = 0;
   std::size_t gc_threshold_ = 1u << 14;

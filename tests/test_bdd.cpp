@@ -409,5 +409,88 @@ TEST_P(BddQuantifyProperty, ExistsEqualsOrOfCofactors) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BddQuantifyProperty, ::testing::Range(0, 10));
 
+TEST(Bdd, QuantifyAndCofactorSurviveArenaGrowth) {
+  // Regression: cofactor_rec/quantify_rec once held a Node& across recursive
+  // calls, but make_node can reallocate the arena mid-recursion and the
+  // reference dangled. Operations big enough to force several reallocations
+  // pin semantics on random points (sanitizer builds catch the dangle
+  // directly).
+  const unsigned n = 16;
+  Manager mgr(n);
+  Rng rng(0xA11A);
+  Bdd f = Bdd::zero(mgr);
+  for (int c = 0; c < 48; ++c) {
+    Bdd cube = Bdd::one(mgr);
+    for (unsigned v = 0; v < n; ++v)
+      if (rng.chance(1, 3)) cube = cube & Bdd::literal(mgr, v, rng.coin());
+    f = f ^ cube;
+  }
+  std::vector<std::vector<bool>> points;
+  for (int p = 0; p < 32; ++p) {
+    std::vector<bool> a(n);
+    for (unsigned v = 0; v < n; ++v) a[v] = rng.coin();
+    points.push_back(std::move(a));
+  }
+  const std::vector<unsigned> qs = {2, 7, 11};
+  const Bdd ex = f.exists(qs);
+  const Bdd fa = f.forall(qs);
+  const Bdd c0 = f.cofactor(5, false);
+  const Bdd c1 = f.cofactor(5, true);
+  for (auto a : points) {
+    bool any = false, all = true;
+    for (unsigned m = 0; m < 8; ++m) {
+      for (std::size_t k = 0; k < qs.size(); ++k) a[qs[k]] = (m >> k) & 1;
+      const bool val = f.eval(a);
+      any = any || val;
+      all = all && val;
+    }
+    EXPECT_EQ(ex.eval(a), any);
+    EXPECT_EQ(fa.eval(a), all);
+    a[5] = false;
+    EXPECT_EQ(c0.eval(a), f.eval(a));
+    a[5] = true;
+    EXPECT_EQ(c1.eval(a), f.eval(a));
+  }
+  // Duplicates in the quantified set collapse to the same exact cache key.
+  EXPECT_EQ(f.exists({2, 2, 7, 7, 11}), ex);
+  EXPECT_EQ(f.forall({11, 7, 2, 7, 11}), fa);
+
+  // Grind quantifications over fresh variable sets, keeping every result
+  // live, until the cumulative allocation count has doubled: with nothing
+  // dying, fresh nodes land on push_back, so the arena must cross a capacity
+  // boundary — i.e. reallocate — inside the quantification recursion.
+  const std::uint64_t start_alloc = mgr.stats().nodes_allocated;
+  std::vector<Bdd> keep;
+  std::vector<std::vector<unsigned>> sets;
+  for (int round = 0;
+       mgr.stats().nodes_allocated < 2 * start_alloc && round < 400; ++round) {
+    std::vector<unsigned> set;
+    for (unsigned v = 0; v < n; ++v)
+      if (rng.chance(1, 3)) set.push_back(v);
+    if (set.empty()) set.push_back(static_cast<unsigned>(round) % n);
+    keep.push_back((round & 1) ? f.exists(set) : f.forall(set));
+    sets.push_back(std::move(set));
+  }
+  EXPECT_GE(mgr.stats().nodes_allocated, 2 * start_alloc)
+      << "grind too small to force an arena reallocation";
+  // Spot-check a few ground results against per-point expansion.
+  for (std::size_t i = 0; i < keep.size(); i += keep.size() / 8 + 1) {
+    const auto& set = sets[i];
+    for (std::size_t p = 0; p < points.size(); p += 7) {
+      auto a = points[p];
+      bool any = false, all = true;
+      for (std::uint64_t m = 0; m < (std::uint64_t{1} << set.size()); ++m) {
+        for (std::size_t k = 0; k < set.size(); ++k) a[set[k]] = (m >> k) & 1;
+        const bool val = f.eval(a);
+        any = any || val;
+        all = all && val;
+      }
+      EXPECT_EQ(keep[i].eval(a), (i & 1) ? any : all)
+          << "set " << i << " point " << p;
+    }
+  }
+  EXPECT_TRUE(mgr.check_invariants());
+}
+
 }  // namespace
 }  // namespace imodec

@@ -247,6 +247,36 @@ TEST(Reorder, ComplementEdgeFunctionsSurviveSiftAndRandomSwaps) {
           << "function " << i << " point " << p;
 }
 
+TEST(Reorder, SiftReturnsExactReachableCount) {
+  // sift() tracks the node count incrementally (in-degree bookkeeping plus
+  // eager orphan reclamation in swap_levels) instead of re-marking the arena
+  // after every swap; the returned count must still be the exact reachable
+  // count, and the arena must come out garbage-free.
+  const unsigned n = 9;
+  Manager mgr(n);
+  Rng rng(0x51F7);
+  std::vector<Bdd> fs;
+  for (int i = 0; i < 6; ++i) {
+    Bdd f = Bdd::zero(mgr);
+    for (int c = 0; c < 10; ++c) {
+      std::vector<unsigned> vars;
+      std::vector<bool> phases;
+      for (unsigned v = 0; v < n; ++v) {
+        if (rng.chance(1, 2)) continue;
+        vars.push_back(v);
+        phases.push_back(rng.coin());
+      }
+      f = (i & 1) ? (f | Bdd::cube(mgr, vars, phases))
+                  : (f ^ Bdd::cube(mgr, vars, phases));
+    }
+    fs.push_back(f);
+  }
+  const std::size_t sifted = mgr.sift();
+  EXPECT_EQ(sifted, mgr.reachable_node_count());
+  EXPECT_EQ(sifted, mgr.live_node_count());
+  EXPECT_TRUE(mgr.check_invariants());
+}
+
 TEST(Reorder, GcAfterReorderIsSafe) {
   Manager mgr(6);
   Bdd keep = (Bdd::var(mgr, 0) & Bdd::var(mgr, 5)) | Bdd::var(mgr, 3);
