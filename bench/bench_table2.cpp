@@ -42,6 +42,7 @@ struct Row {
   std::uint64_t bdd_nodes = 0, bdd_cache_lookups = 0, bdd_cache_hits = 0;
   double cpu = 0.0;
   bool verified = true;
+  bool degraded = false;  // any governed fallback fired (DESIGN.md §12)
 };
 
 int run_mode(const Network& reference, const Network& start, bool multi,
@@ -58,6 +59,7 @@ int run_mode(const Network& reference, const Network& start, bool multi,
     row->bdd_cache_lookups += r.stats.bdd_cache_lookups;
     row->bdd_cache_hits += r.stats.bdd_cache_hits;
     if (multi && row->depth == 0) row->depth = r.network.depth();
+    row->degraded = row->degraded || r.degrade.degraded();
   }
   EquivalenceOptions eq_opts;
   eq_opts.random_vectors = 512;  // light check; tests do the heavy lifting
@@ -146,6 +148,7 @@ int main(int argc, char** argv) {
               : 0.0;
       rec["verified"] = row.verified;
       rec["verify_mode"] = "sim";  // 512-vector spot check, not the miter
+      rec["degraded"] = row.degraded;
       rec["threads"] = g_threads;
     }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <new>
 #include <numeric>
 #include <set>
 #include <string>
@@ -10,9 +11,16 @@
 #include <unordered_set>
 
 #include "obs/metrics.hpp"
+#include "util/fault.hpp"
+#include "util/resource.hpp"
 
 namespace imodec::bdd {
 namespace {
+
+/// Internal unwind signal: a governed make_node hit the guard's node budget.
+/// Only thrown while a guard is attached; converted by Manager::governed into
+/// either a successful GC-retry or a util::ResourceExhausted.
+struct NodeBudgetHit {};
 
 /// SplitMix64 finalizer — the mixing step behind both flat tables.
 inline std::uint64_t mix64(std::uint64_t x) {
@@ -50,6 +58,78 @@ Manager::Manager(unsigned num_vars) : num_vars_(num_vars) {
   cache_.assign(kMinCache, CacheEntry{});
 }
 
+Manager::~Manager() {
+  if (guard_) guard_->charge_nodes(-static_cast<std::int64_t>(guard_charged_));
+}
+
+void Manager::set_resource_guard(util::ResourceGuard* guard) {
+  if (guard_ == guard) return;
+  if (guard_) guard_->charge_nodes(-static_cast<std::int64_t>(guard_charged_));
+  guard_ = guard;
+  guard_charged_ = 0;
+  sync_guard_charge();
+}
+
+void Manager::sync_guard_charge() {
+  if (!guard_) return;
+  const std::int64_t delta = static_cast<std::int64_t>(live_nodes_) -
+                             static_cast<std::int64_t>(guard_charged_);
+  if (delta != 0) guard_->charge_nodes(delta);
+  guard_charged_ = live_nodes_;
+}
+
+template <typename Fn>
+NodeId Manager::governed(const std::vector<NodeId>& roots, Fn&& fn) {
+  // Nested public calls (e.g. vector_compose_rec -> var) must not run their
+  // own recovery: a GC here would free the outer recursion's unreferenced
+  // intermediates. Only the outermost governed frame recovers.
+  if (!guard_ || in_governed_) return fn();
+  in_governed_ = true;
+  struct Reset {
+    bool* flag;
+    ~Reset() { *flag = false; }
+  } reset{&in_governed_};
+
+  const auto protect = [&](int d) {
+    for (const NodeId r : roots) nodes_[r >> 1].ref += d;
+  };
+  // One collection with the operands protected, then one retry. The ladder:
+  // trip -> GC -> retry -> second trip -> typed ResourceExhausted.
+  const auto recover = [&](bool from_budget) {
+    protect(+1);
+    try {
+      garbage_collect();
+    } catch (const std::bad_alloc&) {
+      protect(-1);
+      throw util::ResourceExhausted(util::ResourceKind::memory,
+                                    "BDD arena allocation failed during GC");
+    }
+    protect(-1);
+    const std::size_t budget = guard_->node_budget();
+    if (from_budget && budget != 0 && live_nodes_ >= budget)
+      throw util::ResourceExhausted(
+          util::ResourceKind::bdd_nodes,
+          "BDD node budget exceeded (GC could not free enough)");
+  };
+
+  try {
+    return fn();
+  } catch (const NodeBudgetHit&) {
+    recover(/*from_budget=*/true);
+  } catch (const std::bad_alloc&) {
+    recover(/*from_budget=*/false);
+  }
+  try {
+    return fn();
+  } catch (const NodeBudgetHit&) {
+    throw util::ResourceExhausted(util::ResourceKind::bdd_nodes,
+                                  "BDD node budget exceeded");
+  } catch (const std::bad_alloc&) {
+    throw util::ResourceExhausted(util::ResourceKind::memory,
+                                  "BDD arena allocation failed");
+  }
+}
+
 void Manager::add_vars(unsigned extra) {
   for (unsigned i = 0; i < extra; ++i) {
     // New variables enter at the bottom of the order, whatever the current
@@ -82,6 +162,13 @@ void Manager::deref(NodeId f) {
 
 NodeId Manager::make_node(unsigned v, NodeId lo_e, NodeId hi_e) {
   if (lo_e == hi_e) return lo_e;  // reduction rule
+  // Governance checkpoint: every operation recurses through here, so this one
+  // site gives sub-operation granularity for deadlines and cancellation.
+  // Unwinding from a checkpoint is safe at this point — nothing has been
+  // mutated yet and half-built recursion results are just future garbage.
+  // Suppressed during reordering, where an unwind mid-swap would corrupt the
+  // in-place rewrite.
+  if (guard_ && !in_reorder_) guard_->checkpoint();
   // Canonical form: regular hi child; the complement moves to the result.
   const NodeId comp = hi_e & 1u;
   lo_e ^= comp;
@@ -110,8 +197,11 @@ NodeId Manager::make_node(unsigned v, NodeId lo_e, NodeId hi_e) {
     idx = free_head_;
     free_head_ = nodes_[idx].lo;  // free list chains through lo
   } else {
+    if constexpr (util::fault::enabled())
+      if (guard_ && !in_reorder_ && util::fault::poll_alloc())
+        throw std::bad_alloc{};  // exercises the governed() GC-retry ladder
     idx = static_cast<std::uint32_t>(nodes_.size());
-    nodes_.push_back(Node{});
+    nodes_.push_back(Node{});  // bad_alloc unwinds to governed()'s recovery
   }
   nodes_[idx] = Node{v, lo_e, hi_e, 0};
   unique_[slot] = idx;
@@ -119,6 +209,20 @@ NodeId Manager::make_node(unsigned v, NodeId lo_e, NodeId hi_e) {
   ++live_nodes_;
   ++stats_.nodes_allocated;
   if (live_nodes_ > peak_nodes_) peak_nodes_ = live_nodes_;
+  if (guard_ && !in_reorder_) {
+    guard_->charge_nodes(1);
+    ++guard_charged_;
+    // Budget enforcement is per manager — per work unit — so whether a
+    // decomposition trips depends only on its own allocation sequence, never
+    // on what other threads' managers are doing (DESIGN.md §12.3). The node
+    // is fully inserted before the unwind, so the tables stay consistent and
+    // the orphan is reclaimed by the recovery GC.
+    const std::size_t budget = guard_->node_budget();
+    bool trip = budget != 0 && live_nodes_ > budget;
+    if constexpr (util::fault::enabled())
+      trip = trip || util::fault::poll_budget();
+    if (trip) throw NodeBudgetHit{};
+  }
   if ((unique_occupied_ + 1) * 4 > unique_.size() * 3)
     unique_rehash(unique_.size() * 2);
   return (idx << 1) | comp;
@@ -216,6 +320,7 @@ void Manager::garbage_collect() {
   // Node ids get recycled, so every cached result is now suspect.
   for (CacheEntry& e : cache_) e = CacheEntry{};
   unique_rehash(unique_.size());
+  sync_guard_charge();
 }
 
 // --- ITE core ----------------------------------------------------------------
@@ -344,7 +449,7 @@ NodeId Manager::ite(NodeId f, NodeId g, NodeId h) {
     --nodes_[g >> 1].ref;
     --nodes_[h >> 1].ref;
   }
-  return ite_rec(f, g, h);
+  return governed({f, g, h}, [&] { return ite_rec(f, g, h); });
 }
 
 NodeId Manager::apply_and(NodeId f, NodeId g) { return ite(f, g, kFalse); }
@@ -355,7 +460,7 @@ NodeId Manager::apply_xor(NodeId f, NodeId g) { return ite(f, g ^ 1u, g); }
 
 NodeId Manager::var(unsigned v) {
   assert(v < num_vars_);
-  return make_node(v, kFalse, kTrue);
+  return governed({}, [&] { return make_node(v, kFalse, kTrue); });
 }
 
 NodeId Manager::cube(const std::vector<unsigned>& vars,
@@ -367,12 +472,14 @@ NodeId Manager::cube(const std::vector<unsigned>& vars,
   std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
     return level_of_var_[vars[a]] > level_of_var_[vars[b]];
   });
-  NodeId acc = kTrue;
-  for (std::size_t k : idx) {
-    acc = phases[k] ? make_node(vars[k], kFalse, acc)
-                    : make_node(vars[k], acc, kFalse);
-  }
-  return acc;
+  return governed({}, [&] {
+    NodeId acc = kTrue;
+    for (std::size_t k : idx) {
+      acc = phases[k] ? make_node(vars[k], kFalse, acc)
+                      : make_node(vars[k], acc, kFalse);
+    }
+    return acc;
+  });
 }
 
 // --- Cofactor / quantification / composition ---------------------------------
@@ -404,7 +511,7 @@ NodeId Manager::cofactor_rec(NodeId f, unsigned v, bool value) {
 NodeId Manager::cofactor(NodeId f, unsigned v, bool value) {
   assert_live(f);
   assert(v < num_vars_);
-  return cofactor_rec(f, v, value);
+  return governed({f}, [&] { return cofactor_rec(f, v, value); });
 }
 
 NodeId Manager::quantify_rec(NodeId f, const std::vector<unsigned>& sorted_vars,
@@ -448,9 +555,12 @@ NodeId Manager::exists(NodeId f, const std::vector<unsigned>& vars) {
   // Exact cache key (CUDD-style): the positive cube of the quantified set.
   // Its NodeId is canonical via the unique table and the computed cache is
   // flushed on GC, so distinct variable sets can never alias — unlike a
-  // 64-bit hash fold.
-  const NodeId tag = cube(sorted, std::vector<bool>(sorted.size(), true));
-  return quantify_rec(f, sorted, deepest, true, tag);
+  // 64-bit hash fold. Built inside the governed frame so a retry rebuilds it
+  // after the recovery collection.
+  return governed({f}, [&] {
+    const NodeId tag = cube(sorted, std::vector<bool>(sorted.size(), true));
+    return quantify_rec(f, sorted, deepest, true, tag);
+  });
 }
 
 NodeId Manager::forall(NodeId f, const std::vector<unsigned>& vars) {
@@ -467,8 +577,10 @@ NodeId Manager::forall(NodeId f, const std::vector<unsigned>& vars) {
   unsigned deepest = 0;
   for (unsigned v : sorted) deepest = std::max(deepest, level_of_var_[v]);
   // Same exact cube key as exists(); the Op enum separates the two caches.
-  const NodeId tag = cube(sorted, std::vector<bool>(sorted.size(), true));
-  return quantify_rec(f, sorted, deepest, false, tag);
+  return governed({f}, [&] {
+    const NodeId tag = cube(sorted, std::vector<bool>(sorted.size(), true));
+    return quantify_rec(f, sorted, deepest, false, tag);
+  });
 }
 
 NodeId Manager::compose(NodeId f, unsigned v, NodeId g) {
@@ -482,9 +594,11 @@ NodeId Manager::compose(NodeId f, unsigned v, NodeId g) {
     --nodes_[f >> 1].ref;
     --nodes_[g >> 1].ref;
   }
-  const NodeId f1 = cofactor_rec(f, v, true);
-  const NodeId f0 = cofactor_rec(f, v, false);
-  return ite_rec(g, f1, f0);
+  return governed({f, g}, [&] {
+    const NodeId f1 = cofactor_rec(f, v, true);
+    const NodeId f0 = cofactor_rec(f, v, false);
+    return ite_rec(g, f1, f0);
+  });
 }
 
 NodeId Manager::vector_compose_rec(NodeId f, const std::vector<NodeId>& map,
@@ -519,8 +633,14 @@ NodeId Manager::vector_compose(NodeId f, const std::vector<NodeId>& map) {
     for (NodeId m : map)
       if (m != kNoReplacement) --nodes_[m >> 1].ref;
   }
-  std::unordered_map<NodeId, NodeId> memo;
-  return vector_compose_rec(f, map, memo);
+  std::vector<NodeId> roots{f};
+  for (NodeId m : map)
+    if (m != kNoReplacement) roots.push_back(m);
+  // The memo lives inside the frame: a retry must not see pre-GC node ids.
+  return governed(roots, [&] {
+    std::unordered_map<NodeId, NodeId> memo;
+    return vector_compose_rec(f, map, memo);
+  });
 }
 
 // --- Queries -----------------------------------------------------------------
@@ -649,6 +769,16 @@ void Manager::foreach_minterm(
 
 void Manager::swap_levels(unsigned level) {
   assert(level + 1 < num_vars_);
+  // The in-place rewrite below must run to completion: suppress governance
+  // checkpoints (an unwind mid-swap would leave relabeled nodes with stale
+  // unique-table slots).
+  const bool was_reordering = in_reorder_;
+  in_reorder_ = true;
+  struct Reset {
+    bool* flag;
+    bool prev;
+    ~Reset() { *flag = prev; }
+  } reset{&in_reorder_, was_reordering};
   const unsigned u = var_at_level_[level];
   const unsigned v = var_at_level_[level + 1];
   // Install the new order first: the make_node calls below must already see
@@ -738,6 +868,7 @@ void Manager::swap_levels(unsigned level) {
   // computed cache stays: it memoizes function identities, and those are
   // preserved by reordering.)
   unique_rehash(unique_.size());
+  sync_guard_charge();
 }
 
 std::size_t Manager::reachable_node_count() const {

@@ -31,6 +31,10 @@
 #include <unordered_map>
 #include <vector>
 
+namespace imodec::util {
+class ResourceGuard;
+}
+
 namespace imodec::bdd {
 
 /// An edge: (arena index << 1) | complement bit.
@@ -44,9 +48,24 @@ class Bdd;
 class Manager {
  public:
   explicit Manager(unsigned num_vars);
+  ~Manager();
 
   Manager(const Manager&) = delete;
   Manager& operator=(const Manager&) = delete;
+
+  // --- Resource governance (DESIGN.md §12) -----------------------------------
+  /// Attach a guard (not owned; must outlive the attachment; nullptr
+  /// detaches). A governed manager checkpoints the guard in make_node — i.e.
+  /// in every operation's recursion — so deadline expiry and cancellation
+  /// surface as util::Timeout / util::ResourceExhausted from whichever public
+  /// operation is running. The guard's node budget caps this manager's live
+  /// nodes: on a trip (or a std::bad_alloc from arena/table growth) the
+  /// running operation unwinds, the manager collects garbage with the
+  /// operation's operands protected, and the operation is retried once;
+  /// if the limit still binds, util::ResourceExhausted escapes. Either way
+  /// the manager stays valid and consistent.
+  void set_resource_guard(util::ResourceGuard* guard);
+  util::ResourceGuard* resource_guard() const { return guard_; }
 
   unsigned num_vars() const { return num_vars_; }
   /// Grow the variable count (new variables order below existing ones).
@@ -205,6 +224,13 @@ class Manager {
   void assert_live(NodeId f) const;
 
   NodeId make_node(unsigned v, NodeId lo, NodeId hi);
+  /// Run `fn` (one public operation) under the GC-retry ladder described at
+  /// set_resource_guard(); `roots` are the operand edges to protect across
+  /// the recovery collection. Defined in manager.cpp (only used there).
+  template <typename Fn>
+  NodeId governed(const std::vector<NodeId>& roots, Fn&& fn);
+  /// Reconcile guard_charged_ with live_nodes_ after bulk changes (GC).
+  void sync_guard_charge();
   void unique_insert_slot(std::uint32_t i);
   void unique_rehash(std::size_t new_size);
   void cache_resize_for_table();
@@ -239,6 +265,14 @@ class Manager {
   std::size_t live_nodes_ = 0;
   std::size_t peak_nodes_ = 0;
   std::size_t gc_threshold_ = 1u << 14;
+  util::ResourceGuard* guard_ = nullptr;  // not owned
+  std::size_t guard_charged_ = 0;  // live nodes reported to guard_ so far
+  // Reordering moves nodes in place; an exception mid-swap would corrupt the
+  // tables, so governance checkpoints are suppressed while this is set.
+  bool in_reorder_ = false;
+  // True while the outermost governed() frame runs; nested public calls
+  // (var/cube from inside a recursion) must not start their own recovery.
+  bool in_governed_ = false;
   mutable Stats stats_;
 };
 

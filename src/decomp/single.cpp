@@ -4,6 +4,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/resource.hpp"
 
 namespace imodec {
 
@@ -63,8 +64,10 @@ TruthTable build_g(const TruthTable& f, const VarPartition& vp,
 }
 
 Decomposition decompose_single_output(const TruthTable& f,
-                                      const VarPartition& vp) {
+                                      const VarPartition& vp,
+                                      util::ResourceGuard* guard) {
   obs::ScopedSpan span("single.decompose");
+  if (guard) guard->checkpoint();
   const VertexPartition pf = local_partition_tt(f, vp);
   const unsigned c = codewidth(pf.num_classes);
   const unsigned b = vp.b();
@@ -75,12 +78,14 @@ Decomposition decompose_single_output(const TruthTable& f,
 
   // Strict encoding: class i -> code i; d_j(x) = bit j of class index.
   for (unsigned j = 0; j < c; ++j) {
+    if (guard) guard->checkpoint();
     TruthTable dj(b);
     for (std::uint64_t x = 0; x < pf.num_vertices(); ++x)
       dj.set(x, (pf.class_of[x] >> j) & 1);
     result.d_funcs.push_back(std::move(dj));
     result.outputs[0].d_index.push_back(j);
   }
+  if (guard) guard->checkpoint();
   result.outputs[0].g = build_g(f, vp, result.d_funcs);
   if (obs::enabled()) {
     obs::count("single.decompositions");

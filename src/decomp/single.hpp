@@ -10,6 +10,10 @@
 #include "decomp/classes.hpp"
 #include "decomp/types.hpp"
 
+namespace imodec::util {
+class ResourceGuard;
+}
+
 namespace imodec {
 
 /// One decomposition of a single- or multiple-output function. Variable
@@ -32,9 +36,13 @@ struct Decomposition {
 
 /// Strict single-output decomposition: local classes are encoded in binary
 /// (class i gets code i); d_j is bit j of the code. Always succeeds; the
-/// decomposition is non-trivial iff c < b.
+/// decomposition is non-trivial iff c < b. A guard (optional, not owned) is
+/// checkpointed between phases — explicit truth-table work is cheap, so
+/// per-phase granularity keeps a governed run responsive without slowing the
+/// inner row loops (DESIGN.md §12).
 Decomposition decompose_single_output(const TruthTable& f,
-                                      const VarPartition& vp);
+                                      const VarPartition& vp,
+                                      util::ResourceGuard* guard = nullptr);
 
 /// Build g for one output given its chosen decomposition functions. The code
 /// of BS vertex x is (d_0(x), ..., d_{c-1}(x)); the product of the d

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "obs/trace.hpp"
+#include "util/resource.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -61,9 +62,13 @@ std::optional<VarPartChoice> evaluate_candidates(
     const std::vector<TruthTable>& outputs, unsigned num_vars,
     const std::vector<std::vector<unsigned>>& cands, bool require_nontrivial,
     const std::vector<std::vector<unsigned>>& supports,
-    util::ThreadPool* pool) {
+    util::ThreadPool* pool, util::ResourceGuard* guard) {
   std::vector<std::optional<VarPartChoice>> results(cands.size());
   const auto eval_one = [&](std::size_t i) {
+    // One checkpoint per candidate: a deadline/cancellation trip in any
+    // worker unwinds through parallel_for (the first exception stops the
+    // remaining chunks and is rethrown on the caller).
+    if (guard) guard->checkpoint();
     results[i] = evaluate_with_supports(outputs, num_vars, cands[i],
                                         require_nontrivial, supports);
   };
@@ -147,7 +152,8 @@ std::optional<VarPartChoice> choose_bound_set(
         idx[j] = idx[j - 1] + 1;
     }
     return evaluate_candidates(outputs, num_vars, cands,
-                               opts.require_nontrivial, supports, opts.pool);
+                               opts.require_nontrivial, supports, opts.pool,
+                               opts.guard);
   }
 
   // Sampling + hill climbing.
@@ -168,7 +174,8 @@ std::optional<VarPartChoice> choose_bound_set(
     cands.emplace_back(pool_vars.begin(), pool_vars.begin() + b);
   }
   std::optional<VarPartChoice> best = evaluate_candidates(
-      outputs, num_vars, cands, opts.require_nontrivial, supports, opts.pool);
+      outputs, num_vars, cands, opts.require_nontrivial, supports, opts.pool,
+      opts.guard);
   if (!best) return std::nullopt;
 
   // Hill climbing: try swapping one bound variable against one free one.
@@ -195,6 +202,7 @@ std::optional<VarPartChoice> choose_bound_set(
     }
     std::vector<std::optional<VarPartChoice>> results(neighbors.size());
     const auto eval_one = [&](std::size_t i) {
+      if (opts.guard) opts.guard->checkpoint();
       results[i] = evaluate_with_supports(outputs, num_vars, neighbors[i],
                                           opts.require_nontrivial, supports);
     };

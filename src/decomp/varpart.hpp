@@ -16,6 +16,7 @@
 #include "decomp/types.hpp"
 
 namespace imodec::util {
+class ResourceGuard;
 class ThreadPool;
 }  // namespace imodec::util
 
@@ -42,6 +43,10 @@ struct VarPartOptions {
   /// full-support single output this reduces to the classical c < b. If no
   /// candidate satisfies this, choose_bound_set returns nullopt.
   bool require_nontrivial = true;
+  /// Resource governance (not owned; nullptr = ungoverned). Checkpointed
+  /// once per candidate evaluation; a deadline/cancellation trip in any
+  /// worker unwinds the whole search through parallel_for (DESIGN.md §12).
+  util::ResourceGuard* guard = nullptr;
 };
 
 struct VarPartChoice {

@@ -7,6 +7,7 @@
 #include "imodec/lmax.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/resource.hpp"
 
 namespace imodec {
 
@@ -85,6 +86,10 @@ Result<Decomposition> decompose_multi_output(
 
   // --- Greedy implicit selection loop (paper §6). ---------------------------
   bdd::Manager mgr(p);
+  // Governed run: the manager checkpoints the guard in make_node, so deadline
+  // expiry, cancellation, and node-budget trips surface from every implicit
+  // operation below as util::Timeout / util::ResourceExhausted.
+  mgr.set_resource_guard(opts.guard);
   const ChiOptions chi_opts{opts.via_v_substitution, opts.strict};
 
   std::vector<bdd::Bdd> chi(m);
@@ -94,6 +99,7 @@ Result<Decomposition> decompose_multi_output(
   std::uint64_t candidates = 0;
 
   for (unsigned round = 0;; ++round) {
+    if (opts.guard) opts.guard->checkpoint();
     std::vector<std::size_t> incomplete;
     for (std::size_t k = 0; k < m; ++k)
       if (!states[k].complete()) incomplete.push_back(k);

@@ -21,6 +21,10 @@
 #include "imodec/chi.hpp"
 #include "imodec/result.hpp"
 
+namespace imodec::util {
+class ResourceGuard;
+}
+
 namespace imodec {
 
 struct ImodecOptions {
@@ -31,6 +35,11 @@ struct ImodecOptions {
   bool strict = false;
   /// Paper-faithful ψ construction through v-variable substitution.
   bool via_v_substitution = false;
+  /// Resource governance (not owned; nullptr = ungoverned). The run's BDD
+  /// manager is attached to the guard (node budget, deadline, cancellation)
+  /// and each greedy round checkpoints, so an exhausted run unwinds with
+  /// util::ResourceExhausted / util::Timeout (DESIGN.md §12).
+  util::ResourceGuard* guard = nullptr;
 };
 
 /// Per-run statistics. When observability is enabled (obs::set_enabled) the

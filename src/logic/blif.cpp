@@ -12,26 +12,40 @@ namespace imodec {
 
 namespace {
 
-// One .names block: output name, input names, and cover rows.
+// One .names block: output name, input names, and cover rows, each tagged
+// with the 1-based source line it came from (for ParseError diagnostics).
 struct NamesBlock {
   std::vector<std::string> inputs;
   std::string output;
-  std::vector<std::pair<std::string, char>> rows;  // (input part, output bit)
+  struct Row {
+    std::string pattern;
+    char out;
+    std::size_t line;
+  };
+  std::vector<Row> rows;
+  std::size_t line = 0;  // line of the .names directive
 };
+
+[[noreturn]] void fail_at(std::size_t line, const std::string& msg) {
+  throw BlifError("BLIF line " + std::to_string(line) + ": " + msg, line);
+}
 
 TruthTable block_to_table(const NamesBlock& blk) {
   const unsigned n = static_cast<unsigned>(blk.inputs.size());
   if (n > TruthTable::kMaxVars)
-    throw BlifError("node '" + blk.output + "' has too many fanins");
+    fail_at(blk.line, "node '" + blk.output + "' has too many fanins (" +
+                          std::to_string(n) + " > " +
+                          std::to_string(TruthTable::kMaxVars) + ")");
   // Determine cover polarity: all output bits must agree (standard BLIF).
   bool on_polarity = true;
-  if (!blk.rows.empty()) on_polarity = (blk.rows.front().second == '1');
+  if (!blk.rows.empty()) on_polarity = (blk.rows.front().out == '1');
   Cover cover(n);
-  for (const auto& [pattern, out] : blk.rows) {
+  for (const auto& [pattern, out, row_line] : blk.rows) {
     if (pattern.size() != n)
-      throw BlifError("cube width mismatch in node '" + blk.output + "'");
+      fail_at(row_line, "cube width mismatch in node '" + blk.output +
+                            "' (expected " + std::to_string(n) + " columns)");
     if ((out == '1') != on_polarity)
-      throw BlifError("mixed-polarity cover in node '" + blk.output + "'");
+      fail_at(row_line, "mixed-polarity cover in node '" + blk.output + "'");
     Cube c;
     for (unsigned v = 0; v < n; ++v) {
       if (pattern[v] == '1') {
@@ -40,7 +54,8 @@ TruthTable block_to_table(const NamesBlock& blk) {
       } else if (pattern[v] == '0') {
         c.mask |= 1u << v;
       } else if (pattern[v] != '-') {
-        throw BlifError("bad cube character in node '" + blk.output + "'");
+        fail_at(row_line, std::string("bad cube character '") + pattern[v] +
+                              "' in node '" + blk.output + "'");
       }
     }
     cover.add(c);
@@ -62,7 +77,9 @@ Network read_blif(std::istream& is) {
 
   std::string line;
   std::string pending;  // for '\' continuations
+  std::size_t lineno = 0;
   while (std::getline(is, line)) {
+    ++lineno;
     // Strip comments.
     if (auto pos = line.find('#'); pos != std::string::npos)
       line = line.substr(0, pos);
@@ -87,29 +104,31 @@ Network read_blif(std::istream& is) {
         output_names.push_back(tokens[i]);
       current = nullptr;
     } else if (tokens[0] == ".names") {
-      if (tokens.size() < 2) throw BlifError(".names without output");
+      if (tokens.size() < 2) fail_at(lineno, ".names without output");
       blocks.emplace_back();
       current = &blocks.back();
       current->inputs.assign(tokens.begin() + 1, tokens.end() - 1);
       current->output = tokens.back();
+      current->line = lineno;
     } else if (tokens[0] == ".end") {
       break;
     } else if (tokens[0] == ".latch" || tokens[0] == ".subckt" ||
                tokens[0] == ".gate") {
-      throw BlifError("unsupported construct: " + tokens[0]);
+      fail_at(lineno, "unsupported construct: " + tokens[0]);
     } else if (tokens[0][0] == '.') {
       // Ignore other directives (.default_input_arrival etc.).
       current = nullptr;
     } else {
-      if (current == nullptr) throw BlifError("cover row outside .names");
+      if (current == nullptr) fail_at(lineno, "cover row outside .names");
       if (current->inputs.empty()) {
         if (tokens.size() != 1 || (tokens[0] != "1" && tokens[0] != "0"))
-          throw BlifError("bad constant row for '" + current->output + "'");
-        current->rows.emplace_back("", tokens[0][0]);
+          fail_at(lineno,
+                  "bad constant row for '" + current->output + "'");
+        current->rows.push_back({"", tokens[0][0], lineno});
       } else {
         if (tokens.size() != 2)
-          throw BlifError("bad cover row for '" + current->output + "'");
-        current->rows.emplace_back(tokens[0], tokens[1][0]);
+          fail_at(lineno, "bad cover row for '" + current->output + "'");
+        current->rows.push_back({tokens[0], tokens[1][0], lineno});
       }
     }
   }
@@ -118,7 +137,7 @@ Network read_blif(std::istream& is) {
   std::map<std::string, const NamesBlock*> by_output;
   for (const NamesBlock& b : blocks) {
     if (!by_output.emplace(b.output, &b).second)
-      throw BlifError("node '" + b.output + "' defined twice");
+      fail_at(b.line, "node '" + b.output + "' defined twice");
   }
   // Recursive instantiation with cycle detection.
   std::map<std::string, int> state;  // 0 new, 1 visiting, 2 done

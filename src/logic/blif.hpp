@@ -6,15 +6,17 @@
 // paper treats combinational logic only.
 
 #include <iosfwd>
-#include <stdexcept>
 #include <string>
 
 #include "logic/network.hpp"
+#include "logic/parse_error.hpp"
 
 namespace imodec {
 
-struct BlifError : std::runtime_error {
-  using std::runtime_error::runtime_error;
+/// Malformed BLIF input; what() includes the 1-based source line when the
+/// error is attributable to one (see ParseError::line()).
+struct BlifError : ParseError {
+  using ParseError::ParseError;
 };
 
 /// Parse a BLIF stream. Throws BlifError on malformed input.

@@ -1,0 +1,28 @@
+#pragma once
+// Shared base class of the reader errors (PLA, BLIF).
+//
+// Malformed input files are user input, not programmer error: every reader
+// failure is a typed exception carrying the 1-based source line it was
+// detected on, so the CLI can print "file.pla line 12: row width mismatch"
+// and exit with the documented parse-error code instead of asserting or
+// surfacing a bare std::out_of_range from an unchecked token access.
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace imodec {
+
+class ParseError : public std::runtime_error {
+ public:
+  /// `line` is 1-based; 0 means the error is not attributable to a single
+  /// line (e.g. "cannot open", or a whole-file consistency check).
+  explicit ParseError(const std::string& what, std::size_t line = 0)
+      : std::runtime_error(what), line_(line) {}
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+}  // namespace imodec

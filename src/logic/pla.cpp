@@ -7,21 +7,64 @@
 
 namespace imodec {
 
+namespace {
+
+/// Parse a directive's count argument with a readable failure instead of an
+/// unchecked token access / bare std::stoul (std::out_of_range on ".i" with
+/// no argument, std::invalid_argument on ".i x" — neither of which tells the
+/// user what is wrong where).
+unsigned parse_count(const std::vector<std::string>& tokens, const char* dir,
+                     std::size_t lineno) {
+  if (tokens.size() < 2)
+    throw PlaError("PLA line " + std::to_string(lineno) + ": " + dir +
+                       " needs a count argument",
+                   lineno);
+  const std::string& t = tokens[1];
+  unsigned long value = 0;
+  try {
+    std::size_t used = 0;
+    value = std::stoul(t, &used);
+    if (used != t.size()) throw std::invalid_argument(t);
+  } catch (const std::exception&) {
+    throw PlaError("PLA line " + std::to_string(lineno) + ": bad " +
+                       std::string(dir) + " count '" + t + "'",
+                   lineno);
+  }
+  if (value == 0 || value > 1u << 20)
+    throw PlaError("PLA line " + std::to_string(lineno) + ": " + dir +
+                       " count out of range: " + t,
+                   lineno);
+  return static_cast<unsigned>(value);
+}
+
+struct PlaRow {
+  std::string in, out;
+  std::size_t lineno;
+};
+
+}  // namespace
+
 Network read_pla(std::istream& is, const std::string& model_name) {
   unsigned ni = 0, no = 0;
   std::vector<std::string> in_names, out_names;
-  std::vector<std::pair<std::string, std::string>> rows;
+  std::vector<PlaRow> rows;
+
+  std::size_t lineno = 0;
+  const auto fail = [&](const std::string& msg) -> PlaError {
+    return PlaError("PLA line " + std::to_string(lineno) + ": " + msg, lineno);
+  };
 
   std::string line;
   while (std::getline(is, line)) {
+    ++lineno;
     if (auto pos = line.find('#'); pos != std::string::npos)
       line = line.substr(0, pos);
     const auto tokens = split(line);
     if (tokens.empty()) continue;
     if (tokens[0] == ".i") {
-      ni = static_cast<unsigned>(std::stoul(tokens.at(1)));
+      ni = parse_count(tokens, ".i", lineno);
     } else if (tokens[0] == ".o") {
-      no = static_cast<unsigned>(std::stoul(tokens.at(1)));
+      no = parse_count(tokens, ".o", lineno);
     } else if (tokens[0] == ".ilb") {
       in_names.assign(tokens.begin() + 1, tokens.end());
     } else if (tokens[0] == ".ob") {
@@ -31,28 +74,32 @@ Network read_pla(std::istream& is, const std::string& model_name) {
     } else if (tokens[0] == ".e" || tokens[0] == ".end") {
       break;
     } else if (tokens[0][0] == '.') {
-      throw PlaError("unsupported PLA directive " + tokens[0]);
+      throw fail("unsupported PLA directive " + tokens[0]);
     } else {
       if (tokens.size() == 2) {
-        rows.emplace_back(tokens[0], tokens[1]);
+        rows.push_back({tokens[0], tokens[1], lineno});
       } else if (tokens.size() == 1 && ni == 0) {
-        rows.emplace_back("", tokens[0]);
+        rows.push_back({"", tokens[0], lineno});
       } else {
-        throw PlaError("bad PLA row: " + line);
+        throw fail("bad PLA row: " + line);
       }
     }
   }
-  if (ni == 0 || no == 0) throw PlaError("missing .i/.o");
-  if (ni > TruthTable::kMaxVars) throw PlaError("too many PLA inputs");
+  if (ni == 0 || no == 0) throw PlaError("PLA: missing .i/.o");
+  if (ni > TruthTable::kMaxVars)
+    throw PlaError("PLA: too many inputs (" + std::to_string(ni) + " > " +
+                   std::to_string(TruthTable::kMaxVars) + ")");
   if (in_names.empty()) in_names = default_var_names(ni, "in");
   if (out_names.empty()) out_names = default_var_names(no, "out");
   if (in_names.size() != ni || out_names.size() != no)
-    throw PlaError(".ilb/.ob arity mismatch");
+    throw PlaError("PLA: .ilb/.ob arity mismatch");
 
   std::vector<Cover> covers(no, Cover(ni));
-  for (const auto& [in_part, out_part] : rows) {
+  for (const auto& [in_part, out_part, row_line] : rows) {
+    lineno = row_line;  // re-point the fail() helper at this row
     if (in_part.size() != ni || out_part.size() != no)
-      throw PlaError("row width mismatch");
+      throw fail("row width mismatch (expected " + std::to_string(ni) + "+" +
+                 std::to_string(no) + " columns)");
     Cube c;
     for (unsigned v = 0; v < ni; ++v) {
       if (in_part[v] == '1') {
@@ -61,14 +108,16 @@ Network read_pla(std::istream& is, const std::string& model_name) {
       } else if (in_part[v] == '0') {
         c.mask |= 1u << v;
       } else if (in_part[v] != '-' && in_part[v] != '2') {
-        throw PlaError("bad input character in PLA row");
+        throw fail(std::string("bad input character '") + in_part[v] +
+                   "' in PLA row");
       }
     }
     for (unsigned k = 0; k < no; ++k) {
       if (out_part[k] == '1') {
         covers[k].add(c);
       } else if (out_part[k] != '0' && out_part[k] != '~') {
-        throw PlaError("unsupported output character in PLA row");
+        throw fail(std::string("unsupported output character '") +
+                   out_part[k] + "' in PLA row");
       }
     }
   }

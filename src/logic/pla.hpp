@@ -6,15 +6,17 @@
 // accepted ('~'/'2' don't-care outputs rejected), matching the paper's scope.
 
 #include <iosfwd>
-#include <stdexcept>
 #include <string>
 
 #include "logic/network.hpp"
+#include "logic/parse_error.hpp"
 
 namespace imodec {
 
-struct PlaError : std::runtime_error {
-  using std::runtime_error::runtime_error;
+/// Malformed PLA input; what() includes the 1-based source line when the
+/// error is attributable to one (see ParseError::line()).
+struct PlaError : ParseError {
+  using ParseError::ParseError;
 };
 
 Network read_pla(std::istream& is, const std::string& model_name = "pla");

@@ -12,6 +12,12 @@ std::optional<VerifyMode> parse_verify_mode(std::string_view s) {
   return std::nullopt;
 }
 
+std::optional<OnExhaustion> parse_on_exhaustion(std::string_view s) {
+  if (s == "fail") return OnExhaustion::fail;
+  if (s == "degrade") return OnExhaustion::degrade;
+  return std::nullopt;
+}
+
 std::vector<std::string> SynthesisConfig::validate() const {
   std::vector<std::string> diags;
   const auto bad = [&](const char* fmt, auto... args) {
@@ -70,6 +76,9 @@ FlowOptions SynthesisConfig::flow_options() const {
   flow.varpart.eval_budget = eval_budget;
   flow.varpart.seed = seed;
   flow.batch_groups = batch_groups;
+  flow.degrade = on_exhaustion == OnExhaustion::degrade;
+  // flow.guard is a runtime object, wired by the driver (driver.cpp), not a
+  // config value.
   return flow;
 }
 

@@ -41,6 +41,24 @@ constexpr std::string_view to_string(VerifyMode m) {
 /// Parse "off" / "sim" / "exact" / "auto"; nullopt otherwise.
 std::optional<VerifyMode> parse_verify_mode(std::string_view s);
 
+/// What a governed run does when it hits its deadline or node budget
+/// (DESIGN.md §12).
+enum class OnExhaustion : std::uint8_t {
+  fail,     ///< throw util::Timeout / util::ResourceExhausted out of the run
+  degrade,  ///< walk the degradation ladder; always return a verified network
+};
+
+constexpr std::string_view to_string(OnExhaustion e) {
+  switch (e) {
+    case OnExhaustion::fail: return "fail";
+    case OnExhaustion::degrade: return "degrade";
+  }
+  return "?";
+}
+
+/// Parse "fail" / "degrade"; nullopt otherwise.
+std::optional<OnExhaustion> parse_on_exhaustion(std::string_view s);
+
 struct SynthesisConfig {
   // --- LUT flow ------------------------------------------------------------
   unsigned k = 5;                    ///< LUT input count (XC3000: 5)
@@ -80,6 +98,18 @@ struct SynthesisConfig {
   VerifyMode verify = VerifyMode::auto_;
   /// Live BDD-node cap for the miter when verify == auto (~16 B/node).
   std::size_t verify_node_budget = std::size_t{1} << 21;
+
+  // --- Resource governance (DESIGN.md §12) ----------------------------------
+  /// Wall-clock deadline for the whole run in milliseconds; 0 = none.
+  std::uint64_t timeout_ms = 0;
+  /// Live BDD-node budget per governed manager (~16 bytes/node); 0 = none.
+  /// Enforced inside the kernel with a GC retry before tripping.
+  std::size_t node_budget = 0;
+  /// fail: a trip escapes run_synthesis as util::Timeout /
+  /// util::ResourceExhausted. degrade: the flow falls back (engine -> single
+  /// -> Shannon, drain mode past the deadline) and the DriverReport's
+  /// DegradationReport records what happened.
+  OnExhaustion on_exhaustion = OnExhaustion::fail;
 
   // --- Restructuring (used when collapsing is off or falls back) -----------
   unsigned restructure_max_support = 10;  ///< fanin cap after elimination

@@ -4,6 +4,7 @@
 
 #include "logic/simulate.hpp"
 #include "obs/metrics.hpp"
+#include "util/resource.hpp"
 #include "util/strings.hpp"
 #include "util/thread_pool.hpp"
 #include "verify/miter.hpp"
@@ -16,13 +17,38 @@ namespace {
 /// fields. Counters: flow.verify.exact / .sim count which engine produced
 /// the verdict, flow.verify.fallback counts auto-mode budget misses, and
 /// flow.verify.fail counts failed verdicts.
+///
+/// Governance: an expired deadline downgrades the miter to (sampled)
+/// simulation in degrade mode — recorded as DegradationReport::
+/// verify_downgraded — and throws util::Timeout in fail mode. The miter
+/// itself runs under the outer guard's remaining deadline (MiterOptions::
+/// guard), so a mid-proof expiry also lands here instead of running long.
 void run_verification(const Network& input, const Network& mapped,
-                      const SynthesisConfig& opts, DriverReport& rep) {
+                      const SynthesisConfig& opts, util::ResourceGuard* guard,
+                      bool degrade, DriverReport& rep) {
+  const auto downgrade_or_throw = [&]() {
+    // Deadline hit around the miter: fail mode rethrows via checkpoint();
+    // degrade mode falls back to simulation and records the downgrade.
+    if (!degrade) guard->checkpoint();
+    rep.degrade.verify_downgraded = true;
+    rep.degrade.note("verification downgraded to simulation (deadline)");
+    obs::count("flow.verify.downgraded");
+  };
   bool done = false;
-  if (opts.verify == VerifyMode::exact || opts.verify == VerifyMode::auto_) {
+  bool want_miter =
+      opts.verify == VerifyMode::exact || opts.verify == VerifyMode::auto_;
+  if (want_miter && guard) {
+    guard->poll_deadline();
+    if (guard->should_stop()) {
+      downgrade_or_throw();
+      want_miter = false;
+    }
+  }
+  if (want_miter) {
     verify::MiterOptions mopts;
     if (opts.verify == VerifyMode::auto_)
       mopts.node_budget = opts.verify_node_budget;
+    mopts.guard = guard;
     const verify::MiterResult mr = verify::check_miter(input, mapped, mopts);
     if (mr.proven) {
       rep.verify_mode = VerifyMode::exact;
@@ -34,6 +60,8 @@ void run_verification(const Network& input, const Network& mapped,
       done = true;
     } else {
       obs::count("flow.verify.fallback");
+      if (guard && (guard->poll_deadline(), guard->should_stop()))
+        downgrade_or_throw();
     }
   }
   if (!done) {
@@ -66,31 +94,59 @@ DriverReport run_synthesis(const Network& input, const SynthesisConfig& opts,
   const std::size_t trace_base = obs::Trace::global().size();
   obs::ScopedSpan run_span("driver.run_synthesis");
 
+  // One guard per run (shared by every worker of its pool); no knobs set
+  // means no guard and zero per-operation overhead.
+  std::optional<util::ResourceGuard> guard_store;
+  if (opts.timeout_ms || opts.node_budget) {
+    guard_store.emplace();
+    if (opts.timeout_ms) guard_store->set_deadline_ms(opts.timeout_ms);
+    if (opts.node_budget) guard_store->set_node_budget(opts.node_budget);
+  }
+  util::ResourceGuard* const guard = guard_store ? &*guard_store : nullptr;
+  const bool degrade = opts.on_exhaustion == OnExhaustion::degrade;
+
+  RestructureOptions ropts = opts.restructure_options();
+  ropts.guard = guard;
+  ropts.degrade = degrade;
+  ropts.stopped_early = &rep.degrade.restructure_stopped_early;
+
   Network start = input;
   if (opts.classical) {
     // Classical flow: extract common subfunctions algebraically, then map
     // each node on its own.
     obs::ScopedSpan span("driver.restructure+extract");
-    start = restructure(input, opts.restructure_options());
+    start = restructure(input, ropts);
     opt::extract_kernels(start);
   } else if (opts.collapse) {
     obs::ScopedSpan span("driver.collapse");
-    if (auto flat = collapse_network(input)) {
+    std::optional<Network> flat;
+    try {
+      flat = collapse_network(input, guard);
+    } catch (const util::ResourceExhausted&) {
+      // Degrade: treat like the paper's '*' circuits — fall back to the
+      // (cheaper, governed) restructuring path. Fail: unwind to the caller.
+      if (!degrade) throw;
+      rep.degrade.collapse_skipped = true;
+      rep.degrade.note("collapse abandoned (deadline); restructuring instead");
+    }
+    if (flat) {
       start = std::move(*flat);
       rep.collapsed = true;
     } else {
-      start = restructure(input, opts.restructure_options());
+      start = restructure(input, ropts);
     }
   } else {
     obs::ScopedSpan span("driver.restructure");
-    start = restructure(input, opts.restructure_options());
+    start = restructure(input, ropts);
   }
 
   FlowOptions flow_opts = opts.flow_options();
   if (opts.classical) flow_opts.multi_output = false;
   flow_opts.pool = pool;
+  flow_opts.guard = guard;
   FlowResult flow = decompose_to_luts(start, flow_opts);
   rep.flow = flow.stats;
+  rep.degrade.merge(flow.degrade);
   {
     obs::ScopedSpan span("driver.pack");
     rep.clbs = pack_xc3000(flow.network);
@@ -99,9 +155,19 @@ DriverReport run_synthesis(const Network& input, const SynthesisConfig& opts,
 
   if (opts.verify != VerifyMode::off) {
     obs::ScopedSpan span("driver.verify");
-    run_verification(input, flow.network, opts, rep);
+    run_verification(input, flow.network, opts, guard, degrade, rep);
   }
   mapped = std::move(flow.network);
+  if (guard) {
+    guard->poll_deadline();
+    rep.degrade.deadline_expired = guard->deadline_expired();
+    if (obs::enabled()) {
+      obs::count("flow.resource.checkpoints", guard->checkpoints());
+      if (guard->peak_live_nodes() > 0)
+        obs::count("flow.resource.peak_live_nodes",
+                   static_cast<std::uint64_t>(guard->peak_live_nodes()));
+    }
+  }
 
   if (obs::enabled()) {
     obs::count("driver.runs");
@@ -138,6 +204,18 @@ std::string format_report(const std::string& name, const DriverReport& rep) {
                        std::string(to_string(e)).c_str());
     }
     s += "\n";
+  }
+  if (rep.degrade.degraded()) {
+    const auto& d = rep.degrade;
+    s += strprintf(
+        "degraded       : %u engine-exhausted, %u single, %u shannon, "
+        "%u drained%s%s%s%s\n",
+        d.engine_exhausted, d.single_fallbacks, d.shannon_degrades, d.drained,
+        d.deadline_expired ? ", deadline expired" : "",
+        d.collapse_skipped ? ", collapse skipped" : "",
+        d.restructure_stopped_early ? ", restructure stopped early" : "",
+        d.verify_downgraded ? ", verify downgraded" : "");
+    for (const std::string& e : d.events) s += strprintf("  - %s\n", e.c_str());
   }
   s += strprintf("flow time      : %.3f s\n", rep.flow.seconds);
   if (rep.flow.bdd_cache_lookups > 0)

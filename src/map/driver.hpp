@@ -31,6 +31,10 @@ using DriverOptions [[deprecated("use SynthesisConfig")]] = SynthesisConfig;
 struct DriverReport {
   bool collapsed = false;   // did the collapsed path run?
   FlowStats flow;
+  /// What the degradation ladder had to do (on_exhaustion=degrade with a
+  /// deadline/budget only; all-zero otherwise). Aggregated over every
+  /// governed phase: collapse, restructure, LUT flow, verification.
+  DegradationReport degrade;
   ClbPacking clbs;
   unsigned depth = 0;       // logic levels of the mapped network
   bool verified = true;     // equivalence result (true when verify == off)
@@ -57,6 +61,12 @@ struct DriverReport {
 /// network in `mapped`. Creates a thread pool per call when opts.threads
 /// resolves to > 1; SynthesisSession (map/session.hpp) amortizes the pool
 /// across runs. Pre: opts.validate().empty().
+///
+/// Resource governance: with timeout_ms / node_budget set and
+/// on_exhaustion=fail, throws util::Timeout or util::ResourceExhausted when
+/// the limit trips; with on_exhaustion=degrade it always returns a complete,
+/// verified network plus rep.degrade describing the fallbacks taken — never
+/// a crash or a silent partial netlist (DESIGN.md §12).
 DriverReport run_synthesis(const Network& input, const SynthesisConfig& opts,
                            Network& mapped);
 

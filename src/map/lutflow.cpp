@@ -9,6 +9,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/resource.hpp"
 #include "util/thread_pool.hpp"
 
 namespace imodec {
@@ -85,6 +86,15 @@ class Flow {
     // order is fixed, so the result is identical for every thread count.
     std::size_t rounds = 0;
     while (!worklist_.empty()) {
+      // One deterministic governance point per round: in fail mode an
+      // expired deadline unwinds here even when the remaining work is too
+      // cheap to hit a checkpoint; in degrade mode it flips drain mode on.
+      if (opts_.guard) {
+        if (opts_.degrade)
+          opts_.guard->poll_deadline();
+        else
+          opts_.guard->checkpoint();
+      }
       std::vector<std::vector<SigId>> batch;
       {
         obs::ScopedSpan span("flow.select");
@@ -128,7 +138,12 @@ class Flow {
       }
     }
 
-    FlowResult res{std::move(net_), stats_, std::move(recorded_)};
+    if (opts_.guard) {
+      opts_.guard->poll_deadline();
+      degrade_.deadline_expired = opts_.guard->deadline_expired();
+    }
+    FlowResult res{std::move(net_), stats_, std::move(degrade_),
+                   std::move(recorded_)};
     res.stats.seconds = flow_span.seconds();
     res.stats.luts = count_luts(res.network);
     if (obs::enabled()) {
@@ -142,6 +157,15 @@ class Flow {
                          std::string(to_string(static_cast<DecomposeError>(i))),
                      res.stats.errors[i]);
       }
+      const DegradationReport& d = res.degrade;
+      if (d.deadline_expired) obs::count("flow.degrade.deadline_expired");
+      if (d.engine_exhausted)
+        obs::count("flow.degrade.engine_exhausted", d.engine_exhausted);
+      if (d.single_fallbacks)
+        obs::count("flow.degrade.single_fallbacks", d.single_fallbacks);
+      if (d.shannon_degrades)
+        obs::count("flow.degrade.shannon", d.shannon_degrades);
+      if (d.drained) obs::count("flow.degrade.drained", d.drained);
     }
     return res;
   }
@@ -185,6 +209,9 @@ class Flow {
     worklist_.erase(seed_it);
     std::vector<SigId> group{seed};
     if (!opts_.multi_output || !opts_.output_partitioning) return group;
+    // Drain mode: grouping trials are search effort — skip them, the group
+    // will be Shannon-split anyway.
+    if (draining()) return group;
 
     std::vector<SigId> inputs = net_.node(seed).fanins;
     std::sort(inputs.begin(), inputs.end());
@@ -267,11 +294,17 @@ class Flow {
     vopts.bound_size = bound_size_for(node.fanins.size());
     vopts.eval_budget = std::min<std::uint64_t>(vopts.eval_budget, 1 << 21);
     vopts.pool = opts_.pool;
-    const auto choice = choose_bound_set(
-        {node.func}, static_cast<unsigned>(node.fanins.size()), vopts);
-    const unsigned cost =
-        choice ? codewidth(choice->locals[0].num_classes)
-               : static_cast<unsigned>(node.fanins.size());
+    vopts.guard = opts_.guard;
+    unsigned cost = static_cast<unsigned>(node.fanins.size());
+    try {
+      const auto choice = choose_bound_set(
+          {node.func}, static_cast<unsigned>(node.fanins.size()), vopts);
+      if (choice) cost = codewidth(choice->locals[0].num_classes);
+    } catch (const util::ResourceExhausted&) {
+      // Degrade: an exhausted baseline search just prices the node at its
+      // fanin count (its Shannon cost). Fail: unwind to the caller.
+      if (!opts_.degrade) throw;
+    }
     own_cost_.emplace(key, cost);
     return cost;
   }
@@ -286,24 +319,33 @@ class Flow {
     for (SigId s : group)
       funcs.push_back(extend_table(net_.node(s).func, net_.node(s).fanins,
                                    inputs));
-    VarPartOptions vopts = opts_.varpart;
-    vopts.bound_size = bound_size_for(inputs.size());
-    // Trial decompositions are throwaway: trim the search effort.
-    vopts.samples = std::min<std::size_t>(vopts.samples, 12);
-    vopts.climb_iters = std::min<std::size_t>(vopts.climb_iters, 4);
-    vopts.max_exhaustive = std::min<std::size_t>(vopts.max_exhaustive, 512);
-    vopts.eval_budget = std::min<std::uint64_t>(vopts.eval_budget, 1 << 21);
-    vopts.pool = opts_.pool;
-    const auto choice =
-        choose_bound_set(funcs, static_cast<unsigned>(inputs.size()), vopts);
-    if (!choice) return -1;
-    if (choice->p() > opts_.imodec.max_p) return -1;
     ImodecStats st;
-    const auto dec =
-        decompose_multi_output(funcs, choice->vp, opts_.imodec, &st);
-    absorb_bdd(st);
-    obs::count("flow.trial_decompositions");
-    if (!dec) return -1;
+    try {
+      VarPartOptions vopts = opts_.varpart;
+      vopts.bound_size = bound_size_for(inputs.size());
+      // Trial decompositions are throwaway: trim the search effort.
+      vopts.samples = std::min<std::size_t>(vopts.samples, 12);
+      vopts.climb_iters = std::min<std::size_t>(vopts.climb_iters, 4);
+      vopts.max_exhaustive = std::min<std::size_t>(vopts.max_exhaustive, 512);
+      vopts.eval_budget = std::min<std::uint64_t>(vopts.eval_budget, 1 << 21);
+      vopts.pool = opts_.pool;
+      vopts.guard = opts_.guard;
+      const auto choice =
+          choose_bound_set(funcs, static_cast<unsigned>(inputs.size()), vopts);
+      if (!choice) return -1;
+      if (choice->p() > opts_.imodec.max_p) return -1;
+      ImodecOptions iopts = opts_.imodec;
+      iopts.guard = opts_.guard;
+      const auto dec = decompose_multi_output(funcs, choice->vp, iopts, &st);
+      absorb_bdd(st);
+      obs::count("flow.trial_decompositions");
+      if (!dec) return -1;
+    } catch (const util::ResourceExhausted&) {
+      // Degrade: an exhausted trial is just a rejected combination. Fail:
+      // unwind to the caller.
+      if (!opts_.degrade) throw;
+      return -1;
+    }
     int own_sum = 0;
     for (SigId s : group) own_sum += static_cast<int>(own_cost(s));
     return own_sum - static_cast<int>(st.q);
@@ -325,7 +367,18 @@ class Flow {
     std::optional<DecomposeError> error;  // set when !dec
     ImodecStats st;
     bool engine_ran = false;
+    /// Degradation-ladder outcomes (degrade mode only; see DESIGN.md §12).
+    bool drained = false;    // deadline already expired: skip search entirely
+    bool exhausted = false;  // the guard tripped during search/engine
+    util::ResourceKind exhausted_kind = util::ResourceKind::wall_clock;
   };
+
+  /// Drain mode: the deadline has expired (or the run was cancelled) and the
+  /// policy is degrade — stop searching, finish the worklist Shannon-only so
+  /// the flow still returns a complete k-feasible network promptly.
+  bool draining() const {
+    return opts_.degrade && opts_.guard && opts_.guard->should_stop();
+  }
 
   /// Phase 2 worker: decompose one group. Reads net_ and opts_ only — no
   /// member mutation, so any number of these can run concurrently.
@@ -340,6 +393,10 @@ class Flow {
                 group.end());
     c.group = std::move(group);
     if (c.group.empty()) return c;
+    if (draining()) {
+      c.drained = true;
+      return c;
+    }
 
     c.inputs = group_inputs(c.group);
     c.funcs.reserve(c.group.size());
@@ -347,31 +404,44 @@ class Flow {
       c.funcs.push_back(
           extend_table(net_.node(s).func, net_.node(s).fanins, c.inputs));
 
-    VarPartOptions vopts = opts_.varpart;
-    vopts.bound_size = bound_size_for(c.inputs.size());
-    vopts.pool = opts_.pool;  // nested calls degrade to inline gracefully
-    const auto choice = choose_bound_set(
-        c.funcs, static_cast<unsigned>(c.inputs.size()), vopts);
-    if (!choice) {
-      c.error = DecomposeError::no_nontrivial_bound_set;
-      return c;
-    }
-    if (choice->p() > opts_.imodec.max_p) {
-      c.error = DecomposeError::p_overflow;
-      return c;
-    }
-    if (opts_.multi_output) {
-      auto res = decompose_multi_output(c.funcs, choice->vp, opts_.imodec,
-                                        &c.st);
-      c.engine_ran = true;
-      if (res)
-        c.dec = std::move(*res);
-      else
-        c.error = res.error();
-    } else {
-      // Single-output mode within the group (groups are singletons there,
-      // but keep it general): decompose each output separately and merge.
-      c.dec = single_output_decomposition(c.funcs, choice->vp, &c.st);
+    try {
+      VarPartOptions vopts = opts_.varpart;
+      vopts.bound_size = bound_size_for(c.inputs.size());
+      vopts.pool = opts_.pool;  // nested calls degrade to inline gracefully
+      vopts.guard = opts_.guard;
+      const auto choice = choose_bound_set(
+          c.funcs, static_cast<unsigned>(c.inputs.size()), vopts);
+      if (!choice) {
+        c.error = DecomposeError::no_nontrivial_bound_set;
+        return c;
+      }
+      if (choice->p() > opts_.imodec.max_p) {
+        c.error = DecomposeError::p_overflow;
+        return c;
+      }
+      if (opts_.multi_output) {
+        ImodecOptions iopts = opts_.imodec;
+        iopts.guard = opts_.guard;
+        auto res = decompose_multi_output(c.funcs, choice->vp, iopts, &c.st);
+        c.engine_ran = true;
+        if (res)
+          c.dec = std::move(*res);
+        else
+          c.error = res.error();
+      } else {
+        // Single-output mode within the group (groups are singletons there,
+        // but keep it general): decompose each output separately and merge.
+        c.dec = single_output_decomposition(c.funcs, choice->vp, &c.st,
+                                            opts_.guard);
+      }
+    } catch (const util::ResourceExhausted& e) {
+      // Degrade policy: remember what tripped and let the merge step walk
+      // the ladder. Fail policy: unwind (through parallel_for when pooled —
+      // the first exception stops the remaining chunks).
+      if (!opts_.degrade) throw;
+      c.dec.reset();
+      c.exhausted = true;
+      c.exhausted_kind = e.kind();
     }
     return c;
   }
@@ -382,6 +452,19 @@ class Flow {
   void apply_computation(GroupComputation& c) {
     if (c.group.empty()) return;
     if (c.engine_ran) absorb_bdd(c.st);
+    if (c.drained) {
+      for (SigId s : c.group) drain_shannon(s);
+      return;
+    }
+    if (c.exhausted) {
+      // Ladder step 1 tripped: fall to per-output single decomposition.
+      ++degrade_.engine_exhausted;
+      degrade_.note("group of " + std::to_string(c.group.size()) +
+                    " exhausted (" + std::string(to_string(c.exhausted_kind)) +
+                    "): degrading to per-output decomposition");
+      for (SigId s : c.group) degrade_single(s);
+      return;
+    }
     if (!c.dec) {
       if (c.error)
         ++stats_.errors[static_cast<std::size_t>(*c.error)];
@@ -435,11 +518,11 @@ class Flow {
   /// happens).
   static std::optional<Decomposition> single_output_decomposition(
       const std::vector<TruthTable>& funcs, const VarPartition& vp,
-      ImodecStats* st) {
+      ImodecStats* st, util::ResourceGuard* guard) {
     Decomposition merged;
     merged.vp = vp;
     for (const TruthTable& f : funcs) {
-      Decomposition one = decompose_single_output(f, vp);
+      Decomposition one = decompose_single_output(f, vp, guard);
       Decomposition::OutputPlan plan;
       for (unsigned j = 0; j < one.q(); ++j) {
         merged.d_funcs.push_back(one.d_funcs[j]);
@@ -527,14 +610,53 @@ class Flow {
   }
 
   /// Guaranteed-progress fallback: f = ite(x, f1, f0) with a 3-input mux.
+  /// The ungoverned flow splits on variable 0 (kept for bit-identical
+  /// results with earlier versions); the degradation ladder picks the most
+  /// binate variable instead (see most_binate_var).
   void shannon_fallback(SigId s) {
     ++stats_.shannon_fallbacks;
+    shannon_split(s, 0);
+  }
+
+  /// Ladder step 3 / drain mode: Shannon split on the most binate variable,
+  /// so the two cofactors are as balanced as the cheap metric can tell and
+  /// the drain produces fewer mux levels than a fixed pivot would.
+  void shannon_degrade(SigId s) {
+    ++degrade_.shannon_degrades;
+    shannon_split(s, most_binate_var(net_.node(s).func));
+  }
+
+  void drain_shannon(SigId s) {
+    ++degrade_.drained;
+    shannon_split(s, most_binate_var(net_.node(s).func));
+  }
+
+  /// Influence of v on f: the number of minterms where flipping v flips f
+  /// (2^n-scaled binateness). Deterministic tie-break: the lowest variable
+  /// index wins. Returns 0 for (near-)constant functions — the split is
+  /// still sound, the cofactors just collapse to constants.
+  static unsigned most_binate_var(const TruthTable& f) {
+    const std::vector<unsigned> sup = f.support();
+    unsigned best_v = sup.empty() ? 0 : sup.front();
+    std::uint64_t best_influence = 0;
+    for (unsigned v : sup) {
+      const std::uint64_t infl =
+          (f.cofactor(v, false) ^ f.cofactor(v, true)).count_ones();
+      if (infl > best_influence) {
+        best_influence = infl;
+        best_v = v;
+      }
+    }
+    return best_v;
+  }
+
+  void shannon_split(SigId s, unsigned v) {
     // Copy fanins/function: materialize() may grow the node arena and
     // invalidate references into it.
     const std::vector<SigId> fanins = net_.node(s).fanins;
     const TruthTable func = net_.node(s).func;
     assert(fanins.size() > opts_.k);
-    const unsigned v = 0;
+    assert(v < fanins.size());
     const SigId s0 = materialize(fanins, func.cofactor(v, false));
     const SigId s1 = materialize(fanins, func.cofactor(v, true));
     // mux(sel, hi, lo): row bits (sel, hi, lo) -> sel ? hi : lo.
@@ -545,6 +667,43 @@ class Flow {
     }
     net_.node(s).fanins = {fanins[v], s1, s0};
     net_.node(s).func = std::move(mux);
+  }
+
+  /// Ladder step 2: the shared engine run exhausted its budget, so try the
+  /// cheap explicit path — a trimmed bound-set search plus the classical
+  /// strict single-output decomposition (both still governed; truth-table
+  /// work is orders of magnitude cheaper than the implicit engine). If even
+  /// that trips, step 3 (Shannon) always succeeds without the guard.
+  void degrade_single(SigId s) {
+    if (net_.node(s).fanins.size() <= opts_.k) return;
+    if (draining()) {
+      drain_shannon(s);
+      return;
+    }
+    const std::vector<SigId> fanins = net_.node(s).fanins;
+    const TruthTable func = net_.node(s).func;
+    try {
+      VarPartOptions vopts = opts_.varpart;
+      vopts.bound_size = bound_size_for(fanins.size());
+      vopts.samples = std::min<std::size_t>(vopts.samples, 12);
+      vopts.climb_iters = std::min<std::size_t>(vopts.climb_iters, 4);
+      vopts.max_exhaustive = std::min<std::size_t>(vopts.max_exhaustive, 512);
+      vopts.eval_budget = std::min<std::uint64_t>(vopts.eval_budget, 1 << 21);
+      vopts.pool = opts_.pool;
+      vopts.guard = opts_.guard;
+      const auto choice = choose_bound_set(
+          {func}, static_cast<unsigned>(fanins.size()), vopts);
+      if (choice) {
+        const Decomposition dec =
+            decompose_single_output(func, choice->vp, opts_.guard);
+        ++degrade_.single_fallbacks;
+        apply_decomposition({s}, fanins, dec);
+        return;
+      }
+    } catch (const util::ResourceExhausted&) {
+      // fall through to the unconditional Shannon step
+    }
+    shannon_degrade(s);
   }
 
   /// Fold one engine run's BDD totals into the flow stats (trial and
@@ -570,6 +729,7 @@ class Flow {
   Network net_;
   FlowOptions opts_;
   FlowStats stats_;
+  DegradationReport degrade_;
   std::vector<SigId> worklist_;
   std::vector<RecordedVector> recorded_;
   std::unordered_map<NodeKey, SigId, NodeKeyHash> hash_;
@@ -583,13 +743,15 @@ FlowResult decompose_to_luts(const Network& src, const FlowOptions& opts) {
   return flow.run();
 }
 
-std::optional<Network> collapse_network(const Network& src) {
+std::optional<Network> collapse_network(const Network& src,
+                                        util::ResourceGuard* guard) {
   Network out(src.name());
   std::unordered_map<SigId, SigId> pi_map;
   for (SigId pi : src.inputs())
     pi_map.emplace(pi, out.add_input(src.node(pi).name));
 
   for (std::size_t k = 0; k < src.num_outputs(); ++k) {
+    if (guard) guard->checkpoint();
     const SigId sig = src.outputs()[k];
     const std::vector<SigId> cone = src.cone_inputs(sig);
     auto tt = src.cone_function(sig, cone);

@@ -13,12 +13,14 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 
 #include "decomp/varpart.hpp"
 #include "imodec/engine.hpp"
 #include "logic/network.hpp"
 
 namespace imodec::util {
+class ResourceGuard;
 class ThreadPool;
 }  // namespace imodec::util
 
@@ -52,6 +54,55 @@ struct FlowOptions {
   /// the deterministic contract: results depend on this value — like on a
   /// seed — but never on the thread count or on whether a pool is set.
   unsigned batch_groups = 8;
+  /// Resource governance (not owned; nullptr = ungoverned). Checkpointed by
+  /// every engine run, bound-set search and BDD operation of the flow.
+  util::ResourceGuard* guard = nullptr;
+  /// Exhaustion policy. When false (fail), a guard trip propagates out of
+  /// decompose_to_luts as util::Timeout / util::ResourceExhausted. When true
+  /// (degrade), the flow walks the degradation ladder instead: engine
+  /// exhausted -> per-output single decomposition -> Shannon cofactoring on
+  /// the most binate variable; once the deadline has expired it drains the
+  /// worklist Shannon-only. Either way the returned network is complete and
+  /// k-feasible — never a silent partial netlist (DESIGN.md §12).
+  bool degrade = false;
+};
+
+/// What the degradation ladder had to do during a governed flow run. All
+/// counters are zero on an ungoverned or untripped run; `degraded()` is the
+/// one-bit summary surfaced as the bench `degraded` field.
+struct DegradationReport {
+  bool deadline_expired = false;   // guard deadline observed expired
+  unsigned engine_exhausted = 0;   // vector decompositions that tripped
+  unsigned single_fallbacks = 0;   // ladder step 2: per-output single decomp
+  unsigned shannon_degrades = 0;   // ladder step 3: most-binate Shannon split
+  unsigned drained = 0;            // nodes processed in Shannon-only drain mode
+  bool restructure_stopped_early = false;  // set by the driver (see driver.cpp)
+  bool collapse_skipped = false;           // set by the driver
+  bool verify_downgraded = false;          // miter -> sampled simulation
+  /// First few human-readable ladder events, capped (diagnostics only; the
+  /// counters above are the machine-readable record).
+  std::vector<std::string> events;
+  static constexpr std::size_t kMaxEvents = 32;
+  void note(std::string msg) {
+    if (events.size() < kMaxEvents) events.push_back(std::move(msg));
+  }
+  bool degraded() const {
+    return deadline_expired || engine_exhausted || single_fallbacks ||
+           shannon_degrades || drained || restructure_stopped_early ||
+           collapse_skipped || verify_downgraded;
+  }
+  /// Merge a sub-phase report into an aggregate one (driver-level).
+  void merge(const DegradationReport& o) {
+    deadline_expired |= o.deadline_expired;
+    engine_exhausted += o.engine_exhausted;
+    single_fallbacks += o.single_fallbacks;
+    shannon_degrades += o.shannon_degrades;
+    drained += o.drained;
+    restructure_stopped_early |= o.restructure_stopped_early;
+    collapse_skipped |= o.collapse_skipped;
+    verify_downgraded |= o.verify_downgraded;
+    for (const std::string& e : o.events) note(e);
+  }
 };
 
 /// One decomposed function vector as it occurred during a flow run.
@@ -99,6 +150,7 @@ struct FlowStats {
 struct FlowResult {
   Network network;  // k-feasible
   FlowStats stats;
+  DegradationReport degrade;  // empty unless a governed run tripped
   std::vector<RecordedVector> recorded;  // when FlowOptions::record_vectors
 };
 
@@ -107,7 +159,11 @@ FlowResult decompose_to_luts(const Network& src, const FlowOptions& opts);
 /// Collapse every output to a single node over its cone inputs (the paper's
 /// starting point for Table 2's IMODEC/Single columns). Fails (nullopt) when
 /// any cone support exceeds TruthTable::kMaxVars — the circuits the paper
-/// marks with '*' behave the same way.
-std::optional<Network> collapse_network(const Network& src);
+/// marks with '*' behave the same way. A guard (optional, not owned) is
+/// checkpointed once per output cone; an expired deadline throws
+/// util::Timeout, which the degrade-mode driver turns into the restructure
+/// path (DegradationReport::collapse_skipped).
+std::optional<Network> collapse_network(const Network& src,
+                                        util::ResourceGuard* guard = nullptr);
 
 }  // namespace imodec

@@ -1,6 +1,7 @@
 #include "map/restructure.hpp"
 
 #include "logic/simplify.hpp"
+#include "util/resource.hpp"
 
 #include <algorithm>
 #include <cassert>
@@ -54,7 +55,24 @@ Network restructure(const Network& src, const RestructureOptions& opts) {
   // vacuous fanins would otherwise inflate the merged supports below.
   simplify(net);
 
-  for (unsigned pass = 0; pass < opts.passes; ++pass) {
+  // Governance: in degrade mode stop eliminating (between candidates or
+  // between passes) once the guard says stop — any prefix of the loop plus
+  // the sweep below yields a consistent network, it is just less
+  // pre-structured. In fail mode the checkpoint throws util::Timeout.
+  bool stop = false;
+  const auto governance_stop = [&]() {
+    if (!opts.guard) return false;
+    if (opts.degrade) {
+      opts.guard->poll_deadline();
+      if (!opts.guard->should_stop()) return false;
+      if (opts.stopped_early) *opts.stopped_early = true;
+      return true;
+    }
+    opts.guard->checkpoint();
+    return false;
+  };
+
+  for (unsigned pass = 0; pass < opts.passes && !stop; ++pass) {
     // Fanout counts (over live nodes only).
     std::vector<unsigned> fanout(net.node_count(), 0);
     for (SigId s = 0; s < net.node_count(); ++s)
@@ -64,6 +82,10 @@ Network restructure(const Network& src, const RestructureOptions& opts) {
 
     bool changed = false;
     for (SigId child = 0; child < net.node_count(); ++child) {
+      if ((child & 63u) == 0 && governance_stop()) {
+        stop = true;
+        break;
+      }
       const auto& cn = net.node(child);
       if (cn.kind != Network::Kind::Logic) continue;
       if (is_output[child]) continue;  // outputs must keep their node

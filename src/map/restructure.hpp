@@ -11,6 +11,10 @@
 
 #include "logic/network.hpp"
 
+namespace imodec::util {
+class ResourceGuard;
+}
+
 namespace imodec {
 
 struct RestructureOptions {
@@ -21,6 +25,16 @@ struct RestructureOptions {
   /// sharing for larger decomposable nodes.
   unsigned max_fanout = 1;
   unsigned passes = 4;
+  /// Resource governance (not owned; nullptr = ungoverned). The pass is
+  /// checkpointed between elimination candidates; in fail mode an expired
+  /// deadline throws util::Timeout out of restructure().
+  util::ResourceGuard* guard = nullptr;
+  /// Degrade instead of failing: stop eliminating once the guard says stop.
+  /// Every prefix of the pass loop leaves a consistent, swept network, so an
+  /// early stop only means less pre-structuring — not a broken result.
+  bool degrade = false;
+  /// Out-flag (optional): set to true when a degrade-mode run stopped early.
+  bool* stopped_early = nullptr;
 };
 
 Network restructure(const Network& src, const RestructureOptions& opts = {});

@@ -1,0 +1,75 @@
+#include "util/fault.hpp"
+
+#ifdef IMODEC_FAULT_INJECTION
+
+#include <atomic>
+
+namespace imodec::util::fault {
+namespace {
+
+// One armed plan per process. Counters are atomics so governed parallel runs
+// do not race; the *schedule* is only deterministic for serial runs, which is
+// what the sweep in tools/imodec_fuzz uses (thread-count invariance is
+// asserted separately on budget-governed runs, whose trips are per-work-unit
+// and therefore schedule-independent).
+std::atomic<Kind> g_kind{Kind::none};
+std::atomic<std::uint64_t> g_at{0};
+std::atomic<std::uint64_t> g_checkpoint_seen{0};
+std::atomic<std::uint64_t> g_budget_seen{0};
+std::atomic<std::uint64_t> g_alloc_seen{0};
+std::atomic<bool> g_fired{false};
+
+// Returns true when this call is the `at`-th site (1-based) and the fault has
+// not fired yet. fetch_add gives each site a unique ordinal, so exactly one
+// caller fires even under concurrency.
+bool hit(std::atomic<std::uint64_t>& counter) {
+  const std::uint64_t ordinal = counter.fetch_add(1, std::memory_order_relaxed) + 1;
+  const std::uint64_t at = g_at.load(std::memory_order_relaxed);
+  if (at == 0 || ordinal != at) return false;
+  bool expected = false;
+  return g_fired.compare_exchange_strong(expected, true, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void arm(const Plan& plan) {
+  g_fired.store(false, std::memory_order_relaxed);
+  g_checkpoint_seen.store(0, std::memory_order_relaxed);
+  g_budget_seen.store(0, std::memory_order_relaxed);
+  g_alloc_seen.store(0, std::memory_order_relaxed);
+  g_at.store(plan.at, std::memory_order_relaxed);
+  g_kind.store(plan.kind, std::memory_order_release);
+}
+
+void disarm() { g_kind.store(Kind::none, std::memory_order_release); }
+
+std::uint64_t checkpoint_points_seen() {
+  return g_checkpoint_seen.load(std::memory_order_relaxed);
+}
+std::uint64_t budget_points_seen() {
+  return g_budget_seen.load(std::memory_order_relaxed);
+}
+std::uint64_t alloc_points_seen() {
+  return g_alloc_seen.load(std::memory_order_relaxed);
+}
+bool fired() { return g_fired.load(std::memory_order_relaxed); }
+
+Kind poll_checkpoint() {
+  const Kind k = g_kind.load(std::memory_order_acquire);
+  if (k != Kind::deadline && k != Kind::cancel) return Kind::none;
+  return hit(g_checkpoint_seen) ? k : Kind::none;
+}
+
+bool poll_budget() {
+  if (g_kind.load(std::memory_order_acquire) != Kind::node_budget) return false;
+  return hit(g_budget_seen);
+}
+
+bool poll_alloc() {
+  if (g_kind.load(std::memory_order_acquire) != Kind::bad_alloc) return false;
+  return hit(g_alloc_seen);
+}
+
+}  // namespace imodec::util::fault
+
+#endif  // IMODEC_FAULT_INJECTION

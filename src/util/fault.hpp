@@ -1,0 +1,88 @@
+#pragma once
+// Deterministic fault-injection harness (DESIGN.md §12.4).
+//
+// When the build defines IMODEC_FAULT_INJECTION, the resource-governance
+// checkpoints (util/resource.hpp) and the BDD manager's allocation path call
+// the poll_* hooks below. A test arms a Plan — "inject fault kind K at the
+// N-th site of that kind" — runs the flow, and observes either a recovered
+// run, a degraded-but-valid netlist, or a clean typed error. Because the
+// sites are counted with a plain per-kind counter, a serial run replays the
+// same schedule bit-identically every time: the harness is deterministic by
+// construction (arm the same plan, trip the same operation).
+//
+// Without IMODEC_FAULT_INJECTION every hook is a constant-false inline — the
+// hot paths carry zero cost and the symbols below still link (arm/disarm
+// become no-ops so tools can probe `enabled()` at runtime).
+//
+// Site classes (each with its own counter, so `at` is meaningful per kind):
+//   - checkpoint sites: every ResourceGuard::checkpoint() call. Deliver
+//     `deadline` (latches the guard's deadline as expired) and `cancel`.
+//   - budget sites: every governed fresh-node allocation in bdd::Manager.
+//     Deliver `node_budget` (one forced budget trip; the manager's GC-retry
+//     ladder then runs exactly as it would on a real trip).
+//   - alloc sites: every arena/table growth in bdd::Manager. Deliver
+//     `bad_alloc` (one forced std::bad_alloc from inside the try block, so
+//     the GC-retry-or-ResourceExhausted ladder is exercised).
+
+#include <cstdint>
+
+namespace imodec::util::fault {
+
+enum class Kind : std::uint8_t { none = 0, bad_alloc, deadline, node_budget, cancel };
+
+struct Plan {
+  Kind kind = Kind::none;
+  /// 1-based: the fault fires at the `at`-th site of the matching class.
+  /// `at == 0` arms a count-only plan: nothing fires, but counters run, so a
+  /// clean run measures how many injection points a workload exposes.
+  std::uint64_t at = 0;
+};
+
+/// True when the hooks are compiled in (IMODEC_FAULT_INJECTION builds).
+constexpr bool enabled() {
+#ifdef IMODEC_FAULT_INJECTION
+  return true;
+#else
+  return false;
+#endif
+}
+
+#ifdef IMODEC_FAULT_INJECTION
+
+/// Install a plan and zero the site counters. Not thread-safe against a
+/// concurrently running governed flow; arm before the run starts.
+void arm(const Plan& plan);
+/// Remove the plan (counters keep their values for points_seen()).
+void disarm();
+/// Sites of each class seen since the last arm().
+std::uint64_t checkpoint_points_seen();
+std::uint64_t budget_points_seen();
+std::uint64_t alloc_points_seen();
+/// True once the armed fault has fired (fires at most once per arm()).
+bool fired();
+
+/// Hook: called from ResourceGuard::checkpoint(). Returns the kind to
+/// simulate at this site (deadline / cancel), or none.
+Kind poll_checkpoint();
+/// Hook: called from the manager's governed allocation path. True = simulate
+/// one node-budget trip here.
+bool poll_budget();
+/// Hook: called from the manager's arena/table growth path. True = simulate
+/// one std::bad_alloc here.
+bool poll_alloc();
+
+#else
+
+inline void arm(const Plan&) {}
+inline void disarm() {}
+inline std::uint64_t checkpoint_points_seen() { return 0; }
+inline std::uint64_t budget_points_seen() { return 0; }
+inline std::uint64_t alloc_points_seen() { return 0; }
+inline bool fired() { return false; }
+inline Kind poll_checkpoint() { return Kind::none; }
+inline bool poll_budget() { return false; }
+inline bool poll_alloc() { return false; }
+
+#endif
+
+}  // namespace imodec::util::fault

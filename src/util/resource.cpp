@@ -1,0 +1,71 @@
+#include "util/resource.hpp"
+
+#include "util/fault.hpp"
+
+namespace imodec::util {
+
+const char* to_string(ResourceKind k) {
+  switch (k) {
+    case ResourceKind::wall_clock: return "wall-clock deadline";
+    case ResourceKind::bdd_nodes: return "BDD node budget";
+    case ResourceKind::memory: return "memory";
+    case ResourceKind::cancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+void ResourceGuard::set_deadline_ms(std::uint64_t ms) {
+  if (ms == 0) {
+    has_deadline_.store(false, std::memory_order_release);
+    return;
+  }
+  deadline_ = Clock::now() + std::chrono::milliseconds(ms);
+  has_deadline_.store(true, std::memory_order_release);
+}
+
+std::optional<std::uint64_t> ResourceGuard::remaining_ms() const {
+  if (!has_deadline_.load(std::memory_order_acquire)) return std::nullopt;
+  const auto now = Clock::now();
+  if (now >= deadline_) return 0;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(deadline_ - now)
+          .count());
+}
+
+bool ResourceGuard::poll_deadline() {
+  if (expired_.load(std::memory_order_acquire)) return true;
+  if (has_deadline_.load(std::memory_order_acquire) &&
+      Clock::now() >= deadline_) {
+    expired_.store(true, std::memory_order_release);
+    return true;
+  }
+  return false;
+}
+
+void ResourceGuard::fault_site() {
+  switch (fault::poll_checkpoint()) {
+    case fault::Kind::deadline:
+      // Latch like a real expiry: checkpoint()'s fast path sees it next.
+      expired_.store(true, std::memory_order_release);
+      break;
+    case fault::Kind::cancel:
+      cancelled_.store(true, std::memory_order_release);
+      break;
+    default:
+      break;
+  }
+}
+
+void ResourceGuard::checkpoint_slow() {
+  if (poll_deadline()) throw_deadline();
+}
+
+void ResourceGuard::throw_deadline() const {
+  throw Timeout("wall-clock deadline exceeded");
+}
+
+void ResourceGuard::throw_cancelled() const {
+  throw ResourceExhausted(ResourceKind::cancelled, "run cancelled");
+}
+
+}  // namespace imodec::util

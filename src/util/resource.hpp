@@ -1,0 +1,168 @@
+#pragma once
+// Resource governance (DESIGN.md §12): one ResourceGuard per governed run
+// carrying a wall-clock deadline, a live-BDD-node budget, and a cooperative
+// cancellation token. The guard is threaded (as a raw, non-owning pointer)
+// through bdd::Manager, imodec::engine, decomp::varpart/single, map::lutflow
+// and map::driver; each layer calls checkpoint() at its natural unit of work
+// and either lets the typed exceptions below escape (on-exhaustion=fail) or
+// catches them at a ladder point and degrades (on-exhaustion=degrade).
+//
+// Thread safety: one guard is shared by every worker of a governed run. All
+// mutable state is atomic; checkpoint() is called from arbitrary pool
+// threads. Cancellation propagates *through the guard*, not the pool: the
+// first worker to observe an expiry (or to call cancel()) latches a flag
+// that every other worker's next checkpoint sees, so one trip stops the
+// whole round promptly while ThreadPool::parallel_for's failure path stops
+// un-started chunks from being claimed at all.
+//
+// Determinism contract (§12.3): the node budget is enforced per governed
+// manager — i.e. per work unit — so whether a given decomposition trips
+// depends only on that unit's own allocation sequence, never on scheduling.
+// Budget-governed runs are therefore bit-identical at every thread count.
+// Wall-clock deadlines are inherently timing-dependent; a deadline can only
+// make runs differ when it actually trips, and the DegradationReport records
+// when it did.
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+namespace imodec::util {
+
+enum class ResourceKind : std::uint8_t {
+  wall_clock,   // deadline expired
+  bdd_nodes,    // live-node budget exceeded and GC could not help
+  memory,       // allocation failed (bad_alloc) even after a GC retry
+  cancelled,    // explicit cancel() — cooperative cancellation token
+};
+
+const char* to_string(ResourceKind k);
+
+/// Typed error: a governed run hit a resource limit. With
+/// on-exhaustion=fail this escapes run_synthesis; the CLI maps it to a
+/// documented exit code (README "Exit codes").
+class ResourceExhausted : public std::runtime_error {
+ public:
+  ResourceExhausted(ResourceKind kind, const std::string& what)
+      : std::runtime_error(what), kind_(kind) {}
+  ResourceKind kind() const { return kind_; }
+
+ private:
+  ResourceKind kind_;
+};
+
+/// Typed error: the wall-clock deadline expired (a ResourceExhausted with
+/// kind wall_clock; a distinct type so callers can catch it separately).
+class Timeout : public ResourceExhausted {
+ public:
+  explicit Timeout(const std::string& what)
+      : ResourceExhausted(ResourceKind::wall_clock, what) {}
+};
+
+class ResourceGuard {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  ResourceGuard() = default;
+  ResourceGuard(const ResourceGuard&) = delete;
+  ResourceGuard& operator=(const ResourceGuard&) = delete;
+
+  /// Arm a wall-clock deadline `ms` milliseconds from now. 0 disarms.
+  void set_deadline_ms(std::uint64_t ms);
+  /// Cap on live BDD nodes per governed manager (16 bytes each, so this is
+  /// also the arena-byte budget / 16). 0 = unlimited. Enforced inside
+  /// bdd::Manager::make_node with a GC-retry before giving up.
+  void set_node_budget(std::size_t nodes) {
+    node_budget_.store(nodes, std::memory_order_relaxed);
+  }
+  std::size_t node_budget() const {
+    return node_budget_.load(std::memory_order_relaxed);
+  }
+
+  /// Cooperative cancellation: latches; every subsequent checkpoint() in any
+  /// thread throws ResourceExhausted(cancelled).
+  void cancel() { cancelled_.store(true, std::memory_order_release); }
+  bool cancel_requested() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  /// True once the deadline has been observed expired (latched — also set by
+  /// an injected deadline fault). Cheap; safe from any thread.
+  bool deadline_expired() const {
+    return expired_.load(std::memory_order_acquire);
+  }
+  /// Poll the clock now (latching); returns deadline_expired().
+  bool poll_deadline();
+  /// Milliseconds until the deadline, clamped at 0; nullopt when no deadline
+  /// is armed. Used to mirror an outer deadline onto a sub-phase guard (e.g.
+  /// the miter's own budget guard, verify/miter.cpp).
+  std::optional<std::uint64_t> remaining_ms() const;
+
+  /// True when the run should stop expanding work: cancelled or past the
+  /// deadline. Ladder points in degrade mode use this to pick the cheapest
+  /// fallback instead of throwing.
+  bool should_stop() const {
+    return cancel_requested() || deadline_expired();
+  }
+
+  /// The governed hot-path call. Cheap: one relaxed counter bump and two
+  /// atomic loads per call; the clock is consulted every kStride-th call
+  /// (and always on the first). Throws Timeout /
+  /// ResourceExhausted(cancelled) once tripped. In IMODEC_FAULT_INJECTION
+  /// builds every call is a fault-injection checkpoint site.
+  void checkpoint() {
+#ifdef IMODEC_FAULT_INJECTION
+    fault_site();
+#endif
+    if (cancelled_.load(std::memory_order_acquire))
+      throw_cancelled();
+    const std::uint64_t n = ticks_.fetch_add(1, std::memory_order_relaxed);
+    if (expired_.load(std::memory_order_acquire)) throw_deadline();
+    if ((n & (kStride - 1)) == 0) checkpoint_slow();
+  }
+
+  /// Total checkpoint() calls so far (observability; flow.resource.* gauges).
+  std::uint64_t checkpoints() const {
+    return ticks_.load(std::memory_order_relaxed);
+  }
+
+  // --- Global live-node accounting (observability only; see header note on
+  // why *enforcement* is per manager) -----------------------------------------
+  void charge_nodes(std::int64_t delta) {
+    const std::int64_t now =
+        live_nodes_.fetch_add(delta, std::memory_order_relaxed) + delta;
+    std::int64_t peak = peak_nodes_.load(std::memory_order_relaxed);
+    while (now > peak && !peak_nodes_.compare_exchange_weak(
+                             peak, now, std::memory_order_relaxed)) {
+    }
+  }
+  std::int64_t live_nodes() const {
+    return live_nodes_.load(std::memory_order_relaxed);
+  }
+  std::int64_t peak_live_nodes() const {
+    return peak_nodes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr std::uint64_t kStride = 256;  // clock polls per checkpoint
+
+  void fault_site();  // defined out of line; consults util::fault
+  void checkpoint_slow();
+  [[noreturn]] void throw_deadline() const;
+  [[noreturn]] void throw_cancelled() const;
+
+  std::atomic<bool> has_deadline_{false};
+  Clock::time_point deadline_{};  // written before has_deadline_ release-store
+  std::atomic<bool> expired_{false};
+  std::atomic<bool> cancelled_{false};
+  std::atomic<std::size_t> node_budget_{0};
+  std::atomic<std::uint64_t> ticks_{0};
+  std::atomic<std::int64_t> live_nodes_{0};
+  std::atomic<std::int64_t> peak_nodes_{0};
+};
+
+}  // namespace imodec::util

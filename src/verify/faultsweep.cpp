@@ -1,0 +1,282 @@
+#include "verify/faultsweep.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "circuits/registry.hpp"
+#include "logic/network.hpp"
+#include "logic/simulate.hpp"
+#include "map/driver.hpp"
+#include "util/fault.hpp"
+#include "util/resource.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "verify/miter.hpp"
+
+namespace imodec::verify {
+namespace {
+
+/// The three site classes and the fault kinds deliverable at each.
+struct SiteClass {
+  const char* label;
+  util::fault::Kind count_kind;  // any kind that walks this class's counter
+  std::vector<util::fault::Kind> inject;
+};
+
+const std::vector<SiteClass>& site_classes() {
+  static const std::vector<SiteClass> classes = {
+      {"checkpoint",
+       util::fault::Kind::deadline,
+       {util::fault::Kind::deadline, util::fault::Kind::cancel}},
+      {"budget", util::fault::Kind::node_budget, {util::fault::Kind::node_budget}},
+      {"alloc", util::fault::Kind::bad_alloc, {util::fault::Kind::bad_alloc}},
+  };
+  return classes;
+}
+
+const char* kind_name(util::fault::Kind k) {
+  switch (k) {
+    case util::fault::Kind::bad_alloc: return "bad_alloc";
+    case util::fault::Kind::deadline: return "deadline";
+    case util::fault::Kind::node_budget: return "node_budget";
+    case util::fault::Kind::cancel: return "cancel";
+    case util::fault::Kind::none: break;
+  }
+  return "none";
+}
+
+SynthesisConfig governed_config(const FaultSweepOptions& opts,
+                                OnExhaustion policy) {
+  SynthesisConfig cfg;
+  cfg.threads = 1;
+  cfg.verify = VerifyMode::off;  // the sweep runs its own miter
+  cfg.node_budget = opts.node_budget;
+  cfg.on_exhaustion = policy;
+  return cfg;
+}
+
+/// Miter first, exhaustive/sampled simulation when the miter cannot decide.
+bool equivalent_to_input(const Network& input, const Network& mapped) {
+  MiterOptions mopts;
+  mopts.node_budget = std::size_t{1} << 21;
+  const MiterResult mr = check_miter(input, mapped, mopts);
+  if (mr.proven) return mr.equivalent;
+  return check_equivalence(input, mapped).equivalent;
+}
+
+std::uint64_t points_seen(const SiteClass& sc) {
+  if (sc.count_kind == util::fault::Kind::node_budget)
+    return util::fault::budget_points_seen();
+  if (sc.count_kind == util::fault::Kind::bad_alloc)
+    return util::fault::alloc_points_seen();
+  return util::fault::checkpoint_points_seen();
+}
+
+/// Deterministic ordinal sample in [1, count]: always the first and last
+/// site, plus distinct random interior points.
+std::vector<std::uint64_t> sample_ordinals(Rng& rng, std::uint64_t count,
+                                           std::size_t want) {
+  std::vector<std::uint64_t> out;
+  if (count == 0 || want == 0) return out;
+  const auto add = [&](std::uint64_t v) {
+    if (std::find(out.begin(), out.end(), v) == out.end()) out.push_back(v);
+  };
+  add(1);
+  if (out.size() < want) add(count);
+  while (out.size() < want && out.size() < count) add(rng.range(1, count));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> default_fault_corpus() {
+  // The smaller half of the Table 2 registry: quick enough that ~250 full
+  // governed synthesis runs finish inside a ctest budget, varied enough to
+  // cover multi-output grouping, Shannon fallbacks and the collapse path.
+  return {"rd53", "rd73",   "rd84",   "9sym", "z4ml", "5xp1",
+          "f51m", "clip",   "misex1", "misex2", "sao2", "count"};
+}
+
+FaultSweepReport run_fault_sweep(const FaultSweepOptions& opts) {
+  FaultSweepReport rep;
+  if (!util::fault::enabled()) {
+    rep.failures.push_back(
+        "fault hooks not compiled in; configure with "
+        "-DIMODEC_FAULT_INJECTION=ON");
+    return rep;
+  }
+
+  const std::vector<std::string> corpus =
+      opts.circuits.empty() ? default_fault_corpus() : opts.circuits;
+
+  // Pass 1 — count. Arm an `at == 0` plan per site class and run each
+  // circuit clean; the counters then say how many injection points that
+  // circuit exposes per class. Trivial circuits (already k-feasible) expose
+  // only a handful, so the sample allocation below has to be adaptive or a
+  // small corpus member would silently shrink the sweep.
+  struct Target {
+    std::size_t circuit;  // index into corpus
+    const SiteClass* sc;
+    util::fault::Kind kind;
+    std::uint64_t count;      // sites available
+    std::size_t want = 0;     // ordinals to sample (<= count)
+  };
+  std::vector<Target> targets;
+
+  for (std::size_t c = 0; c < corpus.size(); ++c) {
+    const auto bench = circuits::make_benchmark(corpus[c]);
+    if (!bench) {
+      rep.failures.push_back("unknown corpus circuit '" + corpus[c] + "'");
+      continue;
+    }
+    ++rep.circuits;
+    for (const SiteClass& sc : site_classes()) {
+      util::fault::arm({sc.count_kind, 0});
+      std::uint64_t count = 0;
+      try {
+        Network mapped;
+        run_synthesis(*bench, governed_config(opts, OnExhaustion::degrade),
+                      mapped);
+        count = points_seen(sc);
+      } catch (const std::exception& e) {
+        rep.failures.push_back(strprintf("%s: clean governed run threw: %s",
+                                         corpus[c].c_str(), e.what()));
+      }
+      util::fault::disarm();
+      rep.points_available += count;
+      if (count == 0) continue;
+      for (util::fault::Kind kind : sc.inject)
+        targets.push_back({c, &sc, kind, count, 0});
+    }
+  }
+
+  // Allocate samples round-robin until the sweep clears the floor (or every
+  // site of every class is taken, for tiny corpora).
+  std::size_t total = 0;
+  bool grew = true;
+  while (total < opts.min_points && grew) {
+    grew = false;
+    for (Target& t : targets) {
+      if (total >= opts.min_points) break;
+      if (t.want < t.count) {
+        ++t.want;
+        ++total;
+        grew = true;
+      }
+    }
+  }
+
+  // Pass 2 — inject. Serial runs replay the count run's schedule exactly, so
+  // a sampled ordinal within [1, count] is guaranteed to fire.
+  Rng rng(opts.seed);
+  std::size_t mode_flip = 0;  // alternates degrade / fail per armed run
+
+  for (const Target& t : targets) {
+    const std::string& name = corpus[t.circuit];
+    const auto bench = circuits::make_benchmark(name);
+    const Network& net = *bench;
+    const util::fault::Kind kind = t.kind;
+    for (std::uint64_t at : sample_ordinals(rng, t.count, t.want)) {
+      const bool degrade = (mode_flip++ & 1) == 0;
+      const SynthesisConfig cfg = governed_config(
+          opts, degrade ? OnExhaustion::degrade : OnExhaustion::fail);
+      util::fault::arm({kind, at});
+      ++rep.injections;
+
+      Network mapped;
+      std::string outcome;
+      bool have_network = false;
+      try {
+        run_synthesis(net, cfg, mapped);
+        have_network = true;
+        outcome = degrade ? "degraded" : "recovered";
+      } catch (const util::ResourceExhausted& e) {
+        // Timeout derives from ResourceExhausted; both are clean typed
+        // errors — but only the fail policy may surface them.
+        if (degrade) {
+          rep.failures.push_back(strprintf(
+              "%s: degrade-mode run leaked %s [%s@%llu]", name.c_str(),
+              e.what(), kind_name(kind), static_cast<unsigned long long>(at)));
+        } else {
+          ++rep.typed_errors;
+          outcome = "typed-error";
+        }
+      } catch (const std::exception& e) {
+        rep.failures.push_back(strprintf(
+            "%s: untyped exception '%s' [%s@%llu]", name.c_str(), e.what(),
+            kind_name(kind), static_cast<unsigned long long>(at)));
+      }
+      const bool fired = util::fault::fired();
+      util::fault::disarm();
+
+      if (fired) {
+        ++rep.fired;
+      } else {
+        rep.failures.push_back(strprintf(
+            "%s: armed fault never fired [%s@%llu of %llu]", name.c_str(),
+            kind_name(kind), static_cast<unsigned long long>(at),
+            static_cast<unsigned long long>(t.count)));
+      }
+      if (have_network) {
+        if (equivalent_to_input(net, mapped)) {
+          ++(degrade ? rep.degraded_ok : rep.recovered);
+        } else {
+          rep.failures.push_back(strprintf(
+              "%s: %s network fails the miter [%s@%llu]", name.c_str(),
+              outcome.c_str(), kind_name(kind),
+              static_cast<unsigned long long>(at)));
+        }
+      }
+      if (opts.verbose) {
+        std::printf("  %-7s %-11s @%-8llu %s\n", name.c_str(),
+                    kind_name(kind), static_cast<unsigned long long>(at),
+                    outcome.empty() ? "FAILED" : outcome.c_str());
+      }
+    }
+  }
+
+  // §12.3 determinism, once per circuit: a budget small enough to trip for
+  // real must degrade to bit-identical networks at every execution width
+  // (trips are per work unit).
+  for (const std::string& name : corpus) {
+    const auto bench = circuits::make_benchmark(name);
+    if (!bench) continue;
+    const Network& net = *bench;
+    SynthesisConfig cfg = governed_config(opts, OnExhaustion::degrade);
+    cfg.node_budget = opts.determinism_budget;
+    Network serial, parallel;
+    try {
+      run_synthesis(net, cfg, serial);
+      cfg.threads = 8;
+      run_synthesis(net, cfg, parallel);
+      ++rep.determinism_checks;
+      if (!structurally_equal(serial, parallel)) {
+        rep.failures.push_back(
+            name + ": budget-governed serial and 8-thread networks differ");
+      } else if (!equivalent_to_input(net, serial)) {
+        rep.failures.push_back(name +
+                               ": budget-degraded network fails the miter");
+      }
+    } catch (const std::exception& e) {
+      rep.failures.push_back(strprintf(
+          "%s: budget-governed degrade run threw: %s", name.c_str(),
+          e.what()));
+    }
+  }
+  return rep;
+}
+
+std::string format_fault_sweep_report(const FaultSweepReport& rep) {
+  std::string s = strprintf(
+      "faults: %zu circuits, %zu sites counted, %zu injections (%zu fired): "
+      "%zu degraded-ok, %zu typed errors, %zu recovered; %zu determinism "
+      "checks; %zu failure(s)\n",
+      rep.circuits, rep.points_available, rep.injections, rep.fired,
+      rep.degraded_ok, rep.typed_errors, rep.recovered,
+      rep.determinism_checks, rep.failures.size());
+  for (const std::string& f : rep.failures) s += "  FAIL " + f + "\n";
+  return s;
+}
+
+}  // namespace imodec::verify

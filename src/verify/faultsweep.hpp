@@ -1,0 +1,77 @@
+#pragma once
+// Deterministic fault-injection sweep over the benchmark corpus
+// (DESIGN.md §12.4; the robustness counterpart of verify/fuzz).
+//
+// For every corpus circuit the sweep first runs a count-only plan per fault
+// class (util/fault.hpp, `at == 0`) to measure how many injection points a
+// governed synthesis of that circuit exposes, then deterministically samples
+// ordinals within each class and replays the run with the fault armed at
+// that exact site. Every armed run must end in one of exactly two states:
+//   - a complete network that the BDD miter proves equivalent to the input
+//     (degrade mode, or a fail-mode run whose GC-retry ladder recovered), or
+//   - a clean typed error (util::Timeout / util::ResourceExhausted) with no
+//     partial netlist — fail mode only.
+// Anything else — a crash, an unexpected exception type, a network that
+// fails the miter, or an armed fault that never fired — is a sweep failure.
+//
+// The sweep also asserts the §12.3 determinism contract once per circuit: a
+// budget-governed degrade run must produce bit-identical networks serially
+// and 8-wide (budget trips are per work unit, so the degradation ladder is
+// schedule-independent).
+//
+// Requires an IMODEC_FAULT_INJECTION build; otherwise run_fault_sweep
+// reports a single configuration failure. ctest registers this as the
+// `faults` label (ASan build dir) via tools/imodec_fuzz --faults.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace imodec::verify {
+
+struct FaultSweepOptions {
+  std::uint64_t seed = 0xFA0175ull;
+  /// Registry circuits forming the corpus; default_fault_corpus() when empty.
+  std::vector<std::string> circuits;
+  /// Minimum armed injection runs across the whole sweep. Ordinals are
+  /// sampled per (circuit, class) until the total reaches this floor.
+  std::size_t min_points = 200;
+  /// Node budget of the governed runs. Generous: natural trips would blur
+  /// the injected schedule; the armed fault forces exactly one trip.
+  std::size_t node_budget = std::size_t{1} << 20;
+  /// Node budget used for the determinism cross-check; small enough that
+  /// real budget trips (and the degradation ladder) are exercised.
+  std::size_t determinism_budget = 3000;
+  /// Print one line per armed run (tools/imodec_fuzz -v).
+  bool verbose = false;
+};
+
+/// The default corpus: the smaller half of the Table 2 registry, >= 10
+/// circuits covering exact and synthetic kinds.
+std::vector<std::string> default_fault_corpus();
+
+struct FaultSweepReport {
+  std::size_t circuits = 0;
+  /// Injection sites counted over the corpus (sum over classes).
+  std::size_t points_available = 0;
+  /// Armed runs executed / whose fault actually fired.
+  std::size_t injections = 0;
+  std::size_t fired = 0;
+  /// Degrade-mode runs that returned a complete miter-proven network.
+  std::size_t degraded_ok = 0;
+  /// Fail-mode runs that ended in a clean typed error.
+  std::size_t typed_errors = 0;
+  /// Fail-mode runs whose GC-retry ladder absorbed the fault entirely.
+  std::size_t recovered = 0;
+  std::size_t determinism_checks = 0;
+  std::vector<std::string> failures;
+  bool ok() const { return failures.empty(); }
+};
+
+FaultSweepReport run_fault_sweep(const FaultSweepOptions& opts = {});
+
+/// Human-readable summary (totals + one line per failure).
+std::string format_fault_sweep_report(const FaultSweepReport& rep);
+
+}  // namespace imodec::verify

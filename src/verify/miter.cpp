@@ -1,20 +1,14 @@
 #include "verify/miter.hpp"
 
+#include <algorithm>
 #include <unordered_map>
 
 #include "bdd/bdd.hpp"
 #include "logic/net2bdd.hpp"
+#include "util/resource.hpp"
 
 namespace imodec::verify {
 namespace {
-
-/// True iff the manager still fits the budget, garbage-collecting once when
-/// it does not (dead trial nodes from ite() intermediates often free enough).
-bool within_budget(bdd::Manager& mgr, std::size_t budget) {
-  if (mgr.live_node_count() <= budget) return true;
-  mgr.garbage_collect();
-  return mgr.live_node_count() <= budget;
-}
 
 /// Static variable order: BDD variable of input position p is var_of_pos[p].
 /// Computed by a depth-first walk of the reference network from its outputs
@@ -54,12 +48,13 @@ std::vector<unsigned> dfs_variable_order(const Network& net) {
 }
 
 /// Build one BDD per output of `net` over PI variables keyed by input
-/// position. Walks the output cones in topological order so every
-/// signal_bdd call only composes one node over cached fanins — the budget is
-/// therefore enforced at node granularity, not per whole cone. Returns false
-/// on budget exhaustion.
-bool build_outputs(bdd::Manager& mgr, const Network& net,
-                   const std::vector<unsigned>& var_of_pos, std::size_t budget,
+/// position. Walks the output cones in topological order. The node budget is
+/// enforced by the guard attached to `mgr` — inside make_node, i.e. at BDD
+/// node granularity: a blow-up in the middle of one wide gate throws
+/// util::ResourceExhausted (after a GC retry) instead of overshooting the
+/// budget until the gate completes.
+void build_outputs(bdd::Manager& mgr, const Network& net,
+                   const std::vector<unsigned>& var_of_pos,
                    std::vector<bdd::Bdd>& out) {
   PiVarMap pi_var;
   for (std::size_t i = 0; i < net.inputs().size(); ++i)
@@ -80,11 +75,9 @@ bool build_outputs(bdd::Manager& mgr, const Network& net,
   for (SigId s : net.topo_order()) {
     if (!in_cone[s]) continue;
     signal_bdd(mgr, net, s, pi_var, cache);
-    if (!within_budget(mgr, budget)) return false;
   }
   out.reserve(net.outputs().size());
   for (SigId o : net.outputs()) out.push_back(cache.at(o));
-  return true;
 }
 
 }  // namespace
@@ -99,23 +92,37 @@ MiterResult check_miter(const Network& a, const Network& b,
     return res;  // equivalent stays false
   }
 
+  // The miter's own guard: the caller's node_budget, plus (when an outer
+  // guard is given) its remaining deadline and cancellation, mirrored so a
+  // governed synthesis run's timeout also bounds the proof attempt. Declared
+  // before the manager — the manager's destructor uncharges the guard.
+  util::ResourceGuard guard;
+  if (opts.node_budget != std::numeric_limits<std::size_t>::max())
+    guard.set_node_budget(opts.node_budget);
+  if (opts.guard) {
+    if (opts.guard->should_stop()) return res;  // unproven: fall back to sim
+    if (const auto ms = opts.guard->remaining_ms())
+      guard.set_deadline_ms(std::max<std::uint64_t>(*ms, 1));
+  }
+
   bdd::Manager mgr(static_cast<unsigned>(a.num_inputs()));
+  mgr.set_resource_guard(&guard);
   // Order variables by a DFS over `a` (the reference network); `b` maps its
   // inputs by position, so both sides agree on the variables.
   const std::vector<unsigned> var_of_pos = dfs_variable_order(a);
-  std::vector<bdd::Bdd> fa, fb;
-  const bool built = build_outputs(mgr, a, var_of_pos, opts.node_budget, fa) &&
-                     build_outputs(mgr, b, var_of_pos, opts.node_budget, fb);
-  if (built) {
+  try {
+    std::vector<bdd::Bdd> fa, fb;
+    build_outputs(mgr, a, var_of_pos, fa);
+    build_outputs(mgr, b, var_of_pos, fb);
     res.equivalent = true;
     res.proven = true;
     for (std::size_t j = 0; j < fa.size(); ++j) {
-      const bdd::Bdd miter = fa[j] ^ fb[j];
-      if (!within_budget(mgr, opts.node_budget)) {
+      if (opts.guard && opts.guard->cancel_requested()) {
         res.proven = false;
         res.equivalent = false;
         break;
       }
+      const bdd::Bdd miter = fa[j] ^ fb[j];
       if (!miter.is_zero()) {
         res.equivalent = false;
         res.failing_output = j;
@@ -131,6 +138,11 @@ MiterResult check_miter(const Network& a, const Network& b,
         break;
       }
     }
+  } catch (const util::ResourceExhausted&) {
+    // Budget / deadline trip mid-proof: report unproven (callers fall back
+    // to simulation), never a crash or a partial verdict.
+    res.proven = false;
+    res.equivalent = false;
   }
   res.peak_nodes = mgr.peak_node_count();
   return res;

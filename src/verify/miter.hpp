@@ -15,13 +15,24 @@
 
 #include "logic/network.hpp"
 
+namespace imodec::util {
+class ResourceGuard;
+}
+
 namespace imodec::verify {
 
 struct MiterOptions {
-  /// Live BDD-node cap during the build (checked after every node and every
-  /// per-output XOR; a garbage collection is tried before giving up).
-  /// Default: unbounded.
+  /// Live BDD-node cap during the build. Enforced *inside* the BDD kernel
+  /// (bdd::Manager::make_node, via a ResourceGuard private to the miter), so
+  /// a blow-up mid-gate trips at node granularity instead of overshooting
+  /// until the end of the gate; a garbage collection is retried before
+  /// giving up. Default: unbounded.
   std::size_t node_budget = std::numeric_limits<std::size_t>::max();
+  /// Outer guard (optional, not owned): its remaining deadline and its
+  /// cancellation are mirrored onto the miter's internal guard, so a governed
+  /// synthesis run's --timeout-ms also bounds verification. The outer node
+  /// budget is *not* mirrored — the miter's budget is `node_budget` above.
+  util::ResourceGuard* guard = nullptr;
 };
 
 struct MiterResult {

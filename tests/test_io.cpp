@@ -187,6 +187,215 @@ TEST(Pla, RejectsWidthMismatch) {
   EXPECT_THROW(read_pla(in), PlaError);
 }
 
+// --- Malformed-input hardening ---------------------------------------------
+// Every reject path must throw a ParseError subtype whose what() names the
+// offending 1-based line (line() == 0 only for whole-file errors that are
+// not attributable to a single line).
+
+/// Parse `text`, expect an E, and return it for line()/what() checks.
+template <typename E, typename Fn>
+E expect_parse_error(const std::string& text, Fn parse) {
+  std::istringstream in(text);
+  try {
+    parse(in);
+  } catch (const E& e) {
+    return e;
+  } catch (const std::exception& e) {
+    ADD_FAILURE() << "wrong exception type: " << e.what();
+    return E("unreachable");
+  }
+  ADD_FAILURE() << "no exception for:\n" << text;
+  return E("unreachable");
+}
+
+PlaError pla_error(const std::string& text) {
+  return expect_parse_error<PlaError>(
+      text, [](std::istream& in) { read_pla(in); });
+}
+
+BlifError blif_error(const std::string& text) {
+  return expect_parse_error<BlifError>(
+      text, [](std::istream& in) { read_blif(in); });
+}
+
+TEST(PlaMalformed, DirectiveWithoutCount) {
+  const PlaError e = pla_error(".i\n");
+  EXPECT_EQ(e.line(), 1u);
+  EXPECT_NE(std::string(e.what()).find("line 1"), std::string::npos);
+  EXPECT_NE(std::string(e.what()).find(".i"), std::string::npos);
+}
+
+TEST(PlaMalformed, NonNumericCount) {
+  const PlaError e = pla_error(".i 2\n.o x\n");
+  EXPECT_EQ(e.line(), 2u);
+  EXPECT_NE(std::string(e.what()).find("'x'"), std::string::npos);
+}
+
+TEST(PlaMalformed, TrailingGarbageInCount) {
+  const PlaError e = pla_error(".i 2z\n.o 1\n11 1\n.e\n");
+  EXPECT_EQ(e.line(), 1u);
+}
+
+TEST(PlaMalformed, ZeroCount) {
+  const PlaError e = pla_error(".i 0\n.o 1\n.e\n");
+  EXPECT_EQ(e.line(), 1u);
+  EXPECT_NE(std::string(e.what()).find("out of range"), std::string::npos);
+}
+
+TEST(PlaMalformed, HugeCount) {
+  const PlaError e = pla_error(".i 2\n.o 99999999\n.e\n");
+  EXPECT_EQ(e.line(), 2u);
+}
+
+TEST(PlaMalformed, UnsupportedDirective) {
+  const PlaError e = pla_error(".i 2\n.o 1\n.phase 10\n11 1\n.e\n");
+  EXPECT_EQ(e.line(), 3u);
+  EXPECT_NE(std::string(e.what()).find(".phase"), std::string::npos);
+}
+
+TEST(PlaMalformed, RowWithTooManyFields) {
+  const PlaError e = pla_error(".i 2\n.o 1\n11 1 extra\n.e\n");
+  EXPECT_EQ(e.line(), 3u);
+}
+
+TEST(PlaMalformed, MissingHeaderHasNoLine) {
+  const PlaError e = pla_error("# only a comment\n");
+  EXPECT_EQ(e.line(), 0u);
+  EXPECT_NE(std::string(e.what()).find(".i/.o"), std::string::npos);
+}
+
+TEST(PlaMalformed, TooManyInputs) {
+  const PlaError e = pla_error(".i 23\n.o 1\n.e\n");
+  EXPECT_EQ(e.line(), 0u);
+  EXPECT_NE(std::string(e.what()).find("23"), std::string::npos);
+}
+
+TEST(PlaMalformed, IlbArityMismatch) {
+  const PlaError e = pla_error(".i 3\n.o 1\n.ilb a b\n111 1\n.e\n");
+  EXPECT_EQ(e.line(), 0u);
+}
+
+TEST(PlaMalformed, RowWidthMismatchCitesRow) {
+  const PlaError e = pla_error(".i 3\n.o 1\n111 1\n11 1\n.e\n");
+  EXPECT_EQ(e.line(), 4u);
+  EXPECT_NE(std::string(e.what()).find("3+1"), std::string::npos);
+}
+
+TEST(PlaMalformed, BadInputCharacter) {
+  const PlaError e = pla_error(".i 2\n.o 1\n1x 1\n.e\n");
+  EXPECT_EQ(e.line(), 3u);
+  EXPECT_NE(std::string(e.what()).find("'x'"), std::string::npos);
+}
+
+TEST(PlaMalformed, BadOutputCharacter) {
+  const PlaError e = pla_error(".i 2\n.o 1\n11 -\n.e\n");
+  EXPECT_EQ(e.line(), 3u);
+  EXPECT_NE(std::string(e.what()).find("'-'"), std::string::npos);
+}
+
+TEST(BlifMalformed, NamesWithoutOutput) {
+  const BlifError e = blif_error(".model t\n.inputs a\n.outputs y\n.names\n");
+  EXPECT_EQ(e.line(), 4u);
+}
+
+TEST(BlifMalformed, CoverRowOutsideNames) {
+  const BlifError e = blif_error(".model t\n.inputs a\n.outputs y\n11 1\n");
+  EXPECT_EQ(e.line(), 4u);
+  EXPECT_NE(std::string(e.what()).find("outside .names"), std::string::npos);
+}
+
+TEST(BlifMalformed, BadConstantRow) {
+  const BlifError e = blif_error(
+      ".model t\n.inputs a\n.outputs y\n.names y\n2\n.end\n");
+  EXPECT_EQ(e.line(), 5u);
+}
+
+TEST(BlifMalformed, BadCoverRowShape) {
+  const BlifError e = blif_error(
+      ".model t\n.inputs a b\n.outputs y\n.names a b y\n1 1 1\n.end\n");
+  EXPECT_EQ(e.line(), 5u);
+}
+
+TEST(BlifMalformed, LatchCitesLine) {
+  const BlifError e = blif_error(
+      ".model t\n.inputs a\n.outputs y\n.latch a y 0\n.end\n");
+  EXPECT_EQ(e.line(), 4u);
+  EXPECT_NE(std::string(e.what()).find(".latch"), std::string::npos);
+}
+
+TEST(BlifMalformed, SubcktRejected) {
+  const BlifError e = blif_error(
+      ".model t\n.inputs a\n.outputs y\n.subckt sub x=a y=y\n.end\n");
+  EXPECT_EQ(e.line(), 4u);
+}
+
+TEST(BlifMalformed, TooManyFanins) {
+  std::string text = ".model t\n.inputs";
+  for (unsigned v = 0; v < TruthTable::kMaxVars + 1; ++v)
+    text += " i" + std::to_string(v);
+  text += "\n.outputs y\n.names";
+  for (unsigned v = 0; v < TruthTable::kMaxVars + 1; ++v)
+    text += " i" + std::to_string(v);
+  text += " y\n.end\n";
+  const BlifError e = blif_error(text);
+  EXPECT_EQ(e.line(), 4u);  // the .names directive line
+  EXPECT_NE(std::string(e.what()).find("too many fanins"), std::string::npos);
+}
+
+TEST(BlifMalformed, CubeWidthMismatchCitesRow) {
+  const BlifError e = blif_error(
+      ".model t\n.inputs a b\n.outputs y\n.names a b y\n1 1\n.end\n");
+  EXPECT_EQ(e.line(), 5u);
+  EXPECT_NE(std::string(e.what()).find("expected 2 columns"),
+            std::string::npos);
+}
+
+TEST(BlifMalformed, MixedPolarityCover) {
+  const BlifError e = blif_error(
+      ".model t\n.inputs a b\n.outputs y\n.names a b y\n11 1\n00 0\n.end\n");
+  EXPECT_EQ(e.line(), 6u);
+  EXPECT_NE(std::string(e.what()).find("mixed-polarity"), std::string::npos);
+}
+
+TEST(BlifMalformed, BadCubeCharacter) {
+  const BlifError e = blif_error(
+      ".model t\n.inputs a b\n.outputs y\n.names a b y\n1? 1\n.end\n");
+  EXPECT_EQ(e.line(), 5u);
+  EXPECT_NE(std::string(e.what()).find("'?'"), std::string::npos);
+}
+
+TEST(BlifMalformed, NodeDefinedTwice) {
+  const BlifError e = blif_error(
+      ".model t\n.inputs a b\n.outputs y\n.names a y\n1 1\n"
+      ".names b y\n1 1\n.end\n");
+  EXPECT_EQ(e.line(), 6u);  // the second .names directive
+  EXPECT_NE(std::string(e.what()).find("defined twice"), std::string::npos);
+}
+
+TEST(BlifMalformed, UndefinedSignalHasNoLine) {
+  const BlifError e = blif_error(
+      ".model t\n.inputs a\n.outputs y\n.names a ghost y\n11 1\n.end\n");
+  EXPECT_EQ(e.line(), 0u);
+  EXPECT_NE(std::string(e.what()).find("ghost"), std::string::npos);
+}
+
+TEST(BlifMalformed, CycleHasNoLine) {
+  const BlifError e = blif_error(
+      ".model t\n.inputs a\n.outputs y\n.names a u y\n11 1\n"
+      ".names y v\n1 1\n.names v u\n1 1\n.end\n");
+  EXPECT_EQ(e.line(), 0u);
+  EXPECT_NE(std::string(e.what()).find("cycle"), std::string::npos);
+}
+
+TEST(Malformed, ErrorsAreCatchableAsParseError) {
+  // The CLI maps any ParseError to exit code 3; both readers must stay
+  // catchable through the shared base.
+  std::istringstream pla(".i\n");
+  EXPECT_THROW(read_pla(pla), ParseError);
+  std::istringstream blif(".model t\n.inputs a\n.outputs y\n11 1\n");
+  EXPECT_THROW(read_blif(blif), ParseError);
+}
+
 TEST(Pla, BlifRoundTripOfPla) {
   std::istringstream in(R"(
 .i 4

@@ -5,8 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "circuits/generators.hpp"
@@ -18,6 +20,7 @@
 #include "map/lutflow.hpp"
 #include "map/session.hpp"
 #include "paper_fixtures.hpp"
+#include "util/resource.hpp"
 #include "util/thread_pool.hpp"
 
 namespace imodec {
@@ -113,6 +116,103 @@ TEST(ThreadPool, NestedParallelForRunsInline) {
     pool.parallel_for(inner, [&](std::size_t i) { ++hits[o * inner + i]; });
   });
   for (auto& h : hits) ASSERT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, CancellationStopsParallelForPromptly) {
+  // One guard shared by every worker (the governed-flow pattern,
+  // DESIGN.md §12): the first iteration to cancel latches the token; every
+  // other chunk's next checkpoint throws, and parallel_for's failure path
+  // stops un-started chunks from being claimed at all.
+  ThreadPool pool(4);
+  util::ResourceGuard guard;
+  constexpr std::size_t n = 100000;
+  std::atomic<std::size_t> executed{0};
+  try {
+    pool.parallel_for(n, [&](std::size_t i) {
+      guard.checkpoint();
+      if (i == 5) guard.cancel();
+      ++executed;
+    });
+    FAIL() << "cancelled parallel_for must rethrow";
+  } catch (const util::ResourceExhausted& e) {
+    EXPECT_EQ(e.kind(), util::ResourceKind::cancelled);
+  }
+  EXPECT_LT(executed.load(), n);
+  // The guard is spent but the pool is not: later loops run normally.
+  std::atomic<int> ok{0};
+  pool.parallel_for(16, [&](std::size_t) { ++ok; });
+  EXPECT_EQ(ok.load(), 16);
+}
+
+TEST(ThreadPool, ExceptionThrownOnCallerThreadPropagates) {
+  // The caller participates in parallel_for; an exception on the caller's
+  // own chunk must take the same rethrow path as a worker's.
+  ThreadPool pool(4);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::atomic<bool> threw{false};
+  try {
+    pool.parallel_for(10000, [&](std::size_t) {
+      if (std::this_thread::get_id() == caller) {
+        threw = true;
+        throw std::runtime_error("caller boom");
+      }
+    });
+  } catch (const std::runtime_error&) {
+  }
+  // The caller always runs at least one chunk, so the throw is guaranteed.
+  EXPECT_TRUE(threw.load());
+}
+
+TEST(ThreadPool, ExceptionThrownOnWorkerThreadPropagates) {
+  // Make each item slow enough that the workers demonstrably join in, then
+  // throw from a worker chunk only; the caller must still see the exception.
+  ThreadPool pool(4);
+  bool worker_threw = false;
+  for (int attempt = 0; attempt < 5 && !worker_threw; ++attempt) {
+    try {
+      pool.parallel_for(4000, [&](std::size_t) {
+        if (ThreadPool::on_worker_thread())
+          throw std::runtime_error("worker boom");
+        std::this_thread::sleep_for(std::chrono::microseconds(20));
+      });
+    } catch (const std::runtime_error&) {
+      worker_threw = true;
+    }
+  }
+  EXPECT_TRUE(worker_threw);
+}
+
+TEST(ThreadPool, DestructionDrainsQueuedWork) {
+  // The destructor must complete every already-submitted task (workers exit
+  // only once the queues are empty), never drop or deadlock on them.
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 64; ++i) {
+      pool.submit([&done] {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        ++done;
+      });
+    }
+    // Futures discarded; destruction races the queue drain on purpose.
+  }
+  EXPECT_EQ(done.load(), 64);
+}
+
+TEST(ThreadPool, DestructionWithFailingQueuedTasks) {
+  // Queued tasks that throw after the destructor has begun must be absorbed
+  // by their packaged futures, not terminate the process.
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 32; ++i) {
+      pool.submit([&ran] {
+        ++ran;
+        throw std::runtime_error("late failure");
+      });
+    }
+  }
+  EXPECT_EQ(ran.load(), 32);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,214 @@
+// Tests for resource governance (DESIGN.md §12): ResourceGuard units, the
+// BDD manager's budget GC-retry ladder, the degradation ladder through the
+// flow and driver, and the fault-injection hooks (when compiled in).
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "bdd/manager.hpp"
+#include "circuits/registry.hpp"
+#include "logic/simulate.hpp"
+#include "map/driver.hpp"
+#include "util/fault.hpp"
+#include "util/resource.hpp"
+#include "verify/miter.hpp"
+
+namespace imodec {
+namespace {
+
+using util::ResourceExhausted;
+using util::ResourceGuard;
+using util::ResourceKind;
+using util::Timeout;
+
+TEST(ResourceGuard, DeadlineLatches) {
+  ResourceGuard g;
+  g.set_deadline_ms(1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(g.poll_deadline());
+  EXPECT_TRUE(g.deadline_expired());
+  EXPECT_TRUE(g.should_stop());
+  EXPECT_THROW(g.checkpoint(), Timeout);
+  // Latched: disarming the deadline does not clear an observed expiry.
+  g.set_deadline_ms(0);
+  EXPECT_TRUE(g.deadline_expired());
+}
+
+TEST(ResourceGuard, RemainingMs) {
+  ResourceGuard g;
+  EXPECT_FALSE(g.remaining_ms().has_value());
+  g.set_deadline_ms(60'000);
+  const auto ms = g.remaining_ms();
+  ASSERT_TRUE(ms.has_value());
+  EXPECT_GT(*ms, 0u);
+  EXPECT_LE(*ms, 60'000u);
+  g.set_deadline_ms(0);
+  EXPECT_FALSE(g.remaining_ms().has_value());
+}
+
+TEST(ResourceGuard, CancellationIsCooperative) {
+  ResourceGuard g;
+  EXPECT_NO_THROW(g.checkpoint());
+  g.cancel();
+  EXPECT_TRUE(g.should_stop());
+  try {
+    g.checkpoint();
+    FAIL() << "checkpoint after cancel() must throw";
+  } catch (const ResourceExhausted& e) {
+    EXPECT_EQ(e.kind(), ResourceKind::cancelled);
+  }
+}
+
+TEST(ResourceGuard, NodeAccounting) {
+  ResourceGuard g;
+  g.charge_nodes(10);
+  g.charge_nodes(-4);
+  g.charge_nodes(6);
+  EXPECT_EQ(g.live_nodes(), 12);
+  EXPECT_EQ(g.peak_live_nodes(), 12);
+  g.charge_nodes(-12);
+  EXPECT_EQ(g.live_nodes(), 0);
+  EXPECT_EQ(g.peak_live_nodes(), 12);
+}
+
+/// A governed manager must survive a budget that GC can satisfy (dead nodes
+/// are reclaimed and the operation retried) and throw a typed error with
+/// kind bdd_nodes when the live set truly exceeds the budget.
+TEST(ResourceGuard, ManagerBudgetGcRetry) {
+  const unsigned n = 12;
+  ResourceGuard g;
+  g.set_node_budget(4000);
+  bdd::Manager mgr(n);
+  mgr.set_resource_guard(&g);
+
+  // Lots of garbage, small live set: conjunction chains built pairwise leave
+  // dead intermediates behind, which the recovery GC reclaims.
+  bdd::Bdd acc = bdd::Bdd::one(mgr);
+  for (unsigned v = 0; v < n; ++v) acc &= bdd::Bdd::var(mgr, v);
+  for (unsigned v = 0; v < n; ++v)
+    acc |= bdd::Bdd::var(mgr, v) ^ bdd::Bdd::var(mgr, (v + 1) % n);
+  EXPECT_LE(mgr.live_node_count(), 4000u);
+}
+
+TEST(ResourceGuard, ManagerBudgetExhaustsTyped) {
+  const unsigned n = 14;
+  ResourceGuard g;
+  g.set_node_budget(64);  // far below any useful live set
+  bdd::Manager mgr(n);
+  mgr.set_resource_guard(&g);
+  try {
+    // Keep everything referenced so GC cannot help.
+    std::vector<bdd::Bdd> keep;
+    bdd::Bdd acc = bdd::Bdd::zero(mgr);
+    for (unsigned v = 0; v + 1 < n; ++v) {
+      bdd::Bdd t = bdd::Bdd::var(mgr, v) ^ bdd::Bdd::var(mgr, v + 1);
+      acc = acc | t;
+      keep.push_back(std::move(t));
+      keep.push_back(acc);
+    }
+    FAIL() << "budget of 64 nodes must trip";
+  } catch (const ResourceExhausted& e) {
+    EXPECT_EQ(e.kind(), ResourceKind::bdd_nodes);
+  }
+}
+
+SynthesisConfig governed(std::size_t budget, std::uint64_t timeout_ms,
+                         OnExhaustion policy) {
+  SynthesisConfig cfg;
+  cfg.threads = 1;
+  cfg.node_budget = budget;
+  cfg.timeout_ms = timeout_ms;
+  cfg.on_exhaustion = policy;
+  return cfg;
+}
+
+/// Tiny budget + fail policy: the typed error escapes run_synthesis. The
+/// circuit must be multi-output so the flow reaches the BDD-backed engine
+/// (single-output decomposition is truth-table based and allocates no
+/// governed nodes).
+TEST(Degrade, FailPolicyThrowsTyped) {
+  const auto net = circuits::make_benchmark("5xp1");
+  ASSERT_TRUE(net.has_value());
+  Network mapped;
+  EXPECT_THROW(
+      run_synthesis(*net, governed(8, 0, OnExhaustion::fail), mapped),
+      ResourceExhausted);
+}
+
+/// Same budget + degrade policy: a complete, equivalent network comes back
+/// and the report says which rungs of the ladder were used.
+TEST(Degrade, LadderProducesVerifiedNetwork) {
+  const auto net = circuits::make_benchmark("5xp1");
+  ASSERT_TRUE(net.has_value());
+  Network mapped;
+  const DriverReport rep =
+      run_synthesis(*net, governed(8, 0, OnExhaustion::degrade), mapped);
+  EXPECT_TRUE(rep.verified);
+  EXPECT_TRUE(rep.degrade.degraded());
+  EXPECT_GT(rep.degrade.engine_exhausted + rep.degrade.single_fallbacks +
+                rep.degrade.shannon_degrades + rep.degrade.drained,
+            0u);
+  EXPECT_TRUE(check_equivalence(*net, mapped).equivalent);
+}
+
+/// §12.3: budget trips are per work unit, so a degraded run is bit-identical
+/// at every execution width.
+TEST(Degrade, BudgetDegradationIsThreadCountInvariant) {
+  const auto net = circuits::make_benchmark("5xp1");
+  ASSERT_TRUE(net.has_value());
+  SynthesisConfig cfg = governed(2000, 0, OnExhaustion::degrade);
+  Network serial, parallel;
+  run_synthesis(*net, cfg, serial);
+  cfg.threads = 8;
+  run_synthesis(*net, cfg, parallel);
+  EXPECT_TRUE(structurally_equal(serial, parallel));
+}
+
+/// An expired deadline in degrade mode still yields a complete verified
+/// network (the drain path), promptly.
+TEST(Degrade, ExpiredDeadlineStillCompletes) {
+  const auto net = circuits::make_benchmark("alu4");
+  ASSERT_TRUE(net.has_value());
+  Network mapped;
+  const DriverReport rep =
+      run_synthesis(*net, governed(0, 1, OnExhaustion::degrade), mapped);
+  EXPECT_EQ(mapped.num_outputs(), net->num_outputs());
+  EXPECT_TRUE(rep.verified);
+  // 1 ms against alu4 cannot finish cleanly; the report must say so.
+  EXPECT_TRUE(rep.degrade.degraded());
+  EXPECT_TRUE(check_equivalence(*net, mapped).equivalent);
+}
+
+TEST(Fault, CountOnlyPlanCountsSites) {
+  if (!util::fault::enabled()) GTEST_SKIP() << "IMODEC_FAULT_INJECTION off";
+  const auto net = circuits::make_benchmark("rd53");
+  ASSERT_TRUE(net.has_value());
+  util::fault::arm({util::fault::Kind::deadline, 0});
+  Network mapped;
+  run_synthesis(*net, governed(1u << 20, 0, OnExhaustion::degrade), mapped);
+  EXPECT_GT(util::fault::checkpoint_points_seen(), 0u);
+  EXPECT_FALSE(util::fault::fired());
+  util::fault::disarm();
+}
+
+TEST(Fault, InjectedDeadlineDegradesCleanly) {
+  if (!util::fault::enabled()) GTEST_SKIP() << "IMODEC_FAULT_INJECTION off";
+  const auto net = circuits::make_benchmark("rd53");
+  ASSERT_TRUE(net.has_value());
+  util::fault::arm({util::fault::Kind::deadline, 1});
+  Network mapped;
+  const DriverReport rep =
+      run_synthesis(*net, governed(1u << 20, 0, OnExhaustion::degrade),
+                    mapped);
+  EXPECT_TRUE(util::fault::fired());
+  util::fault::disarm();
+  EXPECT_TRUE(rep.verified);
+  EXPECT_TRUE(check_equivalence(*net, mapped).equivalent);
+}
+
+}  // namespace
+}  // namespace imodec

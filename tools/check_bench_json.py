@@ -48,6 +48,7 @@ OPTIONAL_KEYS = {
     "threads": (NUMBER, True),
     "verified": (bool, False),
     "verify_mode": (str, False),
+    "degraded": (bool, False),
 }
 
 

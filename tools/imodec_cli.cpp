@@ -23,6 +23,12 @@
 //   --max-p <n>     global class cap
 //   --bound <n>     bound-set size b
 //   --seed <n>      bound-set sampling seed
+//   --timeout-ms <n>     wall-clock deadline for the whole run (0 = none)
+//   --node-budget <n>    live BDD-node budget per governed manager (0 = none)
+//   --on-exhaustion <fail|degrade>
+//                   fail (default): exit with code 4 (timeout) or 5
+//                   (resource); degrade: walk the degradation ladder and
+//                   still emit a complete, verified network
 //   -o <file>       write the mapped network as BLIF
 //   --stats         per-phase times, BDD cache behaviour and counters
 //   --trace-json <file>    write the span tree + counters as JSON
@@ -31,6 +37,16 @@
 //
 // Flags are collected into a SynthesisConfig and validated as a whole;
 // invalid combinations print every diagnostic, not just the first.
+//
+// Exit codes (documented in README "Exit codes"):
+//   0  success (network verified, or verification disabled)
+//   1  verification failed, or an unclassified runtime error
+//   2  usage / invalid configuration
+//   3  malformed input file (ParseError; stderr names file and line)
+//   4  wall-clock deadline exceeded with --on-exhaustion=fail
+//   5  memory / node budget exhausted with --on-exhaustion=fail
+//   6  terminal decomposition failure (defensive; the fallback ladder makes
+//      this unreachable in normal operation)
 
 #include <cstdio>
 #include <cstring>
@@ -42,10 +58,20 @@
 #include "map/session.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/resource.hpp"
 
 using namespace imodec;
 
 namespace {
+
+// Exit codes; keep in sync with the header comment and README "Exit codes".
+constexpr int kExitOk = 0;
+constexpr int kExitFail = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitParse = 3;
+constexpr int kExitTimeout = 4;
+constexpr int kExitResource = 5;
+constexpr int kExitDecompose = 6;
 
 bool ends_with(const std::string& s, const std::string& suffix) {
   return s.size() >= suffix.size() &&
@@ -56,11 +82,12 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [-k n] [--threads n] [--single] [--strict] "
                "[--no-collapse] [--no-verify] [--verify-mode m] [--max-p n] "
-               "[--bound n] [--seed n] [--stats] [--trace-json f] "
+               "[--bound n] [--seed n] [--timeout-ms n] [--node-budget n] "
+               "[--on-exhaustion fail|degrade] [--stats] [--trace-json f] "
                "[--trace-chrome f] [-o out.blif] <input.blif|input.pla|@name>\n"
                "       %s --list\n",
                argv0, argv0);
-  return 2;
+  return kExitUsage;
 }
 
 }  // namespace
@@ -86,6 +113,19 @@ int main(int argc, char** argv) {
       cfg.bound_size = static_cast<unsigned>(std::stoul(argv[++i]));
     } else if (arg == "--seed" && i + 1 < argc) {
       cfg.seed = std::stoull(argv[++i]);
+    } else if (arg == "--timeout-ms" && i + 1 < argc) {
+      cfg.timeout_ms = std::stoull(argv[++i]);
+    } else if (arg == "--node-budget" && i + 1 < argc) {
+      cfg.node_budget = static_cast<std::size_t>(std::stoull(argv[++i]));
+    } else if (arg == "--on-exhaustion" && i + 1 < argc) {
+      const auto policy = parse_on_exhaustion(argv[++i]);
+      if (!policy) {
+        std::fprintf(stderr,
+                     "imodec: bad --on-exhaustion '%s' (fail|degrade)\n",
+                     argv[i]);
+        return usage(argv[0]);
+      }
+      cfg.on_exhaustion = *policy;
     } else if (arg == "--single") {
       cfg.multi_output = false;
     } else if (arg == "--strict") {
@@ -134,7 +174,7 @@ int main(int argc, char** argv) {
   if (const auto diags = cfg.validate(); !diags.empty()) {
     for (const auto& d : diags)
       std::fprintf(stderr, "imodec: invalid configuration: %s\n", d.c_str());
-    return 2;
+    return kExitUsage;
   }
 
   Network net;
@@ -144,7 +184,7 @@ int main(int argc, char** argv) {
       if (!bench) {
         std::fprintf(stderr, "imodec: unknown benchmark '%s' (try --list)\n",
                      input.c_str() + 1);
-        return 1;
+        return kExitFail;
       }
       net = *bench;
     } else if (ends_with(input, ".pla")) {
@@ -152,9 +192,13 @@ int main(int argc, char** argv) {
     } else {
       net = read_blif_file(input);
     }
+  } catch (const ParseError& e) {
+    // e.what() already carries "<FORMAT> line N: ..."; prefix the file.
+    std::fprintf(stderr, "imodec: %s: %s\n", input.c_str(), e.what());
+    return kExitParse;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "imodec: %s\n", e.what());
-    return 1;
+    return kExitFail;
   }
 
   // Any observability output requested -> record spans and counters.
@@ -164,7 +208,28 @@ int main(int argc, char** argv) {
 
   SynthesisSession session(cfg);
   Network mapped;
-  DriverReport rep = session.run(net, mapped);
+  DriverReport rep;
+  try {
+    rep = session.run(net, mapped);
+  } catch (const util::Timeout& e) {
+    std::fprintf(stderr,
+                 "imodec: timeout: %s (deadline %llu ms; retry with "
+                 "--on-exhaustion degrade for a partial-quality result)\n",
+                 e.what(),
+                 static_cast<unsigned long long>(cfg.timeout_ms));
+    return kExitTimeout;
+  } catch (const util::ResourceExhausted& e) {
+    std::fprintf(stderr,
+                 "imodec: resource exhausted: %s (%s; retry with "
+                 "--on-exhaustion degrade for a partial-quality result)\n",
+                 e.what(), util::to_string(e.kind()));
+    return kExitResource;
+  } catch (const std::exception& e) {
+    // The flow's Shannon fallback makes a terminal decomposition failure
+    // unreachable; this arm is defensive (exit code 6, documented).
+    std::fprintf(stderr, "imodec: decomposition failed: %s\n", e.what());
+    return kExitDecompose;
+  }
   if (!stats) {
     // Tracing without --stats: keep the report compact.
     rep.spans.clear();
@@ -199,7 +264,7 @@ int main(int argc, char** argv) {
         write_failed = true;
       }
     }
-    if (write_failed) return 1;
+    if (write_failed) return kExitFail;
   }
 
   if (!output.empty()) {
@@ -208,8 +273,8 @@ int main(int argc, char** argv) {
       std::printf("wrote %s\n", output.c_str());
     } catch (const std::exception& e) {
       std::fprintf(stderr, "imodec: %s\n", e.what());
-      return 1;
+      return kExitFail;
     }
   }
-  return rep.verified ? 0 : 1;
+  return rep.verified ? kExitOk : kExitFail;
 }

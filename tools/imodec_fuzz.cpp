@@ -10,6 +10,14 @@
 //   imodec_fuzz [--seed n] [--cases n] [--min-inputs n] [--max-inputs n]
 //               [--max-outputs n] [--max-cubes n] [--no-shrink]
 //               [--out-dir dir] [--max-failures n] [-v]
+//   imodec_fuzz --faults [--seed n] [--min-points n] [--circuits a,b,...] [-v]
+//
+// --faults switches to the deterministic fault-injection sweep
+// (verify/faultsweep.hpp): count the injection points each corpus circuit
+// exposes, then replay governed synthesis with a fault armed at sampled
+// sites, asserting every run ends in a miter-proven network or a clean typed
+// error. Requires an IMODEC_FAULT_INJECTION build (ctest's `faults` label
+// runs it this way under ASan).
 //
 // Exit status: 0 when every check passed, 1 on any failure, 2 on usage
 // errors. A fixed --seed reproduces the exact case stream (ctest runs the
@@ -17,7 +25,9 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
+#include "verify/faultsweep.hpp"
 #include "verify/fuzz.hpp"
 
 using namespace imodec;
@@ -28,14 +38,61 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--seed n] [--cases n] [--min-inputs n] "
                "[--max-inputs n] [--max-outputs n] [--max-cubes n] "
-               "[--no-shrink] [--out-dir dir] [--max-failures n] [-v]\n",
-               argv0);
+               "[--no-shrink] [--out-dir dir] [--max-failures n] [-v]\n"
+               "       %s --faults [--seed n] [--min-points n] "
+               "[--circuits a,b,...] [-v]\n",
+               argv0, argv0);
   return 2;
+}
+
+std::vector<std::string> split_commas(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t comma = s.find(',', start);
+    const std::string item = s.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (!item.empty()) out.push_back(item);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+int run_faults_mode(int argc, char** argv) {
+  verify::FaultSweepOptions opts;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--faults") {
+        // mode flag, consumed by main()
+      } else if (arg == "--seed" && i + 1 < argc) {
+        opts.seed = std::stoull(argv[++i]);
+      } else if (arg == "--min-points" && i + 1 < argc) {
+        opts.min_points = std::stoull(argv[++i]);
+      } else if (arg == "--circuits" && i + 1 < argc) {
+        opts.circuits = split_commas(argv[++i]);
+      } else if (arg == "-v") {
+        opts.verbose = true;
+      } else {
+        return usage(argv[0]);
+      }
+    }
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "imodec_fuzz: malformed numeric argument\n");
+    return usage(argv[0]);
+  }
+  const verify::FaultSweepReport rep = verify::run_fault_sweep(opts);
+  std::fputs(verify::format_fault_sweep_report(rep).c_str(), stdout);
+  return rep.ok() ? 0 : 1;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]) == "--faults") return run_faults_mode(argc, argv);
+
   verify::FuzzOptions opts;
   bool verbose = false;
 
