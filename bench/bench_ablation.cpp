@@ -23,6 +23,7 @@
 #include "map/xc3000.hpp"
 #include "map/xc4000.hpp"
 #include "obs/bench_json.hpp"
+#include "obs/metrics.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
@@ -220,6 +221,9 @@ void ablation_classical() {
 int main(int argc, char** argv) {
   const auto json_path = obs::strip_json_flag(argc, argv);
   const auto threads = obs::strip_threads_flag(argc, argv);
+  const bool obs_on = obs::strip_obs_flag(argc, argv);
+  const auto report_dir = obs::strip_report_dir_flag(argc, argv);
+  if (obs_on || report_dir) obs::set_enabled(true);
   obs::BenchJson sink("ablation");
   if (json_path) g_sink = &sink;
 
@@ -247,6 +251,11 @@ int main(int argc, char** argv) {
     }
     std::printf("wrote %s (%zu records)\n", json_path->c_str(),
                 sink.num_records());
+  }
+  if (report_dir && !obs::write_obs_report(*report_dir, "ablation")) {
+    std::fprintf(stderr, "bench_ablation: cannot write obs report under %s\n",
+                 report_dir->c_str());
+    return 1;
   }
   return 0;
 }

@@ -17,6 +17,7 @@
 #include "map/lutflow.hpp"
 #include "map/xc3000.hpp"
 #include "obs/bench_json.hpp"
+#include "obs/metrics.hpp"
 #include "util/thread_pool.hpp"
 
 using namespace imodec;
@@ -81,6 +82,9 @@ unsigned run(const Network& flat, const Network& reference, bool multi,
 int main(int argc, char** argv) {
   const auto json_path = obs::strip_json_flag(argc, argv);
   const auto threads = obs::strip_threads_flag(argc, argv);
+  const bool obs_on = obs::strip_obs_flag(argc, argv);
+  const auto report_dir = obs::strip_report_dir_flag(argc, argv);
+  if (obs_on || report_dir) obs::set_enabled(true);
   obs::BenchJson sink("fig1");
 
   g_threads = threads.value_or(1);
@@ -113,6 +117,11 @@ int main(int argc, char** argv) {
     }
     std::printf("wrote %s (%zu records)\n", json_path->c_str(),
                 sink.num_records());
+  }
+  if (report_dir && !obs::write_obs_report(*report_dir, "fig1")) {
+    std::fprintf(stderr, "bench_fig1: cannot write obs report under %s\n",
+                 report_dir->c_str());
+    return 1;
   }
   return multi < single ? 0 : 1;
 }

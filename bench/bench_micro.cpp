@@ -11,6 +11,7 @@
 
 #include "bdd/bdd.hpp"
 #include "obs/bench_json.hpp"
+#include "obs/metrics.hpp"
 #include "decomp/classes.hpp"
 #include "imodec/chi.hpp"
 #include "imodec/engine.hpp"
@@ -371,6 +372,12 @@ class JsonCollectingReporter : public benchmark::ConsoleReporter {
 int main(int argc, char** argv) {
   const auto json_path = obs::strip_json_flag(argc, argv);
   const auto threads = obs::strip_threads_flag(argc, argv);
+  const bool obs_on = obs::strip_obs_flag(argc, argv);
+  const auto report_dir = obs::strip_report_dir_flag(argc, argv);
+  // --obs measures the instrumented configuration (tools/obs_overhead.py
+  // diffs it against the default run); --report-dir wants the registry
+  // populated, so it implies the same.
+  if (obs_on || report_dir) obs::set_enabled(true);
   g_threads = threads.value_or(1);
   if (g_threads == 0) g_threads = std::thread::hardware_concurrency();
   benchmark::Initialize(&argc, argv);
@@ -379,6 +386,10 @@ int main(int argc, char** argv) {
   if (json_path) {
     JsonCollectingReporter reporter(&sink);
     benchmark::RunSpecifiedBenchmarks(&reporter);
+    // Distribution tail: histogram p50/p99 and per-op cache hit rates on one
+    // synthetic record, so BENCH files can regress the shape, not just means.
+    if (obs::enabled())
+      obs::add_obs_summary(sink.add_record("_obs_summary", 0.0));
     if (!sink.write(*json_path)) {
       std::fprintf(stderr, "bench_micro: cannot write %s\n",
                    json_path->c_str());
@@ -388,6 +399,11 @@ int main(int argc, char** argv) {
                 sink.num_records());
   } else {
     benchmark::RunSpecifiedBenchmarks();
+  }
+  if (report_dir && !obs::write_obs_report(*report_dir, "micro")) {
+    std::fprintf(stderr, "bench_micro: cannot write obs report under %s\n",
+                 report_dir->c_str());
+    return 1;
   }
   benchmark::Shutdown();
   return 0;

@@ -24,6 +24,7 @@
 #include "map/restructure.hpp"
 #include "map/xc3000.hpp"
 #include "obs/bench_json.hpp"
+#include "obs/metrics.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
@@ -75,6 +76,9 @@ std::string cell(int v) { return v < 0 ? "-" : std::to_string(v); }
 int main(int argc, char** argv) {
   const auto json_path = obs::strip_json_flag(argc, argv);
   const auto threads = obs::strip_threads_flag(argc, argv);
+  const bool obs_on = obs::strip_obs_flag(argc, argv);
+  const auto report_dir = obs::strip_report_dir_flag(argc, argv);
+  if (obs_on || report_dir) obs::set_enabled(true);
   obs::BenchJson sink("table2");
   const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
 
@@ -201,6 +205,8 @@ int main(int argc, char** argv) {
               "   functions there; see EXPERIMENTS.md for the discussion)\n");
   std::printf("\n(paper: 38%% avg reduction vs Single, 16%% vs FGMap)\n");
   if (json_path) {
+    if (obs::enabled())
+      obs::add_obs_summary(sink.add_record("_obs_summary", 0.0));
     if (!sink.write(*json_path)) {
       std::fprintf(stderr, "bench_table2: cannot write %s\n",
                    json_path->c_str());
@@ -208,6 +214,11 @@ int main(int argc, char** argv) {
     }
     std::printf("wrote %s (%zu records)\n", json_path->c_str(),
                 sink.num_records());
+  }
+  if (report_dir && !obs::write_obs_report(*report_dir, "table2")) {
+    std::fprintf(stderr, "bench_table2: cannot write obs report under %s\n",
+                 report_dir->c_str());
+    return 1;
   }
   return 0;
 }

@@ -10,6 +10,9 @@
 #include <tuple>
 #include <unordered_set>
 
+#include <chrono>
+
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "util/fault.hpp"
 #include "util/resource.hpp"
@@ -42,6 +45,16 @@ constexpr NodeId kNotFound = 0xffffffffu;
 constexpr std::size_t kInitialUnique = std::size_t(1) << 11;
 constexpr std::size_t kMinCache = std::size_t(1) << 12;
 constexpr std::size_t kMaxCache = std::size_t(1) << 21;
+
+/// Maintains a recursion-depth counter and its watermark across every exit
+/// path of a recursive frame (early returns, exceptions, GC-retry unwinds).
+struct DepthScope {
+  std::uint32_t* depth;
+  DepthScope(std::uint32_t* d, std::uint32_t* dmax) : depth(d) {
+    if (++*d > *dmax) *dmax = *d;
+  }
+  ~DepthScope() { --*depth; }
+};
 
 }  // namespace
 
@@ -238,6 +251,9 @@ void Manager::unique_insert_slot(std::uint32_t i) {
 }
 
 void Manager::unique_rehash(std::size_t new_size) {
+  if (new_size != unique_.size())
+    obs::flight(obs::FlightKind::cache, "unique_rehash", unique_.size(),
+                new_size);
   unique_.assign(new_size, 0);
   unique_occupied_ = 0;
   for (std::uint32_t i = 1; i < nodes_.size(); ++i)
@@ -248,13 +264,17 @@ void Manager::unique_rehash(std::size_t new_size) {
 void Manager::cache_resize_for_table() {
   const std::size_t target =
       std::min(std::max(kMinCache, unique_.size() / 2), kMaxCache);
-  if (cache_.size() != target) cache_.assign(target, CacheEntry{});
+  if (cache_.size() != target) {
+    obs::flight(obs::FlightKind::cache, "cache_resize", cache_.size(), target);
+    cache_.assign(target, CacheEntry{});
+  }
 }
 
 // --- Computed table ----------------------------------------------------------
 
 NodeId Manager::cached(Op op, NodeId a, NodeId b, NodeId c, std::uint64_t tag) {
   ++stats_.cache_lookups;
+  ++stats_.op_lookups[static_cast<std::uint32_t>(op) - 1];
   const std::uint64_t h =
       mix64((static_cast<std::uint64_t>(a) << 32 | b) * 0x9e3779b97f4a7c15ull ^
             (static_cast<std::uint64_t>(c) |
@@ -263,6 +283,7 @@ NodeId Manager::cached(Op op, NodeId a, NodeId b, NodeId c, std::uint64_t tag) {
   const CacheEntry& e = cache_[h & (cache_.size() - 1)];
   if (e.op == op && e.a == a && e.b == b && e.c == c && e.tag == tag) {
     ++stats_.cache_hits;
+    ++stats_.op_hits[static_cast<std::uint32_t>(op) - 1];
     return e.result;
   }
   return kNotFound;
@@ -289,6 +310,12 @@ void Manager::maybe_gc() {
 
 void Manager::garbage_collect() {
   ++stats_.gc_runs;
+  // Pause measurement rides on either switch: the histogram needs obs, the
+  // flight recorder is force-enabled for governed runs even when obs is off.
+  const bool measure = obs::enabled() || obs::flight_enabled();
+  std::chrono::steady_clock::time_point gc_start;
+  if (measure) gc_start = std::chrono::steady_clock::now();
+  const std::size_t nodes_before = live_nodes_;
   std::vector<bool> mark(nodes_.size(), false);
   mark[0] = true;
   std::vector<std::uint32_t> stack;
@@ -321,11 +348,21 @@ void Manager::garbage_collect() {
   for (CacheEntry& e : cache_) e = CacheEntry{};
   unique_rehash(unique_.size());
   sync_guard_charge();
+  if (measure) {
+    const auto us = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - gc_start)
+            .count());
+    if (obs::enabled())
+      obs::Registry::instance().histogram("bdd.gc_pause_us").record(us);
+    obs::flight(obs::FlightKind::gc, "gc", nodes_before, live_nodes_, us);
+  }
 }
 
 // --- ITE core ----------------------------------------------------------------
 
 NodeId Manager::ite_rec(NodeId f, NodeId g, NodeId h) {
+  DepthScope depth(&ite_depth_, &ite_depth_max_);
   // Terminal selectors and trivially equal branches.
   if (f == kTrue) return g;
   if (f == kFalse) return h;
@@ -449,7 +486,15 @@ NodeId Manager::ite(NodeId f, NodeId g, NodeId h) {
     --nodes_[g >> 1].ref;
     --nodes_[h >> 1].ref;
   }
-  return governed({f, g, h}, [&] { return ite_rec(f, g, h); });
+  const bool measure = obs::enabled();
+  if (measure) ite_depth_max_ = ite_depth_;
+  const NodeId r = governed({f, g, h}, [&] { return ite_rec(f, g, h); });
+  if (measure) {
+    if (!ite_depth_hist_)
+      ite_depth_hist_ = &obs::Registry::instance().histogram("bdd.ite_depth");
+    ite_depth_hist_->record(ite_depth_max_);
+  }
+  return r;
 }
 
 NodeId Manager::apply_and(NodeId f, NodeId g) { return ite(f, g, kFalse); }
@@ -517,6 +562,7 @@ NodeId Manager::cofactor(NodeId f, unsigned v, bool value) {
 NodeId Manager::quantify_rec(NodeId f, const std::vector<unsigned>& sorted_vars,
                              unsigned deepest, bool existential,
                              std::uint64_t tag) {
+  DepthScope depth(&quant_depth_, &quant_depth_max_);
   if (is_terminal(f)) return f;
   // Copy var and children out before recursing: the recursion grows the
   // arena, so references into nodes_ must not survive it.
@@ -557,10 +603,19 @@ NodeId Manager::exists(NodeId f, const std::vector<unsigned>& vars) {
   // flushed on GC, so distinct variable sets can never alias — unlike a
   // 64-bit hash fold. Built inside the governed frame so a retry rebuilds it
   // after the recovery collection.
-  return governed({f}, [&] {
+  const bool measure = obs::enabled();
+  if (measure) quant_depth_max_ = quant_depth_;
+  const NodeId r = governed({f}, [&] {
     const NodeId tag = cube(sorted, std::vector<bool>(sorted.size(), true));
     return quantify_rec(f, sorted, deepest, true, tag);
   });
+  if (measure) {
+    if (!quant_depth_hist_)
+      quant_depth_hist_ =
+          &obs::Registry::instance().histogram("bdd.quantify_depth");
+    quant_depth_hist_->record(quant_depth_max_);
+  }
+  return r;
 }
 
 NodeId Manager::forall(NodeId f, const std::vector<unsigned>& vars) {
@@ -577,10 +632,19 @@ NodeId Manager::forall(NodeId f, const std::vector<unsigned>& vars) {
   unsigned deepest = 0;
   for (unsigned v : sorted) deepest = std::max(deepest, level_of_var_[v]);
   // Same exact cube key as exists(); the Op enum separates the two caches.
-  return governed({f}, [&] {
+  const bool measure = obs::enabled();
+  if (measure) quant_depth_max_ = quant_depth_;
+  const NodeId r = governed({f}, [&] {
     const NodeId tag = cube(sorted, std::vector<bool>(sorted.size(), true));
     return quantify_rec(f, sorted, deepest, false, tag);
   });
+  if (measure) {
+    if (!quant_depth_hist_)
+      quant_depth_hist_ =
+          &obs::Registry::instance().histogram("bdd.quantify_depth");
+    quant_depth_hist_->record(quant_depth_max_);
+  }
+  return r;
 }
 
 NodeId Manager::compose(NodeId f, unsigned v, NodeId g) {
@@ -769,6 +833,7 @@ void Manager::foreach_minterm(
 
 void Manager::swap_levels(unsigned level) {
   assert(level + 1 < num_vars_);
+  ++stats_.sift_swaps;
   // The in-place rewrite below must run to completion: suppress governance
   // checkpoints (an unwind mid-swap would leave relabeled nodes with stale
   // unique-table slots).
@@ -891,6 +956,7 @@ std::size_t Manager::reachable_node_count() const {
 }
 
 std::size_t Manager::sift() {
+  ++stats_.sift_runs;
   garbage_collect();
   if (num_vars_ < 2) return live_nodes_;
   // After the GC every arena node is reachable, so live_nodes_ equals the
@@ -947,6 +1013,12 @@ void Manager::set_order(const std::vector<unsigned>& var_at_level) {
 
 // --- Introspection -----------------------------------------------------------
 
+const char* Manager::op_class_name(unsigned cls) {
+  static const char* const kNames[Stats::kOpClasses] = {"ite", "cofactor",
+                                                        "exists", "forall"};
+  return cls < Stats::kOpClasses ? kNames[cls] : "?";
+}
+
 void Manager::publish_stats(const char* prefix) const {
   if (!obs::enabled()) return;
   const std::string p = prefix;
@@ -956,8 +1028,22 @@ void Manager::publish_stats(const char* prefix) const {
   reg.counter(p + ".cache_lookups").add(stats_.cache_lookups);
   reg.counter(p + ".cache_hits").add(stats_.cache_hits);
   reg.counter(p + ".gc_runs").add(stats_.gc_runs);
+  reg.counter(p + ".sift_runs").add(stats_.sift_runs);
+  reg.counter(p + ".sift_swaps").add(stats_.sift_swaps);
+  for (unsigned cls = 0; cls < Stats::kOpClasses; ++cls) {
+    const std::string op = op_class_name(cls);
+    reg.counter(p + ".cache_lookups." + op).add(stats_.op_lookups[cls]);
+    reg.counter(p + ".cache_hits." + op).add(stats_.op_hits[cls]);
+  }
   reg.gauge(p + ".peak_live_nodes")
       .set(static_cast<std::int64_t>(peak_nodes_));
+  // Kernel health for the run report: unique-table fill in parts-per-million
+  // (gauges are integers) and the arena's resident footprint.
+  reg.gauge(p + ".unique_load_ppm")
+      .set(static_cast<std::int64_t>(unique_occupied_ * 1000000 /
+                                     std::max<std::size_t>(unique_.size(), 1)));
+  reg.gauge(p + ".peak_arena_bytes")
+      .set(static_cast<std::int64_t>(nodes_.capacity() * sizeof(Node)));
 }
 
 bool Manager::check_invariants() const {

@@ -35,6 +35,10 @@ namespace imodec::util {
 class ResourceGuard;
 }
 
+namespace imodec::obs {
+class Histogram;
+}
+
 namespace imodec::bdd {
 
 /// An edge: (arena index << 1) | complement bit.
@@ -161,12 +165,26 @@ class Manager {
     std::uint64_t cache_lookups = 0;    // computed-table probes
     std::uint64_t cache_hits = 0;
     std::uint64_t gc_runs = 0;
+    std::uint64_t sift_runs = 0;
+    std::uint64_t sift_swaps = 0;  // swap_levels calls (sifting or manual)
+    // Computed-table probes/hits split by operation class, indexed by
+    // static_cast<uint32_t>(Op) - 1; see op_class_name().
+    static constexpr unsigned kOpClasses = 4;
+    std::uint64_t op_lookups[kOpClasses] = {};
+    std::uint64_t op_hits[kOpClasses] = {};
     double cache_hit_rate() const {
       return cache_lookups ? static_cast<double>(cache_hits) /
                                  static_cast<double>(cache_lookups)
                            : 0.0;
     }
+    double op_hit_rate(unsigned cls) const {
+      return op_lookups[cls] ? static_cast<double>(op_hits[cls]) /
+                                   static_cast<double>(op_lookups[cls])
+                             : 0.0;
+    }
   };
+  /// "ite" / "cofactor" / "exists" / "forall" for cls in [0, kOpClasses).
+  static const char* op_class_name(unsigned cls);
   const Stats& stats() const { return stats_; }
   /// Fold this manager's stats into the process-wide obs registry under
   /// `<prefix>.*` (plus a `<prefix>.peak_live_nodes` gauge). No-op when
@@ -273,6 +291,19 @@ class Manager {
   // True while the outermost governed() frame runs; nested public calls
   // (var/cube from inside a recursion) must not start their own recovery.
   bool in_governed_ = false;
+  // Recursion depth watermarks, maintained unconditionally (two plain
+  // increments per frame); reset and folded into the obs histograms at the
+  // public entry points when observability is on.
+  std::uint32_t ite_depth_ = 0;
+  std::uint32_t ite_depth_max_ = 0;
+  std::uint32_t quant_depth_ = 0;
+  std::uint32_t quant_depth_max_ = 0;
+  // Cached registry handles (stable for the process lifetime), resolved on
+  // first use: the depth histograms record once per public op, and a name
+  // lookup there (mutex + map probe) costs several percent on the BDD-op
+  // microbenches.
+  obs::Histogram* ite_depth_hist_ = nullptr;
+  obs::Histogram* quant_depth_hist_ = nullptr;
   mutable Stats stats_;
 };
 

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/resource.hpp"
 #include "util/rng.hpp"
@@ -54,6 +56,22 @@ std::optional<VarPartChoice> evaluate_with_supports(
   return choice;
 }
 
+/// Per-candidate evaluation-time histogram, or nullptr when observability is
+/// off. Call sites hoist this lookup out of their candidate loops so the hot
+/// path pays only two clock reads per multi-microsecond evaluation.
+obs::Histogram* candidate_hist() {
+  return obs::enabled()
+             ? &obs::Registry::instance().histogram("varpart.candidate_us")
+             : nullptr;
+}
+
+std::uint64_t us_since(std::chrono::steady_clock::time_point t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
 /// Evaluate every candidate in `cands` (in parallel when a pool is given)
 /// and return the best by (score, candidate index) — the same winner a
 /// serial first-strictly-better scan keeps, so results are independent of
@@ -64,13 +82,17 @@ std::optional<VarPartChoice> evaluate_candidates(
     const std::vector<std::vector<unsigned>>& supports,
     util::ThreadPool* pool, util::ResourceGuard* guard) {
   std::vector<std::optional<VarPartChoice>> results(cands.size());
+  obs::Histogram* const hist = candidate_hist();
   const auto eval_one = [&](std::size_t i) {
     // One checkpoint per candidate: a deadline/cancellation trip in any
     // worker unwinds through parallel_for (the first exception stops the
     // remaining chunks and is rethrown on the caller).
     if (guard) guard->checkpoint();
+    const auto t0 = hist ? std::chrono::steady_clock::now()
+                         : std::chrono::steady_clock::time_point{};
     results[i] = evaluate_with_supports(outputs, num_vars, cands[i],
                                         require_nontrivial, supports);
+    if (hist) hist->record(us_since(t0));
   };
   if (pool && cands.size() > 1) {
     const int parent = obs::enabled() ? obs::Trace::global().current() : -1;
@@ -201,10 +223,14 @@ std::optional<VarPartChoice> choose_bound_set(
       }
     }
     std::vector<std::optional<VarPartChoice>> results(neighbors.size());
+    obs::Histogram* const hist = candidate_hist();
     const auto eval_one = [&](std::size_t i) {
       if (opts.guard) opts.guard->checkpoint();
+      const auto t0 = hist ? std::chrono::steady_clock::now()
+                           : std::chrono::steady_clock::time_point{};
       results[i] = evaluate_with_supports(outputs, num_vars, neighbors[i],
                                           opts.require_nontrivial, supports);
+      if (hist) hist->record(us_since(t0));
     };
     if (opts.pool && neighbors.size() > 1) {
       const int parent = obs::enabled() ? obs::Trace::global().current() : -1;

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <map>
 
 #include "imodec/lmax.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/resource.hpp"
@@ -98,8 +100,16 @@ Result<Decomposition> decompose_multi_output(
   unsigned lmax_rounds = 0, chi_builds = 0;
   std::uint64_t candidates = 0;
 
+  // Per-round timing into the obs histogram; the lookup is hoisted so the
+  // loop pays two clock reads per round, not a registry probe.
+  obs::Histogram* round_hist =
+      obs::enabled() ? &obs::Registry::instance().histogram("engine.round_us")
+                     : nullptr;
   for (unsigned round = 0;; ++round) {
     if (opts.guard) opts.guard->checkpoint();
+    const auto round_start = round_hist || obs::flight_enabled()
+                                 ? std::chrono::steady_clock::now()
+                                 : std::chrono::steady_clock::time_point{};
     std::vector<std::size_t> incomplete;
     for (std::size_t k = 0; k < m; ++k)
       if (!states[k].complete()) incomplete.push_back(k);
@@ -140,6 +150,20 @@ Result<Decomposition> decompose_multi_output(
       states[k].chosen.push_back(d_idx);
       chi_valid[k] = false;
     }
+    if (round_hist || obs::flight_enabled()) {
+      const auto us = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - round_start)
+              .count());
+      if (round_hist) round_hist->record(us);
+      // Guard margin at round granularity: live nodes vs budget, ms left.
+      if (opts.guard) {
+        const auto left = opts.guard->remaining_ms();
+        obs::flight(obs::FlightKind::guard, "engine.round",
+                    opts.guard->live_nodes(), opts.guard->node_budget(),
+                    left ? *left : ~std::uint64_t{0});
+      }
+    }
     // Defensive bound: each round assigns >= 1 function to >= 1 output.
     assert(round <= 64 * m);
   }
@@ -178,6 +202,10 @@ Result<Decomposition> decompose_multi_output(
     obs::count("engine.chi_builds", chi_builds);
     obs::count("engine.candidates", candidates);
     obs::count("engine.d_functions", result.d_funcs.size());
+    // Reclaim this run's trial garbage under the pause timer so small
+    // circuits (which never cross the GC threshold) still populate the
+    // bdd.gc_pause_us histogram with a real measurement.
+    mgr.garbage_collect();
     mgr.publish_stats();
   }
   return result;

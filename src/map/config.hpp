@@ -111,6 +111,17 @@ struct SynthesisConfig {
   /// DegradationReport records what happened.
   OnExhaustion on_exhaustion = OnExhaustion::fail;
 
+  // --- Observability (DESIGN.md §13) ----------------------------------------
+  /// When non-empty, write the unified run report (schema-versioned JSON:
+  /// config echo, phase rollup, counters, histogram summaries, kernel
+  /// health, degradation, verify outcome, flight events) here after each
+  /// run. Implies observability is enabled for the session.
+  std::string report_path;
+  /// Emit a stderr heartbeat every `progress_ms` milliseconds while a run is
+  /// in flight (phase, elapsed, live BDD nodes, budget/deadline fractions).
+  /// 0 (default) = off.
+  std::uint64_t progress_ms = 0;
+
   // --- Restructuring (used when collapsing is off or falls back) -----------
   unsigned restructure_max_support = 10;  ///< fanin cap after elimination
   unsigned restructure_max_fanout = 1;    ///< 1 = never duplicate logic

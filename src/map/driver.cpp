@@ -1,8 +1,14 @@
 #include "map/driver.hpp"
 
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
 #include <optional>
+#include <thread>
 
 #include "logic/simulate.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "util/resource.hpp"
 #include "util/strings.hpp"
@@ -12,6 +18,72 @@
 namespace imodec {
 
 namespace {
+
+/// Stderr heartbeat (SynthesisConfig::progress_ms): while a run is in
+/// flight, one line every period with the current pipeline phase, elapsed
+/// wall time and — on governed runs — the guard's live-node count against
+/// its budget and the milliseconds left on the deadline. The thread is only
+/// created when a period is set; destruction joins it, so a run that
+/// finishes (or unwinds) between beats never leaves a stray writer.
+class ProgressHeartbeat {
+ public:
+  ProgressHeartbeat(std::uint64_t period_ms, const util::ResourceGuard* guard)
+      : guard_(guard), start_(std::chrono::steady_clock::now()) {
+    if (period_ms > 0)
+      thread_ = std::thread([this, period_ms] { loop(period_ms); });
+  }
+  ~ProgressHeartbeat() {
+    if (!thread_.joinable()) return;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+  ProgressHeartbeat(const ProgressHeartbeat&) = delete;
+  ProgressHeartbeat& operator=(const ProgressHeartbeat&) = delete;
+
+  /// `name` must be a string literal (stored, not copied).
+  void set_phase(const char* name) {
+    phase_.store(name, std::memory_order_relaxed);
+  }
+
+ private:
+  void loop(std::uint64_t period_ms) {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!cv_.wait_for(lock, std::chrono::milliseconds(period_ms),
+                         [this] { return stop_; })) {
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start_)
+              .count();
+      std::string line =
+          strprintf("imodec: %8.2fs phase=%s", elapsed,
+                    phase_.load(std::memory_order_relaxed));
+      if (guard_) {
+        const auto live = guard_->live_nodes();
+        line += strprintf(" live_nodes=%lld", static_cast<long long>(live));
+        if (const std::size_t budget = guard_->node_budget())
+          line += strprintf(" budget_used=%.0f%%",
+                            100.0 * static_cast<double>(live) /
+                                static_cast<double>(budget));
+        if (const auto ms = guard_->remaining_ms())
+          line += strprintf(" deadline_left_ms=%llu",
+                            static_cast<unsigned long long>(*ms));
+      }
+      std::fprintf(stderr, "%s\n", line.c_str());
+    }
+  }
+
+  const util::ResourceGuard* guard_;
+  std::chrono::steady_clock::time_point start_;
+  std::atomic<const char*> phase_{"setup"};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
 
 /// Run the configured equivalence check and fill the report's verify
 /// fields. Counters: flow.verify.exact / .sim count which engine produced
@@ -75,21 +147,11 @@ void run_verification(const Network& input, const Network& mapped,
   if (!rep.verified) obs::count("flow.verify.fail");
 }
 
-}  // namespace
-
-DriverReport run_synthesis(const Network& input, const SynthesisConfig& opts,
-                           Network& mapped) {
-  // Resolve the runtime width here so a width-1 run never pays for thread
-  // creation; the overload below does the actual work.
-  const unsigned resolved =
-      opts.threads ? opts.threads : std::thread::hardware_concurrency();
-  std::optional<util::ThreadPool> pool;
-  if (resolved > 1) pool.emplace(resolved);
-  return run_synthesis(input, opts, mapped, pool ? &*pool : nullptr);
-}
-
-DriverReport run_synthesis(const Network& input, const SynthesisConfig& opts,
-                           Network& mapped, util::ThreadPool* pool) {
+/// The pipeline proper, minus the flight-recorder envelope that the public
+/// run_synthesis wraps around it (enable + clear + dump-on-unwind).
+DriverReport run_synthesis_governed(const Network& input,
+                                    const SynthesisConfig& opts,
+                                    Network& mapped, util::ThreadPool* pool) {
   DriverReport rep;
   const std::size_t trace_base = obs::Trace::global().size();
   obs::ScopedSpan run_span("driver.run_synthesis");
@@ -105,6 +167,16 @@ DriverReport run_synthesis(const Network& input, const SynthesisConfig& opts,
   util::ResourceGuard* const guard = guard_store ? &*guard_store : nullptr;
   const bool degrade = opts.on_exhaustion == OnExhaustion::degrade;
 
+  // Phase transitions go to both consumers at once: the heartbeat line and
+  // the flight recorder (ordinal in `a`, so a dump shows how far a tripped
+  // run got).
+  ProgressHeartbeat heartbeat(opts.progress_ms, guard);
+  std::uint64_t phase_ord = 0;
+  const auto enter_phase = [&](const char* name) {
+    heartbeat.set_phase(name);
+    obs::flight(obs::FlightKind::phase, name, ++phase_ord);
+  };
+
   RestructureOptions ropts = opts.restructure_options();
   ropts.guard = guard;
   ropts.degrade = degrade;
@@ -115,10 +187,12 @@ DriverReport run_synthesis(const Network& input, const SynthesisConfig& opts,
     // Classical flow: extract common subfunctions algebraically, then map
     // each node on its own.
     obs::ScopedSpan span("driver.restructure+extract");
+    enter_phase("restructure+extract");
     start = restructure(input, ropts);
     opt::extract_kernels(start);
   } else if (opts.collapse) {
     obs::ScopedSpan span("driver.collapse");
+    enter_phase("collapse");
     std::optional<Network> flat;
     try {
       flat = collapse_network(input, guard);
@@ -128,15 +202,18 @@ DriverReport run_synthesis(const Network& input, const SynthesisConfig& opts,
       if (!degrade) throw;
       rep.degrade.collapse_skipped = true;
       rep.degrade.note("collapse abandoned (deadline); restructuring instead");
+      obs::flight(obs::FlightKind::rung, "collapse_skipped");
     }
     if (flat) {
       start = std::move(*flat);
       rep.collapsed = true;
     } else {
+      enter_phase("restructure");
       start = restructure(input, ropts);
     }
   } else {
     obs::ScopedSpan span("driver.restructure");
+    enter_phase("restructure");
     start = restructure(input, ropts);
   }
 
@@ -144,19 +221,23 @@ DriverReport run_synthesis(const Network& input, const SynthesisConfig& opts,
   if (opts.classical) flow_opts.multi_output = false;
   flow_opts.pool = pool;
   flow_opts.guard = guard;
+  enter_phase("decompose");
   FlowResult flow = decompose_to_luts(start, flow_opts);
   rep.flow = flow.stats;
   rep.degrade.merge(flow.degrade);
   {
     obs::ScopedSpan span("driver.pack");
+    enter_phase("pack");
     rep.clbs = pack_xc3000(flow.network);
     rep.depth = flow.network.depth();
   }
 
   if (opts.verify != VerifyMode::off) {
     obs::ScopedSpan span("driver.verify");
+    enter_phase("verify");
     run_verification(input, flow.network, opts, guard, degrade, rep);
   }
+  enter_phase("finish");
   mapped = std::move(flow.network);
   if (guard) {
     guard->poll_deadline();
@@ -180,6 +261,45 @@ DriverReport run_synthesis(const Network& input, const SynthesisConfig& opts,
     rep.counters = obs::Registry::instance().counters();
   }
   return rep;
+}
+
+}  // namespace
+
+DriverReport run_synthesis(const Network& input, const SynthesisConfig& opts,
+                           Network& mapped) {
+  // Resolve the runtime width here so a width-1 run never pays for thread
+  // creation; the overload below does the actual work.
+  const unsigned resolved =
+      opts.threads ? opts.threads : std::thread::hardware_concurrency();
+  std::optional<util::ThreadPool> pool;
+  if (resolved > 1) pool.emplace(resolved);
+  return run_synthesis(input, opts, mapped, pool ? &*pool : nullptr);
+}
+
+DriverReport run_synthesis(const Network& input, const SynthesisConfig& opts,
+                           Network& mapped, util::ThreadPool* pool) {
+  // Flight recording is forced on for every governed or progress-reporting
+  // run (and whenever observability is on), so a Timeout/ResourceExhausted
+  // unwind leaves a post-mortem trail even in an otherwise obs-off process.
+  const bool governed = opts.timeout_ms || opts.node_budget;
+  obs::FlightEnableScope flight_scope(governed || opts.progress_ms > 0 ||
+                                      obs::enabled());
+  if (obs::flight_enabled()) obs::FlightRecorder::instance().clear();
+  try {
+    return run_synthesis_governed(input, opts, mapped, pool);
+  } catch (const util::ResourceExhausted& e) {
+    // Record the trip itself, then dump the ring to stderr as one compact
+    // JSON line before the exception escapes (DESIGN.md §13.2). Timeout
+    // derives from ResourceExhausted, so exit codes 4 and 5 both land here,
+    // as do fault-injection trips (they throw the same types).
+    obs::flight(obs::FlightKind::trip, util::to_string(e.kind()));
+    if (obs::flight_enabled())
+      std::fprintf(stderr,
+                   "imodec: resource trip (%s); flight recorder dump:\n%s\n",
+                   util::to_string(e.kind()),
+                   obs::flight_dump_json().dump(-1).c_str());
+    throw;
+  }
 }
 
 std::string format_report(const std::string& name, const DriverReport& rep) {

@@ -7,6 +7,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/resource.hpp"
@@ -127,6 +128,18 @@ class Flow {
       {
         obs::ScopedSpan span("flow.merge");
         for (GroupComputation& c : comps) apply_computation(c);
+      }
+      if (obs::flight_enabled()) {
+        // Guard-margin checkpoint at round granularity: how much budget and
+        // wall clock was left after each round (the post-mortem question).
+        std::uint64_t live = 0, budget = 0, ms_left = ~std::uint64_t{0};
+        if (opts_.guard) {
+          live = opts_.guard->live_nodes();
+          budget = opts_.guard->node_budget();
+          if (const auto left = opts_.guard->remaining_ms()) ms_left = *left;
+        }
+        obs::flight(obs::FlightKind::guard, "flow.round", live, budget,
+                    ms_left);
       }
       if (debug) {
         std::fprintf(stderr,
@@ -459,6 +472,8 @@ class Flow {
     if (c.exhausted) {
       // Ladder step 1 tripped: fall to per-output single decomposition.
       ++degrade_.engine_exhausted;
+      obs::flight(obs::FlightKind::rung, "engine_exhausted", c.group.size(),
+                  static_cast<std::uint64_t>(c.exhausted_kind));
       degrade_.note("group of " + std::to_string(c.group.size()) +
                     " exhausted (" + std::string(to_string(c.exhausted_kind)) +
                     "): degrading to per-output decomposition");
@@ -623,11 +638,15 @@ class Flow {
   /// the drain produces fewer mux levels than a fixed pivot would.
   void shannon_degrade(SigId s) {
     ++degrade_.shannon_degrades;
+    obs::flight(obs::FlightKind::rung, "shannon_degrade", s,
+                net_.node(s).fanins.size());
     shannon_split(s, most_binate_var(net_.node(s).func));
   }
 
   void drain_shannon(SigId s) {
     ++degrade_.drained;
+    obs::flight(obs::FlightKind::rung, "drain_shannon", s,
+                net_.node(s).fanins.size());
     shannon_split(s, most_binate_var(net_.node(s).func));
   }
 
@@ -697,6 +716,8 @@ class Flow {
         const Decomposition dec =
             decompose_single_output(func, choice->vp, opts_.guard);
         ++degrade_.single_fallbacks;
+        obs::flight(obs::FlightKind::rung, "degrade_single", s,
+                    fanins.size());
         apply_decomposition({s}, fanins, dec);
         return;
       }

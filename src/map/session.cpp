@@ -1,19 +1,35 @@
 #include "map/session.hpp"
 
 #include <cassert>
+#include <cstdio>
 #include <thread>
+
+#include "map/report.hpp"
+#include "obs/metrics.hpp"
 
 namespace imodec {
 
 SynthesisSession::SynthesisSession(const SynthesisConfig& cfg) : cfg_(cfg) {
   assert(cfg.validate().empty() && "SynthesisSession requires a valid config");
+  // A report wants counters, histograms and kernel health populated, so
+  // asking for one opts the session into observability.
+  if (!cfg_.report_path.empty()) obs::set_enabled(true);
   const unsigned resolved =
       cfg_.threads ? cfg_.threads : std::thread::hardware_concurrency();
   if (resolved > 1) pool_.emplace(resolved);
 }
 
 DriverReport SynthesisSession::run(const Network& input, Network& mapped) {
-  return run_synthesis(input, cfg_, mapped, pool());
+  // Request boundary: restart every gauge's max watermark so peaks (live
+  // nodes, table loads) are per-run, not since-process-start — a small
+  // circuit served after a big one must not inherit its highs.
+  if (obs::enabled()) obs::Registry::instance().reset_watermarks();
+  DriverReport rep = run_synthesis(input, cfg_, mapped, pool());
+  if (!cfg_.report_path.empty() &&
+      !write_run_report(cfg_.report_path, input.name(), cfg_, rep))
+    std::fprintf(stderr, "imodec: failed to write run report to %s\n",
+                 cfg_.report_path.c_str());
+  return rep;
 }
 
 }  // namespace imodec

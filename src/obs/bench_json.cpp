@@ -1,6 +1,9 @@
 #include "obs/bench_json.hpp"
 
 #include <cstring>
+#include <map>
+
+#include "obs/metrics.hpp"
 
 namespace imodec::obs {
 
@@ -45,6 +48,64 @@ std::optional<unsigned> strip_threads_flag(int& argc, char** argv) {
     return threads;
   }
   return std::nullopt;
+}
+
+bool strip_obs_flag(int& argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--obs") != 0) continue;
+    for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+    argc -= 1;
+    return true;
+  }
+  return false;
+}
+
+std::optional<std::string> strip_report_dir_flag(int& argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--report-dir") != 0) continue;
+    const std::string dir = argv[i + 1];
+    for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+    argc -= 2;
+    return dir;
+  }
+  return std::nullopt;
+}
+
+void add_obs_summary(Json& rec) {
+  Registry& reg = Registry::instance();
+  for (const auto& [name, s] : reg.histograms()) {
+    if (s.count == 0) continue;
+    rec[name + "_p50"] = s.p50;
+    rec[name + "_p99"] = s.p99;
+  }
+  // Per-op-class computed-cache hit rates, summed over every manager prefix
+  // that published ("bdd.cache_lookups.ite", "miter.bdd.cache_lookups.ite",
+  // ...). Counter-name based so this layer needs no bdd dependency.
+  std::map<std::string, std::uint64_t> lookups, hits;
+  constexpr std::string_view kLookups = ".cache_lookups.";
+  constexpr std::string_view kHits = ".cache_hits.";
+  for (const auto& [name, value] : reg.counters()) {
+    if (const auto pos = name.find(kLookups); pos != std::string::npos)
+      lookups[name.substr(pos + kLookups.size())] += value;
+    else if (const auto hpos = name.find(kHits); hpos != std::string::npos)
+      hits[name.substr(hpos + kHits.size())] += value;
+  }
+  for (const auto& [op, n] : lookups) {
+    if (n == 0) continue;
+    const auto hit = hits.find(op);
+    rec["cache_hit_rate_" + op] =
+        hit == hits.end() ? 0.0
+                          : static_cast<double>(hit->second) /
+                                static_cast<double>(n);
+  }
+}
+
+bool write_obs_report(const std::string& dir, const std::string& bench_name) {
+  Json doc = Json::object();
+  doc["bench"] = bench_name;
+  doc["schema_version"] = kBenchSchemaVersion;
+  doc["metrics"] = Registry::instance().to_json();
+  return write_json_file(dir + "/" + bench_name + "_obs.json", doc);
 }
 
 }  // namespace imodec::obs

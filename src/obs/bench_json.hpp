@@ -53,4 +53,27 @@ std::optional<std::string> strip_json_flag(int& argc, char** argv);
 /// parallelism is requested explicitly.
 std::optional<unsigned> strip_threads_flag(int& argc, char** argv);
 
+/// Valueless `--obs`: run the bench with observability enabled so the
+/// instrumented cost is what gets measured (tools/obs_overhead.py compares
+/// this against the default run). Removes the flag; returns true if present.
+bool strip_obs_flag(int& argc, char** argv);
+
+/// `--report-dir <dir>`: where the harness should drop its observability
+/// report (see write_obs_report). Implies observability; harnesses call
+/// obs::set_enabled(true) when this returns a value.
+std::optional<std::string> strip_report_dir_flag(int& argc, char** argv);
+
+/// Append the distribution tail of a bench record from the process-wide
+/// registry: `<histogram>_p50` / `<histogram>_p99` (same unit the histogram
+/// records, microseconds for the built-in ones) for every non-empty
+/// histogram, and `cache_hit_rate_<op>` per BDD op class with lookups.
+/// bench_micro/bench_table2 put these on a synthetic "_obs_summary" record
+/// so the perf trajectory carries distributions, not just means.
+void add_obs_summary(Json& rec);
+
+/// Write `<dir>/<bench_name>_obs.json`: the full registry dump ("metrics":
+/// counters, gauges, histogram summaries) for this bench run. Returns false
+/// on I/O failure.
+bool write_obs_report(const std::string& dir, const std::string& bench_name);
+
 }  // namespace imodec::obs

@@ -1,0 +1,123 @@
+#include "obs/flight.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <type_traits>
+
+namespace imodec::obs {
+
+namespace {
+std::atomic<bool> g_flight_enabled{false};
+
+static_assert(sizeof(FlightEvent) == 56, "packing assumes 7 words");
+static_assert(std::is_trivially_copyable_v<FlightEvent>);
+}  // namespace
+
+bool flight_enabled() {
+  return g_flight_enabled.load(std::memory_order_relaxed);
+}
+void set_flight_enabled(bool on) {
+  g_flight_enabled.store(on, std::memory_order_relaxed);
+}
+
+const char* to_string(FlightKind k) {
+  switch (k) {
+    case FlightKind::phase: return "phase";
+    case FlightKind::rung: return "rung";
+    case FlightKind::gc: return "gc";
+    case FlightKind::guard: return "guard";
+    case FlightKind::cache: return "cache";
+    case FlightKind::trip: return "trip";
+  }
+  return "?";
+}
+
+FlightRecorder::FlightRecorder() : epoch_(std::chrono::steady_clock::now()) {
+  for (Slot& s : slots_)
+    for (auto& w : s.w) w.store(0, std::memory_order_relaxed);
+}
+
+FlightRecorder& FlightRecorder::instance() {
+  static FlightRecorder* rec = new FlightRecorder();  // leaked, like Registry
+  return *rec;
+}
+
+void FlightRecorder::record(FlightKind kind, std::string_view what,
+                            std::uint64_t a, std::uint64_t b,
+                            std::uint64_t c) {
+  FlightEvent ev;
+  ev.t_ms = std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - epoch_)
+                .count();
+  ev.kind = kind;
+  const std::size_t n = std::min(what.size(), sizeof(ev.what) - 1);
+  std::memcpy(ev.what, what.data(), n);
+  ev.a = a;
+  ev.b = b;
+  ev.c = c;
+
+  std::uint64_t words[kWords];
+  std::memcpy(words, &ev, sizeof(ev));
+
+  const std::uint64_t ticket =
+      head_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[ticket & (kCapacity - 1)];
+  slot.seq.store(0, std::memory_order_relaxed);  // invalidate
+  std::atomic_thread_fence(std::memory_order_release);
+  for (std::size_t i = 0; i < kWords; ++i)
+    slot.w[i].store(words[i], std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  slot.seq.store(ticket + 1, std::memory_order_relaxed);  // publish
+}
+
+std::vector<FlightEvent> FlightRecorder::snapshot() const {
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  const std::uint64_t first = head > kCapacity ? head - kCapacity : 0;
+  std::vector<FlightEvent> out;
+  out.reserve(static_cast<std::size_t>(head - first));
+  for (std::uint64_t t = first; t < head; ++t) {
+    const Slot& slot = slots_[t & (kCapacity - 1)];
+    const std::uint64_t s1 = slot.seq.load(std::memory_order_relaxed);
+    if (s1 != t + 1) continue;  // overwritten or in-flight
+    std::atomic_thread_fence(std::memory_order_acquire);
+    std::uint64_t words[kWords];
+    for (std::size_t i = 0; i < kWords; ++i)
+      words[i] = slot.w[i].load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    const std::uint64_t s2 = slot.seq.load(std::memory_order_relaxed);
+    if (s2 != t + 1) continue;  // overwritten mid-copy
+    FlightEvent ev;
+    std::memcpy(&ev, words, sizeof(ev));
+    ev.what[sizeof(ev.what) - 1] = '\0';  // belt and braces for dump paths
+    out.push_back(ev);
+  }
+  return out;
+}
+
+void FlightRecorder::clear() {
+  head_.store(0, std::memory_order_relaxed);
+  for (Slot& s : slots_) s.seq.store(0, std::memory_order_relaxed);
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+Json flight_dump_json() {
+  const FlightRecorder& rec = FlightRecorder::instance();
+  Json doc = Json::object();
+  doc["recorded"] = rec.total_recorded();
+  doc["capacity"] = static_cast<std::uint64_t>(FlightRecorder::kCapacity);
+  Json& events = doc["events"];
+  events = Json::array();
+  for (const FlightEvent& ev : rec.snapshot()) {
+    Json e = Json::object();
+    e["t_ms"] = ev.t_ms;
+    e["kind"] = to_string(ev.kind);
+    e["what"] = std::string(ev.what);
+    e["a"] = ev.a;
+    e["b"] = ev.b;
+    e["c"] = ev.c;
+    events.push_back(std::move(e));
+  }
+  return doc;
+}
+
+}  // namespace imodec::obs

@@ -1,0 +1,114 @@
+#pragma once
+// Flight recorder: a fixed-capacity lock-free ring of timestamped structured
+// events, kept so that when a governed run unwinds with Timeout /
+// ResourceExhausted (or a fault-injection trip) the last ~1024 things the
+// pipeline did can be dumped as JSON for a post-mortem (DESIGN.md §13.2).
+//
+// The recorder has its own enable switch, independent of obs::enabled():
+// the driver force-enables it for governed runs so a timeout in an
+// otherwise obs-off process still leaves a trail. When disabled, flight()
+// is one relaxed atomic load.
+//
+// Ring protocol (per-slot seqlock): a writer claims a ticket with a relaxed
+// fetch_add on the head counter, stores seq=0 to invalidate the slot, writes
+// the payload as relaxed atomic words, then publishes seq=ticket+1; release
+// fences order the three steps. A reader wanting ticket t double-reads seq
+// around the payload copy (acquire fences in between) and keeps the event
+// only if both reads equal t+1 — a concurrent overwrite by a writer 1024
+// tickets ahead is detected and the event dropped rather than returned torn.
+// Because seq values are unique per generation and the payload words are
+// atomics, a lost event is the worst possible outcome; there is no UB and
+// no torn data.
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace imodec::obs {
+
+enum class FlightKind : std::uint8_t {
+  phase,  ///< pipeline phase transition (a = phase ordinal)
+  rung,   ///< degradation-ladder rung taken
+  gc,     ///< BDD GC cycle (a = nodes before, b = after, c = pause us)
+  guard,  ///< guard checkpoint margin (a = live nodes, b = budget, c = ms left)
+  cache,  ///< unique-table / computed-cache resize (a = old, b = new)
+  trip,   ///< Timeout / ResourceExhausted unwind (what = exhaustion kind)
+};
+
+const char* to_string(FlightKind k);
+
+struct FlightEvent {
+  double t_ms = 0;      ///< milliseconds since the recorder was last cleared
+  FlightKind kind = FlightKind::phase;
+  char what[23] = {};   ///< short label, truncated, always NUL-terminated
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::uint64_t c = 0;
+};
+
+bool flight_enabled();
+void set_flight_enabled(bool on);
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kCapacity = 1024;  // power of two
+  static FlightRecorder& instance();
+
+  void record(FlightKind kind, std::string_view what, std::uint64_t a,
+              std::uint64_t b, std::uint64_t c);
+
+  /// The (up to kCapacity) most recent events, oldest first. Events caught
+  /// mid-overwrite are dropped, never returned torn.
+  std::vector<FlightEvent> snapshot() const;
+
+  /// Total events ever recorded (monotone; exceeds kCapacity on wraparound).
+  std::uint64_t total_recorded() const {
+    return head_.load(std::memory_order_acquire);
+  }
+
+  /// Forget everything and restart the clock (run boundary).
+  void clear();
+
+ private:
+  FlightRecorder();
+  // A FlightEvent packed into atomic words so concurrent overwrite is a
+  // detected lost event, never a data race.
+  static constexpr std::size_t kWords = 7;
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};
+    std::atomic<std::uint64_t> w[kWords];
+  };
+  std::atomic<std::uint64_t> head_{0};
+  std::chrono::steady_clock::time_point epoch_;
+  Slot slots_[kCapacity];
+};
+
+/// Record gated on flight_enabled(); the single call sites use.
+inline void flight(FlightKind kind, std::string_view what, std::uint64_t a = 0,
+                   std::uint64_t b = 0, std::uint64_t c = 0) {
+  if (flight_enabled()) FlightRecorder::instance().record(kind, what, a, b, c);
+}
+
+/// {"recorded": N, "capacity": 1024, "events": [{t_ms,kind,what,a,b,c}...]}
+Json flight_dump_json();
+
+/// Force the recorder on for a scope, restoring the previous state on exit.
+class FlightEnableScope {
+ public:
+  explicit FlightEnableScope(bool on) : prev_(flight_enabled()) {
+    if (on && !prev_) set_flight_enabled(true);
+  }
+  ~FlightEnableScope() { set_flight_enabled(prev_); }
+  FlightEnableScope(const FlightEnableScope&) = delete;
+  FlightEnableScope& operator=(const FlightEnableScope&) = delete;
+
+ private:
+  bool prev_;
+};
+
+}  // namespace imodec::obs

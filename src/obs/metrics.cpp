@@ -33,6 +33,15 @@ Gauge& Registry::gauge(std::string_view name) {
   return *it->second;
 }
 
+Histogram& Registry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  return *it->second;
+}
+
 std::vector<std::pair<std::string, std::uint64_t>> Registry::counters() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::pair<std::string, std::uint64_t>> out;
@@ -51,10 +60,26 @@ std::vector<std::pair<std::string, Registry::GaugeValue>> Registry::gauges()
   return out;
 }
 
+std::vector<std::pair<std::string, Histogram::Summary>> Registry::histograms()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, Histogram::Summary>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_)
+    out.emplace_back(name, h->summary());
+  return out;
+}
+
 void Registry::reset() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+void Registry::reset_watermarks() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, g] : gauges_) g->reset_watermark();
 }
 
 Json Registry::to_json() const {
@@ -70,6 +95,18 @@ Json Registry::to_json() const {
     g["max"] = gv.max;
     gauges[name] = std::move(g);
   }
+  Json& hists = out["histograms"];
+  hists = Json::object();
+  for (const auto& [name, s] : this->histograms()) {
+    Json h = Json::object();
+    h["count"] = s.count;
+    h["sum"] = s.sum;
+    h["max"] = s.max;
+    h["p50"] = s.p50;
+    h["p90"] = s.p90;
+    h["p99"] = s.p99;
+    hists[name] = std::move(h);
+  }
   return out;
 }
 
@@ -82,6 +119,14 @@ std::string Registry::to_text() const {
     out += strprintf("  %-36s %12lld  (max %lld)\n", name.c_str(),
                      static_cast<long long>(gv.value),
                      static_cast<long long>(gv.max));
+  for (const auto& [name, s] : histograms())
+    out += strprintf(
+        "  %-36s %12llu  (p50 %llu, p90 %llu, p99 %llu, max %llu)\n",
+        name.c_str(), static_cast<unsigned long long>(s.count),
+        static_cast<unsigned long long>(s.p50),
+        static_cast<unsigned long long>(s.p90),
+        static_cast<unsigned long long>(s.p99),
+        static_cast<unsigned long long>(s.max));
   return out;
 }
 

@@ -20,6 +20,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/hist.hpp"
 #include "obs/json.hpp"
 
 namespace imodec::obs {
@@ -56,6 +57,11 @@ class Gauge {
     value_.store(0, std::memory_order_relaxed);
     max_.store(0, std::memory_order_relaxed);
   }
+  /// Restart the max watermark from the current value (request boundary).
+  void reset_watermark() {
+    max_.store(value_.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+  }
 
  private:
   std::atomic<std::int64_t> value_{0};
@@ -69,6 +75,7 @@ class Registry {
   /// Find-or-create; the returned reference stays valid forever.
   Counter& counter(std::string_view name);
   Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
 
   /// Sorted-by-name snapshots.
   std::vector<std::pair<std::string, std::uint64_t>> counters() const;
@@ -77,12 +84,18 @@ class Registry {
     std::int64_t max;
   };
   std::vector<std::pair<std::string, GaugeValue>> gauges() const;
+  std::vector<std::pair<std::string, Histogram::Summary>> histograms() const;
 
   /// Zero every metric (entries stay registered). Tests and bench harnesses
   /// use this to isolate runs.
   void reset();
 
-  /// {"counters": {...}, "gauges": {name: {"value":..,"max":..}, ...}}
+  /// Restart every gauge's max watermark from its current value, so peaks
+  /// are per-request when a SynthesisSession serves many runs.
+  void reset_watermarks();
+
+  /// {"counters": {...}, "gauges": {name: {"value","max"}, ...},
+  ///  "histograms": {name: {"count","sum","max","p50","p90","p99"}, ...}}
   Json to_json() const;
   /// Aligned name/value table; empty string when nothing is registered.
   std::string to_text() const;
@@ -92,6 +105,7 @@ class Registry {
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
 };
 
 /// `Registry::instance().counter(name).add(delta)` gated on enabled().
@@ -102,6 +116,13 @@ inline void count(std::string_view name, std::uint64_t delta = 1) {
 /// `Registry::instance().gauge(name).set(v)` gated on enabled().
 inline void gauge_set(std::string_view name, std::int64_t v) {
   if (enabled()) Registry::instance().gauge(name).set(v);
+}
+
+/// `Registry::instance().histogram(name).record(v)` gated on enabled().
+/// Hot loops should instead hoist the Histogram* lookup outside the loop
+/// (the lookup takes the registry mutex).
+inline void observe(std::string_view name, std::uint64_t v) {
+  if (enabled()) Registry::instance().histogram(name).record(v);
 }
 
 }  // namespace imodec::obs

@@ -214,6 +214,41 @@ Json trace_json(const std::vector<Span>& spans) {
   return out;
 }
 
+Json trace_rollup_json(const std::vector<Span>& spans) {
+  std::vector<std::vector<int>> children(spans.size());
+  std::vector<int> roots;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    if (spans[i].parent < 0)
+      roots.push_back(static_cast<int>(i));
+    else
+      children[static_cast<std::size_t>(spans[i].parent)].push_back(
+          static_cast<int>(i));
+  }
+  AggNode top;
+  const std::function<void(int, AggNode&)> fold = [&](int idx, AggNode& into) {
+    const Span& s = spans[static_cast<std::size_t>(idx)];
+    AggNode& n = into.child(s.name);
+    n.total += s.dur < 0 ? 0.0 : s.dur;
+    ++n.count;
+    for (int c : children[static_cast<std::size_t>(idx)]) fold(c, n);
+  };
+  for (int r : roots) fold(r, top);
+
+  const std::function<Json(const AggNode&)> emit = [&](const AggNode& n) {
+    Json kids = Json::array();
+    for (const auto& [name, c] : n.children) {
+      Json node = Json::object();
+      node["name"] = name;
+      node["total_ms"] = c.total * 1e3;
+      node["calls"] = c.count;
+      node["children"] = emit(c);
+      kids.push_back(std::move(node));
+    }
+    return kids;
+  };
+  return emit(top);
+}
+
 Json trace_chrome_json(const std::vector<Span>& spans) {
   Json events = Json::array();
   for (const Span& s : spans) {

@@ -135,6 +135,11 @@ std::string trace_summary(const std::vector<Span>& spans);
 /// Nested tree: [{"name":..,"start_s":..,"dur_s":..,"children":[...]}, ...]
 Json trace_json(const std::vector<Span>& spans);
 
+/// Aggregated tree for run reports, the JSON twin of trace_summary():
+/// same-named siblings merge into one node with summed duration and a call
+/// count: [{"name":..,"total_ms":..,"calls":..,"children":[...]}, ...]
+Json trace_rollup_json(const std::vector<Span>& spans);
+
 /// Chrome trace-event JSON: {"traceEvents":[{"ph":"X",...}, ...]}. Times are
 /// microseconds as the format requires; open spans are skipped.
 Json trace_chrome_json(const std::vector<Span>& spans);

@@ -1,10 +1,12 @@
 #include "verify/miter.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <unordered_map>
 
 #include "bdd/bdd.hpp"
 #include "logic/net2bdd.hpp"
+#include "obs/metrics.hpp"
 #include "util/resource.hpp"
 
 namespace imodec::verify {
@@ -116,13 +118,24 @@ MiterResult check_miter(const Network& a, const Network& b,
     build_outputs(mgr, b, var_of_pos, fb);
     res.equivalent = true;
     res.proven = true;
+    obs::Histogram* const proof_hist =
+        obs::enabled()
+            ? &obs::Registry::instance().histogram("miter.output_proof_us")
+            : nullptr;
     for (std::size_t j = 0; j < fa.size(); ++j) {
       if (opts.guard && opts.guard->cancel_requested()) {
         res.proven = false;
         res.equivalent = false;
         break;
       }
+      const auto t0 = proof_hist ? std::chrono::steady_clock::now()
+                                 : std::chrono::steady_clock::time_point{};
       const bdd::Bdd miter = fa[j] ^ fb[j];
+      if (proof_hist)
+        proof_hist->record(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count()));
       if (!miter.is_zero()) {
         res.equivalent = false;
         res.failing_output = j;
@@ -143,6 +156,13 @@ MiterResult check_miter(const Network& a, const Network& b,
     // to simulation), never a crash or a partial verdict.
     res.proven = false;
     res.equivalent = false;
+  }
+  if (obs::enabled()) {
+    // Collect the proof's garbage under the pause timer (so even small
+    // miters land a real bdd.gc_pause_us sample) and publish this manager's
+    // kernel stats under its own prefix, separable from the engine's.
+    mgr.garbage_collect();
+    mgr.publish_stats("miter.bdd");
   }
   res.peak_nodes = mgr.peak_node_count();
   return res;

@@ -1,0 +1,249 @@
+// Tests for the distribution/post-mortem half of the observability layer
+// (DESIGN.md §13): histogram bucket and quantile math against a reference
+// sort, bit-identical multi-threaded merges (the TSan target), the flight
+// recorder's wraparound and dump-on-unwind contract, and the zero-registry
+// guarantee when observability is disabled.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "circuits/registry.hpp"
+#include "map/driver.hpp"
+#include "obs/flight.hpp"
+#include "obs/hist.hpp"
+#include "obs/metrics.hpp"
+#include "util/resource.hpp"
+#include "util/rng.hpp"
+
+namespace imodec::obs {
+namespace {
+
+/// Isolation: these tests touch the process-global registry, flight recorder
+/// and enable flags; start clean and restore afterwards.
+class ObsHistTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_enabled_ = enabled();
+    was_flight_ = flight_enabled();
+    set_enabled(false);
+    set_flight_enabled(false);
+    Registry::instance().reset();
+    FlightRecorder::instance().clear();
+  }
+  void TearDown() override {
+    Registry::instance().reset();
+    FlightRecorder::instance().clear();
+    set_enabled(was_enabled_);
+    set_flight_enabled(was_flight_);
+  }
+
+ private:
+  bool was_enabled_ = false;
+  bool was_flight_ = false;
+};
+
+/// A value mix covering the exact region, every power-of-two row, and the
+/// extremes — deterministic so failures reproduce.
+std::vector<std::uint64_t> sample_values(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint64_t> vals;
+  vals.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Exponentially distributed magnitude: pick a bit width, then a value.
+    const unsigned bits = static_cast<unsigned>(rng.below(64)) + 1;
+    vals.push_back(rng.next() >> (64 - bits));
+  }
+  return vals;
+}
+
+TEST_F(ObsHistTest, BucketBoundsRoundTrip) {
+  // Every value lies inside its bucket and both bounds map back to it.
+  std::vector<std::uint64_t> probe;
+  for (std::uint64_t v = 0; v < 4096; ++v) probe.push_back(v);
+  for (unsigned b = 12; b < 64; ++b) {
+    const std::uint64_t p = std::uint64_t{1} << b;
+    probe.insert(probe.end(), {p - 1, p, p + 1});
+  }
+  probe.push_back(~std::uint64_t{0});
+  for (const std::uint64_t v : probe) {
+    const unsigned i = Histogram::bucket_index(v);
+    ASSERT_LT(i, Histogram::kBuckets) << v;
+    EXPECT_LE(Histogram::bucket_lo(i), v) << v;
+    EXPECT_GE(Histogram::bucket_hi(i), v) << v;
+    EXPECT_EQ(Histogram::bucket_index(Histogram::bucket_lo(i)), i) << v;
+    EXPECT_EQ(Histogram::bucket_index(Histogram::bucket_hi(i)), i) << v;
+  }
+  // Buckets tile the value axis in order: each lo is the previous hi + 1.
+  for (unsigned i = 1; i < Histogram::kBuckets; ++i)
+    ASSERT_EQ(Histogram::bucket_lo(i), Histogram::bucket_hi(i - 1) + 1) << i;
+  EXPECT_EQ(Histogram::bucket_index(~std::uint64_t{0}),
+            Histogram::kBuckets - 1);
+}
+
+TEST_F(ObsHistTest, QuantilesMatchReferenceSort) {
+  Histogram h;
+  std::vector<std::uint64_t> vals = sample_values(10000, 0xC0FFEE);
+  std::uint64_t sum = 0, max = 0;
+  for (const std::uint64_t v : vals) {
+    h.record(v);
+    sum += v;
+    max = std::max(max, v);
+  }
+  EXPECT_EQ(h.count(), vals.size());
+  EXPECT_EQ(h.sum(), sum);
+  EXPECT_EQ(h.max(), max);
+
+  std::sort(vals.begin(), vals.end());
+  for (const double q : {0.01, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    const std::size_t rank = std::min<std::size_t>(
+        vals.size(),
+        std::max<std::size_t>(
+            1, static_cast<std::size_t>(
+                   std::ceil(q * static_cast<double>(vals.size())))));
+    const std::uint64_t ref = vals[rank - 1];
+    // The estimate is the upper bound of the bucket holding the true order
+    // statistic: same bucket, and never below the true value.
+    EXPECT_EQ(h.quantile(q),
+              Histogram::bucket_hi(Histogram::bucket_index(ref)))
+        << "q=" << q;
+    EXPECT_GE(h.quantile(q), ref) << "q=" << q;
+  }
+  const Histogram::Summary s = h.summary();
+  EXPECT_EQ(s.count, vals.size());
+  EXPECT_EQ(s.p50, h.quantile(0.5));
+  EXPECT_EQ(s.p90, h.quantile(0.9));
+  EXPECT_EQ(s.p99, h.quantile(0.99));
+  EXPECT_LE(s.p50, s.p90);
+  EXPECT_LE(s.p90, s.p99);
+}
+
+TEST_F(ObsHistTest, ConcurrentRecordingMergesBitIdentical) {
+  // 8 threads record disjoint deterministic streams into one histogram; the
+  // merged snapshot must equal the serial recording of the same multiset
+  // (addition commutes), and TSan must see no races (ctest -L parallel).
+  constexpr unsigned kThreads = 8;
+  constexpr std::size_t kPerThread = 20000;
+  Histogram concurrent, serial;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (unsigned t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&concurrent, t] {
+      const auto vals = sample_values(kPerThread, 0xBEEF00 + t);
+      for (const std::uint64_t v : vals) concurrent.record(v);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  for (unsigned t = 0; t < kThreads; ++t)
+    for (const std::uint64_t v : sample_values(kPerThread, 0xBEEF00 + t))
+      serial.record(v);
+
+  EXPECT_EQ(concurrent.count(), kThreads * kPerThread);
+  EXPECT_EQ(concurrent.count(), serial.count());
+  EXPECT_EQ(concurrent.sum(), serial.sum());
+  EXPECT_EQ(concurrent.max(), serial.max());
+  EXPECT_EQ(concurrent.buckets(), serial.buckets());
+}
+
+TEST_F(ObsHistTest, FlightRecorderWraparound) {
+  set_flight_enabled(true);
+  FlightRecorder& rec = FlightRecorder::instance();
+  rec.clear();
+  constexpr std::uint64_t kTotal = FlightRecorder::kCapacity + 100;
+  for (std::uint64_t i = 0; i < kTotal; ++i)
+    flight(FlightKind::gc, "wrap", i, 2 * i, 3 * i);
+  EXPECT_EQ(rec.total_recorded(), kTotal);
+
+  const std::vector<FlightEvent> events = rec.snapshot();
+  ASSERT_EQ(events.size(), FlightRecorder::kCapacity);
+  // Oldest first: the ring keeps exactly the last kCapacity events.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const std::uint64_t ticket = 100 + i;
+    EXPECT_EQ(events[i].a, ticket);
+    EXPECT_EQ(events[i].b, 2 * ticket);
+    EXPECT_EQ(events[i].c, 3 * ticket);
+    EXPECT_STREQ(events[i].what, "wrap");
+    EXPECT_EQ(events[i].kind, FlightKind::gc);
+  }
+
+  const Json dump = flight_dump_json();
+  EXPECT_EQ(dump.find("recorded")->as_number(), static_cast<double>(kTotal));
+  EXPECT_EQ(dump.find("events")->size(), FlightRecorder::kCapacity);
+
+  // Labels longer than the slot are truncated, never unterminated.
+  flight(FlightKind::cache, "a-label-much-longer-than-a-slot-can-hold", 1);
+  const std::vector<FlightEvent> more = rec.snapshot();
+  EXPECT_LT(std::string(more.back().what).size(), sizeof more.back().what);
+}
+
+TEST_F(ObsHistTest, FlightDisabledCostsNothing) {
+  FlightRecorder& rec = FlightRecorder::instance();
+  rec.clear();
+  ASSERT_FALSE(flight_enabled());
+  flight(FlightKind::phase, "ignored", 1, 2, 3);
+  EXPECT_EQ(rec.total_recorded(), 0u);
+  EXPECT_TRUE(rec.snapshot().empty());
+}
+
+TEST_F(ObsHistTest, GovernedTripDumpsFlightOnUnwind) {
+  // A deterministic node-budget trip in fail mode must unwind out of
+  // run_synthesis *and* leave a flight trail ending in a trip event — the
+  // post-mortem contract for CLI exit code 5 and the fault-injection sweeps.
+  // (The driver force-enables the recorder for governed runs; obs stays off.)
+  SynthesisConfig cfg;
+  cfg.node_budget = 8;  // far below what 5xp1's engine runs need
+  cfg.on_exhaustion = OnExhaustion::fail;
+  cfg.verify = VerifyMode::off;
+  cfg.threads = 1;
+  const auto net = circuits::make_benchmark("5xp1");
+  ASSERT_TRUE(net);
+  Network mapped;
+  EXPECT_THROW(run_synthesis(*net, cfg, mapped), util::ResourceExhausted);
+
+  ASSERT_FALSE(flight_enabled());  // scope restored after the unwind
+  const std::vector<FlightEvent> events = FlightRecorder::instance().snapshot();
+  ASSERT_FALSE(events.empty());
+  bool saw_phase = false;
+  for (const FlightEvent& e : events)
+    saw_phase = saw_phase || e.kind == FlightKind::phase;
+  EXPECT_TRUE(saw_phase);
+  EXPECT_EQ(events.back().kind, FlightKind::trip);
+  EXPECT_STREQ(events.back().what, util::to_string(util::ResourceKind::bdd_nodes));
+}
+
+TEST_F(ObsHistTest, DisabledRunLeavesRegistryEmpty) {
+  // The zero-overhead contract: with obs off, an ungoverned synthesis run
+  // creates no registry entries (counters, gauges or histograms) and records
+  // no flight events.
+  ASSERT_FALSE(enabled());
+  SynthesisConfig cfg;
+  cfg.verify = VerifyMode::off;
+  cfg.threads = 1;
+  const auto net = circuits::make_benchmark("rd53");
+  ASSERT_TRUE(net);
+  Network mapped;
+  (void)run_synthesis(*net, cfg, mapped);
+  EXPECT_TRUE(Registry::instance().counters().empty());
+  EXPECT_TRUE(Registry::instance().gauges().empty());
+  EXPECT_TRUE(Registry::instance().histograms().empty());
+  EXPECT_EQ(FlightRecorder::instance().total_recorded(), 0u);
+}
+
+TEST_F(ObsHistTest, WatermarkResetMakesPeaksPerRequest) {
+  // The serving-pool fix: a big run's gauge peaks must not leak into the
+  // next request's report.
+  Gauge& g = Registry::instance().gauge("test.live");
+  g.set(1000);
+  g.set(10);
+  EXPECT_EQ(g.max(), 1000);
+  Registry::instance().reset_watermarks();
+  EXPECT_EQ(g.max(), 10);  // restarted from the current value
+  g.set(40);
+  EXPECT_EQ(g.max(), 40);
+}
+
+}  // namespace
+}  // namespace imodec::obs

@@ -49,7 +49,25 @@ OPTIONAL_KEYS = {
     "verified": (bool, False),
     "verify_mode": (str, False),
     "degraded": (bool, False),
+    # obs_overhead.py records
+    "seconds_obs": (NUMBER, True),
+    "overhead": (NUMBER, True),
 }
+
+
+def key_spec(key):
+    """Type spec for `key`, including the patterned histogram-summary keys
+    emitted by bench_micro/bench_table2 under --obs: `<histogram>_p50` /
+    `<histogram>_p90` / `<histogram>_p99` quantiles (microseconds) and
+    `cache_hit_rate_<op>` per BDD op class. None = unknown (allowed,
+    unchecked)."""
+    if key in OPTIONAL_KEYS:
+        return OPTIONAL_KEYS[key]
+    if key.endswith(("_p50", "_p90", "_p99")):
+        return (NUMBER, True)
+    if key.startswith("cache_hit_rate_"):
+        return (NUMBER, True)
+    return None
 
 
 def fail(msg):
@@ -71,9 +89,12 @@ def check_record(i, rec):
     if seconds < 0:
         fail(f"{where} ({circuit}): negative 'seconds' ({seconds})")
     for key, value in rec.items():
-        if key in ("circuit", "seconds") or key not in OPTIONAL_KEYS:
+        if key in ("circuit", "seconds"):
             continue
-        want, nonneg = OPTIONAL_KEYS[key]
+        spec = key_spec(key)
+        if spec is None:
+            continue
+        want, nonneg = spec
         if want is not bool and isinstance(value, bool):
             fail(f"{where} ({circuit}): '{key}' should not be a bool")
         if not isinstance(value, want):

@@ -31,6 +31,13 @@
 //                   still emit a complete, verified network
 //   -o <file>       write the mapped network as BLIF
 //   --stats         per-phase times, BDD cache behaviour and counters
+//   --report <file> write the unified machine-readable run report (schema-
+//                   versioned JSON: config echo, phase rollup, counters,
+//                   histograms, kernel health, degradation, verify outcome,
+//                   flight events); implies observability
+//   --progress[=<ms>]    stderr heartbeat while the run is in flight (phase,
+//                   elapsed, live nodes, budget/deadline margins); bare flag
+//                   = every 1000 ms
 //   --trace-json <file>    write the span tree + counters as JSON
 //   --trace-chrome <file>  write a chrome://tracing / Perfetto event file
 //   --list          list built-in benchmark names and exit
@@ -83,7 +90,8 @@ int usage(const char* argv0) {
                "usage: %s [-k n] [--threads n] [--single] [--strict] "
                "[--no-collapse] [--no-verify] [--verify-mode m] [--max-p n] "
                "[--bound n] [--seed n] [--timeout-ms n] [--node-budget n] "
-               "[--on-exhaustion fail|degrade] [--stats] [--trace-json f] "
+               "[--on-exhaustion fail|degrade] [--stats] [--report f] "
+               "[--progress[=ms]] [--trace-json f] "
                "[--trace-chrome f] [-o out.blif] <input.blif|input.pla|@name>\n"
                "       %s --list\n",
                argv0, argv0);
@@ -149,6 +157,12 @@ int main(int argc, char** argv) {
       output = argv[++i];
     } else if (arg == "--stats") {
       stats = true;
+    } else if (arg == "--report" && i + 1 < argc) {
+      cfg.report_path = argv[++i];
+    } else if (arg == "--progress") {
+      cfg.progress_ms = 1000;
+    } else if (arg.rfind("--progress=", 0) == 0) {
+      cfg.progress_ms = std::stoull(arg.substr(std::strlen("--progress=")));
     } else if (arg == "--trace-json" && i + 1 < argc) {
       trace_json_path = argv[++i];
     } else if (arg == "--trace-chrome" && i + 1 < argc) {
@@ -202,9 +216,14 @@ int main(int argc, char** argv) {
   }
 
   // Any observability output requested -> record spans and counters.
-  const bool observe =
-      stats || !trace_json_path.empty() || !trace_chrome_path.empty();
+  // (--report also enables observability, inside SynthesisSession.)
+  const bool observe = stats || !trace_json_path.empty() ||
+                       !trace_chrome_path.empty() || !cfg.report_path.empty();
   if (observe) obs::set_enabled(true);
+
+  // The run report's "circuit" field comes from the network name; fall back
+  // to the input path when the file didn't carry a model name.
+  if (net.name().empty()) net.set_name(input);
 
   SynthesisSession session(cfg);
   Network mapped;
@@ -238,6 +257,9 @@ int main(int argc, char** argv) {
   std::fputs(format_report(net.name().empty() ? input : net.name(), rep)
                  .c_str(),
              stdout);
+  // The session wrote the run report during run(); confirm like -o does.
+  if (!cfg.report_path.empty())
+    std::printf("wrote %s\n", cfg.report_path.c_str());
 
   if (observe) {
     const std::vector<obs::Span> spans = obs::Trace::global().snapshot();

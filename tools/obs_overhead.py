@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Observability overhead smoke: run a bench_micro slice twice — default
+(obs off) and with --obs (histograms, counters, spans recording) — and gate
+on the geomean wall-time ratio.
+
+Usage:
+  obs_overhead.py --bench <path/to/bench_micro>
+                  [--filter REGEX] [--min-time 0.05] [--repeats 3]
+                  [--threshold 1.03] [--out BENCH_obs.json]
+
+The contract is the suite geomean, not any single benchmark (individual
+microbenches are too noisy on shared machines): obs-on must cost <= 3% over
+obs-off by default. Each configuration runs --repeats times, interleaved,
+and the per-benchmark minimum is compared — the min discards interference
+spikes (scheduler preemption, cache pollution from neighbours) that would
+otherwise swamp a few-percent signal. The instrumented hot paths hoist
+their histogram lookups and pay two clock reads per multi-microsecond unit
+of work, so a failure here means an instrumentation site leaked into a
+tight loop.
+
+--out writes a bench-JSON document (bench "obs_overhead", validated by
+check_bench_json.py) with one record per benchmark — "seconds" is the
+obs-off time, "seconds_obs" the obs-on time, "overhead" their ratio — plus a
+"_geomean" summary record. The committed seed lives at
+bench/baselines/BENCH_obs.json.
+"""
+
+import argparse
+import json
+import math
+import os
+import subprocess
+import sys
+import tempfile
+
+# Slice that crosses every instrumented layer: the engine worked example and
+# random vectors (engine.round_us, bdd.* depth histograms), the pooled flow
+# (varpart.candidate_us), and the width-12 BDD-op suite (kernel op classes).
+DEFAULT_FILTER = ("BM_EngineWorkedExample|BM_EngineRandomVector/.*|"
+                  "BM_FlowPooled|BM_BddOp.*/12")
+
+
+def run_bench(bench, bench_filter, min_time, obs):
+    fd, out = tempfile.mkstemp(suffix=".json")
+    os.close(fd)
+    cmd = [
+        bench,
+        f"--benchmark_filter={bench_filter}",
+        f"--benchmark_min_time={min_time}",
+        "--json",
+        out,
+    ]
+    if obs:
+        cmd.append("--obs")
+    proc = subprocess.run(cmd)
+    if proc.returncode != 0:
+        print(f"obs_overhead: bench run failed ({proc.returncode})",
+              file=sys.stderr)
+        sys.exit(1)
+    with open(out, encoding="utf-8") as f:
+        doc = json.load(f)
+    os.unlink(out)
+    return {
+        r["circuit"]: r["seconds"]
+        for r in doc["records"]
+        if not r["circuit"].startswith("_")
+    }
+
+
+def merge_min(acc, run):
+    for name, seconds in run.items():
+        if name not in acc or seconds < acc[name]:
+            acc[name] = seconds
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--bench", required=True)
+    ap.add_argument("--filter", default=DEFAULT_FILTER)
+    ap.add_argument("--min-time", default="0.05")
+    ap.add_argument("--repeats", type=int, default=3)
+    ap.add_argument("--threshold", type=float, default=1.03)
+    ap.add_argument("--out", default=None)
+    args = ap.parse_args()
+
+    # Interleave the configurations so slow machine-wide drift (thermal,
+    # co-tenants ramping up) hits both sides alike.
+    plain, obs = {}, {}
+    for _ in range(max(1, args.repeats)):
+        merge_min(plain, run_bench(args.bench, args.filter, args.min_time,
+                                   obs=False))
+        merge_min(obs, run_bench(args.bench, args.filter, args.min_time,
+                                 obs=True))
+    common = sorted(set(plain) & set(obs))
+    if not common:
+        print("obs_overhead: no benchmarks in common between the two runs",
+              file=sys.stderr)
+        return 1
+
+    ratios = []
+    records = []
+    for name in common:
+        ratio = obs[name] / plain[name]
+        ratios.append(ratio)
+        records.append({
+            "circuit": name,
+            "seconds": plain[name],
+            "seconds_obs": obs[name],
+            "overhead": ratio,
+        })
+        print(f"obs_overhead: {name:32s} {plain[name] * 1e6:10.2f} -> "
+              f"{obs[name] * 1e6:10.2f} us  ({ratio:5.3f}x)")
+    geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+    print(f"obs_overhead: geomean {geomean:.3f}x over {len(common)} "
+          f"benchmarks (threshold {args.threshold:.2f})")
+    records.append({"circuit": "_geomean", "seconds": 0.0,
+                    "overhead": geomean})
+
+    if args.out:
+        doc = {"bench": "obs_overhead", "schema_version": 1,
+               "records": records}
+        with open(args.out, "w", encoding="utf-8") as f:
+            json.dump(doc, f, indent=2)
+            f.write("\n")
+        print(f"obs_overhead: wrote {args.out}")
+
+    if geomean > args.threshold:
+        print(f"obs_overhead: FAIL — observability overhead "
+              f"{(geomean - 1) * 100:.1f}% exceeds "
+              f"{(args.threshold - 1) * 100:.0f}%", file=sys.stderr)
+        return 1
+    print("obs_overhead: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
