@@ -1,0 +1,185 @@
+// Serving throughput/latency bench: sustained requests/sec and p50/p99
+// latency through one warm serve::Engine over a mixed 12-circuit corpus,
+// NPN result cache on vs off (DESIGN.md §14).
+//
+// Each request travels the full wire path (JSON parse -> per-request config
+// -> pipeline -> embedded run report -> JSON serialize), exactly what
+// imodec_served does per line, so the numbers are service numbers, not
+// engine numbers. The corpus repeats for --rounds rounds; round 1 is the
+// cache-warming round and is excluded from the sustained rate (both modes,
+// same rule), mirroring a server's steady state on recurring traffic.
+// Verification stays at the default `auto` (miter proof within budget), so
+// cache-hit results are cross-checked end to end: recompose() inside the
+// cache layer plus the run's own miter.
+//
+// Usage: bench_serve [--rounds n] [--threads n] [--json file]
+//
+// The --json document follows the bench-JSON schema
+// (tools/check_bench_json.py): one record per circuit and mode with the
+// mean request latency in "seconds", plus per-mode "corpus" summary records
+// carrying sustained req/s and latency percentiles, and one "speedup"
+// record with the cache-on/cache-off sustained-rate ratio.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "map/serve.hpp"
+#include "obs/bench_json.hpp"
+
+using namespace imodec;
+
+namespace {
+
+const char* kCorpus[] = {"rd53", "rd73", "rd84", "z4ml", "misex1", "9sym",
+                         "clip", "sao2", "5xp1", "f51m", "term1", "vg2"};
+constexpr std::size_t kCorpusSize = sizeof(kCorpus) / sizeof(kCorpus[0]);
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const double idx = p * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return v[lo] + (v[hi] - v[lo]) * frac;
+}
+
+struct ModeResult {
+  double sustained_rps = 0.0;  // rounds 2..N
+  double p50_ms = 0.0, p99_ms = 0.0;
+  std::vector<double> per_circuit_mean_s;  // indexed like kCorpus
+  NpnCache::Stats cache;
+};
+
+ModeResult run_mode(bool cache_on, unsigned rounds, unsigned threads) {
+  SynthesisConfig base;
+  base.threads = threads;
+  base.result_cache = cache_on;
+  serve::Engine engine(base);
+
+  std::vector<std::string> requests;
+  for (std::size_t c = 0; c < kCorpusSize; ++c)
+    requests.push_back(std::string("{\"schema_version\":1,\"id\":\"b") +
+                       std::to_string(c) + "\",\"circuit\":{\"name\":\"" +
+                       kCorpus[c] + "\"}}");
+
+  ModeResult res;
+  res.per_circuit_mean_s.assign(kCorpusSize, 0.0);
+  std::vector<double> steady_lat_ms;
+  double steady_seconds = 0.0;
+  std::uint64_t steady_requests = 0;
+  for (unsigned round = 1; round <= rounds; ++round) {
+    for (std::size_t c = 0; c < kCorpusSize; ++c) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const obs::Json resp = engine.handle_line(requests[c]);
+      const double dt =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      const obs::Json* code = resp.find("code");
+      if (!code || code->as_string() != "ok") {
+        std::fprintf(stderr, "bench_serve: %s failed: %s\n", kCorpus[c],
+                     resp.dump(-1).c_str());
+        std::exit(1);
+      }
+      if (round > 1) {
+        steady_seconds += dt;
+        ++steady_requests;
+        steady_lat_ms.push_back(dt * 1e3);
+        res.per_circuit_mean_s[c] += dt;
+      }
+    }
+  }
+  if (rounds > 1)
+    for (double& s : res.per_circuit_mean_s) s /= (rounds - 1);
+  res.sustained_rps = steady_seconds > 0.0
+                          ? static_cast<double>(steady_requests) /
+                                steady_seconds
+                          : 0.0;
+  res.p50_ms = percentile(steady_lat_ms, 0.50);
+  res.p99_ms = percentile(steady_lat_ms, 0.99);
+  if (NpnCache* cache = engine.session().result_cache())
+    res.cache = cache->stats();
+  return res;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  unsigned rounds = 8;
+  unsigned threads = 1;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--rounds" && i + 1 < argc)
+      rounds = static_cast<unsigned>(std::stoul(argv[++i]));
+    else if (arg == "--threads" && i + 1 < argc)
+      threads = static_cast<unsigned>(std::stoul(argv[++i]));
+    else if (arg == "--json" && i + 1 < argc)
+      json_path = argv[++i];
+    else {
+      std::fprintf(stderr,
+                   "usage: %s [--rounds n] [--threads n] [--json file]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (rounds < 2) rounds = 2;  // need at least one steady-state round
+
+  std::printf("serving bench: %zu circuits x %u rounds (round 1 = warmup)\n",
+              kCorpusSize, rounds);
+  const ModeResult off = run_mode(false, rounds, threads);
+  const ModeResult on = run_mode(true, rounds, threads);
+  const double speedup =
+      off.sustained_rps > 0.0 ? on.sustained_rps / off.sustained_rps : 0.0;
+
+  std::printf("%-10s %12s %10s %10s\n", "mode", "req/s", "p50 ms", "p99 ms");
+  std::printf("%-10s %12.1f %10.3f %10.3f\n", "cache-off", off.sustained_rps,
+              off.p50_ms, off.p99_ms);
+  std::printf("%-10s %12.1f %10.3f %10.3f\n", "cache-on", on.sustained_rps,
+              on.p50_ms, on.p99_ms);
+  std::printf("cache-on speedup: %.2fx sustained req/s "
+              "(cache: %llu hits / %llu misses / %llu evictions)\n",
+              speedup, static_cast<unsigned long long>(on.cache.hits),
+              static_cast<unsigned long long>(on.cache.misses),
+              static_cast<unsigned long long>(on.cache.evictions));
+
+  if (!json_path.empty()) {
+    obs::BenchJson sink("serve");
+    for (std::size_t c = 0; c < kCorpusSize; ++c) {
+      obs::Json& r_off =
+          sink.add_record(kCorpus[c], off.per_circuit_mean_s[c]);
+      r_off["mode"] = "cache_off";
+      obs::Json& r_on = sink.add_record(kCorpus[c], on.per_circuit_mean_s[c]);
+      r_on["mode"] = "cache_on";
+    }
+    const auto summary = [&](const char* mode, const ModeResult& m) {
+      obs::Json& r = sink.add_record(
+          "corpus", m.sustained_rps > 0.0 ? 1.0 / m.sustained_rps : 0.0);
+      r["mode"] = mode;
+      r["sustained_req_per_s"] = m.sustained_rps;
+      r["p50_ms"] = m.p50_ms;
+      r["p99_ms"] = m.p99_ms;
+      r["rounds"] = rounds;
+      r["corpus_size"] = static_cast<unsigned>(kCorpusSize);
+    };
+    summary("cache_off", off);
+    summary("cache_on", on);
+    obs::Json& sp = sink.add_record("speedup", 0.0);
+    sp["mode"] = "summary";
+    sp["cache_speedup"] = speedup;
+    sp["cache_hits"] = on.cache.hits;
+    sp["cache_misses"] = on.cache.misses;
+    sp["cache_evictions"] = on.cache.evictions;
+    if (!sink.write(json_path)) {
+      std::fprintf(stderr, "bench_serve: cannot write %s\n",
+                   json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -143,6 +143,39 @@ NodeId Manager::governed(const std::vector<NodeId>& roots, Fn&& fn) {
   }
 }
 
+void Manager::reset(unsigned num_vars) {
+  // Logically this is ~Manager() + Manager(num_vars), minus the frees: the
+  // arena vector keeps its capacity and the flat tables keep their (possibly
+  // grown) sizes, just zeroed. Results are unaffected by table capacity —
+  // node allocation order depends only on the operation sequence (a bigger
+  // computed cache can skip a recomputation, but a recomputation of a
+  // still-cached result finds every node in the unique table and allocates
+  // nothing) — so a warm reset manager is bit-identical in behaviour to a
+  // fresh one, only without the cold allocation cost.
+  if (guard_) guard_->charge_nodes(-static_cast<std::int64_t>(guard_charged_));
+  guard_ = nullptr;
+  guard_charged_ = 0;
+  num_vars_ = num_vars;
+  level_of_var_.resize(num_vars_);
+  var_at_level_.resize(num_vars_);
+  std::iota(level_of_var_.begin(), level_of_var_.end(), 0u);
+  std::iota(var_at_level_.begin(), var_at_level_.end(), 0u);
+  nodes_.clear();
+  nodes_.push_back(Node{kTerminalVar, 0, 0, 1});
+  live_nodes_ = peak_nodes_ = 1;
+  free_head_ = 0;
+  std::fill(unique_.begin(), unique_.end(), 0u);
+  unique_occupied_ = 0;
+  std::fill(cache_.begin(), cache_.end(), CacheEntry{});
+  indeg_.clear();
+  gc_threshold_ = 1u << 14;
+  in_reorder_ = false;
+  in_governed_ = false;
+  ite_depth_ = ite_depth_max_ = 0;
+  quant_depth_ = quant_depth_max_ = 0;
+  stats_ = Stats{};
+}
+
 void Manager::add_vars(unsigned extra) {
   for (unsigned i = 0; i < extra; ++i) {
     // New variables enter at the bottom of the order, whatever the current

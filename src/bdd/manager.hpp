@@ -75,6 +75,16 @@ class Manager {
   /// Grow the variable count (new variables order below existing ones).
   void add_vars(unsigned extra);
 
+  /// Recycle the manager for a fresh run over `num_vars` variables: the
+  /// arena shrinks to the terminal, the unique and computed tables are
+  /// cleared, order/stats/depth watermarks restart, and any guard detaches —
+  /// but every allocation (arena capacity, table sizes) is kept, so a warm
+  /// manager never pays cold growth again. This is the serving-layer
+  /// primitive behind bdd::ManagerPool (manager_pool.hpp): a reset manager
+  /// is observationally a freshly constructed one with pre-grown tables.
+  /// Pre: no live Bdd handles into this manager.
+  void reset(unsigned num_vars);
+
   /// Current level (depth in the order, 0 = top) of variable `v`.
   unsigned level_of(unsigned v) const { return level_of_var_[v]; }
   /// Variable at level `l`.

@@ -1,0 +1,53 @@
+#include "bdd/manager_pool.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace imodec::bdd {
+
+ManagerPool::Lease ManagerPool::acquire(unsigned num_vars) {
+  std::unique_ptr<Manager> mgr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!idle_.empty()) {
+      mgr = std::move(idle_.back());
+      idle_.pop_back();
+      ++reuses_;
+    } else {
+      ++creates_;
+    }
+  }
+  if (mgr) {
+    mgr->reset(num_vars);
+    obs::count("bdd.pool.reuse");
+  } else {
+    mgr = std::make_unique<Manager>(num_vars);
+    obs::count("bdd.pool.create");
+  }
+  return Lease(this, std::move(mgr));
+}
+
+void ManagerPool::release(std::unique_ptr<Manager> mgr) {
+  // Detach any guard now: the guard belongs to the run that just ended and
+  // may be destroyed before this manager is reused.
+  mgr->set_resource_guard(nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (idle_.size() < max_idle_) idle_.push_back(std::move(mgr));
+  // else: drop on the floor (destructor frees it)
+}
+
+std::size_t ManagerPool::idle_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return idle_.size();
+}
+
+std::uint64_t ManagerPool::reuses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reuses_;
+}
+
+std::uint64_t ManagerPool::creates() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return creates_;
+}
+
+}  // namespace imodec::bdd

@@ -1,0 +1,83 @@
+#pragma once
+// Warm BDD-manager pool for the serving layer.
+//
+// Engine runs own their Manager, and on small requests the cold construction
+// (arena + unique table + computed cache) dominates. The pool keeps retired
+// managers and hands them back through Manager::reset(), which clears the
+// logical state but keeps every allocation — so a request served from a warm
+// pool never pays cold table growth. Reset managers behave bit-identically
+// to fresh ones (see the reset() contract), which is what lets a long-lived
+// imodec_served process answer exactly like a fleet of fresh processes.
+//
+// Thread-safe: lutflow decomposes batches in parallel, so acquire/release
+// run under a mutex. The Lease is a move-only RAII handle returning the
+// manager on destruction; a lease must not outlive its pool.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "bdd/manager.hpp"
+
+namespace imodec::bdd {
+
+class ManagerPool {
+ public:
+  /// Keep at most `max_idle` retired managers (more are destroyed on
+  /// release; the default covers one batch of parallel group workers).
+  explicit ManagerPool(std::size_t max_idle = 16) : max_idle_(max_idle) {}
+
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(ManagerPool* pool, std::unique_ptr<Manager> mgr)
+        : pool_(pool), mgr_(std::move(mgr)) {}
+    Lease(Lease&&) = default;
+    Lease& operator=(Lease&& o) {
+      release();
+      pool_ = o.pool_;
+      mgr_ = std::move(o.mgr_);
+      o.pool_ = nullptr;
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() { release(); }
+
+    Manager& get() { return *mgr_; }
+    Manager* operator->() { return mgr_.get(); }
+    explicit operator bool() const { return mgr_ != nullptr; }
+
+   private:
+    void release() {
+      if (pool_ && mgr_) pool_->release(std::move(mgr_));
+      pool_ = nullptr;
+    }
+    ManagerPool* pool_ = nullptr;
+    std::unique_ptr<Manager> mgr_;
+  };
+
+  /// A manager over `num_vars` variables: a reset idle one when available
+  /// (warm tables), a freshly constructed one otherwise.
+  Lease acquire(unsigned num_vars);
+
+  std::size_t idle_count() const;
+  /// Lifetime stats (also published as bdd.pool.{reuse,create} counters
+  /// when observability is enabled).
+  std::uint64_t reuses() const;
+  std::uint64_t creates() const;
+
+ private:
+  friend class Lease;
+  void release(std::unique_ptr<Manager> mgr);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Manager>> idle_;
+  std::size_t max_idle_;
+  std::uint64_t reuses_ = 0;
+  std::uint64_t creates_ = 0;
+};
+
+}  // namespace imodec::bdd

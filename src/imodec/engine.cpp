@@ -4,7 +4,9 @@
 #include <cassert>
 #include <chrono>
 #include <map>
+#include <optional>
 
+#include "bdd/manager_pool.hpp"
 #include "imodec/lmax.hpp"
 #include "obs/flight.hpp"
 #include "obs/metrics.hpp"
@@ -87,7 +89,15 @@ Result<Decomposition> decompose_multi_output(
   };
 
   // --- Greedy implicit selection loop (paper §6). ---------------------------
-  bdd::Manager mgr(p);
+  // Leased from the warm pool when one is provided (a reset manager behaves
+  // bit-identically to a fresh one), constructed in place otherwise.
+  bdd::ManagerPool::Lease lease;
+  std::optional<bdd::Manager> local_mgr;
+  if (opts.manager_pool)
+    lease = opts.manager_pool->acquire(p);
+  else
+    local_mgr.emplace(p);
+  bdd::Manager& mgr = lease ? lease.get() : *local_mgr;
   // Governed run: the manager checkpoints the guard in make_node, so deadline
   // expiry, cancellation, and node-budget trips surface from every implicit
   // operation below as util::Timeout / util::ResourceExhausted.

@@ -24,6 +24,9 @@
 namespace imodec::util {
 class ResourceGuard;
 }
+namespace imodec::bdd {
+class ManagerPool;
+}
 
 namespace imodec {
 
@@ -40,6 +43,11 @@ struct ImodecOptions {
   /// and each greedy round checkpoints, so an exhausted run unwinds with
   /// util::ResourceExhausted / util::Timeout (DESIGN.md §12).
   util::ResourceGuard* guard = nullptr;
+  /// Warm-manager pool (not owned; nullptr = construct a manager per run).
+  /// With a pool, the run leases a reset manager instead — identical results
+  /// (see Manager::reset), without cold arena/table allocation (DESIGN.md
+  /// §14, the serving layer).
+  bdd::ManagerPool* manager_pool = nullptr;
 };
 
 /// Per-run statistics. When observability is enabled (obs::set_enabled) the

@@ -111,6 +111,21 @@ struct SynthesisConfig {
   /// DegradationReport records what happened.
   OnExhaustion on_exhaustion = OnExhaustion::fail;
 
+  // --- NPN result cache (DESIGN.md §14) --------------------------------------
+  /// Serve repeated decomposition work from the session's result cache
+  /// (map/npn_cache.hpp): singleton decompositions and own-cost baselines by
+  /// NPN class, multi-output vectors and grouping trials by exact function
+  /// tuple. Off by default: with the cache on, cached functions are priced /
+  /// decomposed through their canonical representatives, so results can
+  /// differ from cache-off runs; cache-on results are themselves
+  /// deterministic and bit-identical between warm and cold caches.
+  bool result_cache = false;
+  /// Bounded LRU capacity of the result cache (entries).
+  std::size_t result_cache_entries = 4096;
+  /// Functions wider than this bypass the cache (canonization is O(n 2^n)).
+  /// The default covers the flow's widest vector trials (max_vector_inputs).
+  unsigned result_cache_max_vars = 18;
+
   // --- Observability (DESIGN.md §13) ----------------------------------------
   /// When non-empty, write the unified run report (schema-versioned JSON:
   /// config echo, phase rollup, counters, histogram summaries, kernel
@@ -143,6 +158,11 @@ struct SynthesisConfig {
   /// Lower to the nested option structs (pre: validate().empty()).
   FlowOptions flow_options() const;
   RestructureOptions restructure_options() const;
+
+  /// Hash of every knob that can change a singleton decomposition result —
+  /// the NPN result cache keys on it, so one cache instance can serve
+  /// requests with differing configs without cross-config contamination.
+  std::uint64_t decomposition_fingerprint() const;
 };
 
 }  // namespace imodec

@@ -151,7 +151,9 @@ void run_verification(const Network& input, const Network& mapped,
 /// run_synthesis wraps around it (enable + clear + dump-on-unwind).
 DriverReport run_synthesis_governed(const Network& input,
                                     const SynthesisConfig& opts,
-                                    Network& mapped, util::ThreadPool* pool) {
+                                    Network& mapped,
+                                    const RunResources& res) {
+  util::ThreadPool* const pool = res.pool;
   DriverReport rep;
   const std::size_t trace_base = obs::Trace::global().size();
   obs::ScopedSpan run_span("driver.run_synthesis");
@@ -221,6 +223,8 @@ DriverReport run_synthesis_governed(const Network& input,
   if (opts.classical) flow_opts.multi_output = false;
   flow_opts.pool = pool;
   flow_opts.guard = guard;
+  if (opts.result_cache) flow_opts.npn_cache = res.npn_cache;
+  flow_opts.imodec.manager_pool = res.managers;
   enter_phase("decompose");
   FlowResult flow = decompose_to_luts(start, flow_opts);
   rep.flow = flow.stats;
@@ -278,6 +282,13 @@ DriverReport run_synthesis(const Network& input, const SynthesisConfig& opts,
 
 DriverReport run_synthesis(const Network& input, const SynthesisConfig& opts,
                            Network& mapped, util::ThreadPool* pool) {
+  RunResources res;
+  res.pool = pool;
+  return run_synthesis(input, opts, mapped, res);
+}
+
+DriverReport run_synthesis(const Network& input, const SynthesisConfig& opts,
+                           Network& mapped, const RunResources& res) {
   // Flight recording is forced on for every governed or progress-reporting
   // run (and whenever observability is on), so a Timeout/ResourceExhausted
   // unwind leaves a post-mortem trail even in an otherwise obs-off process.
@@ -286,7 +297,7 @@ DriverReport run_synthesis(const Network& input, const SynthesisConfig& opts,
                                       obs::enabled());
   if (obs::flight_enabled()) obs::FlightRecorder::instance().clear();
   try {
-    return run_synthesis_governed(input, opts, mapped, pool);
+    return run_synthesis_governed(input, opts, mapped, res);
   } catch (const util::ResourceExhausted& e) {
     // Record the trip itself, then dump the ring to stderr as one compact
     // JSON line before the exception escapes (DESIGN.md §13.2). Timeout

@@ -21,12 +21,13 @@ namespace imodec::util {
 class ThreadPool;
 }  // namespace imodec::util
 
+namespace imodec::bdd {
+class ManagerPool;
+}  // namespace imodec::bdd
+
 namespace imodec {
 
-/// Old name for the synthesis knob surface. SynthesisConfig (map/config.hpp)
-/// is the source of truth; this alias keeps pre-flattening embedder code
-/// compiling while they migrate.
-using DriverOptions [[deprecated("use SynthesisConfig")]] = SynthesisConfig;
+class NpnCache;
 
 struct DriverReport {
   bool collapsed = false;   // did the collapsed path run?
@@ -74,6 +75,23 @@ DriverReport run_synthesis(const Network& input, const SynthesisConfig& opts,
 /// is not owned.
 DriverReport run_synthesis(const Network& input, const SynthesisConfig& opts,
                            Network& mapped, util::ThreadPool* pool);
+
+/// Long-lived resources a run may borrow (none owned; every field may be
+/// null). SynthesisSession keeps one of these warm across runs so a served
+/// request never pays cold allocation (DESIGN.md §14):
+///  - pool:      the execution pool (as in the overload above)
+///  - npn_cache: the NPN-canonical result cache; consulted only when
+///               opts.result_cache is set
+///  - managers:  recycled BDD managers for the engine's per-vector runs
+struct RunResources {
+  util::ThreadPool* pool = nullptr;
+  NpnCache* npn_cache = nullptr;
+  bdd::ManagerPool* managers = nullptr;
+};
+
+/// As above with the full warm-resource set.
+DriverReport run_synthesis(const Network& input, const SynthesisConfig& opts,
+                           Network& mapped, const RunResources& res);
 
 /// Render a human-readable report block (used by the CLI).
 std::string format_report(const std::string& name, const DriverReport& rep);

@@ -1,0 +1,52 @@
+#pragma once
+// The one typed error surface of the synthesis service (PR: serving layer).
+//
+// The CLI exit-code table (README "Exit codes"), SynthesisSession::run_checked
+// and the imodec_served JSON responses all speak this enum, so no consumer
+// re-derives codes from exception types ad hoc. The numeric values ARE the
+// CLI exit codes — keep the table in sync with README.md and imodec_cli.cpp's
+// header comment.
+
+#include <optional>
+#include <string_view>
+
+namespace imodec {
+
+enum class ErrorCode : int {
+  ok = 0,             ///< success (network verified, or verification off)
+  verify_failed = 1,  ///< equivalence check failed / unclassified error
+  usage = 2,          ///< invalid configuration or malformed request
+  parse = 3,          ///< malformed input circuit (BLIF/PLA ParseError)
+  timeout = 4,        ///< wall-clock deadline exceeded (on_exhaustion=fail)
+  resource = 5,       ///< memory / node budget exhausted (on_exhaustion=fail)
+  decompose = 6,      ///< terminal decomposition failure (defensive)
+};
+
+inline constexpr int kNumErrorCodes = 7;
+
+/// The numeric value doubles as the CLI exit code.
+constexpr int exit_code(ErrorCode c) { return static_cast<int>(c); }
+
+constexpr std::string_view to_string(ErrorCode c) {
+  switch (c) {
+    case ErrorCode::ok: return "ok";
+    case ErrorCode::verify_failed: return "verify_failed";
+    case ErrorCode::usage: return "usage";
+    case ErrorCode::parse: return "parse";
+    case ErrorCode::timeout: return "timeout";
+    case ErrorCode::resource: return "resource";
+    case ErrorCode::decompose: return "decompose";
+  }
+  return "unknown";
+}
+
+/// Parse the wire spelling back ("ok", "timeout", ...); nullopt otherwise.
+constexpr std::optional<ErrorCode> parse_error_code(std::string_view s) {
+  for (int i = 0; i < kNumErrorCodes; ++i) {
+    const auto c = static_cast<ErrorCode>(i);
+    if (s == to_string(c)) return c;
+  }
+  return std::nullopt;
+}
+
+}  // namespace imodec

@@ -7,6 +7,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "map/npn_cache.hpp"
 #include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -309,13 +310,37 @@ class Flow {
     vopts.pool = opts_.pool;
     vopts.guard = opts_.guard;
     unsigned cost = static_cast<unsigned>(node.fanins.size());
+    // Cross-request amortization (DESIGN.md §14): price the NPN
+    // representative so the whole class shares one baseline search. Hit and
+    // miss both report the representative's cost, keeping warm and cold
+    // caches bit-identical.
+    NpnCache* const cache = opts_.npn_cache;
+    const bool cacheable =
+        cache && node.fanins.size() <= cache->options().max_vars;
+    std::optional<NpnCanonical> canon;
+    const std::uint64_t fp = npn_salt(opts_.cache_fingerprint, kNpnCostSalt);
+    if (cacheable) {
+      canon = npn_canonicalize(node.func);
+      if (const auto hit = cache->lookup(fp, {canon->table});
+          hit && hit->cost) {
+        own_cost_.emplace(key, *hit->cost);
+        return *hit->cost;
+      }
+    }
     try {
+      const TruthTable& f = canon ? canon->table : node.func;
       const auto choice = choose_bound_set(
-          {node.func}, static_cast<unsigned>(node.fanins.size()), vopts);
+          {f}, static_cast<unsigned>(node.fanins.size()), vopts);
       if (choice) cost = codewidth(choice->locals[0].num_classes);
+      if (cacheable) {
+        NpnCache::Entry e;
+        e.cost = cost;
+        cache->store(fp, {canon->table}, std::move(e));
+      }
     } catch (const util::ResourceExhausted&) {
       // Degrade: an exhausted baseline search just prices the node at its
-      // fanin count (its Shannon cost). Fail: unwind to the caller.
+      // fanin count (its Shannon cost) — timing-dependent, so never cached.
+      // Fail: unwind to the caller.
       if (!opts_.degrade) throw;
     }
     own_cost_.emplace(key, cost);
@@ -332,36 +357,72 @@ class Flow {
     for (SigId s : group)
       funcs.push_back(extend_table(net_.node(s).func, net_.node(s).fanins,
                                    inputs));
-    ImodecStats st;
-    try {
-      VarPartOptions vopts = opts_.varpart;
-      vopts.bound_size = bound_size_for(inputs.size());
-      // Trial decompositions are throwaway: trim the search effort.
-      vopts.samples = std::min<std::size_t>(vopts.samples, 12);
-      vopts.climb_iters = std::min<std::size_t>(vopts.climb_iters, 4);
-      vopts.max_exhaustive = std::min<std::size_t>(vopts.max_exhaustive, 512);
-      vopts.eval_budget = std::min<std::uint64_t>(vopts.eval_budget, 1 << 21);
-      vopts.pool = opts_.pool;
-      vopts.guard = opts_.guard;
-      const auto choice =
-          choose_bound_set(funcs, static_cast<unsigned>(inputs.size()), vopts);
-      if (!choice) return -1;
-      if (choice->p() > opts_.imodec.max_p) return -1;
-      ImodecOptions iopts = opts_.imodec;
-      iopts.guard = opts_.guard;
-      const auto dec = decompose_multi_output(funcs, choice->vp, iopts, &st);
-      absorb_bdd(st);
-      obs::count("flow.trial_decompositions");
-      if (!dec) return -1;
-    } catch (const util::ResourceExhausted&) {
-      // Degrade: an exhausted trial is just a rejected combination. Fail:
-      // unwind to the caller.
-      if (!opts_.degrade) throw;
-      return -1;
+    // Trials recur verbatim across requests on a serving workload; cache
+    // them under the exact function tuple (kNpnTrialSalt keeps the trimmed
+    // search budget's results apart from full decompositions). A replayed
+    // trial performs no engine work: no BDD stats, no trial counter.
+    NpnCache* const cache = opts_.npn_cache;
+    const bool cacheable =
+        cache && inputs.size() <= cache->options().max_vars;
+    const std::uint64_t fp = npn_salt(opts_.cache_fingerprint, kNpnTrialSalt);
+    unsigned q = 0;
+    bool have_q = false;
+    if (cacheable) {
+      if (const auto hit = cache->lookup(fp, funcs)) {
+        if (!hit->dec) return -1;
+        q = hit->dec->q();
+        have_q = true;
+      }
+    }
+    if (!have_q) {
+      ImodecStats st;
+      const auto reject = [&](DecomposeError err) {
+        if (cacheable) {
+          NpnCache::Entry e;
+          e.error = err;
+          cache->store(fp, funcs, std::move(e));
+        }
+        return -1;
+      };
+      try {
+        VarPartOptions vopts = opts_.varpart;
+        vopts.bound_size = bound_size_for(inputs.size());
+        // Trial decompositions are throwaway: trim the search effort.
+        vopts.samples = std::min<std::size_t>(vopts.samples, 12);
+        vopts.climb_iters = std::min<std::size_t>(vopts.climb_iters, 4);
+        vopts.max_exhaustive =
+            std::min<std::size_t>(vopts.max_exhaustive, 512);
+        vopts.eval_budget =
+            std::min<std::uint64_t>(vopts.eval_budget, 1 << 21);
+        vopts.pool = opts_.pool;
+        vopts.guard = opts_.guard;
+        const auto choice = choose_bound_set(
+            funcs, static_cast<unsigned>(inputs.size()), vopts);
+        if (!choice) return reject(DecomposeError::no_nontrivial_bound_set);
+        if (choice->p() > opts_.imodec.max_p)
+          return reject(DecomposeError::p_overflow);
+        ImodecOptions iopts = opts_.imodec;
+        iopts.guard = opts_.guard;
+        const auto dec = decompose_multi_output(funcs, choice->vp, iopts, &st);
+        absorb_bdd(st);
+        obs::count("flow.trial_decompositions");
+        if (!dec) return reject(dec.error());
+        if (cacheable) {
+          NpnCache::Entry e;
+          e.dec = *dec;
+          cache->store(fp, funcs, std::move(e));
+        }
+        q = dec->q();  // == st.q; spelled this way to match the hit path
+      } catch (const util::ResourceExhausted&) {
+        // Degrade: an exhausted trial is just a rejected combination —
+        // timing-dependent, so never cached. Fail: unwind to the caller.
+        if (!opts_.degrade) throw;
+        return -1;
+      }
     }
     int own_sum = 0;
     for (SigId s : group) own_sum += static_cast<int>(own_cost(s));
-    return own_sum - static_cast<int>(st.q);
+    return own_sum - static_cast<int>(q);
   }
 
   unsigned bound_size_for(std::size_t num_inputs) const {
@@ -418,35 +479,57 @@ class Flow {
           extend_table(net_.node(s).func, net_.node(s).fanins, c.inputs));
 
     try {
-      VarPartOptions vopts = opts_.varpart;
-      vopts.bound_size = bound_size_for(c.inputs.size());
-      vopts.pool = opts_.pool;  // nested calls degrade to inline gracefully
-      vopts.guard = opts_.guard;
-      const auto choice = choose_bound_set(
-          c.funcs, static_cast<unsigned>(c.inputs.size()), vopts);
-      if (!choice) {
-        c.error = DecomposeError::no_nontrivial_bound_set;
-        return c;
-      }
-      if (choice->p() > opts_.imodec.max_p) {
-        c.error = DecomposeError::p_overflow;
-        return c;
-      }
-      if (opts_.multi_output) {
-        ImodecOptions iopts = opts_.imodec;
-        iopts.guard = opts_.guard;
-        auto res = decompose_multi_output(c.funcs, choice->vp, iopts, &c.st);
-        c.engine_ran = true;
-        if (res)
-          c.dec = std::move(*res);
-        else
-          c.error = res.error();
+      NpnCache::Entry ent;
+      NpnCache* const cache = opts_.npn_cache;
+      const bool cacheable =
+          cache && c.funcs[0].num_vars() <= cache->options().max_vars;
+      if (cacheable && c.group.size() == 1) {
+        // Serving-layer amortization (DESIGN.md §14): canonicalize, consult
+        // the cache, decompose the NPN representative on a miss. A hit
+        // replays exactly what the populating miss computed, so warm and
+        // cold caches yield bit-identical networks.
+        ent = npn_cached_decompose(
+            *cache, opts_.cache_fingerprint, c.funcs[0],
+            [&](const TruthTable& canon) {
+              return decompose_vector({canon}, canon.num_vars(), c);
+            },
+            opts_.cache_verify_hits);
+      } else if (cacheable) {
+        // Multi-output vectors are cached under their exact function tuple
+        // (identity transform): the stored entry IS the miss's result, so
+        // hits are bit-identical by construction.
+        bool served = false;
+        if (auto hit = cache->lookup(opts_.cache_fingerprint, c.funcs)) {
+          bool ok = true;
+          if (opts_.cache_verify_hits && hit->dec) {
+            for (std::size_t k = 0; ok && k < hit->dec->outputs.size(); ++k)
+              ok = recompose(*hit->dec, k,
+                             static_cast<unsigned>(c.inputs.size())) ==
+                   c.funcs[k];
+            obs::count("cache.npn.verified");
+            if (!ok) {
+              cache->note_verify_failure();
+              obs::count("cache.npn.verify_fail");
+            }
+          }
+          if (ok) {
+            ent = *hit;
+            served = true;
+          }
+        }
+        if (!served) {
+          ent = decompose_vector(c.funcs,
+                                 static_cast<unsigned>(c.inputs.size()), c);
+          cache->store(opts_.cache_fingerprint, c.funcs, ent);
+        }
       } else {
-        // Single-output mode within the group (groups are singletons there,
-        // but keep it general): decompose each output separately and merge.
-        c.dec = single_output_decomposition(c.funcs, choice->vp, &c.st,
-                                            opts_.guard);
+        ent = decompose_vector(c.funcs,
+                               static_cast<unsigned>(c.inputs.size()), c);
       }
+      if (ent.dec)
+        c.dec = std::move(*ent.dec);
+      else
+        c.error = ent.error;
     } catch (const util::ResourceExhausted& e) {
       // Degrade policy: remember what tripped and let the merge step walk
       // the ladder. Fail policy: unwind (through parallel_for when pooled —
@@ -517,6 +600,47 @@ class Flow {
     for (unsigned cw : c.st.c_k) sum_c += static_cast<int>(cw);
     if (sum_c > static_cast<int>(c.st.q))
       stats_.shared_functions += static_cast<unsigned>(sum_c) - c.st.q;
+  }
+
+  /// Shared core of compute_group: bound-set search plus engine /
+  /// single-output decomposition of one function vector. Exactly one of
+  /// dec/error is set in the returned entry; resource trips propagate as
+  /// exceptions. Runs on the caller's thread; mutates only c.st/c.engine_ran
+  /// of the computation passed in, so the cached (canonical-domain) path and
+  /// the direct path stay behaviorally identical.
+  NpnCache::Entry decompose_vector(const std::vector<TruthTable>& funcs,
+                                   unsigned num_inputs,
+                                   GroupComputation& c) const {
+    NpnCache::Entry ent;
+    VarPartOptions vopts = opts_.varpart;
+    vopts.bound_size = bound_size_for(num_inputs);
+    vopts.pool = opts_.pool;  // nested calls degrade to inline gracefully
+    vopts.guard = opts_.guard;
+    const auto choice = choose_bound_set(funcs, num_inputs, vopts);
+    if (!choice) {
+      ent.error = DecomposeError::no_nontrivial_bound_set;
+      return ent;
+    }
+    if (choice->p() > opts_.imodec.max_p) {
+      ent.error = DecomposeError::p_overflow;
+      return ent;
+    }
+    if (opts_.multi_output) {
+      ImodecOptions iopts = opts_.imodec;
+      iopts.guard = opts_.guard;
+      auto res = decompose_multi_output(funcs, choice->vp, iopts, &c.st);
+      c.engine_ran = true;
+      if (res)
+        ent.dec = std::move(*res);
+      else
+        ent.error = res.error();
+    } else {
+      // Single-output mode within the group (groups are singletons there,
+      // but keep it general): decompose each output separately and merge.
+      ent.dec =
+          single_output_decomposition(funcs, choice->vp, &c.st, opts_.guard);
+    }
+    return ent;
   }
 
   /// Compute-and-merge of a singleton group, used by the fallback paths of

@@ -26,6 +26,8 @@ class ThreadPool;
 
 namespace imodec {
 
+class NpnCache;
+
 struct FlowOptions {
   unsigned k = 5;  // LUT size (XC3000: 5)
   /// false = "Single" column: every node decomposed on its own.
@@ -57,6 +59,16 @@ struct FlowOptions {
   /// Resource governance (not owned; nullptr = ungoverned). Checkpointed by
   /// every engine run, bound-set search and BDD operation of the flow.
   util::ResourceGuard* guard = nullptr;
+  /// NPN-canonical result cache for singleton decompositions (not owned;
+  /// nullptr = off). Wired by the driver from the run's RunResources when
+  /// SynthesisConfig::result_cache is set (DESIGN.md §14).
+  NpnCache* npn_cache = nullptr;
+  /// Cache key discriminator (SynthesisConfig::decomposition_fingerprint):
+  /// one cache serves many configs without cross-config contamination.
+  std::uint64_t cache_fingerprint = 0;
+  /// Cross-check every cache-served decomposition by recompose() against
+  /// the requested function (set by the exact/auto verify modes).
+  bool cache_verify_hits = false;
   /// Exhaustion policy. When false (fail), a guard trip propagates out of
   /// decompose_to_luts as util::Timeout / util::ResourceExhausted. When true
   /// (degrade), the flow walks the degradation ladder instead: engine

@@ -1,0 +1,261 @@
+#include "map/serve.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "circuits/registry.hpp"
+#include "logic/blif.hpp"
+#include "logic/pla.hpp"
+#include "obs/metrics.hpp"
+#include "map/report.hpp"
+#include "util/fault.hpp"
+
+namespace imodec::serve {
+
+namespace {
+
+/// Exact non-negative integer (doubles are exact through 2^53; our wire
+/// integers stay far below).
+bool to_u64(const obs::Json& j, std::uint64_t& out) {
+  if (!j.is_number()) return false;
+  const double d = j.as_number();
+  if (d < 0.0 || d != std::floor(d) || d > 9007199254740992.0) return false;
+  out = static_cast<std::uint64_t>(d);
+  return true;
+}
+
+/// Per-request config override; returns an error message or empty on
+/// success. The allowed-key list is the wire contract (README "Serving"):
+/// session properties (threads, result-cache sizing) and local-filesystem
+/// knobs (report_path) are rejected explicitly, everything unknown generically.
+std::string apply_config_key(SynthesisConfig& cfg, const std::string& key,
+                             const obs::Json& v) {
+  const auto want_bool = [&](bool& field) -> std::string {
+    if (!v.is_bool()) return "config." + key + " must be a boolean";
+    field = v.as_bool();
+    return "";
+  };
+  const auto want_uint = [&](auto& field, std::uint64_t max) -> std::string {
+    std::uint64_t u = 0;
+    if (!to_u64(v, u) || u > max)
+      return "config." + key + " must be an integer in [0, " +
+             std::to_string(max) + "]";
+    field = static_cast<std::remove_reference_t<decltype(field)>>(u);
+    return "";
+  };
+  if (key == "k") return want_uint(cfg.k, 16);
+  if (key == "multi_output") return want_bool(cfg.multi_output);
+  if (key == "strict") return want_bool(cfg.strict);
+  if (key == "classical") return want_bool(cfg.classical);
+  if (key == "collapse") return want_bool(cfg.collapse);
+  if (key == "result_cache") return want_bool(cfg.result_cache);
+  if (key == "max_p") return want_uint(cfg.max_p, 64);
+  if (key == "bound_size") return want_uint(cfg.bound_size, 16);
+  if (key == "seed") return want_uint(cfg.seed, ~std::uint64_t{0} >> 1);
+  if (key == "timeout_ms") return want_uint(cfg.timeout_ms, ~std::uint64_t{0} >> 1);
+  if (key == "node_budget") return want_uint(cfg.node_budget, ~std::uint64_t{0} >> 1);
+  if (key == "batch_groups") return want_uint(cfg.batch_groups, 1u << 20);
+  if (key == "verify") {
+    if (!v.is_string()) return "config.verify must be a string";
+    const auto m = parse_verify_mode(v.as_string());
+    if (!m) return "config.verify: unknown mode '" + v.as_string() + "'";
+    cfg.verify = *m;
+    return "";
+  }
+  if (key == "on_exhaustion") {
+    if (!v.is_string()) return "config.on_exhaustion must be a string";
+    const auto m = parse_on_exhaustion(v.as_string());
+    if (!m) return "config.on_exhaustion: unknown policy '" + v.as_string() + "'";
+    cfg.on_exhaustion = *m;
+    return "";
+  }
+  if (key == "threads")
+    return "config.threads is a session property: set it when starting "
+           "imodec_served, not per request";
+  if (key == "report_path")
+    return "config.report_path is not available over the wire; the response "
+           "embeds the run report";
+  return "unknown config key '" + key + "'";
+}
+
+obs::Json error_response(const std::string& id, ErrorCode code,
+                         const std::string& message) {
+  obs::Json resp = obs::Json::object();
+  resp["schema_version"] = kWireSchemaVersion;
+  resp["id"] = id;
+  resp["ok"] = false;
+  resp["code"] = to_string(code);
+  obs::Json err = obs::Json::object();
+  err["code"] = to_string(code);
+  err["message"] = message;
+  resp["error"] = std::move(err);
+  return resp;
+}
+
+/// Disarm on every exit path once a request armed a fault plan.
+struct FaultScope {
+  bool armed = false;
+  ~FaultScope() {
+    if (armed) util::fault::disarm();
+  }
+};
+
+}  // namespace
+
+Engine::Engine(const SynthesisConfig& base) : base_(base), session_(base) {
+  // Responses embed the unified run report; without observability its
+  // counter/gauge/histogram sections would always be empty.
+  obs::set_enabled(true);
+}
+
+obs::Json Engine::handle_line(const std::string& line) {
+  ++served_;
+  const std::optional<obs::Json> parsed = obs::Json::parse(line);
+  // Best-effort id echo even for malformed requests that did parse as JSON.
+  std::string id;
+  if (parsed && parsed->is_object())
+    if (const obs::Json* j = parsed->find("id"); j && j->is_string())
+      id = j->as_string();
+  const auto usage = [&](const std::string& msg) {
+    return error_response(id, ErrorCode::usage, msg);
+  };
+  if (!parsed) return usage("request is not valid JSON");
+  if (!parsed->is_object()) return usage("request must be a JSON object");
+
+  // --- envelope ----------------------------------------------------------
+  bool saw_version = false;
+  const obs::Json* circuit = nullptr;
+  const obs::Json* config = nullptr;
+  const obs::Json* fault = nullptr;
+  for (const auto& [key, value] : parsed->members()) {
+    if (key == "schema_version") {
+      std::uint64_t v = 0;
+      if (!to_u64(value, v) || v != kWireSchemaVersion)
+        return usage("schema_version must be " +
+                     std::to_string(kWireSchemaVersion));
+      saw_version = true;
+    } else if (key == "id") {
+      if (!value.is_string()) return usage("id must be a string");
+    } else if (key == "circuit") {
+      if (!value.is_object()) return usage("circuit must be an object");
+      circuit = &value;
+    } else if (key == "config") {
+      if (!value.is_object()) return usage("config must be an object");
+      config = &value;
+    } else if (key == "fault") {
+      if (!value.is_object()) return usage("fault must be an object");
+      fault = &value;
+    } else {
+      return usage("unknown request field '" + key + "'");
+    }
+  }
+  if (!saw_version) return usage("missing schema_version");
+  if (id.empty()) return usage("missing (or empty) id");
+  if (!circuit) return usage("missing circuit");
+
+  // --- circuit: exactly one of name / blif / pla -------------------------
+  std::string name, blif, pla;
+  for (const auto& [key, value] : circuit->members()) {
+    if (!value.is_string())
+      return usage("circuit." + key + " must be a string");
+    if (key == "name")
+      name = value.as_string();
+    else if (key == "blif")
+      blif = value.as_string();
+    else if (key == "pla")
+      pla = value.as_string();
+    else
+      return usage("unknown circuit field '" + key + "'");
+  }
+  const int sources = !name.empty() + !blif.empty() + !pla.empty();
+  if (sources != 1)
+    return usage("circuit needs exactly one of name / blif / pla");
+
+  // --- per-request config ------------------------------------------------
+  SynthesisConfig cfg = base_;
+  cfg.report_path.clear();  // reports travel in the response, never to disk
+  if (config)
+    for (const auto& [key, value] : config->members())
+      if (const std::string err = apply_config_key(cfg, key, value);
+          !err.empty())
+        return usage(err);
+
+  // --- optional fault plan (IMODEC_FAULT_INJECTION builds only) ----------
+  util::fault::Plan plan;
+  if (fault) {
+    if (!util::fault::enabled())
+      return usage("fault injection is not compiled into this build");
+    for (const auto& [key, value] : fault->members()) {
+      if (key == "kind") {
+        if (!value.is_string()) return usage("fault.kind must be a string");
+        const std::string& k = value.as_string();
+        if (k == "bad_alloc")
+          plan.kind = util::fault::Kind::bad_alloc;
+        else if (k == "deadline")
+          plan.kind = util::fault::Kind::deadline;
+        else if (k == "node_budget")
+          plan.kind = util::fault::Kind::node_budget;
+        else if (k == "cancel")
+          plan.kind = util::fault::Kind::cancel;
+        else
+          return usage("fault.kind: unknown kind '" + k + "'");
+      } else if (key == "at") {
+        if (!to_u64(value, plan.at)) return usage("fault.at must be an integer");
+      } else {
+        return usage("unknown fault field '" + key + "'");
+      }
+    }
+    if (plan.kind == util::fault::Kind::none)
+      return usage("fault needs a kind");
+  }
+
+  // --- resolve the circuit -----------------------------------------------
+  Network input;
+  try {
+    if (!name.empty()) {
+      std::optional<Network> net = circuits::make_benchmark(name);
+      if (!net) return usage("unknown benchmark circuit '" + name + "'");
+      input = std::move(*net);
+    } else if (!blif.empty()) {
+      std::istringstream is(blif);
+      input = read_blif(is);
+    } else {
+      std::istringstream is(pla);
+      input = read_pla(is);
+    }
+  } catch (const ParseError& e) {
+    return error_response(id, ErrorCode::parse, e.what());
+  }
+
+  // --- run ---------------------------------------------------------------
+  FaultScope fault_scope;
+  if (fault) {
+    util::fault::arm(plan);
+    fault_scope.armed = true;
+  }
+  Network mapped;
+  const SynthesisSession::Outcome out = session_.run_checked(input, cfg, mapped);
+
+  obs::Json resp = obs::Json::object();
+  resp["schema_version"] = kWireSchemaVersion;
+  resp["id"] = id;
+  resp["ok"] = out.code == ErrorCode::ok;
+  resp["code"] = to_string(out.code);
+  if (out.code != ErrorCode::ok) {
+    obs::Json err = obs::Json::object();
+    err["code"] = to_string(out.code);
+    err["message"] = out.message;
+    resp["error"] = std::move(err);
+  }
+  if (out.report) {
+    const std::string circuit_name = !name.empty() ? name : input.name();
+    resp["report"] = build_run_report(circuit_name, cfg, *out.report);
+  }
+  return resp;
+}
+
+std::string Engine::handle_line_text(const std::string& line) {
+  return handle_line(line).dump(-1);
+}
+
+}  // namespace imodec::serve

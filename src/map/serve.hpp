@@ -1,0 +1,61 @@
+#pragma once
+// Synthesis-as-a-service front end (DESIGN.md §14).
+//
+// serve::Engine turns one warm SynthesisSession into a request/response
+// service: each request is a line of JSON naming a circuit (benchmark
+// registry name, inline BLIF, or inline PLA) plus per-request config
+// overrides; each response is one line of JSON with the typed outcome
+// (map/errors.hpp) and — on success — the unified run report
+// (map/report.hpp) embedded verbatim. tools/imodec_served.cpp wraps this in
+// a stdin/stdout or Unix-socket loop; bench/bench_serve.cpp drives it
+// in-process.
+//
+// Wire schema (kWireSchemaVersion, validated by tools/check_request_json.py;
+// full field table in README "Serving"): unknown fields anywhere in a
+// request are rejected with a typed `usage` error rather than ignored, so a
+// client typo ("timeout" for "timeout_ms") can never silently change
+// behavior. The schema version bumps on any incompatible change; adding
+// optional request fields or response keys is compatible.
+
+#include <string>
+
+#include "map/session.hpp"
+#include "obs/json.hpp"
+
+namespace imodec::serve {
+
+/// Version stamped on (and required of) every request and response.
+inline constexpr int kWireSchemaVersion = 1;
+
+/// One warm service instance: a SynthesisSession (thread pool, recycled BDD
+/// managers, NPN result cache when the base config enables it) plus the
+/// request parser / response builder. Not thread-safe; one Engine serves one
+/// connection at a time.
+class Engine {
+ public:
+  /// Pre: base.validate().empty(). The base config is what requests override
+  /// per field; threads / result-cache sizing are session properties fixed
+  /// here.
+  explicit Engine(const SynthesisConfig& base);
+
+  /// Parse one request line, run it, and return the response document.
+  /// Never throws: every failure becomes an error response with a valid
+  /// ErrorCode spelling.
+  obs::Json handle_line(const std::string& line);
+
+  /// handle_line + compact one-line serialization (no trailing newline).
+  std::string handle_line_text(const std::string& line);
+
+  /// Requests served so far (all outcomes).
+  std::uint64_t served() const { return served_; }
+
+  SynthesisSession& session() { return session_; }
+  const SynthesisConfig& base_config() const { return base_; }
+
+ private:
+  SynthesisConfig base_;
+  SynthesisSession session_;
+  std::uint64_t served_ = 0;
+};
+
+}  // namespace imodec::serve

@@ -1,0 +1,434 @@
+// Serving-layer tests (ctest -L serve): NPN canonicalization and its
+// inverse-transform algebra, the bounded result cache, warm-resource
+// invariants (Manager::reset, ManagerPool), the per-request session boundary
+// (warm-vs-fresh bit identity, watermark reset), and the imodec_served wire
+// schema (src/map/serve.hpp). DESIGN.md §14.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bdd/manager.hpp"
+#include "bdd/manager_pool.hpp"
+#include "circuits/registry.hpp"
+#include "decomp/single.hpp"
+#include "decomp/varpart.hpp"
+#include "logic/network.hpp"
+#include "map/errors.hpp"
+#include "map/npn_cache.hpp"
+#include "map/serve.hpp"
+#include "map/session.hpp"
+#include "obs/metrics.hpp"
+
+namespace imodec {
+namespace {
+
+/// Deterministic pseudo-random truth table (splitmix64 over the rows).
+TruthTable random_table(unsigned num_vars, std::uint64_t seed) {
+  TruthTable t(num_vars);
+  std::uint64_t x = seed + 0x9e3779b97f4a7c15ull;
+  for (std::uint64_t row = 0; row < t.num_rows(); ++row) {
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    t.set(row, ((z ^ (z >> 31)) & 1) != 0);
+  }
+  return t;
+}
+
+// --- NPN transform algebra --------------------------------------------------
+
+TEST(NpnTransform, ApplyIsTheForwardOracle) {
+  for (unsigned n = 1; n <= 7; ++n) {
+    for (std::uint64_t seed = 0; seed < 8; ++seed) {
+      const TruthTable f = random_table(n, seed * 131 + n);
+      const NpnCanonical canon = npn_canonicalize(f);
+      EXPECT_EQ(npn_apply(f, canon.transform), canon.table)
+          << "n=" << n << " seed=" << seed;
+      ASSERT_EQ(canon.transform.perm.size(), n);
+      ASSERT_EQ(canon.transform.input_flip.size(), n);
+    }
+  }
+}
+
+TEST(NpnTransform, SimpleVariantsShareOneClass) {
+  // f = (x0 & x1) | x2: asymmetric influence, so phase/perm rules are
+  // tie-free except between the symmetric pair x0/x1.
+  TruthTable f(3);
+  for (std::uint64_t r = 0; r < 8; ++r)
+    f.set(r, ((r & 1) && (r & 2)) || (r & 4));
+  const TruthTable canon = npn_canonicalize(f).table;
+
+  // (Output complement may land in a different semi-canonical class: input
+  // phases are normalized before the output phase, and complementing f
+  // flips every cofactor-weight comparison. Splits cost hit rate only.)
+  for (unsigned v = 0; v < 3; ++v)
+    EXPECT_EQ(npn_canonicalize(npn_flip_input(f, v)).table, canon)
+        << "input flip x" << v;
+  EXPECT_EQ(npn_canonicalize(f.permute({2, 1, 0})).table, canon)
+      << "variable swap";
+}
+
+/// A 6-var function decomposable by construction: f = h(d(x0..x2), x3..x5)
+/// with random d and h, so the bound set {0,1,2} has at most two classes.
+TruthTable decomposable_table(std::uint64_t seed) {
+  const TruthTable d = random_table(3, seed * 3 + 1);
+  const TruthTable h = random_table(4, seed * 3 + 2);
+  TruthTable f(6);
+  for (std::uint64_t row = 0; row < 64; ++row) {
+    const std::uint64_t code = d.get(row & 7) ? 1 : 0;
+    f.set(row, h.get(code | ((row >> 3) << 1)));
+  }
+  return f;
+}
+
+TEST(NpnTransform, InverseDecompositionRecomposesTheOriginal) {
+  int decomposed = 0;
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    const TruthTable f = decomposable_table(0xd00d + seed);
+    const NpnCanonical canon = npn_canonicalize(f);
+
+    VarPartOptions vopts;
+    vopts.bound_size = 3;
+    const auto choice = choose_bound_set({canon.table}, 6, vopts);
+    if (!choice) continue;  // degenerate d/h draw
+    ++decomposed;
+    const Decomposition canonical_dec =
+        decompose_single_output(canon.table, choice->vp);
+    ASSERT_EQ(recompose(canonical_dec, 0, 6), canon.table);
+
+    const Decomposition original_dec =
+        npn_inverse_decomposition(canonical_dec, canon.transform);
+    EXPECT_EQ(recompose(original_dec, 0, 6), f) << "seed=" << seed;
+  }
+  EXPECT_GT(decomposed, 6) << "property barely exercised";
+}
+
+// --- Bounded LRU cache ------------------------------------------------------
+
+TEST(NpnCacheTest, HitMissAndEvictionCounters) {
+  NpnCacheOptions opts;
+  opts.max_entries = 2;
+  NpnCache cache(opts);
+
+  const std::vector<TruthTable> a{random_table(4, 1)};
+  const std::vector<TruthTable> b{random_table(4, 2)};
+  const std::vector<TruthTable> c{random_table(4, 3)};
+
+  EXPECT_FALSE(cache.lookup(7, a));
+  NpnCache::Entry e;
+  e.cost = 5;
+  cache.store(7, a, e);
+  const auto hit = cache.lookup(7, a);
+  ASSERT_TRUE(hit);
+  EXPECT_EQ(hit->cost, 5u);
+  // Same key under a different fingerprint is a different entry.
+  EXPECT_FALSE(cache.lookup(8, a));
+
+  cache.store(7, b, e);  // a refreshed by the hit above: lru order b, a
+  cache.store(7, c, e);  // capacity 2: evicts the least recent (a)
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_FALSE(cache.lookup(7, a)) << "evicted entry served";
+  EXPECT_TRUE(cache.lookup(7, b));
+  EXPECT_TRUE(cache.lookup(7, c));
+
+  const NpnCache::Stats st = cache.stats();
+  EXPECT_EQ(st.hits, 3u);
+  EXPECT_EQ(st.misses, 3u);
+  EXPECT_EQ(st.evictions, 1u);
+
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(NpnCacheTest, VectorKeysAndSaltsDoNotCollide) {
+  NpnCache cache;
+  const TruthTable t = random_table(4, 9);
+  NpnCache::Entry e;
+  e.cost = 1;
+  cache.store(1, {t}, e);
+  // Same table twice is a different (vector) key than once.
+  EXPECT_FALSE(cache.lookup(1, {t, t}));
+  // The salted fingerprints keep entry families apart.
+  EXPECT_FALSE(cache.lookup(npn_salt(1, kNpnCostSalt), {t}));
+  EXPECT_FALSE(cache.lookup(npn_salt(1, kNpnTrialSalt), {t}));
+  EXPECT_TRUE(cache.lookup(1, {t}));
+}
+
+TEST(NpnCacheTest, CachedDecomposeHitReplaysTheMiss) {
+  NpnCache cache;
+  const TruthTable f = decomposable_table(0xbeef);
+
+  int calls = 0;
+  const auto decompose_canonical = [&](const TruthTable& canon) {
+    ++calls;
+    NpnCache::Entry ent;
+    VarPartOptions vopts;
+    vopts.bound_size = 3;
+    const auto choice = choose_bound_set({canon}, canon.num_vars(), vopts);
+    if (!choice) {
+      ent.error = DecomposeError::no_nontrivial_bound_set;
+      return ent;
+    }
+    ent.dec = decompose_single_output(canon, choice->vp);
+    return ent;
+  };
+
+  const NpnCache::Entry first =
+      npn_cached_decompose(cache, 42, f, decompose_canonical,
+                           /*verify_hits=*/true);
+  ASSERT_EQ(calls, 1);
+  const NpnCache::Entry second =
+      npn_cached_decompose(cache, 42, f, decompose_canonical,
+                           /*verify_hits=*/true);
+  EXPECT_EQ(calls, 1) << "hit went back to the decomposer";
+
+  ASSERT_TRUE(first.dec && second.dec);
+  // Bit-identity: the served decomposition equals the one the populating
+  // miss returned, and both recompose to the original function.
+  EXPECT_EQ(recompose(*first.dec, 0, 6), f);
+  EXPECT_EQ(recompose(*second.dec, 0, 6), f);
+  EXPECT_EQ(second.dec->d_funcs, first.dec->d_funcs);
+
+  const NpnCache::Stats st = cache.stats();
+  EXPECT_EQ(st.hits, 1u);
+  EXPECT_EQ(st.misses, 1u);
+  EXPECT_EQ(st.verify_failures, 0u);
+}
+
+// --- Warm resources ---------------------------------------------------------
+
+TEST(ManagerResetTest, ResetManagerIsObservationallyFresh) {
+  bdd::Manager warm(4);
+  // Grow some state worth forgetting.
+  bdd::NodeId acc = warm.one();
+  for (unsigned v = 0; v < 4; ++v) acc = warm.apply_and(acc, warm.var(v));
+  const std::size_t grown = warm.live_node_count();
+  EXPECT_GT(grown, 1u);
+
+  warm.reset(5);
+  bdd::Manager fresh(5);
+  EXPECT_EQ(warm.num_vars(), 5u);
+  EXPECT_EQ(warm.live_node_count(), fresh.live_node_count());
+  // Same construction sequence yields the same node ids — a reset manager
+  // is indistinguishable from a newly built one.
+  const bdd::NodeId warm_node = warm.apply_and(warm.var(1), warm.var(3));
+  const bdd::NodeId fresh_node = fresh.apply_and(fresh.var(1), fresh.var(3));
+  EXPECT_EQ(warm_node, fresh_node);
+}
+
+TEST(ManagerPoolTest, RetiredManagersAreReused) {
+  bdd::ManagerPool pool;
+  EXPECT_EQ(pool.reuses(), 0u);
+  { bdd::ManagerPool::Lease lease = pool.acquire(6); }
+  EXPECT_EQ(pool.creates(), 1u);
+  {
+    bdd::ManagerPool::Lease lease = pool.acquire(8);  // recycled, re-sized
+    EXPECT_EQ(lease->num_vars(), 8u);
+  }
+  EXPECT_EQ(pool.creates(), 1u);
+  EXPECT_EQ(pool.reuses(), 1u);
+}
+
+// --- Session boundary -------------------------------------------------------
+
+SynthesisConfig serving_config() {
+  SynthesisConfig cfg;
+  cfg.threads = 1;
+  cfg.result_cache = true;
+  return cfg;
+}
+
+Network run_fresh(const std::string& name, const SynthesisConfig& cfg) {
+  SynthesisSession session(cfg);
+  Network mapped;
+  const Network input = *circuits::make_benchmark(name);
+  session.run(input, mapped);
+  return mapped;
+}
+
+TEST(SessionTest, WarmRunsAreBitIdenticalToFreshProcesses) {
+  const SynthesisConfig cfg = serving_config();
+  SynthesisSession warm(cfg);
+  // A warm session with history (and a populated cache) must produce the
+  // same network a fresh session produces on its very first request.
+  const std::vector<std::string> sequence = {"rd53", "misex1", "9sym",
+                                             "rd53", "9sym"};
+  for (const std::string& name : sequence) {
+    Network warm_mapped;
+    warm.run(*circuits::make_benchmark(name), warm_mapped);
+    EXPECT_TRUE(structurally_equal(warm_mapped, run_fresh(name, cfg)))
+        << name << " diverged in the warm session";
+  }
+}
+
+TEST(SessionTest, DegradedRunsStayBitIdenticalToo) {
+  SynthesisConfig cfg = serving_config();
+  cfg.node_budget = 2000;
+  cfg.on_exhaustion = OnExhaustion::degrade;
+  SynthesisSession warm(cfg);
+  for (int round = 0; round < 2; ++round) {
+    Network warm_mapped;
+    const DriverReport rep =
+        warm.run(*circuits::make_benchmark("rd73"), warm_mapped);
+    EXPECT_TRUE(rep.verified);
+    EXPECT_TRUE(structurally_equal(warm_mapped, run_fresh("rd73", cfg)))
+        << "round " << round;
+  }
+}
+
+TEST(SessionTest, GaugeWatermarksResetAtTheRequestBoundary) {
+  obs::set_enabled(true);
+  SynthesisSession session(serving_config());
+  Network mapped;
+  session.run(*circuits::make_benchmark("5xp1"), mapped);
+  const std::int64_t big_peak =
+      obs::Registry::instance().gauge("bdd.peak_live_nodes").max();
+  EXPECT_GT(big_peak, 0);
+  session.run(*circuits::make_benchmark("rd53"), mapped);
+  const std::int64_t small_peak =
+      obs::Registry::instance().gauge("bdd.peak_live_nodes").max();
+  EXPECT_LT(small_peak, big_peak)
+      << "previous request's watermark leaked into this one";
+}
+
+TEST(SessionTest, ResultCacheCountersAdvanceAcrossRequests) {
+  SynthesisSession session(serving_config());
+  ASSERT_NE(session.result_cache(), nullptr);
+  Network mapped;
+  session.run(*circuits::make_benchmark("misex1"), mapped);
+  const NpnCache::Stats after_first = session.result_cache()->stats();
+  EXPECT_GT(after_first.misses, 0u);
+  session.run(*circuits::make_benchmark("misex1"), mapped);
+  const NpnCache::Stats after_second = session.result_cache()->stats();
+  EXPECT_GT(after_second.hits, after_first.hits)
+      << "repeated request did not hit the warm cache";
+  EXPECT_EQ(after_second.verify_failures, 0u);
+}
+
+TEST(SessionTest, RunCheckedSpeaksTheSharedErrorSurface) {
+  SynthesisSession session(serving_config());
+  Network mapped;
+  const Network input = *circuits::make_benchmark("rd53");
+
+  SynthesisConfig ok_cfg = serving_config();
+  EXPECT_EQ(session.run_checked(input, ok_cfg, mapped).code, ErrorCode::ok);
+
+  SynthesisConfig bad_cfg = serving_config();
+  bad_cfg.k = 0;  // fails SynthesisConfig::validate()
+  const SynthesisSession::Outcome bad =
+      session.run_checked(input, bad_cfg, mapped);
+  EXPECT_EQ(bad.code, ErrorCode::usage);
+  EXPECT_FALSE(bad.message.empty());
+
+  // result_cache off for this request: a cache hit would (correctly) skip
+  // the engine and never charge the node budget. 5xp1 is multi-output, so
+  // the flow reaches the BDD-backed engine and trips the budget.
+  SynthesisConfig tight_cfg = serving_config();
+  tight_cfg.result_cache = false;
+  tight_cfg.node_budget = 64;
+  tight_cfg.on_exhaustion = OnExhaustion::fail;
+  const SynthesisSession::Outcome tight = session.run_checked(
+      *circuits::make_benchmark("5xp1"), tight_cfg, mapped);
+  EXPECT_EQ(tight.code, ErrorCode::resource);
+}
+
+// --- Error codes ------------------------------------------------------------
+
+TEST(ErrorCodeTest, SpellingAndExitCodeRoundTrip) {
+  for (int i = 0; i < kNumErrorCodes; ++i) {
+    const auto code = static_cast<ErrorCode>(i);
+    EXPECT_EQ(exit_code(code), i);
+    const auto parsed = parse_error_code(to_string(code));
+    ASSERT_TRUE(parsed) << to_string(code);
+    EXPECT_EQ(*parsed, code);
+  }
+  EXPECT_FALSE(parse_error_code("no-such-code"));
+  EXPECT_FALSE(parse_error_code(""));
+}
+
+// --- Wire schema ------------------------------------------------------------
+
+std::string code_of(const obs::Json& resp) {
+  const obs::Json* code = resp.find("code");
+  return code ? code->as_string() : "<none>";
+}
+
+TEST(ServeTest, WellFormedRequestSucceedsWithReport) {
+  serve::Engine engine(serving_config());
+  const obs::Json resp = engine.handle_line(
+      R"({"schema_version":1,"id":"r1","circuit":{"name":"rd53"}})");
+  EXPECT_EQ(code_of(resp), "ok");
+  ASSERT_NE(resp.find("ok"), nullptr);
+  EXPECT_TRUE(resp.find("ok")->as_bool());
+  EXPECT_EQ(resp.find("id")->as_string(), "r1");
+  EXPECT_EQ(resp.find("schema_version")->as_number(),
+            serve::kWireSchemaVersion);
+  const obs::Json* report = resp.find("report");
+  ASSERT_NE(report, nullptr);
+  ASSERT_NE(report->find("result"), nullptr);
+  EXPECT_GT(report->find("result")->find("luts")->as_number(), 0.0);
+  EXPECT_EQ(engine.served(), 1u);
+}
+
+TEST(ServeTest, ClosedSchemaRejectsUnknownAndMalformedFields) {
+  serve::Engine engine(serving_config());
+  const std::vector<std::string> bad_requests = {
+      // Unknown top-level field.
+      R"({"schema_version":1,"id":"x","circuit":{"name":"rd53"},"mood":1})",
+      // Unknown config key.
+      R"({"schema_version":1,"id":"x","circuit":{"name":"rd53"},)"
+      R"("config":{"threads":4}})",
+      // Wrong schema version.
+      R"({"schema_version":2,"id":"x","circuit":{"name":"rd53"}})",
+      // Missing id.
+      R"({"schema_version":1,"circuit":{"name":"rd53"}})",
+      // No circuit source / two circuit sources.
+      R"({"schema_version":1,"id":"x","circuit":{}})",
+      R"({"schema_version":1,"id":"x",)"
+      R"("circuit":{"name":"rd53","pla":".i 1\n.o 1\n.p 1\n1 1\n.e\n"}})",
+      // Unknown registry circuit.
+      R"({"schema_version":1,"id":"x","circuit":{"name":"nope"}})",
+  };
+  for (const std::string& line : bad_requests) {
+    const obs::Json resp = engine.handle_line(line);
+    EXPECT_EQ(code_of(resp), "usage") << line;
+    const obs::Json* error = resp.find("error");
+    ASSERT_NE(error, nullptr) << line;
+    EXPECT_EQ(error->find("code")->as_string(), "usage");
+    EXPECT_FALSE(error->find("message")->as_string().empty());
+  }
+  // Not JSON at all: still one well-formed usage response (empty id).
+  const obs::Json garbage = engine.handle_line("not json at all");
+  EXPECT_EQ(code_of(garbage), "usage");
+  EXPECT_EQ(garbage.find("id")->as_string(), "");
+}
+
+TEST(ServeTest, MalformedInlineCircuitIsAParseError) {
+  serve::Engine engine(serving_config());
+  const obs::Json resp = engine.handle_line(
+      R"({"schema_version":1,"id":"p1,",)"
+      R"("circuit":{"pla":".i 2\n.o 1\n.p 1\n01 1 extra\n.e\n"}})");
+  EXPECT_EQ(code_of(resp), "parse");
+}
+
+TEST(ServeTest, PerRequestConfigOverridesApply) {
+  serve::Engine engine(serving_config());
+  // An impossible node budget with fail policy must surface as `resource`,
+  // proving the override reached the run.
+  const obs::Json resp = engine.handle_line(
+      R"({"schema_version":1,"id":"o1","circuit":{"name":"rd73"},)"
+      R"("config":{"node_budget":1,"on_exhaustion":"fail"}})");
+  EXPECT_EQ(code_of(resp), "resource");
+  // The same request with degrade must complete and verify.
+  const obs::Json degraded = engine.handle_line(
+      R"({"schema_version":1,"id":"o2","circuit":{"name":"rd73"},)"
+      R"("config":{"node_budget":2000,"on_exhaustion":"degrade"}})");
+  EXPECT_EQ(code_of(degraded), "ok");
+}
+
+}  // namespace
+}  // namespace imodec

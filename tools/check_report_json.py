@@ -147,6 +147,7 @@ def check_report(doc, require_hists):
         need(config, key, NUMBER, "config", nonneg=True)
     for key in ("verify", "on_exhaustion"):
         need(config, key, str, "config")
+    need(config, "result_cache", bool, "config")
 
     result = need(doc, "result", dict, "top level")
     for key in ("luts", "clbs", "depth", "vectors", "flow_seconds"):

@@ -1,0 +1,226 @@
+#!/usr/bin/env python3
+"""Validate imodec_served wire traffic (src/map/serve.hpp, wire schema 1).
+
+Input files are JSON-lines transcripts: one request or response document per
+line. `--mode request` validates the client->daemon direction, `--mode
+response` the daemon->client direction; `--mode auto` (default) decides per
+line by the presence of the response-only "ok" key, so a mixed transcript
+(request and response interleaved by a test harness) validates in one pass.
+
+Request (version 1):
+
+  {
+    "schema_version": 1,             # required
+    "id": "<non-empty string>",      # required
+    "circuit": {                     # required: exactly one of
+      "name": "<registry circuit>",  #   benchmark registry name
+      "blif": "<inline text>",       #   inline BLIF
+      "pla": "<inline text>"         #   inline PLA
+    },
+    "config": { ... },               # optional per-request overrides
+    "fault": {"kind": k, "at": n}    # optional (fault-injection builds)
+  }
+
+Unlike the run report (additive keys allowed), the request schema is CLOSED:
+the daemon rejects unknown fields anywhere with a typed `usage` error, and
+this checker mirrors that, so transcripts that would be rejected on the wire
+also fail here. Allowed config keys and fault kinds are listed below.
+
+Response (version 1):
+
+  {
+    "schema_version": 1,             # required
+    "id": "<string>",                # echoes the request (may be "" when the
+                                     # request's id was unreadable)
+    "ok": true|false,                # required
+    "code": "<ErrorCode spelling>",  # required; "ok" iff ok is true
+    "error": {"code", "message"},    # required iff not ok
+    "report": { ... }                # unified run report when one was built
+                                     # (always on ok; also on verify_failed)
+  }
+
+Response "report" contents are spot-checked (full validation is
+check_report_json.py's job); extra response keys are allowed (the daemon may
+add fields compatibly).
+
+Exit codes: 0 OK, 1 validation failure, 2 usage.
+"""
+
+import argparse
+import json
+import sys
+
+NUMBER = (int, float)
+
+ERROR_CODES = {"ok", "verify_failed", "usage", "parse", "timeout", "resource",
+               "decompose"}
+
+CONFIG_KEYS = {
+    "k": NUMBER,
+    "multi_output": bool,
+    "strict": bool,
+    "classical": bool,
+    "collapse": bool,
+    "result_cache": bool,
+    "max_p": NUMBER,
+    "bound_size": NUMBER,
+    "seed": NUMBER,
+    "timeout_ms": NUMBER,
+    "node_budget": NUMBER,
+    "batch_groups": NUMBER,
+    "verify": str,
+    "on_exhaustion": str,
+}
+
+FAULT_KINDS = {"bad_alloc", "deadline", "node_budget", "cancel"}
+
+
+class Fail(Exception):
+    pass
+
+
+def need(obj, key, types, where, nonneg=False):
+    if key not in obj:
+        raise Fail(f"{where}: missing '{key}'")
+    value = obj[key]
+    # bool is an int subclass in Python; only accept it when asked for.
+    if types is not bool and isinstance(value, bool):
+        raise Fail(f"{where}: '{key}' should not be a bool")
+    if not isinstance(value, types):
+        raise Fail(f"{where}: '{key}' has wrong type "
+                   f"({type(value).__name__})")
+    if nonneg and isinstance(value, NUMBER) and value < 0:
+        raise Fail(f"{where}: '{key}' is negative ({value})")
+    return value
+
+
+def check_version(doc, where):
+    sv = doc.get("schema_version")
+    if isinstance(sv, bool) or not isinstance(sv, NUMBER) or sv != 1:
+        raise Fail(f"{where}: unsupported schema_version {sv!r}")
+
+
+def check_request(doc):
+    if not isinstance(doc, dict):
+        raise Fail("request is not an object")
+    check_version(doc, "request")
+    for key in doc:
+        if key not in ("schema_version", "id", "circuit", "config", "fault"):
+            raise Fail(f"request: unknown field '{key}'")
+    if not need(doc, "id", str, "request"):
+        raise Fail("request: 'id' is empty")
+
+    circuit = need(doc, "circuit", dict, "request")
+    sources = []
+    for key, value in circuit.items():
+        if key not in ("name", "blif", "pla"):
+            raise Fail(f"circuit: unknown field '{key}'")
+        if isinstance(value, bool) or not isinstance(value, str):
+            raise Fail(f"circuit: '{key}' is not a string")
+        if value:
+            sources.append(key)
+    if len(sources) != 1:
+        raise Fail(f"circuit: needs exactly one of name/blif/pla "
+                   f"(got {sources or 'none'})")
+
+    config = doc.get("config", {})
+    if not isinstance(config, dict):
+        raise Fail("request: 'config' is not an object")
+    for key, value in config.items():
+        if key not in CONFIG_KEYS:
+            raise Fail(f"config: unknown key '{key}'")
+        want = CONFIG_KEYS[key]
+        if want is not bool and isinstance(value, bool):
+            raise Fail(f"config: '{key}' should not be a bool")
+        if not isinstance(value, want):
+            raise Fail(f"config: '{key}' has wrong type "
+                       f"({type(value).__name__})")
+
+    if "fault" in doc:
+        fault = need(doc, "fault", dict, "request")
+        for key in fault:
+            if key not in ("kind", "at"):
+                raise Fail(f"fault: unknown field '{key}'")
+        kind = need(fault, "kind", str, "fault")
+        if kind not in FAULT_KINDS:
+            raise Fail(f"fault: unknown kind '{kind}'")
+        if "at" in fault:
+            need(fault, "at", NUMBER, "fault", nonneg=True)
+    return "request"
+
+
+def check_response(doc):
+    if not isinstance(doc, dict):
+        raise Fail("response is not an object")
+    check_version(doc, "response")
+    need(doc, "id", str, "response")
+    ok = need(doc, "ok", bool, "response")
+    code = need(doc, "code", str, "response")
+    if code not in ERROR_CODES:
+        raise Fail(f"response: unknown code '{code}'")
+    if ok != (code == "ok"):
+        raise Fail(f"response: ok={ok} inconsistent with code '{code}'")
+    if ok:
+        if "error" in doc:
+            raise Fail("response: ok with an 'error' object")
+        if "report" not in doc:
+            raise Fail("response: ok without a 'report'")
+    else:
+        error = need(doc, "error", dict, "response")
+        ecode = need(error, "code", str, "response.error")
+        if ecode != code:
+            raise Fail(f"response: error.code '{ecode}' != code '{code}'")
+        need(error, "message", str, "response.error")
+    if "report" in doc:
+        report = need(doc, "report", dict, "response")
+        # Spot checks only; check_report_json.py owns the full schema.
+        if report.get("report") != "imodec_run":
+            raise Fail("response.report: not an imodec_run document")
+        need(report, "circuit", str, "response.report")
+        need(report, "result", dict, "response.report")
+    return "response"
+
+
+def check_line(doc, mode):
+    if mode == "request":
+        return check_request(doc)
+    if mode == "response":
+        return check_response(doc)
+    if isinstance(doc, dict) and "ok" in doc:
+        return check_response(doc)
+    return check_request(doc)
+
+
+def main(argv):
+    ap = argparse.ArgumentParser()
+    ap.add_argument("paths", nargs="+", metavar="transcript.jsonl")
+    ap.add_argument("--mode", choices=("request", "response", "auto"),
+                    default="auto",
+                    help="direction to validate (default: auto per line)")
+    args = ap.parse_args(argv[1:])
+    for path in args.paths:
+        counts = {"request": 0, "response": 0}
+        try:
+            with open(path, encoding="utf-8") as f:
+                lines = [ln for ln in f.read().splitlines() if ln.strip()]
+        except OSError as e:
+            print(f"check_request_json: {path}: {e}", file=sys.stderr)
+            return 1
+        for i, line in enumerate(lines, 1):
+            try:
+                doc = json.loads(line)
+            except json.JSONDecodeError as e:
+                print(f"check_request_json: {path}:{i}: {e}", file=sys.stderr)
+                return 1
+            try:
+                counts[check_line(doc, args.mode)] += 1
+            except Fail as e:
+                print(f"check_request_json: {path}:{i}: {e}", file=sys.stderr)
+                return 1
+        print(f"check_request_json: {path}: OK ({counts['request']} requests, "
+              f"{counts['response']} responses)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

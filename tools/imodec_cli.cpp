@@ -62,6 +62,7 @@
 #include "circuits/registry.hpp"
 #include "logic/blif.hpp"
 #include "logic/pla.hpp"
+#include "map/errors.hpp"
 #include "map/session.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -71,14 +72,15 @@ using namespace imodec;
 
 namespace {
 
-// Exit codes; keep in sync with the header comment and README "Exit codes".
-constexpr int kExitOk = 0;
-constexpr int kExitFail = 1;
-constexpr int kExitUsage = 2;
-constexpr int kExitParse = 3;
-constexpr int kExitTimeout = 4;
-constexpr int kExitResource = 5;
-constexpr int kExitDecompose = 6;
+// Exit codes are the numeric values of imodec::ErrorCode (map/errors.hpp) —
+// the same table the daemon's JSON error responses spell out by name.
+constexpr int kExitOk = exit_code(ErrorCode::ok);
+constexpr int kExitFail = exit_code(ErrorCode::verify_failed);
+constexpr int kExitUsage = exit_code(ErrorCode::usage);
+constexpr int kExitParse = exit_code(ErrorCode::parse);
+constexpr int kExitTimeout = exit_code(ErrorCode::timeout);
+constexpr int kExitResource = exit_code(ErrorCode::resource);
+constexpr int kExitDecompose = exit_code(ErrorCode::decompose);
 
 bool ends_with(const std::string& s, const std::string& suffix) {
   return s.size() >= suffix.size() &&

@@ -1,0 +1,216 @@
+// imodec_served — synthesis-as-a-service daemon (DESIGN.md §14).
+//
+// A long-lived process wrapping one warm serve::Engine (SynthesisSession:
+// thread pool, recycled BDD managers, NPN result cache): requests are
+// line-delimited JSON on stdin (default) or on a Unix stream socket
+// (--socket), responses are one line of JSON each, flushed immediately.
+// Request/response schema: src/map/serve.hpp and README "Serving"; both
+// directions validate against tools/check_request_json.py.
+//
+// Usage:
+//   imodec_served [options]                 # serve stdin -> stdout
+//   imodec_served --socket /tmp/imodec.sock # serve one connection at a time
+//
+// Options (the daemon's base config; requests override per field):
+//   -k <n>               LUT input count (default 5)
+//   --threads <n>        execution width (0 = hardware concurrency)
+//   --single             single-output decomposition baseline
+//   --strict             strict codes
+//   --no-collapse        skip collapsing; restructure instead
+//   --verify-mode <off|sim|exact|auto>
+//   --max-p <n>          global class cap
+//   --bound <n>          bound-set size b
+//   --seed <n>           bound-set sampling seed
+//   --timeout-ms <n>     per-request wall-clock deadline (0 = none)
+//   --node-budget <n>    live BDD-node budget (0 = none)
+//   --on-exhaustion <fail|degrade>
+//   --result-cache       enable the NPN-canonical result cache
+//   --cache-entries <n>  result-cache LRU capacity (default 4096)
+//   --cache-max-vars <n> result-cache width cutoff (default 16)
+//   --max-requests <n>   exit after n requests (test harnesses; 0 = no limit)
+//
+// Exit codes: 0 on clean shutdown (EOF / request limit), 2 on usage errors.
+// Per-request failures never exit — they travel back as typed error
+// responses (map/errors.hpp).
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "map/errors.hpp"
+#include "map/serve.hpp"
+
+#ifndef _WIN32
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+using namespace imodec;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [-k n] [--threads n] [--single] [--strict] "
+               "[--no-collapse] [--verify-mode m] [--max-p n] [--bound n] "
+               "[--seed n] [--timeout-ms n] [--node-budget n] "
+               "[--on-exhaustion fail|degrade] [--result-cache] "
+               "[--cache-entries n] [--cache-max-vars n] [--max-requests n] "
+               "[--socket path]\n",
+               argv0);
+  return exit_code(ErrorCode::usage);
+}
+
+/// Serve an iostream-like pair: one request line in, one response line out.
+/// Returns the number of requests handled (bounded by `limit` when > 0).
+std::uint64_t serve_stream(serve::Engine& engine, std::istream& in,
+                           std::ostream& out, std::uint64_t limit) {
+  std::uint64_t handled = 0;
+  std::string line;
+  while ((limit == 0 || handled < limit) && std::getline(in, line)) {
+    if (line.empty()) continue;  // blank lines are keep-alive no-ops
+    out << engine.handle_line_text(line) << '\n' << std::flush;
+    ++handled;
+  }
+  return handled;
+}
+
+#ifndef _WIN32
+/// Unix-socket loop: accept connections one at a time, serve each until its
+/// peer closes, stop at the request limit. Line-based framing identical to
+/// the stdio mode.
+int serve_socket(serve::Engine& engine, const std::string& path,
+                 std::uint64_t limit) {
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::perror("imodec_served: socket");
+    return 1;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "imodec_served: socket path too long\n");
+    ::close(listener);
+    return exit_code(ErrorCode::usage);
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  ::unlink(path.c_str());
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(listener, 4) < 0) {
+    std::perror("imodec_served: bind/listen");
+    ::close(listener);
+    return 1;
+  }
+  std::fprintf(stderr, "imodec_served: listening on %s\n", path.c_str());
+  std::uint64_t handled = 0;
+  while (limit == 0 || handled < limit) {
+    const int conn = ::accept(listener, nullptr, nullptr);
+    if (conn < 0) break;
+    std::string buf;
+    char chunk[4096];
+    for (;;) {
+      const ssize_t n = ::read(conn, chunk, sizeof(chunk));
+      if (n <= 0) break;
+      buf.append(chunk, static_cast<std::size_t>(n));
+      std::size_t pos;
+      while ((pos = buf.find('\n')) != std::string::npos) {
+        const std::string line = buf.substr(0, pos);
+        buf.erase(0, pos + 1);
+        if (line.empty()) continue;
+        const std::string resp = engine.handle_line_text(line) + "\n";
+        std::size_t off = 0;
+        while (off < resp.size()) {
+          const ssize_t w = ::write(conn, resp.data() + off, resp.size() - off);
+          if (w <= 0) break;
+          off += static_cast<std::size_t>(w);
+        }
+        if (++handled == limit && limit != 0) break;
+      }
+      if (limit != 0 && handled >= limit) break;
+    }
+    ::close(conn);
+  }
+  ::close(listener);
+  ::unlink(path.c_str());
+  return 0;
+}
+#endif
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SynthesisConfig cfg;
+  std::string socket_path;
+  std::uint64_t max_requests = 0;
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "-k" && i + 1 < argc) {
+        cfg.k = static_cast<unsigned>(std::stoul(argv[++i]));
+      } else if (arg == "--threads" && i + 1 < argc) {
+        cfg.threads = static_cast<unsigned>(std::stoul(argv[++i]));
+      } else if (arg == "--max-p" && i + 1 < argc) {
+        cfg.max_p = static_cast<std::uint32_t>(std::stoul(argv[++i]));
+      } else if (arg == "--bound" && i + 1 < argc) {
+        cfg.bound_size = static_cast<unsigned>(std::stoul(argv[++i]));
+      } else if (arg == "--seed" && i + 1 < argc) {
+        cfg.seed = std::stoull(argv[++i]);
+      } else if (arg == "--timeout-ms" && i + 1 < argc) {
+        cfg.timeout_ms = std::stoull(argv[++i]);
+      } else if (arg == "--node-budget" && i + 1 < argc) {
+        cfg.node_budget = static_cast<std::size_t>(std::stoull(argv[++i]));
+      } else if (arg == "--on-exhaustion" && i + 1 < argc) {
+        const auto policy = parse_on_exhaustion(argv[++i]);
+        if (!policy) return usage(argv[0]);
+        cfg.on_exhaustion = *policy;
+      } else if (arg == "--verify-mode" && i + 1 < argc) {
+        const auto mode = parse_verify_mode(argv[++i]);
+        if (!mode) return usage(argv[0]);
+        cfg.verify = *mode;
+      } else if (arg == "--single") {
+        cfg.multi_output = false;
+      } else if (arg == "--strict") {
+        cfg.strict = true;
+      } else if (arg == "--no-collapse") {
+        cfg.collapse = false;
+      } else if (arg == "--result-cache") {
+        cfg.result_cache = true;
+      } else if (arg == "--cache-entries" && i + 1 < argc) {
+        cfg.result_cache_entries = static_cast<std::size_t>(std::stoull(argv[++i]));
+      } else if (arg == "--cache-max-vars" && i + 1 < argc) {
+        cfg.result_cache_max_vars = static_cast<unsigned>(std::stoul(argv[++i]));
+      } else if (arg == "--max-requests" && i + 1 < argc) {
+        max_requests = std::stoull(argv[++i]);
+      } else if (arg == "--socket" && i + 1 < argc) {
+        socket_path = argv[++i];
+      } else {
+        return usage(argv[0]);
+      }
+    }
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "imodec_served: malformed numeric argument\n");
+    return usage(argv[0]);
+  }
+
+  if (const auto diags = cfg.validate(); !diags.empty()) {
+    for (const auto& d : diags)
+      std::fprintf(stderr, "imodec_served: invalid configuration: %s\n",
+                   d.c_str());
+    return exit_code(ErrorCode::usage);
+  }
+
+  serve::Engine engine(cfg);
+  if (!socket_path.empty()) {
+#ifndef _WIN32
+    return serve_socket(engine, socket_path, max_requests);
+#else
+    std::fprintf(stderr, "imodec_served: --socket unsupported on this OS\n");
+    return exit_code(ErrorCode::usage);
+#endif
+  }
+  serve_stream(engine, std::cin, std::cout, max_requests);
+  return 0;
+}

@@ -1,0 +1,287 @@
+#!/usr/bin/env python3
+"""Soak imodec_served: N mixed requests through one warm daemon.
+
+Drives a single imodec_served process (stdin/stdout line protocol, or a Unix
+socket with --socket) with a mixed workload — registry circuits cycling
+through different per-request configs, inline PLA/BLIF, deliberate error
+requests (unknown circuits, unknown config keys, malformed JSON, malformed
+PLA), tight-node-budget degraded runs, and (with --faults, fault-injection
+builds only) armed fault plans — and asserts the serving invariants:
+
+  - every request gets exactly one response, with the request's id echoed;
+  - every response carries a valid ErrorCode spelling, consistent with "ok";
+  - error requests fail with the expected code (usage/parse), success
+    requests succeed;
+  - NO CROSS-REQUEST STATE LEAKS: repeated identical requests (including
+    node-budget degraded ones) produce identical result sections no matter
+    what ran between them — the warm pool and the NPN cache must be
+    invisible in the output;
+  - with --faults: an armed fault never crashes the daemon, it surfaces as
+    either a typed error response or a degraded-but-ok run.
+
+Transcripts (requests.jsonl / responses.jsonl) are written to --out for
+tools/check_request_json.py to validate both wire directions; ctest chains
+the two via a fixture.
+
+Exit codes: 0 OK, 1 invariant violation, 2 usage.
+"""
+
+import argparse
+import json
+import os
+import socket
+import subprocess
+import sys
+
+# Fast-synthesizing registry circuits (sub-50ms each) so 200 requests stay
+# inside a CI-friendly budget even under ASan.
+CIRCUITS = ["rd53", "rd73", "rd84", "z4ml", "misex1", "9sym", "clip", "sao2"]
+
+XOR_PLA = ".i 3\n.o 1\n.p 4\n001 1\n010 1\n100 1\n111 1\n.e\n"
+MAJ_BLIF = (".model maj3\n.inputs a b c\n.outputs y\n"
+            ".names a b c y\n11- 1\n1-1 1\n-11 1\n.end\n")
+
+
+def build_requests(count, with_faults):
+    """The soak schedule: deterministic, id'd q000000..., mixed outcomes."""
+    reqs = []
+    expect = []      # per request: set of acceptable codes
+    wire_valid = []  # schema-valid per check_request_json.py (the requests
+                     # transcript only keeps these; schema-invalid probes are
+                     # the daemon's rejection tests, not example traffic)
+
+    def add(body, codes, valid=True):
+        rid = f"q{len(reqs):06d}"
+        reqs.append({"schema_version": 1, "id": rid, **body})
+        expect.append(codes)
+        wire_valid.append(valid)
+
+    i = 0
+    while len(reqs) < count:
+        kind = i % 10
+        circuit = CIRCUITS[i % len(CIRCUITS)]
+        if kind < 4:
+            # Plain run; alternate the result cache per request.
+            add({"circuit": {"name": circuit},
+                 "config": {"result_cache": i % 2 == 0}}, {"ok"})
+        elif kind == 4:
+            # Inline sources.
+            add({"circuit": {"pla": XOR_PLA}} if i % 2 else
+                {"circuit": {"blif": MAJ_BLIF}}, {"ok"})
+        elif kind == 5:
+            # Tight node budget, degrade: must still come back ok (the
+            # degradation ladder guarantees a complete verified network).
+            add({"circuit": {"name": circuit},
+                 "config": {"node_budget": 2000, "on_exhaustion": "degrade",
+                            "result_cache": False}}, {"ok"})
+        elif kind == 6:
+            # Tight node budget, fail: either trips (resource) or the
+            # circuit fits (ok) — both are valid; crashes are not.
+            add({"circuit": {"name": circuit},
+                 "config": {"node_budget": 1500, "on_exhaustion": "fail"}},
+                {"ok", "resource", "timeout"})
+        elif kind == 7:
+            # Usage errors: unknown circuit / unknown config key / rejected
+            # session key.
+            bad = i % 3
+            if bad == 0:
+                add({"circuit": {"name": "no-such-circuit"}}, {"usage"})
+            elif bad == 1:
+                add({"circuit": {"name": circuit},
+                     "config": {"timeout": 5}}, {"usage"}, valid=False)
+            else:
+                add({"circuit": {"name": circuit},
+                     "config": {"threads": 2}}, {"usage"}, valid=False)
+        elif kind == 8:
+            # Parse errors from malformed inline circuits.
+            add({"circuit": {"pla": ".i 2\n.o 1\n.p 1\n01 1 extra\n.e\n"}},
+                {"parse"})
+        else:
+            if with_faults:
+                # Armed fault: the daemon must answer, not die. Depending on
+                # where the plan lands the run recovers (ok) or trips.
+                fkind = ["deadline", "node_budget", "bad_alloc",
+                         "cancel"][i % 4]
+                add({"circuit": {"name": circuit},
+                     "config": {"node_budget": 500000,
+                                "timeout_ms": 60000,
+                                "on_exhaustion":
+                                    "degrade" if i % 2 else "fail"},
+                     "fault": {"kind": fkind, "at": 1 + i % 40}},
+                    {"ok", "timeout", "resource"})
+            else:
+                add({"circuit": {"name": circuit},
+                     "config": {"verify": "exact", "result_cache": True}},
+                    {"ok"})
+        i += 1
+    return reqs, expect, wire_valid
+
+
+def run_stdio(daemon_argv, lines):
+    proc = subprocess.run(daemon_argv, input="\n".join(lines) + "\n",
+                          capture_output=True, text=True, timeout=1800)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        raise RuntimeError(f"daemon exited with {proc.returncode}")
+    return proc.stdout.splitlines()
+
+
+def run_socket(daemon_argv, path, nreq, lines):
+    daemon = subprocess.Popen(daemon_argv + ["--socket", path,
+                                             "--max-requests", str(nreq)],
+                              stderr=subprocess.DEVNULL)
+    try:
+        deadline = 300
+        while not os.path.exists(path) and deadline:
+            deadline -= 1
+            if daemon.poll() is not None:
+                raise RuntimeError("daemon died before listening")
+            import time
+            time.sleep(0.1)
+        out = []
+        with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as s:
+            s.connect(path)
+            f = s.makefile("rw", encoding="utf-8")
+            for line in lines:
+                f.write(line + "\n")
+                f.flush()
+                out.append(f.readline().rstrip("\n"))
+        return out
+    finally:
+        daemon.terminate()
+        daemon.wait(timeout=30)
+
+
+# Result fields fully determined by the mapped network and verify verdict.
+# The other result fields report the amount of engine work performed
+# (max_p, lmax_rounds, bdd_nodes, ...) and legitimately differ between an
+# NPN-cache hit and the miss that populated it — the *network* must not.
+NETWORK_FIELDS = ("luts", "clbs", "clb_paired_blocks", "clb_single_blocks",
+                  "depth", "vectors", "max_m", "shannon_fallbacks",
+                  "collapsed", "verified", "verified_exhaustive",
+                  "verify_proven", "verify_mode")
+
+
+def result_signature(resp):
+    """The parts of a response that must be identical across identical
+    requests: outcome code plus the network-determined result fields and the
+    structural degradation counters (minus wall-clock-dependent ones)."""
+    sig = {"code": resp.get("code")}
+    report = resp.get("report")
+    if report:
+        result = report.get("result", {})
+        sig["result"] = {k: result.get(k) for k in NETWORK_FIELDS}
+        degrade = dict(report.get("degrade", {}))
+        # Event strings and the deadline bit depend on wall clock; the
+        # structural counters must not.
+        degrade.pop("events", None)
+        degrade.pop("deadline_expired", None)
+        sig["degrade"] = degrade
+    return json.dumps(sig, sort_keys=True)
+
+
+def main(argv):
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--daemon", required=True, help="path to imodec_served")
+    ap.add_argument("--requests", type=int, default=200)
+    ap.add_argument("--out", required=True,
+                    help="directory for requests.jsonl / responses.jsonl")
+    ap.add_argument("--faults", action="store_true",
+                    help="include armed fault plans (fault-injection builds)")
+    ap.add_argument("--socket", metavar="PATH", default="",
+                    help="drive the daemon over a Unix socket at PATH "
+                         "instead of stdin/stdout")
+    ap.add_argument("--daemon-arg", action="append", default=[],
+                    metavar="ARG", help="extra daemon argv entry (repeatable)")
+    args = ap.parse_args(argv[1:])
+
+    reqs, expect, wire_valid = build_requests(args.requests, args.faults)
+    lines = [json.dumps(r, separators=(",", ":")) for r in reqs]
+    # Two raw-garbage lines exercise the not-JSON path; they get responses
+    # too (id "") but are excluded from the transcript's request side, which
+    # must stay schema-valid.
+    garbage = ["this is not json", "[1,2,3]"]
+    all_lines = lines + garbage
+
+    daemon_argv = [args.daemon, "--result-cache"] + args.daemon_arg
+    if args.socket:
+        raw = run_socket(daemon_argv, args.socket, len(all_lines), all_lines)
+    else:
+        raw = run_stdio(daemon_argv, all_lines)
+
+    failures = []
+    if len(raw) != len(all_lines):
+        failures.append(f"{len(all_lines)} requests but {len(raw)} responses")
+    resps = []
+    for i, line in enumerate(raw):
+        try:
+            resps.append(json.loads(line))
+        except json.JSONDecodeError as e:
+            failures.append(f"response {i} is not JSON: {e}")
+            resps.append({})
+
+    codes = {"ok", "verify_failed", "usage", "parse", "timeout", "resource",
+             "decompose"}
+    signatures = {}
+    for i, resp in enumerate(resps[:len(reqs)]):
+        rid = reqs[i]["id"]
+        where = f"request {rid}"
+        if resp.get("id") != rid:
+            failures.append(f"{where}: id echoed as {resp.get('id')!r}")
+        code = resp.get("code")
+        if code not in codes:
+            failures.append(f"{where}: invalid code {code!r}")
+            continue
+        if resp.get("ok") != (code == "ok"):
+            failures.append(f"{where}: ok={resp.get('ok')} vs code {code}")
+        if code != "ok" and "code" not in resp.get("error", {}):
+            failures.append(f"{where}: error response without error.code")
+        if code not in expect[i]:
+            failures.append(f"{where}: code {code}, expected one of "
+                            f"{sorted(expect[i])}")
+        # Cross-request leak check: identical request bodies (minus id) must
+        # produce identical result signatures, however far apart they ran.
+        body = dict(reqs[i])
+        del body["id"]
+        if "fault" in body:
+            continue  # fault position depends on site counters; skip
+        key = json.dumps(body, sort_keys=True)
+        sig = result_signature(resp)
+        if key in signatures:
+            first_id, first_sig = signatures[key]
+            if sig != first_sig:
+                failures.append(
+                    f"{where}: result differs from identical request "
+                    f"{first_id} — cross-request state leak")
+        else:
+            signatures[key] = (rid, sig)
+    for i, resp in enumerate(resps[len(reqs):]):
+        if resp.get("code") != "usage":
+            failures.append(f"garbage line {i}: expected usage, got "
+                            f"{resp.get('code')!r}")
+
+    os.makedirs(args.out, exist_ok=True)
+    with open(os.path.join(args.out, "requests.jsonl"), "w",
+              encoding="utf-8") as f:
+        f.write("\n".join(line for line, valid in zip(lines, wire_valid)
+                          if valid) + "\n")
+    with open(os.path.join(args.out, "responses.jsonl"), "w",
+              encoding="utf-8") as f:
+        f.write("\n".join(raw) + "\n")
+
+    n_ok = sum(1 for r in resps if r.get("code") == "ok")
+    print(f"serve_soak: {len(reqs)} requests + {len(garbage)} garbage lines, "
+          f"{n_ok} ok, {len(signatures)} distinct bodies checked for leaks")
+    if failures:
+        for fail in failures[:25]:
+            print(f"serve_soak: FAIL: {fail}", file=sys.stderr)
+        if len(failures) > 25:
+            print(f"serve_soak: ... and {len(failures) - 25} more",
+                  file=sys.stderr)
+        return 1
+    print("serve_soak: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
