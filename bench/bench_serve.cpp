@@ -12,19 +12,35 @@
 // cache-hit results are cross-checked end to end: recompose() inside the
 // cache layer plus the run's own miter.
 //
-// Usage: bench_serve [--rounds n] [--threads n] [--json file]
+// --clients M adds the overload section (DESIGN.md §15): M closed-loop
+// clients (one outstanding request each) hammer an in-process serve::Server
+// — bounded admission queue over --workers warm engines — and the same
+// measurement is repeated with exactly --workers clients as the matched-load
+// baseline. A closed loop with 2x-capacity clients offers 2x-capacity load
+// by construction; the point of the table is that sustained ok-req/s holds
+// at the matched-load level while the excess is shed with typed `overloaded`
+// responses, instead of collapsing into queue stalls or timeouts.
+//
+// Usage: bench_serve [--rounds n] [--threads n] [--clients m] [--workers n]
+//                    [--queue n] [--json file]
 //
 // The --json document follows the bench-JSON schema
 // (tools/check_bench_json.py): one record per circuit and mode with the
 // mean request latency in "seconds", plus per-mode "corpus" summary records
 // carrying sustained req/s and latency percentiles, and one "speedup"
-// record with the cache-on/cache-off sustained-rate ratio.
+// record with the cache-on/cache-off sustained-rate ratio. With --clients,
+// two "concurrent" records (matched / overload) carry ok/shed tallies and
+// ok-latency percentiles.
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <mutex>
+#include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "map/serve.hpp"
@@ -106,11 +122,102 @@ ModeResult run_mode(bool cache_on, unsigned rounds, unsigned threads) {
   return res;
 }
 
+struct ConcurrentResult {
+  unsigned clients = 0;
+  double wall_s = 0.0;
+  std::uint64_t ok = 0, overloaded = 0, other = 0;
+  double ok_rps = 0.0;     // completed-ok requests per second
+  double total_rps = 0.0;  // every typed response per second (incl. sheds)
+  double p50_ms = 0.0, p99_ms = 0.0;  // ok-request latency
+};
+
+/// Closed-loop concurrent clients against an in-process Server: each client
+/// thread keeps exactly one request outstanding via the blocking handle()
+/// path (the same path a socket connection thread takes in imodec_served).
+/// Each client's first corpus round is warmup and excluded from the stats.
+ConcurrentResult run_concurrent(unsigned clients, unsigned workers,
+                                std::size_t queue_capacity, unsigned rounds,
+                                unsigned threads) {
+  SynthesisConfig base;
+  base.threads = threads;
+  base.result_cache = true;
+  serve::ServerOptions so;
+  so.workers = workers;
+  so.queue_capacity = queue_capacity;
+  serve::Server server(base, so);
+
+  std::vector<std::string> requests;
+  for (std::size_t c = 0; c < kCorpusSize; ++c)
+    requests.push_back(std::string("{\"schema_version\":2,\"id\":\"b") +
+                       std::to_string(c) + "\",\"circuit\":{\"name\":\"" +
+                       kCorpus[c] + "\"}}");
+
+  ConcurrentResult res;
+  res.clients = clients;
+  std::atomic<std::uint64_t> ok{0}, overloaded{0}, other{0};
+  std::mutex lat_mu;
+  std::vector<double> lat_ms;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads_v;
+  threads_v.reserve(clients);
+  for (unsigned cl = 0; cl < clients; ++cl) {
+    threads_v.emplace_back([&, cl] {
+      for (unsigned round = 1; round <= rounds; ++round) {
+        for (std::size_t c = 0; c < kCorpusSize; ++c) {
+          // Stagger the corpus per client so the NPN caches see a mixed
+          // stream rather than kCorpusSize simultaneous copies of one run.
+          const std::size_t idx = (c + cl) % kCorpusSize;
+          const auto r0 = std::chrono::steady_clock::now();
+          const std::string resp = server.handle(requests[idx]);
+          const double dt_ms =
+              std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - r0)
+                  .count();
+          const std::optional<obs::Json> doc = obs::Json::parse(resp);
+          const obs::Json* code = doc ? doc->find("code") : nullptr;
+          const std::string code_s = code ? code->as_string() : "?";
+          if (round == 1) continue;  // warmup round
+          if (code_s == "ok") {
+            ok.fetch_add(1, std::memory_order_relaxed);
+            std::lock_guard<std::mutex> lock(lat_mu);
+            lat_ms.push_back(dt_ms);
+          } else if (code_s == "overloaded") {
+            overloaded.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            other.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads_v) t.join();
+  res.wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  server.drain();
+
+  res.ok = ok.load();
+  res.overloaded = overloaded.load();
+  res.other = other.load();
+  if (res.wall_s > 0.0) {
+    res.ok_rps = static_cast<double>(res.ok) / res.wall_s;
+    res.total_rps =
+        static_cast<double>(res.ok + res.overloaded + res.other) / res.wall_s;
+  }
+  res.p50_ms = percentile(lat_ms, 0.50);
+  res.p99_ms = percentile(lat_ms, 0.99);
+  return res;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   unsigned rounds = 8;
   unsigned threads = 1;
+  unsigned clients = 0;
+  unsigned workers = 2;
+  std::size_t queue_capacity = 4;
   std::string json_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -118,15 +225,23 @@ int main(int argc, char** argv) {
       rounds = static_cast<unsigned>(std::stoul(argv[++i]));
     else if (arg == "--threads" && i + 1 < argc)
       threads = static_cast<unsigned>(std::stoul(argv[++i]));
+    else if (arg == "--clients" && i + 1 < argc)
+      clients = static_cast<unsigned>(std::stoul(argv[++i]));
+    else if (arg == "--workers" && i + 1 < argc)
+      workers = static_cast<unsigned>(std::stoul(argv[++i]));
+    else if (arg == "--queue" && i + 1 < argc)
+      queue_capacity = static_cast<std::size_t>(std::stoull(argv[++i]));
     else if (arg == "--json" && i + 1 < argc)
       json_path = argv[++i];
     else {
       std::fprintf(stderr,
-                   "usage: %s [--rounds n] [--threads n] [--json file]\n",
+                   "usage: %s [--rounds n] [--threads n] [--clients m] "
+                   "[--workers n] [--queue n] [--json file]\n",
                    argv[0]);
       return 2;
     }
   }
+  if (workers == 0) workers = 1;
   if (rounds < 2) rounds = 2;  // need at least one steady-state round
 
   std::printf("serving bench: %zu circuits x %u rounds (round 1 = warmup)\n",
@@ -146,6 +261,37 @@ int main(int argc, char** argv) {
               speedup, static_cast<unsigned long long>(on.cache.hits),
               static_cast<unsigned long long>(on.cache.misses),
               static_cast<unsigned long long>(on.cache.evictions));
+
+  ConcurrentResult matched, overload;
+  if (clients > 0) {
+    std::printf("\nconcurrent serving: %u workers, queue %zu "
+                "(closed-loop clients, round 1 = warmup)\n",
+                workers, queue_capacity);
+    matched = run_concurrent(workers, workers, queue_capacity, rounds,
+                             threads);
+    overload = run_concurrent(clients, workers, queue_capacity, rounds,
+                              threads);
+    std::printf("%-10s %8s %12s %12s %10s %10s %10s\n", "load", "clients",
+                "ok req/s", "resp req/s", "shed", "p50 ms", "p99 ms");
+    const auto print_row = [](const char* label, const ConcurrentResult& r) {
+      std::printf("%-10s %8u %12.1f %12.1f %10llu %10.3f %10.3f\n", label,
+                  r.clients, r.ok_rps, r.total_rps,
+                  static_cast<unsigned long long>(r.overloaded), r.p50_ms,
+                  r.p99_ms);
+    };
+    print_row("matched", matched);
+    print_row("overload", overload);
+    const double hold = matched.ok_rps > 0.0
+                            ? overload.ok_rps / matched.ok_rps
+                            : 0.0;
+    std::printf("sustained ok-req/s at %.1fx-capacity offered load: %.2fx "
+                "of matched (%llu requests shed with typed `overloaded`)\n",
+                workers ? static_cast<double>(clients) / workers : 0.0, hold,
+                static_cast<unsigned long long>(overload.overloaded));
+    if (overload.other > 0)
+      std::printf("note: %llu non-ok non-overloaded responses\n",
+                  static_cast<unsigned long long>(overload.other));
+  }
 
   if (!json_path.empty()) {
     obs::BenchJson sink("serve");
@@ -174,6 +320,26 @@ int main(int argc, char** argv) {
     sp["cache_hits"] = on.cache.hits;
     sp["cache_misses"] = on.cache.misses;
     sp["cache_evictions"] = on.cache.evictions;
+    if (clients > 0) {
+      const auto concurrent = [&](const char* mode,
+                                  const ConcurrentResult& r) {
+        obs::Json& rec = sink.add_record(
+            "concurrent", r.ok_rps > 0.0 ? 1.0 / r.ok_rps : 0.0);
+        rec["mode"] = mode;
+        rec["clients"] = r.clients;
+        rec["workers"] = workers;
+        rec["queue"] = static_cast<std::uint64_t>(queue_capacity);
+        rec["ok_req_per_s"] = r.ok_rps;
+        rec["resp_req_per_s"] = r.total_rps;
+        rec["ok"] = r.ok;
+        rec["overloaded"] = r.overloaded;
+        rec["other"] = r.other;
+        rec["p50_ms"] = r.p50_ms;
+        rec["p99_ms"] = r.p99_ms;
+      };
+      concurrent("matched", matched);
+      concurrent("overload", overload);
+    }
     if (!sink.write(json_path)) {
       std::fprintf(stderr, "bench_serve: cannot write %s\n",
                    json_path.c_str());

@@ -20,9 +20,10 @@ enum class ErrorCode : int {
   timeout = 4,        ///< wall-clock deadline exceeded (on_exhaustion=fail)
   resource = 5,       ///< memory / node budget exhausted (on_exhaustion=fail)
   decompose = 6,      ///< terminal decomposition failure (defensive)
+  overloaded = 7,     ///< serving: admission queue full / draining — retry later
 };
 
-inline constexpr int kNumErrorCodes = 7;
+inline constexpr int kNumErrorCodes = 8;
 
 /// The numeric value doubles as the CLI exit code.
 constexpr int exit_code(ErrorCode c) { return static_cast<int>(c); }
@@ -36,6 +37,7 @@ constexpr std::string_view to_string(ErrorCode c) {
     case ErrorCode::timeout: return "timeout";
     case ErrorCode::resource: return "resource";
     case ErrorCode::decompose: return "decompose";
+    case ErrorCode::overloaded: return "overloaded";
   }
   return "unknown";
 }

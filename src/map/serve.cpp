@@ -1,6 +1,7 @@
 #include "map/serve.hpp"
 
 #include <cmath>
+#include <condition_variable>
 #include <sstream>
 
 #include "circuits/registry.hpp"
@@ -92,6 +93,14 @@ obs::Json error_response(const std::string& id, ErrorCode code,
   return resp;
 }
 
+/// Best-effort id extraction from a parsed request (error paths echo it).
+std::string extract_id(const obs::Json* parsed) {
+  if (parsed && parsed->is_object())
+    if (const obs::Json* j = parsed->find("id"); j && j->is_string())
+      return j->as_string();
+  return "";
+}
+
 /// Disarm on every exit path once a request armed a fault plan.
 struct FaultScope {
   bool armed = false;
@@ -108,14 +117,12 @@ Engine::Engine(const SynthesisConfig& base) : base_(base), session_(base) {
   obs::set_enabled(true);
 }
 
-obs::Json Engine::handle_line(const std::string& line) {
+obs::Json Engine::handle_line(const std::string& line,
+                              std::uint64_t queue_wait_ms) {
   ++served_;
   const std::optional<obs::Json> parsed = obs::Json::parse(line);
   // Best-effort id echo even for malformed requests that did parse as JSON.
-  std::string id;
-  if (parsed && parsed->is_object())
-    if (const obs::Json* j = parsed->find("id"); j && j->is_string())
-      id = j->as_string();
+  std::string id = extract_id(parsed ? &*parsed : nullptr);
   const auto usage = [&](const std::string& msg) {
     return error_response(id, ErrorCode::usage, msg);
   };
@@ -130,9 +137,11 @@ obs::Json Engine::handle_line(const std::string& line) {
   for (const auto& [key, value] : parsed->members()) {
     if (key == "schema_version") {
       std::uint64_t v = 0;
-      if (!to_u64(value, v) || v != kWireSchemaVersion)
-        return usage("schema_version must be " +
-                     std::to_string(kWireSchemaVersion));
+      if (!to_u64(value, v) || v < kWireSchemaVersionMin ||
+          v > kWireSchemaVersion)
+        return usage("schema_version must be in [" +
+                     std::to_string(kWireSchemaVersionMin) + ", " +
+                     std::to_string(kWireSchemaVersion) + "]");
       saw_version = true;
     } else if (key == "id") {
       if (!value.is_string()) return usage("id must be a string");
@@ -179,6 +188,21 @@ obs::Json Engine::handle_line(const std::string& line) {
       if (const std::string err = apply_config_key(cfg, key, value);
           !err.empty())
         return usage(err);
+
+  // --- deadline propagation (DESIGN.md §15.2) ----------------------------
+  // The request's timeout_ms budgets the *request*, not just the run: time
+  // burnt waiting in the admission queue comes off the top, and a request
+  // whose budget is already gone is dead work — reject it before arming a
+  // guard or touching a manager.
+  if (cfg.timeout_ms > 0 && queue_wait_ms > 0) {
+    if (queue_wait_ms >= cfg.timeout_ms)
+      return error_response(
+          id, ErrorCode::timeout,
+          "deadline expired in the admission queue (waited " +
+              std::to_string(queue_wait_ms) + " ms of a " +
+              std::to_string(cfg.timeout_ms) + " ms budget)");
+    cfg.timeout_ms -= queue_wait_ms;
+  }
 
   // --- optional fault plan (IMODEC_FAULT_INJECTION builds only) ----------
   util::fault::Plan plan;
@@ -254,8 +278,247 @@ obs::Json Engine::handle_line(const std::string& line) {
   return resp;
 }
 
-std::string Engine::handle_line_text(const std::string& line) {
-  return handle_line(line).dump(-1);
+std::string Engine::handle_line_text(const std::string& line,
+                                     std::uint64_t queue_wait_ms) {
+  return handle_line(line, queue_wait_ms).dump(-1);
+}
+
+// --- Server: admission control, drain, control verbs (DESIGN.md §15) --------
+
+Server::Server(const SynthesisConfig& base, const ServerOptions& opts)
+    : opts_(opts), queue_(opts.queue_capacity) {
+  const unsigned workers = opts_.workers ? opts_.workers : 1;
+  engines_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i)
+    engines_.push_back(std::make_unique<Engine>(base));
+  threads_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i)
+    threads_.emplace_back([this, i] { worker_loop(i); });
+}
+
+Server::~Server() { drain(); }
+
+obs::Json Server::overloaded_response(const std::string& id,
+                                      const std::string& why) const {
+  obs::Json resp = obs::Json::object();
+  resp["schema_version"] = kWireSchemaVersion;
+  resp["id"] = id;
+  resp["ok"] = false;
+  resp["code"] = to_string(ErrorCode::overloaded);
+  obs::Json err = obs::Json::object();
+  err["code"] = to_string(ErrorCode::overloaded);
+  err["message"] = why;
+  // The client's backoff hint rides inside the error object so v1 consumers
+  // (which ignore unknown response keys) stay compatible.
+  err["retry_after_ms"] = opts_.retry_after_ms;
+  resp["error"] = std::move(err);
+  return resp;
+}
+
+std::unique_ptr<obs::Json> Server::try_control(const obs::Json* parsed,
+                                               const std::string& id) {
+  if (!parsed || !parsed->is_object() || !parsed->find("control"))
+    return nullptr;
+  const auto usage = [&](const std::string& msg) {
+    return std::make_unique<obs::Json>(
+        error_response(id, ErrorCode::usage, msg));
+  };
+  // Control requests are a v2-only closed schema: version + id + verb.
+  std::string verb;
+  bool saw_version = false;
+  for (const auto& [key, value] : parsed->members()) {
+    if (key == "schema_version") {
+      if (!value.is_number() || value.as_number() != kWireSchemaVersion)
+        return usage("control requests require schema_version " +
+                     std::to_string(kWireSchemaVersion));
+      saw_version = true;
+    } else if (key == "id") {
+      if (!value.is_string()) return usage("id must be a string");
+    } else if (key == "control") {
+      if (!value.is_string()) return usage("control must be a string");
+      verb = value.as_string();
+    } else {
+      return usage("unknown control request field '" + key + "'");
+    }
+  }
+  if (!saw_version) return usage("missing schema_version");
+  if (id.empty()) return usage("missing (or empty) id");
+  if (verb != "health" && verb != "stats" && verb != "drain")
+    return usage("unknown control verb '" + verb + "'");
+
+  control_.fetch_add(1, std::memory_order_relaxed);
+  if (verb == "drain") request_drain();
+
+  auto resp = std::make_unique<obs::Json>(obs::Json::object());
+  (*resp)["schema_version"] = kWireSchemaVersion;
+  (*resp)["id"] = id;
+  (*resp)["ok"] = true;
+  (*resp)["code"] = to_string(ErrorCode::ok);
+  (*resp)["control"] = verb;
+  if (verb == "stats") {
+    (*resp)["status"] = stats_json();
+  } else {
+    obs::Json status = obs::Json::object();
+    status["state"] = draining() ? "draining" : "serving";
+    status["workers"] = workers();
+    status["queue_depth"] = static_cast<std::uint64_t>(queue_.size());
+    status["queue_capacity"] =
+        static_cast<std::uint64_t>(queue_.capacity());
+    (*resp)["status"] = std::move(status);
+  }
+  return resp;
+}
+
+void Server::submit(std::string line, Done done) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  // One parse up front covers id extraction for every inline answer
+  // (control / shed / drain); admitted circuit requests are re-parsed by the
+  // worker's Engine — the double parse is noise next to a synthesis run.
+  const std::optional<obs::Json> parsed = obs::Json::parse(line);
+  const std::string id = extract_id(parsed ? &*parsed : nullptr);
+
+  if (auto control = try_control(parsed ? &*parsed : nullptr, id)) {
+    done(control->dump(-1));
+    return;
+  }
+  if (draining()) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    by_code_[exit_code(ErrorCode::overloaded)].fetch_add(
+        1, std::memory_order_relaxed);
+    done(overloaded_response(id, "server is draining").dump(-1));
+    return;
+  }
+  Job job;
+  job.line = std::move(line);
+  job.done = std::move(done);
+  job.enqueued = std::chrono::steady_clock::now();
+  if (!queue_.try_push(std::move(job))) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    by_code_[exit_code(ErrorCode::overloaded)].fetch_add(
+        1, std::memory_order_relaxed);
+    // try_push moved from `job` only on success; on failure the Done we
+    // still hold answers the shed inline.
+    job.done(overloaded_response(id, "admission queue is full").dump(-1));
+  }
+}
+
+std::string Server::handle(const std::string& line) {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::string out;
+  bool ready = false;
+  submit(line, [&](const std::string& resp) {
+    // Notify under the lock: these synchronization objects live on the
+    // caller's stack, and once `ready` is observable the caller may return
+    // and destroy them — an unlocked notify could still be touching cv.
+    std::lock_guard<std::mutex> lock(mu);
+    out = resp;
+    ready = true;
+    cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return ready; });
+  return out;
+}
+
+void Server::worker_loop(std::size_t self) {
+  Engine& engine = *engines_[self];
+  while (auto job = queue_.pop()) {
+    const auto wait = std::chrono::steady_clock::now() - job->enqueued;
+    const std::uint64_t wait_ms = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(wait).count());
+    finish(*job, engine.handle_line(job->line, wait_ms));
+  }
+}
+
+void Server::finish(const Job& job, const obs::Json& resp) {
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  if (const obs::Json* code = resp.find("code"); code && code->is_string()) {
+    if (const auto parsed = parse_error_code(code->as_string())) {
+      by_code_[exit_code(*parsed)].fetch_add(1, std::memory_order_relaxed);
+      if (*parsed == ErrorCode::timeout) {
+        // Distinguish queue-expiry from run timeouts for the stats verb.
+        if (const obs::Json* err = resp.find("error"))
+          if (const obs::Json* msg = err->find("message");
+              msg && msg->is_string() &&
+              msg->as_string().find("admission queue") != std::string::npos)
+            expired_in_queue_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  job.done(resp.dump(-1));
+}
+
+void Server::request_drain() {
+  std::call_once(drain_once_, [this] {
+    draining_.store(true, std::memory_order_release);
+    // Everything still queued is answered, not run: the client gets a typed
+    // retry hint instead of waiting on a server that is going away.
+    for (Job& job : queue_.close_and_drain()) {
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      by_code_[exit_code(ErrorCode::overloaded)].fetch_add(
+          1, std::memory_order_relaxed);
+      const std::optional<obs::Json> parsed = obs::Json::parse(job.line);
+      job.done(overloaded_response(extract_id(parsed ? &*parsed : nullptr),
+                                   "server is draining")
+                   .dump(-1));
+    }
+  });
+}
+
+void Server::drain() {
+  request_drain();
+  std::call_once(join_once_, [this] {
+    for (std::thread& t : threads_)
+      if (t.joinable()) t.join();
+  });
+}
+
+obs::Json Server::stats_json() const {
+  obs::Json s = obs::Json::object();
+  s["state"] = draining() ? "draining" : "serving";
+  s["workers"] = workers();
+  s["queue_depth"] = static_cast<std::uint64_t>(queue_.size());
+  s["queue_capacity"] = static_cast<std::uint64_t>(queue_.capacity());
+  s["retry_after_ms"] = opts_.retry_after_ms;
+  s["uptime_ms"] = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - started_)
+          .count());
+  s["submitted"] = submitted_.load(std::memory_order_relaxed);
+  s["completed"] = completed_.load(std::memory_order_relaxed);
+  s["shed"] = shed_.load(std::memory_order_relaxed);
+  s["expired_in_queue"] = expired_in_queue_.load(std::memory_order_relaxed);
+  s["control"] = control_.load(std::memory_order_relaxed);
+  obs::Json by_code = obs::Json::object();
+  for (int i = 0; i < kNumErrorCodes; ++i) {
+    const std::uint64_t n = by_code_[i].load(std::memory_order_relaxed);
+    if (n) by_code[to_string(static_cast<ErrorCode>(i))] = n;
+  }
+  s["by_code"] = std::move(by_code);
+  return s;
+}
+
+// --- RestartPolicy ----------------------------------------------------------
+
+RestartPolicy::Decision RestartPolicy::on_crash(std::uint64_t uptime_ms) {
+  ++total_crashes_;
+  if (uptime_ms >= opts_.stable_uptime_ms)
+    fast_crashes_ = 0;  // it was serving fine; restart the ladder
+  ++fast_crashes_;
+  Decision d;
+  if (fast_crashes_ > opts_.give_up_after) {
+    d.give_up = true;
+    return d;
+  }
+  // 100, 200, 400, ... capped; the first crash after a stable run waits the
+  // base backoff only.
+  std::uint64_t backoff = opts_.base_backoff_ms;
+  for (unsigned i = 1; i < fast_crashes_ && backoff < opts_.max_backoff_ms;
+       ++i)
+    backoff *= 2;
+  d.backoff_ms = std::min(backoff, opts_.max_backoff_ms);
+  return d;
 }
 
 }  // namespace imodec::serve

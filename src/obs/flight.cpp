@@ -1,8 +1,13 @@
 #include "obs/flight.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
 #include <type_traits>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
 
 namespace imodec::obs {
 
@@ -71,10 +76,18 @@ void FlightRecorder::record(FlightKind kind, std::string_view what,
 }
 
 std::vector<FlightEvent> FlightRecorder::snapshot() const {
+  std::vector<FlightEvent> out(kCapacity);
+  out.resize(snapshot_into(out.data(), out.size()));
+  return out;
+}
+
+std::size_t FlightRecorder::snapshot_into(FlightEvent* out,
+                                          std::size_t max) const {
   const std::uint64_t head = head_.load(std::memory_order_acquire);
-  const std::uint64_t first = head > kCapacity ? head - kCapacity : 0;
-  std::vector<FlightEvent> out;
-  out.reserve(static_cast<std::size_t>(head - first));
+  const std::uint64_t window = head > kCapacity ? kCapacity : head;
+  std::uint64_t first = head - window;
+  if (window > max) first = head - max;
+  std::size_t n = 0;
   for (std::uint64_t t = first; t < head; ++t) {
     const Slot& slot = slots_[t & (kCapacity - 1)];
     const std::uint64_t s1 = slot.seq.load(std::memory_order_relaxed);
@@ -89,15 +102,67 @@ std::vector<FlightEvent> FlightRecorder::snapshot() const {
     FlightEvent ev;
     std::memcpy(&ev, words, sizeof(ev));
     ev.what[sizeof(ev.what) - 1] = '\0';  // belt and braces for dump paths
-    out.push_back(ev);
+    out[n++] = ev;
   }
-  return out;
+  return n;
 }
 
 void FlightRecorder::clear() {
   head_.store(0, std::memory_order_relaxed);
   for (Slot& s : slots_) s.seq.store(0, std::memory_order_relaxed);
   epoch_ = std::chrono::steady_clock::now();
+}
+
+void flight_dump_fd(int fd) {
+#ifndef _WIN32
+  // Static storage: a fatal handler may run on a tight signal stack, and
+  // install_fatal_handler guarantees single entry, so no reentrancy hazard
+  // worth trading async-signal safety for.
+  static FlightEvent events[FlightRecorder::kCapacity];
+  const FlightRecorder& rec = FlightRecorder::instance();
+  const std::size_t n =
+      rec.snapshot_into(events, FlightRecorder::kCapacity);
+
+  char buf[256];
+  const auto emit = [fd](const char* s, std::size_t len) {
+    std::size_t off = 0;
+    while (off < len) {
+      const ssize_t w = ::write(fd, s + off, len - off);
+      if (w <= 0) return;  // best effort; nowhere to report
+      off += static_cast<std::size_t>(w);
+    }
+  };
+  int len = std::snprintf(buf, sizeof(buf),
+                          "{\"imodec_flight\":{\"recorded\":%llu,"
+                          "\"capacity\":%llu,\"events\":[",
+                          static_cast<unsigned long long>(rec.total_recorded()),
+                          static_cast<unsigned long long>(
+                              FlightRecorder::kCapacity));
+  emit(buf, static_cast<std::size_t>(len));
+  for (std::size_t i = 0; i < n; ++i) {
+    const FlightEvent& ev = events[i];
+    // `what` is one of our own short labels; scrub anything that could
+    // break the JSON string rather than escape it.
+    char what[sizeof(ev.what)];
+    std::size_t wl = 0;
+    for (; wl < sizeof(what) - 1 && ev.what[wl]; ++wl) {
+      const char c = ev.what[wl];
+      what[wl] = (c < 0x20 || c == '"' || c == '\\') ? '_' : c;
+    }
+    what[wl] = '\0';
+    len = std::snprintf(buf, sizeof(buf),
+                        "%s{\"t_ms\":%.3f,\"kind\":\"%s\",\"what\":\"%s\","
+                        "\"a\":%llu,\"b\":%llu,\"c\":%llu}",
+                        i ? "," : "", ev.t_ms, to_string(ev.kind), what,
+                        static_cast<unsigned long long>(ev.a),
+                        static_cast<unsigned long long>(ev.b),
+                        static_cast<unsigned long long>(ev.c));
+    if (len > 0) emit(buf, static_cast<std::size_t>(len));
+  }
+  emit("]}}\n", 4);
+#else
+  (void)fd;
+#endif
 }
 
 Json flight_dump_json() {

@@ -66,6 +66,11 @@ class FlightRecorder {
   /// mid-overwrite are dropped, never returned torn.
   std::vector<FlightEvent> snapshot() const;
 
+  /// Allocation-free snapshot for the fatal-signal path: fills `out` (sized
+  /// for at least min(max, kCapacity) entries), returns the count. Same
+  /// torn-slot discipline as snapshot().
+  std::size_t snapshot_into(FlightEvent* out, std::size_t max) const;
+
   /// Total events ever recorded (monotone; exceeds kCapacity on wraparound).
   std::uint64_t total_recorded() const {
     return head_.load(std::memory_order_acquire);
@@ -96,6 +101,13 @@ inline void flight(FlightKind kind, std::string_view what, std::uint64_t a = 0,
 
 /// {"recorded": N, "capacity": 1024, "events": [{t_ms,kind,what,a,b,c}...]}
 Json flight_dump_json();
+
+/// Last-gasp variant: write the ring to `fd` as one JSON line
+/// ({"imodec_flight":{...}}\n) using only async-signal-safe operations —
+/// no allocation, no locks, no stdio buffering. Safe to call from a fatal
+/// signal handler (util::install_fatal_handler); also usable anywhere a
+/// malloc-free dump is wanted. POSIX only (no-op elsewhere).
+void flight_dump_fd(int fd);
 
 /// Force the recorder on for a scope, restoring the previous state on exit.
 class FlightEnableScope {

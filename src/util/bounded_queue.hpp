@@ -1,0 +1,93 @@
+#pragma once
+// Bounded MPMC queue — the admission-control primitive of the serving layer
+// (DESIGN.md §15). Deliberately tiny: a mutex + condition variable around a
+// deque with a hard capacity. Producers never block — try_push either
+// enqueues or reports "full" so the caller can shed load with a typed
+// `overloaded` response instead of stalling the socket. Consumers block in
+// pop() until an item arrives or the queue is closed.
+//
+// close_and_drain() is the graceful-drain hook: it atomically stops further
+// pushes, wakes every blocked consumer, and hands the not-yet-started items
+// back to the caller (which answers them with `overloaded`); items already
+// popped are in flight and finish normally.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace imodec::util {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  /// `capacity` == 0 means "reject everything" (a drain-only queue).
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Non-blocking enqueue. False when the queue is full or closed — the
+  /// producer sheds instead of waiting. `item` is moved from only on
+  /// success; on failure the caller still owns it intact (the serving layer
+  /// answers the shed request through the callback it carries).
+  bool try_push(T&& item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocking dequeue; nullopt once the queue is closed and empty.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Stop accepting, wake all consumers, and return everything that was
+  /// still queued (the caller owns answering those). Idempotent.
+  std::vector<T> close_and_drain() {
+    std::vector<T> rest;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+      rest.reserve(items_.size());
+      while (!items_.empty()) {
+        rest.push_back(std::move(items_.front()));
+        items_.pop_front();
+      }
+    }
+    cv_.notify_all();
+    return rest;
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace imodec::util

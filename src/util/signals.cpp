@@ -1,0 +1,135 @@
+#include "util/signals.hpp"
+
+#include <atomic>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+#endif
+
+namespace imodec::util {
+
+namespace {
+
+std::atomic<std::uint64_t> g_drain_count{0};
+std::atomic<int> g_drain_signal{0};
+std::atomic<int> g_drain_pipe_write{-1};
+std::atomic<int> g_drain_pipe_read{-1};
+std::atomic<FatalCallback> g_fatal_cb{nullptr};
+std::atomic<bool> g_fatal_entered{false};
+
+void note_drain(int signo) {
+  int expected = 0;
+  g_drain_signal.compare_exchange_strong(expected, signo,
+                                         std::memory_order_relaxed);
+  g_drain_count.fetch_add(1, std::memory_order_release);
+  const int fd = g_drain_pipe_write.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+#ifndef _WIN32
+    const char byte = 1;
+    // A full pipe just means the loop already has plenty of wakeups queued.
+    [[maybe_unused]] const auto r = ::write(fd, &byte, 1);
+#endif
+  }
+}
+
+#ifndef _WIN32
+
+void drain_signal_handler(int signo) { note_drain(signo); }
+
+void fatal_signal_handler(int signo) {
+  // First crash wins; a crash inside the callback (or a second signal on
+  // another thread) falls through to the re-raise immediately.
+  if (!g_fatal_entered.exchange(true, std::memory_order_acq_rel)) {
+    if (const FatalCallback cb = g_fatal_cb.load(std::memory_order_acquire))
+      cb(signo);
+  }
+  ::signal(signo, SIG_DFL);
+  ::raise(signo);
+}
+
+const int kFatalSignals[] = {SIGSEGV, SIGBUS, SIGFPE, SIGILL, SIGABRT};
+
+#endif  // !_WIN32
+
+}  // namespace
+
+bool install_drain_handler() {
+#ifndef _WIN32
+  if (g_drain_pipe_read.load(std::memory_order_relaxed) < 0) {
+    int fds[2];
+    if (::pipe(fds) != 0) return false;
+    ::fcntl(fds[0], F_SETFL, O_NONBLOCK);
+    ::fcntl(fds[1], F_SETFL, O_NONBLOCK);
+    ::fcntl(fds[0], F_SETFD, FD_CLOEXEC);
+    ::fcntl(fds[1], F_SETFD, FD_CLOEXEC);
+    g_drain_pipe_read.store(fds[0], std::memory_order_relaxed);
+    g_drain_pipe_write.store(fds[1], std::memory_order_relaxed);
+  }
+  struct sigaction sa{};
+  sa.sa_handler = drain_signal_handler;
+  ::sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: blocked accept()/read() must wake
+  return ::sigaction(SIGTERM, &sa, nullptr) == 0 &&
+         ::sigaction(SIGINT, &sa, nullptr) == 0;
+#else
+  return false;
+#endif
+}
+
+bool drain_requested() {
+  return g_drain_count.load(std::memory_order_acquire) > 0;
+}
+
+std::uint64_t drain_signal_count() {
+  return g_drain_count.load(std::memory_order_acquire);
+}
+
+int drain_signal() { return g_drain_signal.load(std::memory_order_relaxed); }
+
+int drain_fd() { return g_drain_pipe_read.load(std::memory_order_relaxed); }
+
+void simulate_drain_signal(int signo) { note_drain(signo); }
+
+bool install_fatal_handler(FatalCallback cb) {
+#ifndef _WIN32
+  g_fatal_cb.store(cb, std::memory_order_release);
+  struct sigaction sa{};
+  if (cb) {
+    sa.sa_handler = fatal_signal_handler;
+    ::sigemptyset(&sa.sa_mask);
+    // SA_NODEFER not set: the signal is blocked during the handler, and the
+    // final raise() delivers after the handler returns.
+    sa.sa_flags = 0;
+  } else {
+    sa.sa_handler = SIG_DFL;
+  }
+  bool ok = true;
+  for (const int signo : kFatalSignals)
+    ok = ::sigaction(signo, &sa, nullptr) == 0 && ok;
+  return ok;
+#else
+  (void)cb;
+  return false;
+#endif
+}
+
+const char* signal_name(int signo) {
+#ifndef _WIN32
+  switch (signo) {
+    case SIGSEGV: return "SIGSEGV";
+    case SIGBUS: return "SIGBUS";
+    case SIGFPE: return "SIGFPE";
+    case SIGILL: return "SIGILL";
+    case SIGABRT: return "SIGABRT";
+    case SIGTERM: return "SIGTERM";
+    case SIGINT: return "SIGINT";
+    case SIGKILL: return "SIGKILL";
+  }
+#endif
+  (void)signo;
+  return "SIG?";
+}
+
+}  // namespace imodec::util

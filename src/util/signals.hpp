@@ -1,0 +1,63 @@
+#pragma once
+// Signal plumbing for the serving layer (DESIGN.md §15).
+//
+// Two independent facilities, both POSIX-only (no-op stubs elsewhere):
+//
+// 1. Drain signals. install_drain_handler() points SIGTERM/SIGINT at an
+//    async-signal-safe handler that latches an atomic flag and writes one
+//    byte to a self-pipe, so an accept loop blocked in poll() wakes
+//    immediately (the classic self-pipe trick). The daemon polls
+//    {listener, drain_fd()} and flips into drain mode on the first signal.
+//    A second signal while draining is visible via drain_signal_count() so
+//    an impatient operator's repeat Ctrl-C can force a faster exit.
+//
+// 2. Fatal signals. install_fatal_handler(cb) points SIGSEGV/SIGBUS/
+//    SIGFPE/SIGILL/SIGABRT at a last-gasp handler that runs `cb(signo)`
+//    once (re-entry from a crash inside the callback is suppressed), then
+//    restores the default disposition and re-raises, so the process still
+//    dies *by that signal* — a supervisor sees WIFSIGNALED and the original
+//    signo, not a disguised exit code. The callback must stick to
+//    async-signal-safe operations: write(2) to a pre-opened fd, snprintf
+//    into stack buffers (technically unspecified but dependable on the
+//    platforms we serve on), no malloc, no locks — see
+//    obs::flight_dump_fd() for the pattern.
+
+#include <cstdint>
+
+namespace imodec::util {
+
+/// Install SIGTERM/SIGINT handlers that latch the drain flag and wake
+/// drain_fd(). Idempotent; returns false when handler installation failed.
+bool install_drain_handler();
+
+/// True once any drain signal has been received.
+bool drain_requested();
+
+/// Number of drain signals received so far (0 before the first).
+std::uint64_t drain_signal_count();
+
+/// The signal number that first requested the drain (0 before the first).
+int drain_signal();
+
+/// Read end of the self-pipe: poll()-able, becomes readable on the first
+/// drain signal. -1 until install_drain_handler() succeeds. Never read it
+/// dry yourself — poll for readability and consult drain_requested().
+int drain_fd();
+
+/// Test hook: pretend a drain signal arrived (same latching + pipe write,
+/// minus the actual signal).
+void simulate_drain_signal(int signo);
+
+/// Last-gasp callback: `signo` is the fatal signal being delivered.
+using FatalCallback = void (*)(int signo);
+
+/// Install the fatal-signal last-gasp handler. The callback runs at most
+/// once process-wide (the first fatal signal wins; re-entrant crashes skip
+/// straight to the re-raise). Passing nullptr restores default dispositions.
+bool install_fatal_handler(FatalCallback cb);
+
+/// Spelled name ("SIGSEGV", ...) for the signals this module touches;
+/// "SIG<n>" otherwise. Async-signal-safe (returns static strings).
+const char* signal_name(int signo);
+
+}  // namespace imodec::util

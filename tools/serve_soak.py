@@ -23,15 +23,39 @@ Transcripts (requests.jsonl / responses.jsonl) are written to --out for
 tools/check_request_json.py to validate both wire directions; ctest chains
 the two via a fixture.
 
+--chaos switches to the overload/crash soak (DESIGN.md §15): the daemon runs
+under --supervise on a Unix socket while N concurrent clients (default 8)
+hammer it with mixed traffic — valid circuits, control verbs, malformed
+JSON, oversized lines, BDD-hostile tight-budget requests, and (with
+--faults) armed fault plans — and a killer thread SIGKILLs the serving
+worker (via --pidfile) at least --kills times (default 20). The chaos
+invariants:
+
+  - ZERO HANGS: every client request ends in a typed JSON response or a
+    clean connection close within its socket timeout — a read timeout fails
+    the soak;
+  - typed shedding: overload surfaces as code "overloaded" with
+    error.retry_after_ms (the soak runs one worker with a tiny queue, so at
+    least one shed is required), never a stall;
+  - oversized lines get a typed usage error and the connection survives;
+  - the supervisor records one restart per delivered kill and keeps
+    serving (clients reconnect and complete requests after every crash);
+  - the final SIGTERM drains cleanly: supervisor exit 0, pidfile gone.
+
 Exit codes: 0 OK, 1 invariant violation, 2 usage.
 """
 
 import argparse
 import json
 import os
+import random
+import signal
 import socket
 import subprocess
 import sys
+import tempfile
+import threading
+import time
 
 # Fast-synthesizing registry circuits (sub-50ms each) so 200 requests stay
 # inside a CI-friendly budget even under ASan.
@@ -180,6 +204,359 @@ def result_signature(resp):
     return json.dumps(sig, sort_keys=True)
 
 
+# ---------------------------------------------------------------------------
+# Chaos soak (--chaos)
+
+CHAOS_CODES = {"ok", "verify_failed", "usage", "parse", "timeout", "resource",
+               "decompose", "overloaded"}
+CHAOS_LINE_CAP = 4096   # daemon --max-line-bytes during chaos
+CHAOS_READ_TIMEOUT = 120.0  # any single read past this = hang = failure
+
+
+class ChaosStats:
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.codes = {}
+        self.reconnects = 0
+        self.kills = 0
+
+    def count(self, code):
+        with self.lock:
+            self.codes[code] = self.codes.get(code, 0) + 1
+
+    def reconnect(self):
+        with self.lock:
+            self.reconnects += 1
+
+
+def chaos_request(rng, idx, seq, faults):
+    """One chaos request: (wire line, acceptable codes, echoed id or None).
+    `overloaded` is acceptable for anything that reaches admission — the
+    whole point of the soak is that shedding is a normal typed outcome."""
+    rid = f"c{idx}-{seq}"
+    kind = rng.randrange(10)
+    if kind < 5:
+        body = {"schema_version": 2, "id": rid,
+                "circuit": {"name": rng.choice(CIRCUITS)},
+                "config": {"result_cache": rng.random() < 0.5}}
+        return json.dumps(body, separators=(",", ":")), \
+            {"ok", "overloaded"}, rid
+    if kind == 5:
+        body = {"schema_version": 2, "id": rid,
+                "control": rng.choice(["health", "stats"])}
+        return json.dumps(body, separators=(",", ":")), {"ok"}, rid
+    if kind == 6:
+        # Not JSON: rejected with usage by the engine — but the line still
+        # travels the admission queue, so overload can shed it first.
+        return "this is not json {", {"usage", "overloaded"}, None
+    if kind == 7:
+        # Oversized line: past the daemon's --max-line-bytes cap. Typed
+        # usage, and the connection must survive for the next iteration.
+        return '{"pad":"' + "x" * (2 * CHAOS_LINE_CAP) + '"}', \
+            {"usage"}, None
+    if kind == 8:
+        # BDD-hostile: a budget so tight the run usually trips resource.
+        body = {"schema_version": 2, "id": rid,
+                "circuit": {"name": rng.choice(CIRCUITS)},
+                "config": {"node_budget": 1500, "on_exhaustion": "fail",
+                           "result_cache": False}}
+        return json.dumps(body, separators=(",", ":")), \
+            {"ok", "resource", "timeout", "overloaded"}, rid
+    if faults:
+        body = {"schema_version": 2, "id": rid,
+                "circuit": {"name": rng.choice(CIRCUITS)},
+                "fault": {"kind": rng.choice(["deadline", "node_budget",
+                                              "bad_alloc", "cancel"]),
+                          "at": 1 + rng.randrange(40)}}
+        return json.dumps(body, separators=(",", ":")), \
+            {"ok", "timeout", "resource", "overloaded"}, rid
+    body = {"schema_version": 2, "id": rid,
+            "circuit": {"name": "no-such-circuit"}}
+    return json.dumps(body, separators=(",", ":")), \
+        {"usage", "overloaded"}, rid
+
+
+class ChaosClient(threading.Thread):
+    """One closed-loop client: connect, fire mixed requests, validate every
+    response inline. Worker crashes show up as clean closes / resets — the
+    client reconnects and retries; anything else (hang, invalid response,
+    unexpected code) is recorded as a failure."""
+
+    def __init__(self, idx, sock_path, stop_evt, stats, failures, fail_lock,
+                 faults, transcript):
+        super().__init__(daemon=True)
+        self.idx = idx
+        self.sock_path = sock_path
+        self.stop_evt = stop_evt
+        self.stats = stats
+        self.failures = failures
+        self.fail_lock = fail_lock
+        self.faults = faults
+        self.transcript = transcript
+        self.completed = 0
+        self.retry_hint = 0.025
+
+    def fail(self, msg):
+        with self.fail_lock:
+            self.failures.append(f"client {self.idx}: {msg}")
+
+    def connect(self):
+        deadline = time.time() + 60
+        while time.time() < deadline and not self.stop_evt.is_set():
+            s = None
+            try:
+                s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                s.settimeout(CHAOS_READ_TIMEOUT)
+                s.connect(self.sock_path)
+                return s
+            except OSError:
+                if s is not None:
+                    try:
+                        s.close()
+                    except OSError:
+                        pass
+                time.sleep(0.05)
+        return None
+
+    def read_line(self, s, buf):
+        """One newline-terminated line from s. (line, buf) or (None, buf)
+        on clean close. socket.timeout propagates (a hang)."""
+        while b"\n" not in buf:
+            chunk = s.recv(65536)
+            if not chunk:
+                return None, buf
+            buf += chunk
+        line, _, buf = buf.partition(b"\n")
+        return line, buf
+
+    def run(self):
+        rng = random.Random(7000 + self.idx)
+        conn, buf = None, b""
+        seq = 0
+        while not self.stop_evt.is_set():
+            line, codes, rid = chaos_request(rng, self.idx, seq, self.faults)
+            seq += 1
+            # Retry the same request across connection deaths (a kill may
+            # land mid-request); each attempt must end in a response or a
+            # clean close.
+            for _ in range(20):
+                if self.stop_evt.is_set():
+                    return
+                if conn is None:
+                    conn = self.connect()
+                    buf = b""
+                    if conn is None:
+                        return  # stop requested / socket gone at teardown
+                try:
+                    conn.sendall(line.encode() + b"\n")
+                    resp_line, buf = self.read_line(conn, buf)
+                except socket.timeout:
+                    self.fail(f"HANG: no response within "
+                              f"{CHAOS_READ_TIMEOUT}s (seq {seq})")
+                    return
+                except OSError:
+                    resp_line = None  # reset mid-write/read: treat as close
+                if resp_line is None:
+                    try:
+                        conn.close()
+                    except OSError:
+                        pass
+                    conn, buf = None, b""
+                    self.stats.reconnect()
+                    continue
+                code = self.check(resp_line, codes, rid)
+                self.completed += 1
+                if code == "overloaded":
+                    # Honor the server's backoff hint (capped — chaos should
+                    # stay hot enough to keep the queue full).
+                    time.sleep(min(self.retry_hint, 0.05))
+                break
+            else:
+                self.fail("no response after 20 reconnect attempts")
+                return
+
+    def check(self, resp_line, codes, rid):
+        try:
+            resp = json.loads(resp_line.decode())
+        except (json.JSONDecodeError, UnicodeDecodeError) as e:
+            self.fail(f"response is not JSON: {e}")
+            return None
+        with self.fail_lock:
+            self.transcript.append(resp_line.decode())
+        code = resp.get("code")
+        self.stats.count(code)
+        if code not in CHAOS_CODES:
+            self.fail(f"invalid code {code!r}")
+            return code
+        if code not in codes:
+            self.fail(f"code {code}, expected one of {sorted(codes)}")
+        if rid is not None and resp.get("id") not in (rid, ""):
+            self.fail(f"id echoed as {resp.get('id')!r}, sent {rid!r}")
+        if code == "overloaded":
+            err = resp.get("error", {})
+            retry = err.get("retry_after_ms")
+            if not isinstance(retry, int):
+                self.fail("overloaded response without error.retry_after_ms")
+            else:
+                self.retry_hint = retry / 1000.0
+        return code
+
+
+def chaos_killer(pidfile, kills, stop_evt, stats, failures, fail_lock):
+    """SIGKILL the serving worker `kills` times, waiting for the supervisor
+    to fork a fresh worker (new pid in the pidfile) between kills."""
+    rng = random.Random(42)
+    delivered = 0
+    last_killed = -1
+    deadline = time.time() + 240
+    while delivered < kills and time.time() < deadline \
+            and not stop_evt.is_set():
+        time.sleep(rng.uniform(0.05, 0.25))
+        try:
+            with open(pidfile, encoding="utf-8") as f:
+                pid = int(f.read().strip())
+        except (OSError, ValueError):
+            continue
+        if pid == last_killed:
+            continue  # supervisor has not re-forked yet
+        try:
+            os.kill(pid, signal.SIGKILL)
+        except ProcessLookupError:
+            continue
+        last_killed = pid
+        delivered += 1
+    stats.kills = delivered
+    if delivered < kills:
+        with fail_lock:
+            failures.append(
+                f"killer delivered only {delivered}/{kills} kills "
+                f"before the deadline")
+
+
+def chaos_main(args):
+    out_dir = args.out
+    os.makedirs(out_dir, exist_ok=True)
+    # Short, collision-free socket path (sun_path caps at ~107 bytes; the
+    # build dir easily exceeds it).
+    tmp = tempfile.mkdtemp(prefix="imodec-chaos-")
+    sock_path = os.path.join(tmp, "s")
+    pidfile = os.path.join(tmp, "pid")
+    stderr_path = os.path.join(out_dir, "supervisor_stderr.log")
+
+    # One worker + tiny queue: 8 clients vs capacity 3 guarantees typed
+    # sheds. Aggressive restart knobs: rapid kills must not look like a
+    # crash loop (RestartPolicy is unit-tested separately).
+    daemon_argv = [args.daemon, "--socket", sock_path, "--supervise",
+                   "--pidfile", pidfile, "--workers", "1", "--queue", "2",
+                   "--retry-after-ms", "25",
+                   "--max-line-bytes", str(CHAOS_LINE_CAP),
+                   "--result-cache", "--timeout-ms", "60000",
+                   "--restart-base-ms", "20", "--restart-max-ms", "100",
+                   "--restart-stable-ms", "50",
+                   "--restart-give-up", "1000000"] + args.daemon_arg
+    stderr_f = open(stderr_path, "w", encoding="utf-8")
+    daemon = subprocess.Popen(daemon_argv, stderr=stderr_f)
+
+    failures = []
+    fail_lock = threading.Lock()
+    stats = ChaosStats()
+    transcript = []
+    stop_evt = threading.Event()
+    try:
+        deadline = time.time() + 60
+        while not os.path.exists(sock_path):
+            if daemon.poll() is not None or time.time() > deadline:
+                raise RuntimeError("daemon did not start listening")
+            time.sleep(0.05)
+
+        clients = [ChaosClient(i, sock_path, stop_evt, stats, failures,
+                               fail_lock, args.faults, transcript)
+                   for i in range(args.clients)]
+        for c in clients:
+            c.start()
+        killer = threading.Thread(
+            target=chaos_killer,
+            args=(pidfile, args.kills, stop_evt, stats, failures, fail_lock),
+            daemon=True)
+        killer.start()
+        killer.join(timeout=300)
+        if killer.is_alive():
+            failures.append("killer thread did not finish")
+        time.sleep(1.0)  # let clients observe the post-kill recovery
+        stop_evt.set()
+        for c in clients:
+            c.join(timeout=CHAOS_READ_TIMEOUT + 60)
+            if c.is_alive():
+                failures.append(f"client {c.idx} did not finish (hang)")
+
+        daemon.send_signal(signal.SIGTERM)
+        try:
+            rc = daemon.wait(timeout=60)
+        except subprocess.TimeoutExpired:
+            daemon.kill()
+            rc = daemon.wait()
+            failures.append("supervisor did not drain within 60s of SIGTERM")
+        if rc != 0:
+            failures.append(f"supervisor exited {rc}, expected 0")
+        if os.path.exists(pidfile):
+            failures.append("pidfile not removed on clean exit")
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait()
+        stderr_f.close()
+
+    # Supervisor records: one restart per delivered kill, then a clean exit.
+    sup_events = []
+    with open(stderr_path, encoding="utf-8") as f:
+        sup_lines = [l.rstrip("\n") for l in f
+                     if l.startswith('{"imodec_supervisor"')]
+    for line in sup_lines:
+        try:
+            sup_events.append(json.loads(line)["imodec_supervisor"]["event"])
+        except (json.JSONDecodeError, KeyError):
+            failures.append(f"malformed supervisor record: {line[:120]}")
+    restarts = sup_events.count("restart")
+    if restarts < stats.kills:
+        failures.append(f"{stats.kills} kills but only {restarts} "
+                        f"supervisor restart records")
+    if not sup_events or sup_events[-1] != "exit":
+        failures.append(f"supervisor records end with "
+                        f"{sup_events[-1] if sup_events else 'nothing'}, "
+                        f"expected 'exit'")
+
+    completed = sum(c.completed for c in clients)
+    n_ok = stats.codes.get("ok", 0)
+    n_over = stats.codes.get("overloaded", 0)
+    if n_ok < args.clients:
+        failures.append(f"only {n_ok} ok responses across {args.clients} "
+                        f"clients — the service never recovered")
+    if n_over < 1:
+        failures.append("no overloaded response observed — the soak never "
+                        "exercised shedding (capacity too large?)")
+
+    with open(os.path.join(out_dir, "chaos_responses.jsonl"), "w",
+              encoding="utf-8") as f:
+        f.write("\n".join(transcript) + ("\n" if transcript else ""))
+    with open(os.path.join(out_dir, "supervisor.jsonl"), "w",
+              encoding="utf-8") as f:
+        f.write("\n".join(sup_lines) + ("\n" if sup_lines else ""))
+
+    print(f"serve_soak: chaos — {args.clients} clients, {stats.kills} kills "
+          f"delivered, {restarts} supervisor restarts, {completed} requests "
+          f"completed ({n_ok} ok, {n_over} overloaded, "
+          f"{stats.reconnects} reconnects), codes {stats.codes}")
+    if failures:
+        for fail in failures[:25]:
+            print(f"serve_soak: FAIL: {fail}", file=sys.stderr)
+        if len(failures) > 25:
+            print(f"serve_soak: ... and {len(failures) - 25} more",
+                  file=sys.stderr)
+        return 1
+    print("serve_soak: OK")
+    return 0
+
+
 def main(argv):
     ap = argparse.ArgumentParser()
     ap.add_argument("--daemon", required=True, help="path to imodec_served")
@@ -193,7 +570,17 @@ def main(argv):
                          "instead of stdin/stdout")
     ap.add_argument("--daemon-arg", action="append", default=[],
                     metavar="ARG", help="extra daemon argv entry (repeatable)")
+    ap.add_argument("--chaos", action="store_true",
+                    help="overload/crash soak: concurrent clients + worker "
+                         "kills against a supervised socket daemon")
+    ap.add_argument("--clients", type=int, default=8,
+                    help="concurrent chaos clients (>= 8 for the ctest soak)")
+    ap.add_argument("--kills", type=int, default=20,
+                    help="worker SIGKILLs the chaos killer must deliver")
     args = ap.parse_args(argv[1:])
+
+    if args.chaos:
+        return chaos_main(args)
 
     reqs, expect, wire_valid = build_requests(args.requests, args.faults)
     lines = [json.dumps(r, separators=(",", ":")) for r in reqs]
